@@ -1,0 +1,177 @@
+// Package repro_test hosts the benchmark harness: one testing.B benchmark
+// per experiment table/figure (see DESIGN.md's experiment index). Each
+// benchmark regenerates its table from scratch; reported metrics include
+// the headline quantity of the experiment so `go test -bench=. -benchmem`
+// doubles as the reproduction run.
+package repro_test
+
+import (
+	"io"
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchExperiment runs the experiment once per iteration and reports a
+// headline metric extracted from the result table.
+func benchExperiment(b *testing.B, id string, metric func(*experiments.Table) (string, float64)) {
+	b.Helper()
+	var tbl *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tbl, err = experiments.Run(id, 42, io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if metric != nil && tbl != nil {
+		name, v := metric(tbl)
+		b.ReportMetric(v, name)
+	}
+}
+
+// cellFloat pulls a numeric cell, tolerating missing values as 0.
+func cellFloat(tbl *experiments.Table, row int, header string) float64 {
+	v, err := strconv.ParseFloat(tbl.Cell(row, header), 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func BenchmarkT1Systems(b *testing.B) {
+	benchExperiment(b, "T1", func(t *experiments.Table) (string, float64) {
+		return "capabilities", float64(len(t.Rows))
+	})
+}
+
+func BenchmarkT2TruthInference(b *testing.B) {
+	benchExperiment(b, "T2", func(t *experiments.Table) (string, float64) {
+		// Headline: spammy-regime DS accuracy (last regime block, DS row).
+		for i := range t.Rows {
+			if t.Cell(i, "regime") == "spammy" && t.Cell(i, "method") == "DS" {
+				return "spammy-DS-acc", cellFloat(t, i, "accuracy")
+			}
+		}
+		return "spammy-DS-acc", 0
+	})
+}
+
+func BenchmarkF1Redundancy(b *testing.B) {
+	benchExperiment(b, "F1", func(t *experiments.Table) (string, float64) {
+		return "k9-DS-acc", cellFloat(t, len(t.Rows)-1, "DS")
+	})
+}
+
+func BenchmarkF2Assignment(b *testing.B) {
+	benchExperiment(b, "F2", func(t *experiments.Table) (string, float64) {
+		return "qasca-3x-acc", cellFloat(t, 2, "qasca")
+	})
+}
+
+func BenchmarkT3Elimination(b *testing.B) {
+	benchExperiment(b, "T3", func(t *experiments.Table) (string, float64) {
+		return "acc-20pct-golden", cellFloat(t, len(t.Rows)-1, "accuracy")
+	})
+}
+
+func BenchmarkT4Join(b *testing.B) {
+	benchExperiment(b, "T4", func(t *experiments.Table) (string, float64) {
+		// Headline: asked-pair saving of the full pipeline vs all-pairs.
+		all := cellFloat(t, 0, "pairs-asked")
+		full := cellFloat(t, 2, "pairs-asked")
+		if all == 0 {
+			return "ask-saving", 0
+		}
+		return "ask-saving", 1 - full/all
+	})
+}
+
+func BenchmarkF3JoinThreshold(b *testing.B) {
+	benchExperiment(b, "F3", func(t *experiments.Table) (string, float64) {
+		return "F1-at-0.3", cellFloat(t, 2, "F1")
+	})
+}
+
+func BenchmarkF4Transitivity(b *testing.B) {
+	benchExperiment(b, "F4", func(t *experiments.Table) (string, float64) {
+		return "deduced-frac-size8", cellFloat(t, len(t.Rows)-1, "deduced-frac")
+	})
+}
+
+func BenchmarkF5TopK(b *testing.B) {
+	benchExperiment(b, "F5", func(t *experiments.Table) (string, float64) {
+		for i := range t.Rows {
+			if t.Cell(i, "strategy") == "all-pairs" {
+				return "allpairs-tau", cellFloat(t, i, "tau")
+			}
+		}
+		return "allpairs-tau", 0
+	})
+}
+
+func BenchmarkF6Count(b *testing.B) {
+	benchExperiment(b, "F6", func(t *experiments.Table) (string, float64) {
+		return "err-800samples-sel0.3", cellFloat(t, len(t.Rows)-1, "sel=0.3")
+	})
+}
+
+func BenchmarkF7Collect(b *testing.B) {
+	benchExperiment(b, "F7", func(t *experiments.Table) (string, float64) {
+		return "distinct-1600", cellFloat(t, len(t.Rows)-1, "distinct")
+	})
+}
+
+func BenchmarkF8Filter(b *testing.B) {
+	benchExperiment(b, "F8", func(t *experiments.Table) (string, float64) {
+		for i := range t.Rows {
+			if t.Cell(i, "strategy") == "early-m2-max7" {
+				return "early-votes-per-item", cellFloat(t, i, "votes/item")
+			}
+		}
+		return "early-votes-per-item", 0
+	})
+}
+
+func BenchmarkF9Latency(b *testing.B) {
+	benchExperiment(b, "F9", func(t *experiments.Table) (string, float64) {
+		return "k3-mitigated-makespan", cellFloat(t, 3, "makespan(s)")
+	})
+}
+
+func BenchmarkT5Optimizer(b *testing.B) {
+	benchExperiment(b, "T5", func(t *experiments.Table) (string, float64) {
+		return "q1-saving", cellFloat(t, 0, "saving")
+	})
+}
+
+func BenchmarkF10Categorize(b *testing.B) {
+	benchExperiment(b, "F10", func(t *experiments.Table) (string, float64) {
+		for i := range t.Rows {
+			if t.Cell(i, "strategy") == "hierarchical" &&
+				len(t.Cell(i, "taxonomy")) > 4 && t.Cell(i, "taxonomy")[:4] == "wide" {
+				return "wide-hier-acc", cellFloat(t, i, "accuracy")
+			}
+		}
+		return "wide-hier-acc", 0
+	})
+}
+
+func BenchmarkA1MaxRedundancy(b *testing.B) {
+	benchExperiment(b, "A1", func(t *experiments.Table) (string, float64) {
+		return "k7-winner-rank", cellFloat(t, len(t.Rows)-1, "winner-rank")
+	})
+}
+
+func BenchmarkA2JoinBatching(b *testing.B) {
+	benchExperiment(b, "A2", func(t *experiments.Table) (string, float64) {
+		return "batch50-tasks", cellFloat(t, len(t.Rows)-1, "tasks")
+	})
+}
+
+func BenchmarkA3Pricing(b *testing.B) {
+	benchExperiment(b, "A3", func(t *experiments.Table) (string, float64) {
+		return "makespan-at-4x-price", cellFloat(t, len(t.Rows)-2, "makespan(s)")
+	})
+}

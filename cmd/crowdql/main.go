@@ -1,0 +1,144 @@
+// Command crowdql is an interactive shell (and script runner) for the CQL
+// dialect, backed by a simulated crowd.
+//
+// Usage:
+//
+//	crowdql                      # interactive REPL
+//	crowdql -f script.cql        # run a script
+//	crowdql -workers 50 -regime mixed -redundancy 5 -seed 7
+//
+// The simulated crowd answers crowd predicates with the session's default
+// oracles: CROWDEQUAL follows string similarity, CROWDORDER follows the
+// natural ordering of values. For planted ground truth, drive the session
+// from Go (see examples/).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cql"
+	"repro/internal/crowd"
+	"repro/internal/operators"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		file       = flag.String("f", "", "CQL script to execute (default: REPL on stdin)")
+		workers    = flag.Int("workers", 40, "simulated crowd size")
+		regime     = flag.String("regime", "reliable", "crowd regime: reliable|mixed|spammy")
+		redundancy = flag.Int("redundancy", 3, "votes per crowd question")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		optimize   = flag.Bool("optimize", true, "enable the crowd-aware optimizer")
+	)
+	flag.Parse()
+
+	mix, err := crowd.RegimeByName(*regime)
+	if err != nil {
+		fatal(err)
+	}
+	rng := stats.NewRNG(*seed)
+	ws := crowd.NewPopulation(rng, *workers, mix)
+	runner := operators.NewRunner(crowd.AsCoreWorkers(ws), nil, rng)
+	session := cql.NewSession(cql.NewCatalog(), runner, rng.Split())
+	session.Redundancy = *redundancy
+	session.Optimize = *optimize
+
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		stmts, err := cql.ParseAll(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		for _, st := range stmts {
+			rel, err := session.ExecuteStmt(st)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(rel.FormatTable())
+		}
+		printStats(session)
+		return
+	}
+
+	fmt.Printf("crowdql — %d %s workers, redundancy %d. End statements with ';'.\n", *workers, *regime, *redundancy)
+	fmt.Println(`commands: \q quit · \stats crowd usage · \save <dir> · \load <dir>`)
+	repl(session)
+}
+
+func repl(session *cql.Session) {
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var buf strings.Builder
+	prompt := "cql> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "\\q" || trimmed == "exit" || trimmed == "quit" {
+			return
+		}
+		if trimmed == "\\stats" {
+			printStats(session)
+			continue
+		}
+		if dir, ok := strings.CutPrefix(trimmed, "\\save "); ok {
+			if err := cql.SaveCatalog(session.Catalog, strings.TrimSpace(dir)); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Println("catalog saved")
+			}
+			continue
+		}
+		if dir, ok := strings.CutPrefix(trimmed, "\\load "); ok {
+			cat, err := cql.LoadCatalog(strings.TrimSpace(dir))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				continue
+			}
+			session.Catalog = cat
+			fmt.Printf("catalog loaded: %v\n", cat.Names())
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if !strings.Contains(line, ";") {
+			prompt = "...> "
+			continue
+		}
+		src := buf.String()
+		buf.Reset()
+		prompt = "cql> "
+		rel, err := session.ExecuteScript(src)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			continue
+		}
+		if rel != nil {
+			fmt.Print(rel.FormatTable())
+		}
+	}
+}
+
+func printStats(s *cql.Session) {
+	fmt.Printf("crowd: %d tasks, %d answers (%d fills, %d filter rows, %d join pairs, %d compares, %d count samples)\n",
+		s.Stats.CrowdTasks, s.Stats.CrowdAnswers, s.Stats.Fills,
+		s.Stats.CrowdFilterRows, s.Stats.CrowdJoinPairs,
+		s.Stats.CrowdCompares, s.Stats.CrowdCountSamples)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crowdql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command crowdserve runs the HTTP microtask platform with a demo
+// labeling workload, optionally driving it with a simulated crowd.
+//
+// Usage:
+//
+//	crowdserve -addr :8080 -tasks 100            # serve; workers poll /api/task
+//	crowdserve -drive -workers 20 -regime mixed  # also simulate the crowd, then print results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		nTasks  = flag.Int("tasks", 100, "number of demo labeling tasks")
+		drive   = flag.Bool("drive", false, "drive the platform with simulated workers and exit")
+		workers = flag.Int("workers", 20, "simulated workers (with -drive)")
+		regime  = flag.String("regime", "mixed", "crowd regime (with -drive)")
+		seed    = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	rng := stats.NewRNG(*seed)
+	pool := core.NewPool()
+	for i := 0; i < *nTasks; i++ {
+		pool.MustAdd(&core.Task{
+			ID: core.TaskID(i + 1), Kind: core.SingleChoice,
+			Question:    fmt.Sprintf("Demo question %d: yes or no?", i+1),
+			Options:     []string{"no", "yes"},
+			GroundTruth: rng.Intn(2), Difficulty: rng.Beta(2, 5),
+		})
+	}
+	srv, err := server.New(pool, assign.FewestAnswers{}, nil, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*drive {
+		log.Printf("crowdserve: %d tasks on http://%s (GET /api/task?worker=you)", *nTasks, *addr)
+		fatal(http.ListenAndServe(*addr, srv))
+	}
+
+	// Self-driving demo: serve on an ephemeral goroutine-local listener
+	// via httptest-like pattern, drive workers, print results.
+	ln := mustListen(*addr)
+	go func() { fatal(http.Serve(ln, srv)) }()
+	base := "http://" + ln.Addr().String()
+	log.Printf("crowdserve: serving %d tasks on %s, driving %d %s workers",
+		*nTasks, base, *workers, *regime)
+
+	mix, err := crowd.RegimeByName(*regime)
+	if err != nil {
+		fatal(err)
+	}
+	ws := crowd.NewPopulation(rng, *workers, mix)
+	client := server.NewClient(base)
+	var wg sync.WaitGroup
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w core.Worker) {
+			defer wg.Done()
+			if _, err := client.DriveWorker(w, pool.Task, 0); err != nil {
+				log.Printf("worker %s: %v", w.ID(), err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st, err := client.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("collected %d answers from %d workers\n", st.TotalAnswers, st.Workers)
+	results, err := client.Results("onecoin")
+	if err != nil {
+		fatal(err)
+	}
+	correct := 0
+	for _, r := range results {
+		if r.Label == pool.Task(r.Task).GroundTruth {
+			correct++
+		}
+	}
+	fmt.Printf("OneCoinEM over HTTP: %d/%d correct (%.1f%%)\n",
+		correct, len(results), 100*float64(correct)/float64(len(results)))
+}
+
+func mustListen(addr string) net.Listener {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	return ln
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crowdserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// CrowdSQL: drive the declarative CQL layer from Go — CROWD columns that
+// workers fill on demand, crowd-evaluated predicates, crowd joins, crowd
+// ordering, and the crowd-aware optimizer.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/cql"
+	"repro/internal/crowd"
+	"repro/internal/model"
+	"repro/internal/operators"
+	"repro/internal/stats"
+)
+
+func main() {
+	rng := stats.NewRNG(3)
+	workers := crowd.NewPopulation(rng, 50, crowd.RegimeReliable)
+	runner := operators.NewRunner(crowd.AsCoreWorkers(workers), nil, rng)
+	session := cql.NewSession(cql.NewCatalog(), runner, rng.Split())
+
+	// Planted "real world": the knowledge human workers would have.
+	phoneOf := map[string]string{
+		"Blue Bottle": "555-0101", "Ritual Roast": "555-0I02", // note: workers make typos too
+		"Drip City": "555-0103", "Bean There": "555-0104",
+	}
+	session.Oracle = &cql.SimOracle{
+		Fill: func(table, column string, row model.Tuple, schema *model.Schema) (string, bool) {
+			name := row[schema.ColumnIndex("name")].AsString()
+			v, ok := phoneOf[name]
+			return v, ok
+		},
+		// "Same place?" judgments for the crowd join.
+		Equal: func(a, b string) bool {
+			canon := map[string]string{
+				"Blue Bottle": "bb", "blue bottle coffee": "bb",
+				"Ritual Roast": "rr", "ritual coffee roasters": "rr",
+				"Drip City": "dc", "drip city cafe": "dc",
+				"Bean There": "bt",
+			}
+			return canon[a] != "" && canon[a] == canon[b]
+		},
+	}
+
+	mustExec := func(q string) *model.Relation {
+		rel, err := session.Execute(q)
+		if err != nil {
+			log.Fatalf("%s\n  %v", q, err)
+		}
+		return rel
+	}
+
+	// Schema: phone is a CROWD column — NULLs are resolved by workers at
+	// query time and memoized.
+	mustExec(`CREATE TABLE shops (id INT, name STRING, rating INT, phone STRING CROWD)`)
+	mustExec(`INSERT INTO shops VALUES
+		(1, 'Blue Bottle', 88, NULL),
+		(2, 'Ritual Roast', 92, NULL),
+		(3, 'Drip City', 75, NULL),
+		(4, 'Bean There', 60, NULL)`)
+	mustExec(`CREATE TABLE reviews (place STRING, stars INT)`)
+	mustExec(`INSERT INTO reviews VALUES
+		('blue bottle coffee', 5), ('ritual coffee roasters', 4),
+		('drip city cafe', 3), ('unrelated diner', 2)`)
+
+	fmt.Println("-- EXPLAIN shows the crowd-aware plan (machine filter below the fill):")
+	fmt.Print(mustExec(`EXPLAIN SELECT name, phone FROM shops WHERE rating > 80`).FormatTable())
+
+	fmt.Println("\n-- Crowd fill: phones are acquired only for rows passing the machine filter:")
+	fmt.Print(mustExec(`SELECT name, phone FROM shops WHERE rating > 80 ORDER BY name`).FormatTable())
+	fmt.Printf("(crowd answers so far: %d)\n", session.Stats.CrowdAnswers)
+
+	fmt.Println("\n-- Crowd join: match shops to reviews despite name variations:")
+	fmt.Print(mustExec(`SELECT name, stars FROM shops CROWDJOIN reviews ON shops.name ~= reviews.place ORDER BY stars DESC`).FormatTable())
+
+	fmt.Println("\n-- Crowd order: have workers rank shops by perceived quality:")
+	fmt.Print(mustExec(`SELECT name FROM shops CROWDORDER BY rating DESC`).FormatTable())
+
+	fmt.Printf("\ntotal crowd usage: %d tasks, %d answers, %d fills, %d join pairs, %d comparisons\n",
+		session.Stats.CrowdTasks, session.Stats.CrowdAnswers, session.Stats.Fills,
+		session.Stats.CrowdJoinPairs, session.Stats.CrowdCompares)
+}

@@ -1,0 +1,52 @@
+// Data collection: crowdsource an open-world enumeration ("name a local
+// coffee shop") where each worker knows only part of the domain, and use
+// the Chao92 species estimator to judge when the collection is complete.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/crowd"
+	"repro/internal/datagen"
+	"repro/internal/operators"
+	"repro/internal/stats"
+)
+
+func main() {
+	rng := stats.NewRNG(5)
+	const domainSize = 120
+
+	// The true domain (unknown to the requester!) and a crowd whose
+	// members each know a Zipf-skewed subset: popular items are known to
+	// many workers, tail items to few.
+	domain := datagen.CollectionDomain(domainSize)
+	workers := crowd.NewPopulation(rng, 60, crowd.RegimeReliable)
+	crowd.AssignKnowledge(rng, workers, domainSize, 18, 1.1)
+	runner := operators.NewRunner(crowd.AsCoreWorkers(workers), nil, rng.Split())
+
+	res, err := operators.Collect(runner, "Name a coffee shop in town",
+		&crowd.CollectionDomain{Items: domain}, 900)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("true domain size (hidden from requester): %d\n\n", domainSize)
+	fmt.Println("answers  distinct  chao92-estimate  coverage")
+	for _, checkpoint := range []int{50, 100, 200, 400, 900} {
+		prefix := make(map[string]int)
+		for _, v := range res.Sequence[:checkpoint] {
+			if v != "" {
+				prefix[v]++
+			}
+		}
+		distinct := res.CoverageCurve[checkpoint-1]
+		est := operators.Chao92(prefix)
+		fmt.Printf("%7d  %8d  %15.1f  %7.0f%%\n",
+			checkpoint, distinct, est, 100*float64(distinct)/float64(domainSize))
+	}
+
+	fmt.Printf("\nfinal: %d distinct items from %d answers; Chao92 estimates %.0f items exist\n",
+		len(res.Distinct), res.AnswersUsed, res.ChaoEstimate)
+	fmt.Println("decision rule: stop collecting when distinct/Chao92 approaches 1")
+}

@@ -1,0 +1,101 @@
+// Subjective queries: operators whose answers exist only in human
+// judgment — the crowd-powered skyline (Pareto set over subjective
+// dimensions) and crowd schema matching between two differently-worded
+// data sources.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/crowd"
+	"repro/internal/operators"
+	"repro/internal/stats"
+)
+
+// hotelOracle plants subjective per-dimension preferences for hotels:
+// comfort and location scores that only "humans" know.
+type hotelOracle struct {
+	names    []string
+	comfort  []float64
+	location []float64
+}
+
+func (o hotelOracle) Dimensions() int { return 2 }
+
+func (o hotelOracle) DimBetter(d, i, j int) (bool, float64) {
+	var vi, vj float64
+	if d == 0 {
+		vi, vj = o.comfort[i], o.comfort[j]
+	} else {
+		vi, vj = o.location[i], o.location[j]
+	}
+	gap := vi - vj
+	if gap < 0 {
+		gap = -gap
+	}
+	diff := 1 - gap/5
+	if diff < 0 {
+		diff = 0
+	}
+	return vi > vj, diff
+}
+
+func (o hotelOracle) Label(i int) string { return o.names[i] }
+
+func (o hotelOracle) DimName(d int) string {
+	return []string{"comfort", "location"}[d]
+}
+
+func main() {
+	rng := stats.NewRNG(9)
+	workers := crowd.NewPopulation(rng, 50, crowd.RegimeReliable)
+	runner := operators.NewRunner(crowd.AsCoreWorkers(workers), nil, rng.Split())
+
+	// --- Crowd skyline: which hotels are not dominated on (comfort, location)?
+	oracle := hotelOracle{
+		names:    []string{"Grandview", "Plaza", "BudgetInn", "Lakeside", "Midtown", "Suburbia"},
+		comfort:  []float64{9, 7, 2, 8, 5, 3},
+		location: []float64{3, 8, 9, 6, 7, 2},
+	}
+	sky, err := operators.Skyline(runner, len(oracle.names), oracle, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("crowd skyline over (comfort, location):")
+	for _, i := range sky.Skyline {
+		fmt.Printf("  %-10s comfort %.0f, location %.0f\n",
+			oracle.names[i], oracle.comfort[i], oracle.location[i])
+	}
+	fmt.Printf("(%d comparisons, %d votes; Suburbia and Midtown are dominated)\n\n",
+		sky.Comparisons, sky.VotesUsed)
+
+	// --- Crowd schema matching: align two booking systems' schemas.
+	left := []operators.Attribute{
+		{Name: "guest_name", Example: "Ann Smith"},
+		{Name: "checkin", Example: "2026-07-01"},
+		{Name: "room_rate", Example: "189.00"},
+		{Name: "loyalty_no", Example: "LX-2231"},
+	}
+	right := []operators.Attribute{
+		{Name: "price_per_night", Example: "205.50"},
+		{Name: "arrival_date", Example: "01/07/2026"},
+		{Name: "customer", Example: "Bob Jones"},
+		{Name: "breakfast_included", Example: "yes"},
+	}
+	truth := map[int]int{0: 2, 1: 1, 2: 0} // loyalty_no has no counterpart
+	// Numeric attributes share no text at all, so disable pruning: with
+	// 4x4 = 16 pairs the crowd can afford to check them all.
+	res, err := operators.SchemaMatch(runner, left, right, operators.SchemaMatchConfig{
+		Redundancy: 5, PruneLow: -1,
+	}, func(l, r int) bool { return truth[l] == r && (l != 3) })
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("crowd schema matching:")
+	for l, r := range res.Mapping {
+		fmt.Printf("  %-12s  <->  %s\n", left[l].Name, right[r].Name)
+	}
+	fmt.Printf("(%d pairs asked, %d pruned by similarity, %d votes)\n",
+		res.PairsAsked, res.Pruned, res.VotesUsed)
+}

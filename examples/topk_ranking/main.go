@@ -1,0 +1,106 @@
+// Top-k ranking: find the best photos by crowd judgment, comparing the
+// pairwise-comparison, tournament, rating, and hybrid strategies on cost
+// and quality.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/crowd"
+	"repro/internal/datagen"
+	"repro/internal/operators"
+	"repro/internal/stats"
+)
+
+// photoOracle adapts the planted latent scores to the operators'
+// CompareOracle interface: closer scores mean harder comparisons.
+type photoOracle struct{ d *datagen.RankingDataset }
+
+func (o photoOracle) Truth(i, j int) (bool, float64) {
+	return o.d.Better(i, j), o.d.PairDifficulty(i, j)
+}
+
+func (o photoOracle) Label(i int) string { return o.d.Items[i] }
+
+func main() {
+	rng := stats.NewRNG(11)
+	const n = 40
+
+	data, err := datagen.NewRankingDataset(rng, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle := photoOracle{data}
+	actual := data.TrueRanking()
+	fmt.Printf("ranking %d photos; true best is %s (score %.2f)\n\n",
+		n, data.Items[actual[0]], data.Scores[actual[0]])
+
+	newRunner := func() *operators.Runner {
+		crng := stats.NewRNG(23)
+		ws := crowd.NewPopulation(crng, 60, crowd.RegimeMixed)
+		return operators.NewRunner(crowd.AsCoreWorkers(ws), nil, crng.Split())
+	}
+
+	// Strategy 1: tournament max — O(n) comparisons, finds just the best.
+	r := newRunner()
+	mx, err := operators.MaxTournament(r, n, oracle, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tournament-max: winner %-9s  %4d votes  (true best: %v)\n",
+		data.Items[mx.Winner], mx.VotesUsed, mx.Winner == actual[0])
+
+	// Strategy 2: full pairwise sort — quality ceiling, quadratic cost.
+	r = newRunner()
+	ap, err := operators.AllPairsSort(r, n, oracle, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tau, _ := operators.KendallTau(ap.Ranking, actual)
+	fmt.Printf("all-pairs sort: tau %.3f          %4d votes  P@5 %.2f\n",
+		tau, ap.VotesUsed, operators.PrecisionAtK(ap.Ranking, actual, 5))
+
+	// Strategy 3: ratings only — linear cost, coarser.
+	r = newRunner()
+	rt, err := operators.RatingSort(r, n, oracle,
+		func(i int) float64 { return data.Scores[i] }, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tau, _ = operators.KendallTau(rt.Ranking, actual)
+	fmt.Printf("rating sort:    tau %.3f          %4d votes  P@5 %.2f\n",
+		tau, rt.VotesUsed, operators.PrecisionAtK(rt.Ranking, actual, 5))
+
+	// Strategy 4: hybrid — cheap ratings everywhere, comparisons on the
+	// contending head.
+	r = newRunner()
+	hy, err := operators.HybridSort(r, n, oracle,
+		func(i int) float64 { return data.Scores[i] }, 3, 3, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tau, _ = operators.KendallTau(hy.Ranking, actual)
+	fmt.Printf("hybrid sort:    tau %.3f          %4d votes  P@5 %.2f\n",
+		tau, hy.VotesUsed, operators.PrecisionAtK(hy.Ranking, actual, 5))
+
+	// Strategy 5: top-3 by repeated tournaments.
+	r = newRunner()
+	tk, err := operators.TopK(r, n, 3, oracle, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop-3 by tournament (%d votes):\n", tk.VotesUsed)
+	for rank, item := range tk.Ranking {
+		fmt.Printf("  %d. %s (true rank %d)\n", rank+1, data.Items[item], trueRankOf(actual, item)+1)
+	}
+}
+
+func trueRankOf(actual []int, item int) int {
+	for r, it := range actual {
+		if it == item {
+			return r
+		}
+	}
+	return -1
+}

@@ -1,0 +1,315 @@
+// Package assign implements task assignment policies — the "which task
+// should this worker do next" half of quality control.
+//
+// The survey distinguishes offline redundancy (give every task k answers)
+// from online, quality-aware assignment that spends marginal answers where
+// they help most. This package provides both ends of that spectrum:
+//
+//   - Random — uniform over eligible tasks (the open-platform default).
+//   - FewestAnswers — balance redundancy across tasks.
+//   - Uncertainty — maximize posterior entropy of the chosen task.
+//   - QASCA — expected-accuracy-gain assignment in the style of QASCA:
+//     choose the task whose expected posterior confidence improves most if
+//     this worker (with their estimated quality) answers it.
+//
+// All policies implement core.Assigner and draw tie-breaking randomness
+// from an explicit seeded RNG for reproducibility.
+package assign
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// QualitySource estimates a worker's accuracy in [0,1]; used by
+// quality-aware policies. Implementations typically wrap golden-task
+// screens or a periodically refreshed truth-inference result.
+type QualitySource func(worker string) float64
+
+// ConstantQuality returns a QualitySource that reports q for everyone.
+func ConstantQuality(q float64) QualitySource {
+	return func(string) float64 { return q }
+}
+
+// Random assigns a uniformly random eligible task.
+type Random struct {
+	RNG *stats.RNG
+}
+
+// Assign implements core.Assigner.
+func (r *Random) Assign(p *core.Pool, worker string) (core.TaskID, bool) {
+	el := p.EligibleFor(worker)
+	if len(el) == 0 {
+		return 0, false
+	}
+	return el[r.RNG.Intn(len(el))], true
+}
+
+// FewestAnswers assigns the eligible task with the fewest answers so far,
+// breaking ties by insertion order. This realizes classic redundancy-k
+// collection with balanced progress.
+type FewestAnswers struct{}
+
+// Assign implements core.Assigner.
+func (FewestAnswers) Assign(p *core.Pool, worker string) (core.TaskID, bool) {
+	el := p.EligibleFor(worker)
+	if len(el) == 0 {
+		return 0, false
+	}
+	best := el[0]
+	bestN := p.AnswerCount(best)
+	for _, id := range el[1:] {
+		if n := p.AnswerCount(id); n < bestN {
+			best, bestN = id, n
+		}
+	}
+	return best, true
+}
+
+// Uncertainty assigns the eligible task whose current vote distribution
+// has the highest Shannon entropy (with Laplace smoothing), i.e. the task
+// the crowd is most confused about. Ties break by fewest answers, then
+// insertion order.
+type Uncertainty struct{}
+
+// Assign implements core.Assigner.
+func (Uncertainty) Assign(p *core.Pool, worker string) (core.TaskID, bool) {
+	el := p.EligibleFor(worker)
+	if len(el) == 0 {
+		return 0, false
+	}
+	best := el[0]
+	bestH := smoothedEntropy(p, best)
+	for _, id := range el[1:] {
+		h := smoothedEntropy(p, id)
+		if h > bestH+1e-12 ||
+			(math.Abs(h-bestH) <= 1e-12 && p.AnswerCount(id) < p.AnswerCount(best)) {
+			best, bestH = id, h
+		}
+	}
+	return best, true
+}
+
+func smoothedEntropy(p *core.Pool, id core.TaskID) float64 {
+	votes := p.OptionVotes(id)
+	if votes == nil {
+		return 0
+	}
+	ps := make([]float64, len(votes))
+	for i, v := range votes {
+		ps[i] = float64(v) + 1 // Laplace
+	}
+	return stats.Entropy(ps)
+}
+
+// QASCA is a quality-aware online assigner in the spirit of QASCA
+// (Zheng et al.): it maintains a one-coin posterior per task from the
+// answers seen so far and the workers' estimated qualities, and assigns
+// the arriving worker the task with the largest expected gain in posterior
+// confidence if that worker answers.
+type QASCA struct {
+	// Quality estimates worker accuracy; defaults to 0.7 for everyone.
+	Quality QualitySource
+	// Candidates caps how many eligible tasks are scored per assignment
+	// (the lowest-confidence ones are scored); <= 0 means score all.
+	// QASCA's published system uses a similar pruning to stay online.
+	Candidates int
+}
+
+// Assign implements core.Assigner.
+func (q *QASCA) Assign(p *core.Pool, worker string) (core.TaskID, bool) {
+	el := p.EligibleFor(worker)
+	if len(el) == 0 {
+		return 0, false
+	}
+	quality := q.Quality
+	if quality == nil {
+		quality = ConstantQuality(0.7)
+	}
+	wq := clamp01(quality(worker))
+
+	cand := el
+	if q.Candidates > 0 && len(el) > q.Candidates {
+		// Score only the least-confident candidates.
+		type scored struct {
+			id   core.TaskID
+			conf float64
+		}
+		ss := make([]scored, len(el))
+		for i, id := range el {
+			post := q.posterior(p, id, quality)
+			ss[i] = scored{id, maxOf(post)}
+		}
+		// Partial selection of the lowest-confidence Candidates tasks.
+		for i := 0; i < q.Candidates; i++ {
+			min := i
+			for j := i + 1; j < len(ss); j++ {
+				if ss[j].conf < ss[min].conf {
+					min = j
+				}
+			}
+			ss[i], ss[min] = ss[min], ss[i]
+		}
+		cand = make([]core.TaskID, q.Candidates)
+		for i := 0; i < q.Candidates; i++ {
+			cand[i] = ss[i].id
+		}
+	}
+
+	best := cand[0]
+	bestGain := math.Inf(-1)
+	for _, id := range cand {
+		gain := q.expectedGain(p, id, wq, quality)
+		if gain > bestGain {
+			best, bestGain = id, gain
+		}
+	}
+	return best, true
+}
+
+// posterior computes the one-coin posterior over options for a task given
+// the answers so far and the quality source.
+func (q *QASCA) posterior(p *core.Pool, id core.TaskID, quality QualitySource) []float64 {
+	t := p.Task(id)
+	k := len(t.Options)
+	if k == 0 {
+		return nil
+	}
+	logp := make([]float64, k)
+	for _, a := range p.Answers(id) {
+		if a.Option < 0 || a.Option >= k {
+			continue
+		}
+		wq := clamp01(quality(a.Worker))
+		wrong := (1 - wq) / float64(k-1)
+		for c := 0; c < k; c++ {
+			if c == a.Option {
+				logp[c] += math.Log(wq + 1e-9)
+			} else {
+				logp[c] += math.Log(wrong + 1e-9)
+			}
+		}
+	}
+	return softmax(logp)
+}
+
+// expectedGain returns the expected increase in the task's posterior max
+// (confidence) if the worker with quality wq answers it. The expectation
+// is over the worker's answer under the current posterior.
+func (q *QASCA) expectedGain(p *core.Pool, id core.TaskID, wq float64, quality QualitySource) float64 {
+	t := p.Task(id)
+	k := len(t.Options)
+	if k < 2 {
+		return 0
+	}
+	post := q.posterior(p, id, quality)
+	before := maxOf(post)
+	wrong := (1 - wq) / float64(k-1)
+
+	// P(worker answers l) = sum_c post[c] * P(answer=l | truth=c).
+	expected := 0.0
+	for l := 0; l < k; l++ {
+		pl := 0.0
+		for c := 0; c < k; c++ {
+			if c == l {
+				pl += post[c] * wq
+			} else {
+				pl += post[c] * wrong
+			}
+		}
+		if pl == 0 {
+			continue
+		}
+		// Posterior after observing answer l.
+		np := make([]float64, k)
+		for c := 0; c < k; c++ {
+			if c == l {
+				np[c] = post[c] * wq
+			} else {
+				np[c] = post[c] * wrong
+			}
+		}
+		stats.Normalize(np)
+		expected += pl * maxOf(np)
+	}
+	return expected - before
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func clamp01(v float64) float64 {
+	// Keep strictly inside (1/k, 1) territory handled by callers; here we
+	// just bound away from the degenerate endpoints.
+	if v < 0.01 {
+		return 0.01
+	}
+	if v > 0.99 {
+		return 0.99
+	}
+	return v
+}
+
+func softmax(logp []float64) []float64 {
+	if len(logp) == 0 {
+		return nil
+	}
+	max := logp[0]
+	for _, v := range logp[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logp))
+	sum := 0.0
+	for i, v := range logp {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// ConfidenceStopper closes tasks whose one-coin posterior confidence
+// reaches Threshold, while enforcing MinAnswers. Call Sweep between
+// platform rounds; it returns how many tasks it closed.
+type ConfidenceStopper struct {
+	Threshold  float64
+	MinAnswers int
+	Quality    QualitySource
+}
+
+// Sweep closes all open tasks that meet the stopping condition.
+func (s *ConfidenceStopper) Sweep(p *core.Pool) int {
+	quality := s.Quality
+	if quality == nil {
+		quality = ConstantQuality(0.7)
+	}
+	q := &QASCA{Quality: quality}
+	closed := 0
+	for _, id := range p.OpenTasks() {
+		if p.AnswerCount(id) < s.MinAnswers {
+			continue
+		}
+		post := q.posterior(p, id, quality)
+		if len(post) == 0 {
+			continue
+		}
+		if maxOf(post) >= s.Threshold {
+			p.Close(id)
+			closed++
+		}
+	}
+	return closed
+}

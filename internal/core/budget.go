@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudgetExhausted is returned by Budget.Charge when the remaining budget
+// cannot cover a charge. Callers detect it with errors.Is.
+var ErrBudgetExhausted = errors.New("core: budget exhausted")
+
+// Budget tracks unit-cost spending for a crowdsourcing run.
+//
+// The survey literature reports cost control results in task counts, so a
+// unit cost of 1 per answer preserves every ratio; a per-task price can be
+// modeled by charging non-unit amounts. Budget is not safe for concurrent
+// use; the platform serializes charges.
+type Budget struct {
+	total float64
+	spent float64
+}
+
+// NewBudget returns a budget with the given total capacity. A non-positive
+// total means unlimited.
+func NewBudget(total float64) *Budget {
+	return &Budget{total: total}
+}
+
+// Unlimited returns a budget that never exhausts.
+func Unlimited() *Budget { return &Budget{total: 0} }
+
+// Charge records a spend of amount units. It returns ErrBudgetExhausted
+// (wrapped with context) if the charge would exceed the total; the charge
+// is not applied in that case.
+func (b *Budget) Charge(amount float64) error {
+	if amount < 0 {
+		return fmt.Errorf("core: negative charge %v", amount)
+	}
+	if b.total > 0 && b.spent+amount > b.total {
+		return fmt.Errorf("charging %v with %v remaining: %w",
+			amount, b.Remaining(), ErrBudgetExhausted)
+	}
+	b.spent += amount
+	return nil
+}
+
+// Spent returns the units spent so far.
+func (b *Budget) Spent() float64 { return b.spent }
+
+// Remaining returns the units left, or +Inf-like large value semantics via
+// ok=false when the budget is unlimited.
+func (b *Budget) Remaining() float64 {
+	if b.total <= 0 {
+		return -1
+	}
+	return b.total - b.spent
+}
+
+// Limited reports whether the budget has a finite total.
+func (b *Budget) Limited() bool { return b.total > 0 }
+
+// CanAfford reports whether a charge of amount would succeed.
+func (b *Budget) CanAfford(amount float64) bool {
+	return b.total <= 0 || b.spent+amount <= b.total
+}

@@ -1,0 +1,74 @@
+package core
+
+import "sort"
+
+// WorkerScreen implements golden-task (hidden test) worker elimination:
+// the requester seeds the pool with tasks whose answers are known, tracks
+// each worker's accuracy on them, and stops assigning work to workers
+// whose golden accuracy falls below a threshold.
+//
+// This is the "worker elimination" arm of quality control in the survey
+// taxonomy, complementary to truth inference (which reweights rather than
+// removes workers).
+type WorkerScreen struct {
+	// MinObservations is how many golden answers must be seen before a
+	// worker can be eliminated (avoids firing good workers on one slip).
+	MinObservations int
+	// MinAccuracy is the golden-task accuracy below which a worker is
+	// eliminated.
+	MinAccuracy float64
+
+	correct map[string]int
+	total   map[string]int
+}
+
+// NewWorkerScreen returns a screen with the given elimination policy.
+func NewWorkerScreen(minObs int, minAcc float64) *WorkerScreen {
+	if minObs < 1 {
+		minObs = 1
+	}
+	return &WorkerScreen{
+		MinObservations: minObs,
+		MinAccuracy:     minAcc,
+		correct:         make(map[string]int),
+		total:           make(map[string]int),
+	}
+}
+
+// Observe records the outcome of one golden task for the worker.
+func (s *WorkerScreen) Observe(worker string, correct bool) {
+	s.total[worker]++
+	if correct {
+		s.correct[worker]++
+	}
+}
+
+// Accuracy returns the worker's observed golden accuracy and the number of
+// observations. A worker never observed has accuracy 1 (benefit of the
+// doubt) and count 0.
+func (s *WorkerScreen) Accuracy(worker string) (float64, int) {
+	n := s.total[worker]
+	if n == 0 {
+		return 1, 0
+	}
+	return float64(s.correct[worker]) / float64(n), n
+}
+
+// Eliminated reports whether the worker has enough observations and too
+// low an accuracy to keep working.
+func (s *WorkerScreen) Eliminated(worker string) bool {
+	acc, n := s.Accuracy(worker)
+	return n >= s.MinObservations && acc < s.MinAccuracy
+}
+
+// EliminatedWorkers returns the sorted ids of all eliminated workers.
+func (s *WorkerScreen) EliminatedWorkers() []string {
+	var out []string
+	for w := range s.total {
+		if s.Eliminated(w) {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

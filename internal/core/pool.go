@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Pool holds the open tasks of a crowdsourcing run together with the
+// answers collected so far. It is the shared blackboard between the
+// platform loop, assignment policies, and truth inference.
+//
+// Pool is not safe for concurrent use.
+type Pool struct {
+	tasks   map[TaskID]*Task
+	order   []TaskID // insertion order, for deterministic iteration
+	answers map[TaskID][]Answer
+	// perWorker tracks which tasks each worker has already answered, to
+	// enforce the one-answer-per-worker-per-task platform rule.
+	perWorker map[string]map[TaskID]bool
+	closed    map[TaskID]bool
+	nextID    TaskID
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool {
+	return &Pool{
+		tasks:     make(map[TaskID]*Task),
+		answers:   make(map[TaskID][]Answer),
+		perWorker: make(map[string]map[TaskID]bool),
+		closed:    make(map[TaskID]bool),
+	}
+}
+
+// Add validates t, assigns it a fresh ID if it has none (ID 0 with an
+// existing task 0 present counts as unset), and registers it. It returns
+// the task's ID.
+func (p *Pool) Add(t *Task) (TaskID, error) {
+	if _, exists := p.tasks[t.ID]; exists || t.ID == 0 && len(p.tasks) > 0 {
+		t.ID = p.nextID
+	}
+	if t.ID >= p.nextID {
+		p.nextID = t.ID + 1
+	} else if t.ID == 0 {
+		t.ID = p.nextID
+		p.nextID++
+	}
+	if err := t.Validate(); err != nil {
+		return 0, err
+	}
+	p.tasks[t.ID] = t
+	p.order = append(p.order, t.ID)
+	return t.ID, nil
+}
+
+// MustAdd adds and panics on error; for tests and generators.
+func (p *Pool) MustAdd(t *Task) TaskID {
+	id, err := p.Add(t)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Task returns the task with the given id, or nil.
+func (p *Pool) Task(id TaskID) *Task { return p.tasks[id] }
+
+// Len returns the number of tasks.
+func (p *Pool) Len() int { return len(p.tasks) }
+
+// TaskIDs returns all task ids in insertion order. The caller must not
+// mutate the returned slice.
+func (p *Pool) TaskIDs() []TaskID { return p.order }
+
+// Record stores an answer after checking the platform rules: the task must
+// exist, must be open, and the worker must not have answered it before.
+func (p *Pool) Record(a Answer) error {
+	if _, ok := p.tasks[a.Task]; !ok {
+		return fmt.Errorf("core: answer for unknown task %d", a.Task)
+	}
+	if p.closed[a.Task] {
+		return fmt.Errorf("core: answer for closed task %d", a.Task)
+	}
+	wt := p.perWorker[a.Worker]
+	if wt == nil {
+		wt = make(map[TaskID]bool)
+		p.perWorker[a.Worker] = wt
+	}
+	if wt[a.Task] && p.tasks[a.Task].Kind != MultiChoice && p.tasks[a.Task].Kind != Collection {
+		return fmt.Errorf("core: worker %s already answered task %d", a.Worker, a.Task)
+	}
+	wt[a.Task] = true
+	p.answers[a.Task] = append(p.answers[a.Task], a)
+	return nil
+}
+
+// Answers returns the answers recorded for a task (possibly nil). The
+// caller must not mutate the returned slice.
+func (p *Pool) Answers(id TaskID) []Answer { return p.answers[id] }
+
+// AllAnswers returns every recorded answer, ordered by task insertion
+// order then arrival order.
+func (p *Pool) AllAnswers() []Answer {
+	var out []Answer
+	for _, id := range p.order {
+		out = append(out, p.answers[id]...)
+	}
+	return out
+}
+
+// AnswerCount returns the number of answers for a task.
+func (p *Pool) AnswerCount(id TaskID) int { return len(p.answers[id]) }
+
+// TotalAnswers returns the number of answers across all tasks.
+func (p *Pool) TotalAnswers() int {
+	n := 0
+	for _, as := range p.answers {
+		n += len(as)
+	}
+	return n
+}
+
+// HasAnswered reports whether the worker already answered the task.
+func (p *Pool) HasAnswered(worker string, id TaskID) bool {
+	return p.perWorker[worker][id]
+}
+
+// Close marks a task as finished: no further answers are accepted and
+// assigners skip it.
+func (p *Pool) Close(id TaskID) { p.closed[id] = true }
+
+// Closed reports whether the task has been closed.
+func (p *Pool) Closed(id TaskID) bool { return p.closed[id] }
+
+// OpenTasks returns the ids of tasks that are not closed, in insertion
+// order.
+func (p *Pool) OpenTasks() []TaskID {
+	out := make([]TaskID, 0, len(p.order))
+	for _, id := range p.order {
+		if !p.closed[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// EligibleFor returns open tasks the given worker has not answered yet,
+// in insertion order.
+func (p *Pool) EligibleFor(worker string) []TaskID {
+	out := make([]TaskID, 0, len(p.order))
+	for _, id := range p.order {
+		if !p.closed[id] && !p.perWorker[worker][id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Workers returns the ids of all workers that submitted at least one
+// answer, sorted for determinism.
+func (p *Pool) Workers() []string {
+	out := make([]string, 0, len(p.perWorker))
+	for w := range p.perWorker {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OptionVotes tallies, for a choice-type task, how many answers selected
+// each option. The slice is indexed by option.
+func (p *Pool) OptionVotes(id TaskID) []int {
+	t := p.tasks[id]
+	if t == nil || len(t.Options) == 0 {
+		return nil
+	}
+	votes := make([]int, len(t.Options))
+	for _, a := range p.answers[id] {
+		if a.Option >= 0 && a.Option < len(votes) {
+			votes[a.Option]++
+		}
+	}
+	return votes
+}

@@ -1,0 +1,75 @@
+package core
+
+import "fmt"
+
+// Qualification is the entry-quiz arm of worker quality control: before a
+// worker may join a job, they answer a fixed set of questions with known
+// answers; only workers clearing the accuracy bar participate. Unlike the
+// golden-task WorkerScreen (hidden tests mixed into real work), the quiz
+// runs up front and costs its answers before any useful work happens —
+// the classic qualification-test tradeoff.
+type Qualification struct {
+	// Quiz is the question set; every task must have a planted truth.
+	Quiz []*Task
+	// MinAccuracy is the pass bar in [0,1].
+	MinAccuracy float64
+}
+
+// QualificationResult reports one screening run.
+type QualificationResult struct {
+	// Passed holds the admitted workers, in input order.
+	Passed []Worker
+	// Failed holds the rejected workers, in input order.
+	Failed []Worker
+	// Scores maps worker id to quiz accuracy.
+	Scores map[string]float64
+	// AnswersUsed counts quiz answers consumed (cost of screening).
+	AnswersUsed int
+}
+
+// Run administers the quiz to every worker and partitions them. The quiz
+// answers are not recorded in any pool — qualification happens before the
+// job starts.
+func (q *Qualification) Run(workers []Worker) (*QualificationResult, error) {
+	if len(q.Quiz) == 0 {
+		return nil, fmt.Errorf("core: qualification quiz is empty")
+	}
+	for _, t := range q.Quiz {
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("core: qualification quiz: %w", err)
+		}
+		switch t.Kind {
+		case SingleChoice, MultiChoice, PairwiseComparison:
+			if t.GroundTruth < 0 {
+				return nil, fmt.Errorf("core: quiz task %d has no planted truth", t.ID)
+			}
+		case FillIn:
+			if t.GroundTruthText == "" {
+				return nil, fmt.Errorf("core: quiz task %d has no planted truth", t.ID)
+			}
+		default:
+			return nil, fmt.Errorf("core: quiz task %d: %v tasks are not gradeable", t.ID, t.Kind)
+		}
+	}
+	res := &QualificationResult{Scores: make(map[string]float64, len(workers))}
+	for _, w := range workers {
+		correct := 0
+		for _, t := range q.Quiz {
+			resp := w.Work(t)
+			res.AnswersUsed++
+			if answerMatchesGolden(t, Answer{
+				Option: resp.Option, Text: resp.Text, Score: resp.Score,
+			}) {
+				correct++
+			}
+		}
+		acc := float64(correct) / float64(len(q.Quiz))
+		res.Scores[w.ID()] = acc
+		if acc >= q.MinAccuracy {
+			res.Passed = append(res.Passed, w)
+		} else {
+			res.Failed = append(res.Failed, w)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,161 @@
+// Package core implements the crowdsourcing kernel shared by every layer
+// of crowdkit: task and answer types, worker interfaces, budget accounting,
+// the task pool, golden-task worker screening, and the platform
+// orchestration loop that pairs workers with tasks.
+//
+// The design mirrors the microtask model of commercial platforms (Amazon
+// Mechanical Turk and similar) as described in the crowdsourced data
+// management literature: a requester publishes small tasks with a unit
+// reward; workers arrive, receive assignments, and submit answers;
+// redundancy plus truth inference turns noisy answers into results.
+package core
+
+import "fmt"
+
+// TaskID identifies a task within one Pool.
+type TaskID int
+
+// TaskKind enumerates the microtask types supported by the framework,
+// following the task taxonomy of the survey: single-choice, multi-choice,
+// fill-in-the-blank, collection (open-ended enumeration), pairwise
+// comparison, and rating.
+type TaskKind int
+
+const (
+	// SingleChoice asks the worker to pick exactly one of Options.
+	SingleChoice TaskKind = iota
+	// MultiChoice asks the worker to pick any subset of Options (the
+	// framework records one option per answer; a worker may submit several
+	// answers for the same task).
+	MultiChoice
+	// FillIn asks the worker to type a free-text value.
+	FillIn
+	// Collection asks the worker to contribute any item from an open
+	// domain (used by crowdsourced data collection / enumeration).
+	Collection
+	// PairwiseComparison asks which of two items is greater/better;
+	// Options has exactly two entries.
+	PairwiseComparison
+	// Rating asks for a numeric score for an item.
+	Rating
+)
+
+// String returns the human-readable kind name.
+func (k TaskKind) String() string {
+	switch k {
+	case SingleChoice:
+		return "single-choice"
+	case MultiChoice:
+		return "multi-choice"
+	case FillIn:
+		return "fill-in"
+	case Collection:
+		return "collection"
+	case PairwiseComparison:
+		return "pairwise"
+	case Rating:
+		return "rating"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", int(k))
+	}
+}
+
+// Task is one microtask published to the crowd.
+//
+// GroundTruth* fields carry the planted truth of the simulated workload;
+// they are consulted only by the simulated-worker substrate and by
+// experiment evaluation, never by inference or assignment algorithms
+// (which see only answers).
+type Task struct {
+	ID       TaskID
+	Kind     TaskKind
+	Question string
+	// Options lists the choices for choice-type and pairwise tasks.
+	Options []string
+	// Difficulty in [0,1] scales how often imperfect workers err on this
+	// task (GLAD-style: 0 = trivial, 1 = maximally confusing).
+	Difficulty float64
+	// Golden marks a hidden-test task whose true answer is known to the
+	// requester; used for worker quality screening, not for output.
+	Golden bool
+
+	// GroundTruth is the true option index for choice-type and pairwise
+	// tasks; -1 when inapplicable.
+	GroundTruth int
+	// GroundTruthText is the true value for fill-in tasks.
+	GroundTruthText string
+	// GroundTruthScore is the true value for rating tasks.
+	GroundTruthScore float64
+
+	// Payload carries operator-specific context (e.g. the pair of record
+	// ids behind an entity-resolution task). The kernel never inspects it.
+	Payload any
+}
+
+// Validate checks structural invariants of the task definition.
+func (t *Task) Validate() error {
+	switch t.Kind {
+	case SingleChoice, MultiChoice:
+		if len(t.Options) < 2 {
+			return fmt.Errorf("core: task %d: %v task needs >= 2 options, has %d",
+				t.ID, t.Kind, len(t.Options))
+		}
+		if t.GroundTruth < -1 || t.GroundTruth >= len(t.Options) {
+			return fmt.Errorf("core: task %d: ground truth %d out of range",
+				t.ID, t.GroundTruth)
+		}
+	case PairwiseComparison:
+		if len(t.Options) != 2 {
+			return fmt.Errorf("core: task %d: pairwise task needs exactly 2 options, has %d",
+				t.ID, len(t.Options))
+		}
+		if t.GroundTruth < -1 || t.GroundTruth > 1 {
+			return fmt.Errorf("core: task %d: pairwise ground truth %d invalid",
+				t.ID, t.GroundTruth)
+		}
+	case FillIn, Collection, Rating:
+		// No option constraints.
+	default:
+		return fmt.Errorf("core: task %d: unknown kind %d", t.ID, int(t.Kind))
+	}
+	if t.Difficulty < 0 || t.Difficulty > 1 {
+		return fmt.Errorf("core: task %d: difficulty %v outside [0,1]", t.ID, t.Difficulty)
+	}
+	return nil
+}
+
+// Answer is one worker response to one task.
+type Answer struct {
+	Task   TaskID
+	Worker string
+	// Option is the selected option index for choice-type and pairwise
+	// tasks; -1 for free-text and rating answers.
+	Option int
+	// Text is the response for fill-in and collection tasks.
+	Text string
+	// Score is the response for rating tasks.
+	Score float64
+	// Submitted is the simulated timestamp (seconds) at which the answer
+	// arrived; 0 when the caller does not simulate time.
+	Submitted float64
+	// Latency is the simulated time the worker spent on the task.
+	Latency float64
+}
+
+// Response is what a worker produces for an assigned task, before the
+// platform stamps identity and submission time onto it.
+type Response struct {
+	Option  int
+	Text    string
+	Score   float64
+	Latency float64
+}
+
+// Worker is anything that can answer tasks. The crowd package provides
+// simulated implementations; tests may provide scripted ones.
+type Worker interface {
+	// ID returns a stable unique identifier.
+	ID() string
+	// Work produces the worker's response to the task.
+	Work(t *Task) Response
+}

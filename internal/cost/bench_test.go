@@ -1,0 +1,60 @@
+package cost
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func BenchmarkCombinedSimilarity(b *testing.B) {
+	a := "acme phone pro 443 silver e17"
+	c := "acme phoen pro 443 silvr e17"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CombinedSimilarity(a, c)
+	}
+}
+
+func BenchmarkSelfPairs500(b *testing.B) {
+	rng := stats.NewRNG(1)
+	recs := make([]string, 500)
+	for i := range recs {
+		recs[i] = fmt.Sprintf("record %d token%d extra%d", i, rng.Intn(50), rng.Intn(50))
+	}
+	p := &Pruner{Low: 0.3, High: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SelfPairs(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransitivityResolve(b *testing.B) {
+	// 400 records in clusters of 4; resolve all pairs with a perfect oracle.
+	const n = 400
+	entityOf := func(i int) int { return i / 4 }
+	var matchFirst, rest []Pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if entityOf(i) == entityOf(j) {
+				matchFirst = append(matchFirst, Pair{i, j})
+			} else if len(rest) < 30000 {
+				rest = append(rest, Pair{i, j})
+			}
+		}
+	}
+	ordered := append(matchFirst, rest...)
+	oracle := func(p Pair) Verdict {
+		if entityOf(p.I) == entityOf(p.J) {
+			return Match
+		}
+		return NonMatch
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewTransitivity(n)
+		tr.ResolveWithOracle(ordered, oracle)
+	}
+}

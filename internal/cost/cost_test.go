@@ -1,0 +1,530 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Hello, World! 2x fast")
+	want := []string{"hello", "world", "2x", "fast"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tokenize = %v", got)
+		}
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if s := Jaccard("apple iphone 6", "apple iphone 6"); s != 1 {
+		t.Fatalf("identical strings: %v", s)
+	}
+	if s := Jaccard("apple iphone", "samsung galaxy"); s != 0 {
+		t.Fatalf("disjoint strings: %v", s)
+	}
+	if s := Jaccard("a b c d", "a b"); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("half overlap: %v", s)
+	}
+	if s := Jaccard("", ""); s != 1 {
+		t.Fatalf("empty vs empty: %v", s)
+	}
+	if s := Jaccard("x", ""); s != 0 {
+		t.Fatalf("nonempty vs empty: %v", s)
+	}
+	// Duplicated tokens count once.
+	if s := Jaccard("a a a b", "a b"); s != 1 {
+		t.Fatalf("multiset handling: %v", s)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEditDistanceProperties(t *testing.T) {
+	// Symmetry and identity-of-indiscernibles on short random strings.
+	err := quick.Check(func(a, b string) bool {
+		if len(a) > 20 {
+			a = a[:20]
+		}
+		if len(b) > 20 {
+			b = b[:20]
+		}
+		d1, d2 := EditDistance(a, b), EditDistance(b, a)
+		if d1 != d2 {
+			return false
+		}
+		if a == b && d1 != 0 {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if s := EditSimilarity("abc", "abc"); s != 1 {
+		t.Fatalf("identical: %v", s)
+	}
+	if s := EditSimilarity("", ""); s != 1 {
+		t.Fatalf("empty: %v", s)
+	}
+	if s := EditSimilarity("abcd", "wxyz"); s != 0 {
+		t.Fatalf("totally different same-length: %v", s)
+	}
+}
+
+func TestNGramSimilarity(t *testing.T) {
+	if s := NGramSimilarity("iphone", "iphone", 2); s != 1 {
+		t.Fatalf("identical: %v", s)
+	}
+	if s := NGramSimilarity("iphone", "iphnoe", 2); s <= 0 || s >= 1 {
+		t.Fatalf("typo similarity should be in (0,1): %v", s)
+	}
+	if s := NGramSimilarity("", "", 2); s != 1 {
+		t.Fatalf("empty: %v", s)
+	}
+	if s := NGramSimilarity("a", "a", 3); s != 1 {
+		t.Fatalf("short-string gram: %v", s)
+	}
+}
+
+func TestCombinedSimilarityOrdering(t *testing.T) {
+	near := CombinedSimilarity("apple iphone 6s 64gb", "apple iphone 6s 64 gb")
+	far := CombinedSimilarity("apple iphone 6s 64gb", "dell latitude laptop")
+	if near <= far {
+		t.Fatalf("near %v should beat far %v", near, far)
+	}
+}
+
+func TestPrunerCrossPairs(t *testing.T) {
+	a := []string{"apple iphone 6", "samsung galaxy s7"}
+	b := []string{"iphone 6 apple", "lg washing machine"}
+	p := &Pruner{Low: 0.3, High: 0.99}
+	res, err := p.CrossPairs(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPairs != 4 {
+		t.Fatalf("TotalPairs = %d", res.TotalPairs)
+	}
+	if len(res.Candidates)+len(res.AutoMatch)+res.PrunedCount != 4 {
+		t.Fatalf("partition does not cover all pairs: %+v", res)
+	}
+	// The permuted iPhone pair must survive pruning.
+	found := false
+	for _, c := range res.Candidates {
+		if c.I == 0 && c.J == 0 {
+			found = true
+		}
+	}
+	for _, c := range res.AutoMatch {
+		if c.I == 0 && c.J == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("true match was pruned")
+	}
+	// Candidates sorted by descending similarity.
+	for i := 1; i < len(res.Candidates); i++ {
+		if res.Candidates[i].Sim > res.Candidates[i-1].Sim {
+			t.Fatal("candidates not sorted by similarity")
+		}
+	}
+}
+
+func TestPrunerSelfPairs(t *testing.T) {
+	recs := []string{"a b", "a b", "x y"}
+	p := &Pruner{Low: 0.5, High: 0.95}
+	res, err := p.SelfPairs(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalPairs != 3 {
+		t.Fatalf("TotalPairs = %d", res.TotalPairs)
+	}
+	if len(res.AutoMatch) != 1 || res.AutoMatch[0].Pair != (Pair{0, 1}) {
+		t.Fatalf("AutoMatch = %v", res.AutoMatch)
+	}
+	if res.PrunedCount != 2 {
+		t.Fatalf("PrunedCount = %d", res.PrunedCount)
+	}
+}
+
+func TestPrunerValidation(t *testing.T) {
+	if _, err := (&Pruner{Low: -0.1, High: 1}).SelfPairs(nil); err == nil {
+		t.Fatal("negative Low should fail")
+	}
+	if _, err := (&Pruner{Low: 0.8, High: 0.5}).SelfPairs(nil); err == nil {
+		t.Fatal("High < Low should fail")
+	}
+}
+
+func TestEvaluatePairs(t *testing.T) {
+	pred := []Pair{{0, 1}, {2, 3}, {4, 5}}
+	actual := []Pair{{1, 0}, {2, 3}, {6, 7}}
+	r := EvaluatePairs(pred, actual, true)
+	if r.TP != 2 || r.FP != 1 || r.FN != 1 {
+		t.Fatalf("counts = %+v", r)
+	}
+	if math.Abs(r.Precision-2.0/3.0) > 1e-12 || math.Abs(r.Recall-2.0/3.0) > 1e-12 {
+		t.Fatalf("PRF = %+v", r)
+	}
+	// Without self-join normalization, (1,0) != (0,1).
+	r2 := EvaluatePairs(pred, actual, false)
+	if r2.TP != 1 {
+		t.Fatalf("non-self TP = %d", r2.TP)
+	}
+	empty := EvaluatePairs(nil, nil, true)
+	if empty.Precision != 0 || empty.Recall != 0 || empty.F1 != 0 {
+		t.Fatalf("empty eval = %+v", empty)
+	}
+}
+
+func TestTransitivityDeduction(t *testing.T) {
+	tr := NewTransitivity(5)
+	if v := tr.Deduce(0, 1); v != Unknown {
+		t.Fatalf("fresh pair verdict %v", v)
+	}
+	if err := tr.RecordMatch(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.RecordMatch(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Positive transitivity: 0-2 implied.
+	if v := tr.Deduce(0, 2); v != Match {
+		t.Fatalf("Deduce(0,2) = %v", v)
+	}
+	// Negative deduction: 3 differs from 1 => differs from whole cluster.
+	if err := tr.RecordNonMatch(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if v := tr.Deduce(0, 3); v != NonMatch {
+		t.Fatalf("Deduce(0,3) = %v", v)
+	}
+	if v := tr.Deduce(2, 3); v != NonMatch {
+		t.Fatalf("Deduce(2,3) = %v", v)
+	}
+	// 4 is unconstrained.
+	if v := tr.Deduce(0, 4); v != Unknown {
+		t.Fatalf("Deduce(0,4) = %v", v)
+	}
+}
+
+func TestTransitivityInconsistencies(t *testing.T) {
+	tr := NewTransitivity(3)
+	tr.RecordMatch(0, 1)
+	if err := tr.RecordNonMatch(0, 1); err == nil {
+		t.Fatal("contradicting non-match should error")
+	}
+	tr.RecordNonMatch(1, 2)
+	if err := tr.RecordMatch(0, 2); err == nil {
+		t.Fatal("contradicting match should error")
+	}
+	if tr.Inconsistencies() != 2 {
+		t.Fatalf("inconsistencies = %d", tr.Inconsistencies())
+	}
+	// The earlier evidence wins: 0,2 still non-match.
+	if v := tr.Deduce(0, 2); v != NonMatch {
+		t.Fatalf("verdict after inconsistent answer = %v", v)
+	}
+}
+
+func TestTransitivityConflictMergeOnUnion(t *testing.T) {
+	// Conflicts recorded against a root must survive that root being
+	// absorbed into another cluster.
+	tr := NewTransitivity(4)
+	tr.RecordNonMatch(2, 3)
+	tr.RecordMatch(0, 2) // 2's cluster merges with 0's
+	tr.RecordMatch(0, 1)
+	if v := tr.Deduce(1, 3); v != NonMatch {
+		t.Fatalf("conflict lost across union: Deduce(1,3) = %v", v)
+	}
+}
+
+func TestTransitivityClustersAndPairs(t *testing.T) {
+	tr := NewTransitivity(5)
+	tr.RecordMatch(0, 1)
+	tr.RecordMatch(3, 4)
+	cl := tr.Clusters()
+	if len(cl) != 3 {
+		t.Fatalf("clusters = %v", cl)
+	}
+	if cl[0][0] != 0 || cl[0][1] != 1 || cl[1][0] != 2 {
+		t.Fatalf("cluster ordering = %v", cl)
+	}
+	pairs := tr.MatchedPairs()
+	if len(pairs) != 2 {
+		t.Fatalf("matched pairs = %v", pairs)
+	}
+}
+
+func TestTransitivityIndexValidation(t *testing.T) {
+	tr := NewTransitivity(2)
+	if err := tr.RecordMatch(0, 5); err == nil {
+		t.Fatal("out-of-range index should fail")
+	}
+	if v := tr.Deduce(-1, 0); v != Unknown {
+		t.Fatal("out-of-range deduce should be Unknown")
+	}
+}
+
+func TestResolveWithOracleSavesQuestions(t *testing.T) {
+	// Ground truth: 3 clusters of 4 records each (12 records, 66 pairs).
+	truthCluster := func(i int) int { return i / 4 }
+	var pairs []Pair
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			pairs = append(pairs, Pair{i, j})
+		}
+	}
+	// Order pairs match-first (as descending-similarity ordering would):
+	var ordered []Pair
+	for _, p := range pairs {
+		if truthCluster(p.I) == truthCluster(p.J) {
+			ordered = append(ordered, p)
+		}
+	}
+	nMatches := len(ordered)
+	for _, p := range pairs {
+		if truthCluster(p.I) != truthCluster(p.J) {
+			ordered = append(ordered, p)
+		}
+	}
+	tr := NewTransitivity(12)
+	st := tr.ResolveWithOracle(ordered, func(p Pair) Verdict {
+		if truthCluster(p.I) == truthCluster(p.J) {
+			return Match
+		}
+		return NonMatch
+	})
+	if st.Asked >= len(pairs) {
+		t.Fatalf("deduction saved nothing: asked %d of %d", st.Asked, len(pairs))
+	}
+	if st.DeducedMatch == 0 || st.DeducedNon == 0 {
+		t.Fatalf("expected both kinds of deduction: %+v", st)
+	}
+	// Each 4-cluster needs only 3 match questions: positive closure
+	// deduces the remaining 3 pairs per cluster.
+	if st.Asked+st.DeducedMatch+st.DeducedNon != len(pairs) {
+		t.Fatalf("coverage mismatch: %+v over %d pairs", st, len(pairs))
+	}
+	if st.DeducedMatch != nMatches-9 {
+		t.Fatalf("deduced matches = %d, want %d", st.DeducedMatch, nMatches-9)
+	}
+	// Final clustering exactly recovers ground truth.
+	cl := tr.Clusters()
+	if len(cl) != 3 {
+		t.Fatalf("recovered %d clusters", len(cl))
+	}
+	for _, c := range cl {
+		if len(c) != 4 {
+			t.Fatalf("cluster sizes wrong: %v", cl)
+		}
+	}
+}
+
+func TestEstimateSelectivity(t *testing.T) {
+	rng := stats.NewRNG(20)
+	labels := make([]bool, 400)
+	for i := range labels {
+		labels[i] = rng.Bool(0.3)
+	}
+	est, err := EstimateSelectivity(labels, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.P-0.3) > 0.06 {
+		t.Fatalf("estimated selectivity %v", est.P)
+	}
+	if est.CountLo > est.Count || est.Count > est.CountHi {
+		t.Fatalf("CI does not bracket estimate: %+v", est)
+	}
+	if est.CountLo < 0 || est.CountHi > 10000 {
+		t.Fatalf("CI outside population bounds: %+v", est)
+	}
+	if _, err := EstimateSelectivity(nil, 10); err == nil {
+		t.Fatal("empty sample should fail")
+	}
+	if _, err := EstimateSelectivity(labels, 10); err == nil {
+		t.Fatal("population < sample should fail")
+	}
+}
+
+func TestFinitePopulationCorrection(t *testing.T) {
+	labels := make([]bool, 100)
+	for i := range labels {
+		labels[i] = i%2 == 0
+	}
+	// Sampling the whole population should have ~zero stderr.
+	full, _ := EstimateSelectivity(labels, 100)
+	partial, _ := EstimateSelectivity(labels, 100000)
+	if full.StdErr >= partial.StdErr {
+		t.Fatalf("FPC not applied: full %v >= partial %v", full.StdErr, partial.StdErr)
+	}
+	if full.StdErr > 1e-9 {
+		t.Fatalf("census stderr = %v, want ~0", full.StdErr)
+	}
+}
+
+func TestSampleSizeFor(t *testing.T) {
+	n, err := SampleSizeFor(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 380 || n > 390 {
+		t.Fatalf("n for 5%% margin = %d, want ~385", n)
+	}
+	if _, err := SampleSizeFor(0); err == nil {
+		t.Fatal("zero margin should fail")
+	}
+	// Tighter margins need more samples.
+	n1, _ := SampleSizeFor(0.01)
+	if n1 <= n {
+		t.Fatalf("1%% margin %d should exceed 5%% margin %d", n1, n)
+	}
+}
+
+func TestEstimateMean(t *testing.T) {
+	est, err := EstimateMean([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Mean != 3 {
+		t.Fatalf("mean = %v", est.Mean)
+	}
+	if !(est.Lo < 3 && 3 < est.Hi) {
+		t.Fatalf("CI = [%v, %v]", est.Lo, est.Hi)
+	}
+	if _, err := EstimateMean(nil); err == nil {
+		t.Fatal("empty sample should fail")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	items := []int{1, 2, 3, 4, 5, 6, 7}
+	bs := Batch(items, 3)
+	if len(bs) != 3 || len(bs[0]) != 3 || len(bs[2]) != 1 {
+		t.Fatalf("Batch = %v", bs)
+	}
+	if len(Batch(items, 0)) != 7 {
+		t.Fatal("size 0 should batch singly")
+	}
+	if Batch([]int{}, 3) != nil {
+		t.Fatal("empty input should yield no batches")
+	}
+	if BatchedTaskCount(10, 4) != 3 || BatchedTaskCount(0, 4) != 0 || BatchedTaskCount(5, 0) != 5 {
+		t.Fatal("BatchedTaskCount wrong")
+	}
+}
+
+// TestTransitivityMatchesReferencePartition drives random consistent
+// match/non-match answers (derived from a hidden partition) through the
+// closure and checks every Deduce against the partition.
+func TestTransitivityMatchesReferencePartition(t *testing.T) {
+	rng := stats.NewRNG(77)
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(16)
+		partition := make([]int, n)
+		k := 1 + rng.Intn(5)
+		for i := range partition {
+			partition[i] = rng.Intn(k)
+		}
+		tr := NewTransitivity(n)
+		// Feed a random sequence of consistent facts.
+		for step := 0; step < n*3; step++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			if partition[i] == partition[j] {
+				if err := tr.RecordMatch(i, j); err != nil {
+					t.Fatalf("consistent match rejected: %v", err)
+				}
+			} else {
+				if err := tr.RecordNonMatch(i, j); err != nil {
+					t.Fatalf("consistent non-match rejected: %v", err)
+				}
+			}
+		}
+		if tr.Inconsistencies() != 0 {
+			t.Fatalf("consistent input produced %d inconsistencies", tr.Inconsistencies())
+		}
+		// Every deduction must agree with the partition (soundness).
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				switch tr.Deduce(i, j) {
+				case Match:
+					if partition[i] != partition[j] {
+						t.Fatalf("deduced match for cross-partition pair (%d,%d)", i, j)
+					}
+				case NonMatch:
+					if partition[i] == partition[j] {
+						t.Fatalf("deduced non-match for same-partition pair (%d,%d)", i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastCombinedMatchesCombinedSimilarity pins the precomputed-feature
+// fast path to the reference implementation.
+func TestFastCombinedMatchesCombinedSimilarity(t *testing.T) {
+	rng := stats.NewRNG(88)
+	vocab := []string{"acme", "phone", "pro", "silver", "443", "x", ""}
+	gen := func() string {
+		n := rng.Intn(5)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return strings.Join(parts, " ")
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := gen(), gen()
+		want := CombinedSimilarity(a, b)
+		got := fastCombined(featurize(a), featurize(b))
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("fastCombined(%q, %q) = %v, reference %v", a, b, got, want)
+		}
+	}
+}
+
+func TestPrunerCustomSimStillUsed(t *testing.T) {
+	// A custom similarity must override the fast path.
+	p := &Pruner{Low: 0.5, High: 2, Sim: func(a, b string) float64 { return 0.9 }}
+	res, err := p.SelfPairs([]string{"x", "completely different"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) != 1 {
+		t.Fatalf("custom sim ignored: %+v", res)
+	}
+}

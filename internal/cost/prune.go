@@ -1,0 +1,231 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pair identifies a candidate record pair by indices into two collections
+// (or the same collection for self-joins, with I < J enforced by callers).
+type Pair struct {
+	I, J int
+}
+
+// ScoredPair is a candidate pair with its machine similarity.
+type ScoredPair struct {
+	Pair
+	Sim float64
+}
+
+// PruneResult partitions all pairs of a (cross or self) join into the
+// crowd candidates, the machine-accepted matches, and the pruned
+// non-matches, according to two thresholds.
+type PruneResult struct {
+	// Candidates are pairs with Low <= sim < High: uncertain, sent to the
+	// crowd, ordered by descending similarity (most promising first).
+	Candidates []ScoredPair
+	// AutoMatch are pairs with sim >= High: accepted without the crowd.
+	AutoMatch []ScoredPair
+	// PrunedCount is how many pairs fell below Low and were discarded.
+	PrunedCount int
+	// TotalPairs is the number of pairs examined.
+	TotalPairs int
+}
+
+// Pruner configures similarity-based candidate generation for a
+// crowdsourced join (CrowdER-style machine pass).
+type Pruner struct {
+	// Sim scores a pair of record strings; defaults to CombinedSimilarity.
+	Sim Similarity
+	// Low is the pruning threshold: pairs below it never reach the crowd.
+	Low float64
+	// High is the auto-accept threshold: pairs at or above it are matched
+	// without the crowd. Set High > 1 to disable auto-accept.
+	High float64
+}
+
+// recordFeatures caches the token and 2-gram sets of one record so the
+// O(n²) pair loop does not re-tokenize strings per pair.
+type recordFeatures struct {
+	tokens map[string]bool
+	grams  map[string]bool
+}
+
+func featurize(s string) recordFeatures {
+	f := recordFeatures{tokens: make(map[string]bool), grams: ngrams(strings.ToLower(s), 2)}
+	for _, t := range Tokenize(s) {
+		f.tokens[t] = true
+	}
+	return f
+}
+
+// setJaccard computes |a∩b| / |a∪b| with both-empty defined as 1.
+func setJaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, large := a, b
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	inter := 0
+	for k := range small {
+		if large[k] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
+// fastCombined mirrors CombinedSimilarity over precomputed features.
+func fastCombined(a, b recordFeatures) float64 {
+	return 0.5*setJaccard(a.tokens, b.tokens) + 0.5*setJaccard(a.grams, b.grams)
+}
+
+// CrossPairs scores every pair (a_i, b_j) between two record lists and
+// partitions them by the thresholds.
+func (p *Pruner) CrossPairs(a, b []string) (*PruneResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	res := &PruneResult{TotalPairs: len(a) * len(b)}
+	if p.Sim == nil {
+		// Default similarity: amortize feature extraction to O(n).
+		fa := make([]recordFeatures, len(a))
+		for i := range a {
+			fa[i] = featurize(a[i])
+		}
+		fb := make([]recordFeatures, len(b))
+		for j := range b {
+			fb[j] = featurize(b[j])
+		}
+		for i := range a {
+			for j := range b {
+				p.route(res, ScoredPair{Pair{i, j}, fastCombined(fa[i], fb[j])})
+			}
+		}
+	} else {
+		for i := range a {
+			for j := range b {
+				p.route(res, ScoredPair{Pair{i, j}, p.Sim(a[i], b[j])})
+			}
+		}
+	}
+	p.sortCandidates(res)
+	return res, nil
+}
+
+// SelfPairs scores every unordered pair within one record list.
+func (p *Pruner) SelfPairs(records []string) (*PruneResult, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	n := len(records)
+	res := &PruneResult{TotalPairs: n * (n - 1) / 2}
+	if p.Sim == nil {
+		feats := make([]recordFeatures, n)
+		for i := range records {
+			feats[i] = featurize(records[i])
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				p.route(res, ScoredPair{Pair{i, j}, fastCombined(feats[i], feats[j])})
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				p.route(res, ScoredPair{Pair{i, j}, p.Sim(records[i], records[j])})
+			}
+		}
+	}
+	p.sortCandidates(res)
+	return res, nil
+}
+
+func (p *Pruner) validate() error {
+	if p.Low < 0 || p.Low > 1 {
+		return fmt.Errorf("cost: pruning threshold %v outside [0,1]", p.Low)
+	}
+	if p.High < p.Low {
+		return fmt.Errorf("cost: auto-accept threshold %v below pruning threshold %v",
+			p.High, p.Low)
+	}
+	return nil
+}
+
+func (p *Pruner) route(res *PruneResult, sp ScoredPair) {
+	switch {
+	case sp.Sim >= p.High:
+		res.AutoMatch = append(res.AutoMatch, sp)
+	case sp.Sim >= p.Low:
+		res.Candidates = append(res.Candidates, sp)
+	default:
+		res.PrunedCount++
+	}
+}
+
+func (p *Pruner) sortCandidates(res *PruneResult) {
+	sort.SliceStable(res.Candidates, func(a, b int) bool {
+		if res.Candidates[a].Sim != res.Candidates[b].Sim {
+			return res.Candidates[a].Sim > res.Candidates[b].Sim
+		}
+		if res.Candidates[a].I != res.Candidates[b].I {
+			return res.Candidates[a].I < res.Candidates[b].I
+		}
+		return res.Candidates[a].J < res.Candidates[b].J
+	})
+}
+
+// PRF holds precision/recall/F1 of a predicted match set against truth.
+type PRF struct {
+	Precision, Recall, F1 float64
+	TP, FP, FN            int
+}
+
+// EvaluatePairs compares predicted match pairs against the true match
+// set. Pairs are normalized so order within a pair does not matter for
+// self-joins when selfJoin is true.
+func EvaluatePairs(predicted, actual []Pair, selfJoin bool) PRF {
+	norm := func(p Pair) Pair {
+		if selfJoin && p.J < p.I {
+			return Pair{p.J, p.I}
+		}
+		return p
+	}
+	truth := make(map[Pair]bool, len(actual))
+	for _, p := range actual {
+		truth[norm(p)] = true
+	}
+	pred := make(map[Pair]bool, len(predicted))
+	for _, p := range predicted {
+		pred[norm(p)] = true
+	}
+	var r PRF
+	for p := range pred {
+		if truth[p] {
+			r.TP++
+		} else {
+			r.FP++
+		}
+	}
+	for p := range truth {
+		if !pred[p] {
+			r.FN++
+		}
+	}
+	if r.TP+r.FP > 0 {
+		r.Precision = float64(r.TP) / float64(r.TP+r.FP)
+	}
+	if r.TP+r.FN > 0 {
+		r.Recall = float64(r.TP) / float64(r.TP+r.FN)
+	}
+	if r.Precision+r.Recall > 0 {
+		r.F1 = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	}
+	return r
+}

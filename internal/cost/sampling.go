@@ -1,0 +1,130 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// SelectivityEstimate is the result of sampling-based selectivity /
+// count estimation for crowd-powered aggregation: ask the crowd about a
+// random sample of items, extrapolate to the population.
+type SelectivityEstimate struct {
+	// P is the estimated selectivity (fraction of items satisfying the
+	// predicate).
+	P float64
+	// StdErr is the standard error of P.
+	StdErr float64
+	// Count is the extrapolated population count.
+	Count float64
+	// CountLo and CountHi bound the ~95% confidence interval on Count.
+	CountLo, CountHi float64
+	// SampleSize is the number of sampled labels used.
+	SampleSize int
+	// Population is the population size used for extrapolation.
+	Population int
+}
+
+// EstimateSelectivity computes the estimate from sampled boolean labels
+// over a population of size population, with finite-population correction.
+func EstimateSelectivity(labels []bool, population int) (*SelectivityEstimate, error) {
+	n := len(labels)
+	if n == 0 {
+		return nil, fmt.Errorf("cost: empty sample")
+	}
+	if population < n {
+		return nil, fmt.Errorf("cost: population %d smaller than sample %d", population, n)
+	}
+	pos := 0
+	for _, l := range labels {
+		if l {
+			pos++
+		}
+	}
+	p := float64(pos) / float64(n)
+	se := math.Sqrt(p * (1 - p) / float64(n))
+	if population > 1 {
+		// Finite-population correction tightens the interval as the sample
+		// approaches the population.
+		fpc := math.Sqrt(float64(population-n) / float64(population-1))
+		se *= fpc
+	}
+	est := &SelectivityEstimate{
+		P:          p,
+		StdErr:     se,
+		Count:      p * float64(population),
+		SampleSize: n,
+		Population: population,
+	}
+	z := 1.96
+	est.CountLo = math.Max(0, (p-z*se)*float64(population))
+	est.CountHi = math.Min(float64(population), (p+z*se)*float64(population))
+	return est, nil
+}
+
+// SampleSizeFor returns the sample size needed so that a proportion
+// estimate has half-width <= margin at ~95% confidence, using the
+// conservative p = 0.5 variance bound.
+func SampleSizeFor(margin float64) (int, error) {
+	if margin <= 0 || margin >= 1 {
+		return 0, fmt.Errorf("cost: margin %v outside (0,1)", margin)
+	}
+	z := 1.96
+	n := (z * z * 0.25) / (margin * margin)
+	return int(math.Ceil(n)), nil
+}
+
+// MeanEstimate is a sampling-based estimate of a population mean (used by
+// crowd-powered AVG/SUM).
+type MeanEstimate struct {
+	Mean       float64
+	StdErr     float64
+	Lo, Hi     float64 // ~95% CI
+	SampleSize int
+}
+
+// EstimateMean computes the estimate from sampled numeric values.
+func EstimateMean(values []float64) (*MeanEstimate, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, fmt.Errorf("cost: empty sample")
+	}
+	m := stats.Mean(values)
+	se := stats.StdDev(values) / math.Sqrt(float64(n))
+	return &MeanEstimate{
+		Mean: m, StdErr: se,
+		Lo: m - 1.96*se, Hi: m + 1.96*se,
+		SampleSize: n,
+	}, nil
+}
+
+// Batch groups items into consecutive batches of the given size — the
+// task-batching cost optimization (one HIT shows several pairs/items).
+// The final batch may be smaller. size <= 0 yields one batch per item.
+func Batch[T any](items []T, size int) [][]T {
+	if size <= 0 {
+		size = 1
+	}
+	var out [][]T
+	for start := 0; start < len(items); start += size {
+		end := start + size
+		if end > len(items) {
+			end = len(items)
+		}
+		out = append(out, items[start:end])
+	}
+	return out
+}
+
+// BatchedTaskCount returns how many crowd tasks are needed to cover n
+// items at the given batch size — the headline cost saving of batching.
+func BatchedTaskCount(n, size int) int {
+	if n <= 0 {
+		return 0
+	}
+	if size <= 0 {
+		size = 1
+	}
+	return (n + size - 1) / size
+}

@@ -1,0 +1,153 @@
+// Package cost implements the cost-control toolbox of crowdsourced data
+// management: machine-based candidate pruning via similarity measures,
+// answer deduction through transitivity, sampling-based estimation for
+// crowd-powered aggregation, and task batching.
+//
+// The guiding principle from the survey: let the machine do everything it
+// can cheaply, and spend crowd answers only where machine confidence is
+// low. For entity resolution this means computing textual similarity over
+// all pairs, pruning pairs that are obviously non-matches, asking the
+// crowd about the rest, and deducing further answers from transitivity.
+package cost
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lower-cases s and splits it into alphanumeric tokens.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Jaccard returns the token-set Jaccard similarity of a and b in [0,1].
+// Two empty strings are defined as similarity 1.
+func Jaccard(a, b string) float64 {
+	ta, tb := Tokenize(a), Tokenize(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	set := make(map[string]bool, len(ta))
+	for _, t := range ta {
+		set[t] = true
+	}
+	inter := 0
+	seen := make(map[string]bool, len(tb))
+	for _, t := range tb {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		if set[t] {
+			inter++
+		}
+	}
+	union := len(set) + len(seen) - inter
+	return float64(inter) / float64(union)
+}
+
+// EditDistance returns the Levenshtein distance between a and b.
+func EditDistance(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// EditSimilarity normalizes edit distance into a similarity in [0,1]:
+// 1 - dist/maxLen. Two empty strings have similarity 1.
+func EditSimilarity(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	max := la
+	if lb > max {
+		max = lb
+	}
+	if max == 0 {
+		return 1
+	}
+	return 1 - float64(EditDistance(a, b))/float64(max)
+}
+
+// NGramSimilarity returns the Jaccard similarity of the character n-gram
+// sets of a and b (lower-cased). n must be >= 1; strings shorter than n
+// contribute themselves as a single gram.
+func NGramSimilarity(a, b string, n int) float64 {
+	if n < 1 {
+		n = 2
+	}
+	ga, gb := ngrams(strings.ToLower(a), n), ngrams(strings.ToLower(b), n)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	if len(ga) == 0 || len(gb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range gb {
+		if ga[g] {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	return float64(inter) / float64(union)
+}
+
+func ngrams(s string, n int) map[string]bool {
+	r := []rune(s)
+	out := make(map[string]bool)
+	if len(r) == 0 {
+		return out
+	}
+	if len(r) < n {
+		out[string(r)] = true
+		return out
+	}
+	for i := 0; i+n <= len(r); i++ {
+		out[string(r[i:i+n])] = true
+	}
+	return out
+}
+
+// Similarity is a pluggable string-pair similarity in [0,1].
+type Similarity func(a, b string) float64
+
+// CombinedSimilarity averages Jaccard and 2-gram similarity — a cheap,
+// robust default for entity-resolution pruning.
+func CombinedSimilarity(a, b string) float64 {
+	return 0.5*Jaccard(a, b) + 0.5*NGramSimilarity(a, b, 2)
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,243 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Verdict is the outcome of a match question about a pair of records.
+type Verdict int
+
+const (
+	// Unknown means the pair's status cannot be deduced yet.
+	Unknown Verdict = iota
+	// Match means the records refer to the same entity.
+	Match
+	// NonMatch means they refer to different entities.
+	NonMatch
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case Match:
+		return "match"
+	case NonMatch:
+		return "non-match"
+	default:
+		return "unknown"
+	}
+}
+
+// Transitivity performs answer deduction for entity resolution: recorded
+// match answers merge records into clusters (union–find), recorded
+// non-match answers separate clusters, and the positive and negative
+// transitive closures let the system skip asking the crowd about pairs
+// whose answer is already implied.
+//
+//	match(a,b) ∧ match(b,c)     ⇒ match(a,c)
+//	match(a,b) ∧ nonmatch(b,c)  ⇒ nonmatch(a,c)
+//
+// This is the deduction rule set behind crowdsourced-join cost savings in
+// the literature; with candidate pairs processed in descending similarity
+// order, most true matches arrive early and the deduced fraction grows.
+type Transitivity struct {
+	parent []int
+	rank   []int
+	// conflicts maps a cluster root to the set of cluster roots it is
+	// known to differ from.
+	conflicts map[int]map[int]bool
+	// inconsistencies counts crowd answers that contradicted the closure.
+	inconsistencies int
+}
+
+// NewTransitivity creates a deduction structure over n records (indices
+// 0..n-1), initially all singleton clusters with no constraints.
+func NewTransitivity(n int) *Transitivity {
+	t := &Transitivity{
+		parent:    make([]int, n),
+		rank:      make([]int, n),
+		conflicts: make(map[int]map[int]bool),
+	}
+	for i := range t.parent {
+		t.parent[i] = i
+	}
+	return t
+}
+
+// N returns the number of records.
+func (t *Transitivity) N() int { return len(t.parent) }
+
+func (t *Transitivity) find(x int) int {
+	for t.parent[x] != x {
+		t.parent[x] = t.parent[t.parent[x]] // path halving
+		x = t.parent[x]
+	}
+	return x
+}
+
+func (t *Transitivity) checkIndex(i int) error {
+	if i < 0 || i >= len(t.parent) {
+		return fmt.Errorf("cost: record index %d out of range [0,%d)", i, len(t.parent))
+	}
+	return nil
+}
+
+// Deduce returns the implied verdict for pair (i, j): Match if they are in
+// the same cluster, NonMatch if their clusters are known to conflict,
+// Unknown otherwise.
+func (t *Transitivity) Deduce(i, j int) Verdict {
+	if t.checkIndex(i) != nil || t.checkIndex(j) != nil {
+		return Unknown
+	}
+	ri, rj := t.find(i), t.find(j)
+	if ri == rj {
+		return Match
+	}
+	if t.conflicts[ri][rj] {
+		return NonMatch
+	}
+	return Unknown
+}
+
+// RecordMatch registers a crowd answer that i and j match. If the closure
+// already implies they do NOT match, the answer is counted as an
+// inconsistency and ignored (the earlier evidence wins), and an error is
+// returned for the caller's accounting.
+func (t *Transitivity) RecordMatch(i, j int) error {
+	if err := t.checkIndex(i); err != nil {
+		return err
+	}
+	if err := t.checkIndex(j); err != nil {
+		return err
+	}
+	ri, rj := t.find(i), t.find(j)
+	if ri == rj {
+		return nil // already known
+	}
+	if t.conflicts[ri][rj] {
+		t.inconsistencies++
+		return fmt.Errorf("cost: match(%d,%d) contradicts deduced non-match", i, j)
+	}
+	// Union by rank; fold the absorbed root's conflicts into the survivor.
+	if t.rank[ri] < t.rank[rj] {
+		ri, rj = rj, ri
+	}
+	t.parent[rj] = ri
+	if t.rank[ri] == t.rank[rj] {
+		t.rank[ri]++
+	}
+	for c := range t.conflicts[rj] {
+		delete(t.conflicts[c], rj)
+		t.addConflict(ri, c)
+	}
+	delete(t.conflicts, rj)
+	return nil
+}
+
+// RecordNonMatch registers a crowd answer that i and j do not match. If
+// the closure already implies they DO match, the answer is counted as an
+// inconsistency and ignored.
+func (t *Transitivity) RecordNonMatch(i, j int) error {
+	if err := t.checkIndex(i); err != nil {
+		return err
+	}
+	if err := t.checkIndex(j); err != nil {
+		return err
+	}
+	ri, rj := t.find(i), t.find(j)
+	if ri == rj {
+		t.inconsistencies++
+		return fmt.Errorf("cost: nonmatch(%d,%d) contradicts deduced match", i, j)
+	}
+	t.addConflict(ri, rj)
+	return nil
+}
+
+func (t *Transitivity) addConflict(a, b int) {
+	if t.conflicts[a] == nil {
+		t.conflicts[a] = make(map[int]bool)
+	}
+	if t.conflicts[b] == nil {
+		t.conflicts[b] = make(map[int]bool)
+	}
+	t.conflicts[a][b] = true
+	t.conflicts[b][a] = true
+}
+
+// Inconsistencies returns how many crowd answers contradicted the closure.
+func (t *Transitivity) Inconsistencies() int { return t.inconsistencies }
+
+// Clusters returns the current entity clusters as sorted slices of record
+// indices, ordered by their smallest member.
+func (t *Transitivity) Clusters() [][]int {
+	groups := make(map[int][]int)
+	for i := range t.parent {
+		r := t.find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// MatchedPairs enumerates every pair implied matched by the clustering
+// (i < j).
+func (t *Transitivity) MatchedPairs() []Pair {
+	var out []Pair
+	for _, c := range t.Clusters() {
+		for a := 0; a < len(c); a++ {
+			for b := a + 1; b < len(c); b++ {
+				out = append(out, Pair{c[a], c[b]})
+			}
+		}
+	}
+	return out
+}
+
+// DeductionStats summarizes a deduction-aware pass over candidate pairs.
+type DeductionStats struct {
+	Asked          int // pairs sent to the oracle
+	DeducedMatch   int // pairs skipped because Match was implied
+	DeducedNon     int // pairs skipped because NonMatch was implied
+	Inconsistent   int // oracle answers that contradicted the closure
+	OracleMatch    int // oracle said match
+	OracleNonMatch int // oracle said non-match
+}
+
+// ResolveWithOracle processes candidate pairs in order, skipping pairs
+// whose verdict is already deduced and otherwise consulting the oracle
+// (the crowd, in production; a simulated answerer in experiments). It
+// returns the deduction statistics; the final clustering is available on
+// t afterwards.
+func (t *Transitivity) ResolveWithOracle(pairs []Pair, oracle func(Pair) Verdict) DeductionStats {
+	var st DeductionStats
+	for _, p := range pairs {
+		switch t.Deduce(p.I, p.J) {
+		case Match:
+			st.DeducedMatch++
+			continue
+		case NonMatch:
+			st.DeducedNon++
+			continue
+		}
+		st.Asked++
+		switch oracle(p) {
+		case Match:
+			st.OracleMatch++
+			if err := t.RecordMatch(p.I, p.J); err != nil {
+				st.Inconsistent++
+			}
+		case NonMatch:
+			st.OracleNonMatch++
+			if err := t.RecordNonMatch(p.I, p.J); err != nil {
+				st.Inconsistent++
+			}
+		}
+	}
+	return st
+}

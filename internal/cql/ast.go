@@ -1,0 +1,336 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Statement is any parsed CQL statement.
+type Statement interface{ stmtNode() }
+
+// CreateTable is CREATE [CROWD] TABLE name (col TYPE [CROWD], ...).
+type CreateTable struct {
+	Name       string
+	Columns    []model.Column
+	CrowdTable bool
+}
+
+// Insert is INSERT INTO name VALUES (...), (...) or INSERT INTO name
+// SELECT ....
+type Insert struct {
+	Table string
+	Rows  [][]Expr // literal expressions only (VALUES form)
+	// Query, when non-nil, is the INSERT ... SELECT source.
+	Query *Select
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+// Delete is DELETE FROM name [WHERE expr] (machine predicates only).
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Update is UPDATE name SET col = lit, ... [WHERE expr] (machine
+// predicates and literal values only).
+type Update struct {
+	Table string
+	// Set maps column names to literal expressions, in syntactic order.
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one col = literal assignment.
+type SetClause struct {
+	Column string
+	Value  Expr
+}
+
+// ShowTables is SHOW TABLES.
+type ShowTables struct{}
+
+// Describe is DESCRIBE name.
+type Describe struct{ Name string }
+
+// Explain wraps a SELECT for plan display.
+type Explain struct{ Query *Select }
+
+// Select is the query statement.
+type Select struct {
+	// Projections lists select items; a single Star item means *.
+	Projections []SelectItem
+	// From is the base table.
+	From TableRef
+	// Joins holds machine equi-joins and crowd joins in syntactic order.
+	Joins []JoinClause
+	// Where is the conjunction root (nil when absent).
+	Where Expr
+	// OrderBy, when non-empty, sorts results.
+	OrderBy []OrderKey
+	// CrowdOrder, when set, uses crowd comparisons on the named column
+	// (exclusive with OrderBy).
+	CrowdOrder *CrowdOrderClause
+	// Limit < 0 means no limit.
+	Limit int
+	// GroupBy, when set, aggregates per distinct value of this column.
+	GroupBy string
+	// Having filters aggregate output rows (machine predicates over the
+	// aggregate's output columns, including aliases).
+	Having Expr
+	// Distinct deduplicates result rows.
+	Distinct bool
+}
+
+func (*CreateTable) stmtNode() {}
+func (*Insert) stmtNode()      {}
+func (*DropTable) stmtNode()   {}
+func (*Delete) stmtNode()      {}
+func (*Update) stmtNode()      {}
+func (*ShowTables) stmtNode()  {}
+func (*Describe) stmtNode()    {}
+func (*Select) stmtNode()      {}
+func (*Explain) stmtNode()     {}
+
+// SelectItem is one projection: a column, a star, or an aggregate.
+type SelectItem struct {
+	Star bool
+	// Column is the column reference (possibly table-qualified) when not
+	// a star or aggregate.
+	Column *ColumnRef
+	// Agg is the aggregate function name ("COUNT", "SUM", "AVG", "MIN",
+	// "MAX", "CROWDCOUNT") when this item aggregates; the argument is
+	// Column (nil for COUNT(*) and CROWDCOUNT).
+	Agg string
+	// CrowdCountQuestion holds the predicate question of
+	// CROWDCOUNT('question', col).
+	CrowdCountQuestion string
+	// Alias renames the output column.
+	Alias string
+}
+
+// DisplayName returns the output column name.
+func (it SelectItem) DisplayName() string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if it.Agg != "" {
+		if it.Column == nil {
+			return strings.ToLower(it.Agg)
+		}
+		return fmt.Sprintf("%s(%s)", strings.ToLower(it.Agg), it.Column.Name)
+	}
+	if it.Column != nil {
+		return it.Column.Name
+	}
+	return "*"
+}
+
+// TableRef names a table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// Binding returns the name the table is referenced by in expressions.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is JOIN t ON a.x = b.y, or CROWDJOIN t ON a.x ~ b.y (crowd
+// entity matching between two string columns).
+type JoinClause struct {
+	Table TableRef
+	// Crowd selects a crowd join (entity resolution) instead of an
+	// equi-join.
+	Crowd bool
+	// Left and Right are the join columns (Left from earlier tables,
+	// Right from the joined table).
+	Left, Right *ColumnRef
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Column *ColumnRef
+	Desc   bool
+}
+
+// CrowdOrderClause is CROWDORDER BY col [DESC] ['question'].
+type CrowdOrderClause struct {
+	Column   *ColumnRef
+	Desc     bool
+	Question string
+}
+
+// Expr is a boolean/value expression node.
+type Expr interface {
+	exprNode()
+	// String renders the expression in CQL-ish syntax.
+	String() string
+}
+
+// ColumnRef references a column, optionally table-qualified.
+type ColumnRef struct {
+	Table string // "" when unqualified
+	Name  string
+}
+
+func (c *ColumnRef) exprNode() {}
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// Literal is a constant value.
+type Literal struct{ Value model.Value }
+
+func (l *Literal) exprNode() {}
+func (l *Literal) String() string {
+	if l.Value.Type() == model.TypeString {
+		return "'" + l.Value.AsString() + "'"
+	}
+	return l.Value.String()
+}
+
+// Compare is a binary comparison: =, !=, <, <=, >, >=, LIKE.
+type Compare struct {
+	Op          string
+	Left, Right Expr
+}
+
+func (c *Compare) exprNode() {}
+func (c *Compare) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// IsNull is `expr IS [NOT] NULL`.
+type IsNull struct {
+	Expr   Expr
+	Negate bool
+}
+
+func (c *IsNull) exprNode() {}
+func (c *IsNull) String() string {
+	if c.Negate {
+		return fmt.Sprintf("%s IS NOT NULL", c.Expr)
+	}
+	return fmt.Sprintf("%s IS NULL", c.Expr)
+}
+
+// And is conjunction.
+type And struct{ Left, Right Expr }
+
+func (a *And) exprNode() {}
+func (a *And) String() string {
+	return fmt.Sprintf("(%s AND %s)", a.Left, a.Right)
+}
+
+// Or is disjunction.
+type Or struct{ Left, Right Expr }
+
+func (o *Or) exprNode() {}
+func (o *Or) String() string {
+	return fmt.Sprintf("(%s OR %s)", o.Left, o.Right)
+}
+
+// Not is negation.
+type Not struct{ Expr Expr }
+
+func (n *Not) exprNode()      {}
+func (n *Not) String() string { return fmt.Sprintf("NOT %s", n.Expr) }
+
+// CrowdEqual is `col CROWDEQUAL 'literal'` (also spelled col ~= 'x'): the
+// crowd judges whether the column value and the literal refer to the same
+// real-world thing.
+type CrowdEqual struct {
+	Column  *ColumnRef
+	Literal *Literal
+}
+
+func (c *CrowdEqual) exprNode() {}
+func (c *CrowdEqual) String() string {
+	return fmt.Sprintf("%s CROWDEQUAL %s", c.Column, c.Literal)
+}
+
+// CrowdFilter is CROWDFILTER('question', col): the crowd answers the
+// yes/no question about each tuple's column value.
+type CrowdFilter struct {
+	Question string
+	Column   *ColumnRef
+}
+
+func (c *CrowdFilter) exprNode() {}
+func (c *CrowdFilter) String() string {
+	return fmt.Sprintf("CROWDFILTER('%s', %s)", c.Question, c.Column)
+}
+
+// IsCrowdExpr reports whether the expression (sub)tree contains any
+// crowd-evaluated predicate.
+func IsCrowdExpr(e Expr) bool {
+	switch v := e.(type) {
+	case *CrowdEqual, *CrowdFilter:
+		return true
+	case *And:
+		return IsCrowdExpr(v.Left) || IsCrowdExpr(v.Right)
+	case *Or:
+		return IsCrowdExpr(v.Left) || IsCrowdExpr(v.Right)
+	case *Not:
+		return IsCrowdExpr(v.Expr)
+	case *Compare:
+		return IsCrowdExpr(v.Left) || IsCrowdExpr(v.Right)
+	case *IsNull:
+		return IsCrowdExpr(v.Expr)
+	default:
+		return false
+	}
+}
+
+// Conjuncts flattens nested ANDs into a list of top-level conjuncts.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(*And); ok {
+		return append(Conjuncts(a.Left), Conjuncts(a.Right)...)
+	}
+	return []Expr{e}
+}
+
+// ColumnsIn collects every column reference in the expression tree.
+func ColumnsIn(e Expr) []*ColumnRef {
+	var out []*ColumnRef
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *ColumnRef:
+			out = append(out, v)
+		case *Compare:
+			walk(v.Left)
+			walk(v.Right)
+		case *And:
+			walk(v.Left)
+			walk(v.Right)
+		case *Or:
+			walk(v.Left)
+			walk(v.Right)
+		case *Not:
+			walk(v.Expr)
+		case *IsNull:
+			walk(v.Expr)
+		case *CrowdEqual:
+			out = append(out, v.Column)
+		case *CrowdFilter:
+			out = append(out, v.Column)
+		}
+	}
+	walk(e)
+	return out
+}

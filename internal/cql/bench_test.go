@@ -1,0 +1,91 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+const benchQuery = `SELECT name, COUNT(*) AS n FROM people ` +
+	`JOIN cities ON people.city = cities.city ` +
+	`WHERE age > 21 AND name LIKE 'a%' GROUP BY name ORDER BY n DESC LIMIT 10`
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPlanOptimized(b *testing.B) {
+	s := machineSession()
+	if _, err := s.Execute(`CREATE TABLE people (id INT, name STRING, age INT, city STRING)`); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Execute(`CREATE TABLE cities (city STRING, country STRING)`); err != nil {
+		b.Fatal(err)
+	}
+	stmt, err := Parse(benchQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := stmt.(*Select)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Plan(sel, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteMachineQuery(b *testing.B) {
+	s := machineSession()
+	if _, err := s.Execute(`CREATE TABLE t (id INT, grp STRING, v FLOAT)`); err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO t VALUES `)
+	for i := 0; i < 2000; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'g%d', %d.5)", i, i%20, i%100)
+	}
+	if _, err := s.Execute(sb.String()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := s.Execute(`SELECT grp, AVG(v) FROM t WHERE id > 500 GROUP BY grp ORDER BY grp LIMIT 5`)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func FuzzLex(f *testing.F) {
+	for _, seed := range []string{
+		benchQuery, `SELECT * FROM t WHERE a ~= 'x''y'`, "'unterminated",
+		"-- comment\nSELECT 1.5 <> != <=", "@#$",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Lex(src) // must not panic
+	})
+}
+
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		benchQuery,
+		`CREATE CROWD TABLE x (a INT CROWD)`,
+		`INSERT INTO t VALUES (1, NULL, 'x')`,
+		`SELECT CROWDCOUNT('q', c) FROM t CROWDORDER BY c DESC 'q' LIMIT 1`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseAll(src) // must not panic
+	})
+}

@@ -1,0 +1,128 @@
+package cql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Catalog holds the named relations of a CQL session. It is the (single
+// node, in-memory) storage engine of the system; durable storage is out of
+// scope for the reproduction, whose experiments are bounded by crowd cost,
+// not I/O.
+type Catalog struct {
+	tables map[string]*model.Relation
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*model.Relation)}
+}
+
+// Create registers a new table. Table names are case-insensitive.
+func (c *Catalog) Create(name string, schema *model.Schema) error {
+	key := strings.ToLower(name)
+	if _, exists := c.tables[key]; exists {
+		return fmt.Errorf("cql: table %q already exists", name)
+	}
+	c.tables[key] = model.NewRelation(name, schema)
+	return nil
+}
+
+// Get returns the named table.
+func (c *Catalog) Get(name string) (*model.Relation, error) {
+	rel, ok := c.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("cql: unknown table %q", name)
+	}
+	return rel, nil
+}
+
+// Drop removes the named table.
+func (c *Catalog) Drop(name string) error {
+	key := strings.ToLower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("cql: unknown table %q", name)
+	}
+	delete(c.tables, key)
+	return nil
+}
+
+// Names returns the table names, sorted.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for _, rel := range c.tables {
+		out = append(out, rel.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// boundRow is a row in flight through the executor: values plus the
+// binding metadata to resolve qualified column references after joins.
+type boundSchema struct {
+	// cols[i] describes output column i.
+	cols []model.Column
+	// binding[i] is the table binding (alias or name) column i came from.
+	binding []string
+}
+
+func newBoundSchema(rel *model.Relation, binding string) *boundSchema {
+	bs := &boundSchema{}
+	for _, c := range rel.Schema.Columns {
+		bs.cols = append(bs.cols, c)
+		bs.binding = append(bs.binding, strings.ToLower(binding))
+	}
+	return bs
+}
+
+// resolve finds the index of a (possibly qualified) column reference.
+func (bs *boundSchema) resolve(ref *ColumnRef) (int, error) {
+	name := strings.ToLower(ref.Name)
+	table := strings.ToLower(ref.Table)
+	found := -1
+	for i, c := range bs.cols {
+		if strings.ToLower(c.Name) != name {
+			continue
+		}
+		if table != "" && bs.binding[i] != table {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("cql: ambiguous column %q", ref)
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("cql: unknown column %q", ref)
+	}
+	return found, nil
+}
+
+// concat merges two bound schemas (for joins).
+func (bs *boundSchema) concat(other *boundSchema) *boundSchema {
+	out := &boundSchema{}
+	out.cols = append(append([]model.Column{}, bs.cols...), other.cols...)
+	out.binding = append(append([]string{}, bs.binding...), other.binding...)
+	return out
+}
+
+// toSchema converts to a model.Schema, renaming duplicate column names
+// with their binding prefix.
+func (bs *boundSchema) toSchema() (*model.Schema, error) {
+	seen := map[string]int{}
+	for _, c := range bs.cols {
+		seen[strings.ToLower(c.Name)]++
+	}
+	cols := make([]model.Column, len(bs.cols))
+	for i, c := range bs.cols {
+		name := c.Name
+		if seen[strings.ToLower(c.Name)] > 1 {
+			name = bs.binding[i] + "_" + c.Name
+		}
+		cols[i] = model.Column{Name: name, Type: c.Type, Crowd: c.Crowd}
+	}
+	return model.NewSchema(cols...)
+}

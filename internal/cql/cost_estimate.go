@@ -1,0 +1,203 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlanCost is the optimizer's estimate of what executing a plan will
+// consume. Machine work is counted in rows touched; crowd work in worker
+// answers — the scarce resource. The estimates use the catalog's current
+// cardinalities and simple default selectivities (the Deco/CDB-style cost
+// model, scaled down to a rule-based engine).
+type PlanCost struct {
+	// Rows is the estimated output cardinality.
+	Rows float64
+	// CrowdAnswers is the estimated number of worker answers consumed.
+	CrowdAnswers float64
+	// MachineRows is the estimated number of row visits by machine
+	// operators.
+	MachineRows float64
+}
+
+// Default selectivities for estimation; deliberately coarse — the point
+// is ordering plans, not predicting absolute numbers.
+const (
+	estFilterSelectivity      = 1.0 / 3
+	estCrowdEqualSelectivity  = 0.25
+	estCrowdFilterSelectivity = 0.5
+	estJoinFanout             = 1.0
+	estNullFraction           = 0.5 // of a CROWD column, when unknown
+)
+
+// EstimateCost walks the plan bottom-up and accumulates the cost model.
+func (s *Session) EstimateCost(plan PlanNode) (*PlanCost, error) {
+	k := float64(s.Redundancy)
+	if k <= 0 {
+		k = 3
+	}
+	var walk func(n PlanNode) (*PlanCost, error)
+	walk = func(n PlanNode) (*PlanCost, error) {
+		switch v := n.(type) {
+		case *ScanNode:
+			rel, err := s.Catalog.Get(v.Table.Name)
+			if err != nil {
+				return nil, err
+			}
+			return &PlanCost{Rows: float64(rel.Len())}, nil
+		case *MachineFilterNode:
+			in, err := walk(v.Input)
+			if err != nil {
+				return nil, err
+			}
+			sel := 1.0
+			for range v.Preds {
+				sel *= estFilterSelectivity
+			}
+			return &PlanCost{
+				Rows:         in.Rows * sel,
+				CrowdAnswers: in.CrowdAnswers,
+				MachineRows:  in.MachineRows + in.Rows,
+			}, nil
+		case *CrowdFillNode:
+			in, err := walk(v.Input)
+			if err != nil {
+				return nil, err
+			}
+			fills := in.Rows * estNullFraction * float64(len(v.Columns))
+			return &PlanCost{
+				Rows:         in.Rows,
+				CrowdAnswers: in.CrowdAnswers + fills*k,
+				MachineRows:  in.MachineRows,
+			}, nil
+		case *CrowdFilterNode:
+			in, err := walk(v.Input)
+			if err != nil {
+				return nil, err
+			}
+			answers := in.CrowdAnswers
+			rows := in.Rows
+			for _, p := range v.Preds {
+				answers += rows * k // every surviving row is asked
+				if _, ok := p.(*CrowdEqual); ok {
+					rows *= estCrowdEqualSelectivity
+				} else {
+					rows *= estCrowdFilterSelectivity
+				}
+			}
+			return &PlanCost{Rows: rows, CrowdAnswers: answers, MachineRows: in.MachineRows}, nil
+		case *JoinNode:
+			l, err := walk(v.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := walk(v.Right)
+			if err != nil {
+				return nil, err
+			}
+			return &PlanCost{
+				Rows:         maxF(l.Rows, r.Rows) * estJoinFanout,
+				CrowdAnswers: l.CrowdAnswers + r.CrowdAnswers,
+				MachineRows:  l.MachineRows + r.MachineRows + l.Rows + r.Rows,
+			}, nil
+		case *CrowdJoinNode:
+			l, err := walk(v.Left)
+			if err != nil {
+				return nil, err
+			}
+			r, err := walk(v.Right)
+			if err != nil {
+				return nil, err
+			}
+			// Distinct-value pair space, pruned by similarity; roughly a
+			// quarter of pairs survive pruning at default thresholds.
+			pairs := l.Rows * r.Rows * 0.25
+			return &PlanCost{
+				Rows:         maxF(l.Rows, r.Rows),
+				CrowdAnswers: l.CrowdAnswers + r.CrowdAnswers + pairs*k,
+				MachineRows:  l.MachineRows + r.MachineRows + l.Rows*r.Rows,
+			}, nil
+		case *SortNode:
+			in, err := walk(v.Input)
+			if err != nil {
+				return nil, err
+			}
+			in.MachineRows += in.Rows
+			return in, nil
+		case *CrowdSortNode:
+			in, err := walk(v.Input)
+			if err != nil {
+				return nil, err
+			}
+			in.CrowdAnswers += in.Rows * (in.Rows - 1) / 2 * k
+			return in, nil
+		case *LimitNode:
+			in, err := walk(v.Input)
+			if err != nil {
+				return nil, err
+			}
+			if in.Rows > float64(v.N) {
+				in.Rows = float64(v.N)
+			}
+			return in, nil
+		case *DistinctNode:
+			in, err := walk(v.Input)
+			if err != nil {
+				return nil, err
+			}
+			in.MachineRows += in.Rows
+			return in, nil
+		case *ProjectNode:
+			in, err := walk(v.Input)
+			if err != nil {
+				return nil, err
+			}
+			return in, nil
+		case *AggregateNode:
+			in, err := walk(v.Input)
+			if err != nil {
+				return nil, err
+			}
+			for _, it := range v.Items {
+				if it.Agg == "CROWDCOUNT" {
+					samples := in.Rows
+					if cap := float64(s.SampleSize); cap > 0 && samples > cap {
+						samples = cap
+					}
+					in.CrowdAnswers += samples * k
+				}
+			}
+			in.MachineRows += in.Rows
+			if v.GroupBy == "" {
+				in.Rows = 1
+			} else {
+				in.Rows = maxF(1, in.Rows/3)
+			}
+			return in, nil
+		default:
+			return nil, fmt.Errorf("cql: cost model: unknown node %T", n)
+		}
+	}
+	return walk(plan)
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ExplainWithCost renders the plan with the cost estimate header — what
+// the EXPLAIN statement prints when a session is available.
+func (s *Session) ExplainWithCost(plan PlanNode) (string, error) {
+	c, err := s.EstimateCost(plan)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "est: %.0f rows, %.0f crowd answers, %.0f machine row visits\n",
+		c.Rows, c.CrowdAnswers, c.MachineRows)
+	b.WriteString(ExplainPlan(plan))
+	return b.String(), nil
+}

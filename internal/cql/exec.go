@@ -1,0 +1,869 @@
+package cql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/model"
+)
+
+// resultSet is a batch of rows flowing between plan nodes. While the
+// pipeline is still linear over a single base table, rows alias the base
+// relation's tuples and baseRows maps to their indices — this is what lets
+// CrowdFill memoize acquired values back into the table (CrowdDB
+// semantics). Joins and projections break the aliasing.
+type resultSet struct {
+	bs   *boundSchema
+	rows []model.Tuple
+	base *model.Relation
+}
+
+// run executes a plan and materializes the output relation.
+func (s *Session) run(plan PlanNode) (*model.Relation, error) {
+	rs, err := s.exec(plan)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := rs.bs.toSchema()
+	if err != nil {
+		return nil, err
+	}
+	out := model.NewRelation("result", schema)
+	for _, r := range rs.rows {
+		out.Tuples = append(out.Tuples, r.Clone())
+	}
+	return out, nil
+}
+
+func (s *Session) exec(node PlanNode) (*resultSet, error) {
+	switch n := node.(type) {
+	case *ScanNode:
+		return s.execScan(n)
+	case *MachineFilterNode:
+		return s.execMachineFilter(n)
+	case *CrowdFillNode:
+		return s.execCrowdFill(n)
+	case *CrowdFilterNode:
+		return s.execCrowdFilter(n)
+	case *JoinNode:
+		return s.execJoin(n)
+	case *CrowdJoinNode:
+		return s.execCrowdJoin(n)
+	case *SortNode:
+		return s.execSort(n)
+	case *CrowdSortNode:
+		return s.execCrowdSort(n)
+	case *LimitNode:
+		return s.execLimit(n)
+	case *DistinctNode:
+		return s.execDistinct(n)
+	case *ProjectNode:
+		return s.execProject(n)
+	case *AggregateNode:
+		return s.execAggregate(n)
+	default:
+		return nil, fmt.Errorf("cql: unknown plan node %T", node)
+	}
+}
+
+func (s *Session) execScan(n *ScanNode) (*resultSet, error) {
+	rel, err := s.Catalog.Get(n.Table.Name)
+	if err != nil {
+		return nil, err
+	}
+	rs := &resultSet{
+		bs:   newBoundSchema(rel, n.Table.Binding()),
+		base: rel,
+	}
+	rs.rows = append(rs.rows, rel.Tuples...) // tuples aliased, not copied
+	return rs, nil
+}
+
+func (s *Session) execMachineFilter(n *MachineFilterNode) (*resultSet, error) {
+	in, err := s.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	out := &resultSet{bs: in.bs, base: in.base}
+	for _, row := range in.rows {
+		keep := true
+		for _, p := range n.Preds {
+			ok, err := evalMachine(p, in.bs, row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+func (s *Session) execCrowdFill(n *CrowdFillNode) (*resultSet, error) {
+	in, err := s.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	if in.base == nil {
+		return nil, fmt.Errorf("cql: internal: CrowdFill above a non-scan pipeline")
+	}
+	if s.Runner == nil {
+		// Check lazily: only fail if there is actually something to fill.
+		for _, col := range n.Columns {
+			ci := in.base.Schema.ColumnIndex(col)
+			for _, row := range in.rows {
+				if row[ci].IsNull() {
+					return nil, fmt.Errorf("cql: crowd column %s has NULLs but the session has no crowd attached", col)
+				}
+			}
+		}
+		return in, nil
+	}
+	for _, col := range n.Columns {
+		ci := in.base.Schema.ColumnIndex(col)
+		if ci < 0 {
+			return nil, fmt.Errorf("cql: internal: fill column %q missing", col)
+		}
+		colType := in.base.Schema.Columns[ci].Type
+		for _, row := range in.rows {
+			if !row[ci].IsNull() {
+				continue
+			}
+			truth, known := s.Oracle.fill(in.base.Name, col, row, in.base.Schema)
+			text, err := s.askFill(
+				fmt.Sprintf("Provide %s for %s", col, rowPreview(row)),
+				truth, known)
+			if err != nil {
+				return nil, err
+			}
+			v, perr := model.ParseValue(text, colType)
+			if perr != nil {
+				// Unparseable crowd input stays NULL rather than failing
+				// the query; the cell can be retried later.
+				continue
+			}
+			row[ci] = v // aliases the base tuple: memoized
+			s.Stats.Fills++
+		}
+	}
+	return in, nil
+}
+
+func (s *Session) execCrowdFilter(n *CrowdFilterNode) (*resultSet, error) {
+	in, err := s.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	out := &resultSet{bs: in.bs, base: in.base}
+	for _, row := range in.rows {
+		keep := true
+		for _, p := range n.Preds {
+			ok, err := s.evalCrowdPred(p, in.bs, row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// evalCrowdPred asks the crowd one predicate about one row.
+func (s *Session) evalCrowdPred(p Expr, bs *boundSchema, row model.Tuple) (bool, error) {
+	switch v := p.(type) {
+	case *CrowdEqual:
+		idx, err := bs.resolve(v.Column)
+		if err != nil {
+			return false, err
+		}
+		val := row[idx]
+		if val.IsNull() {
+			return false, nil
+		}
+		lit := v.Literal.Value.AsString()
+		truth := s.Oracle.equal(val.String(), lit)
+		// Pairs that look half-similar are genuinely hard for humans too.
+		sim := cost.CombinedSimilarity(val.String(), lit)
+		difficulty := clampF(1-2*absF(sim-0.5), 0.05, 0.95)
+		opt, err := s.askChoice(
+			fmt.Sprintf("Do %q and %q refer to the same thing?", val.String(), lit),
+			[]string{"no", "yes"}, boolOpt(truth), difficulty)
+		if err != nil {
+			return false, err
+		}
+		s.Stats.CrowdFilterRows++
+		return opt == 1, nil
+	case *CrowdFilter:
+		idx, err := bs.resolve(v.Column)
+		if err != nil {
+			return false, err
+		}
+		val := row[idx]
+		if val.IsNull() {
+			return false, nil
+		}
+		truth := s.Oracle.filterTruth(v.Question, val)
+		opt, err := s.askChoice(
+			fmt.Sprintf("%s — %s", v.Question, val.String()),
+			[]string{"no", "yes"}, boolOpt(truth), 0.3)
+		if err != nil {
+			return false, err
+		}
+		s.Stats.CrowdFilterRows++
+		return opt == 1, nil
+	default:
+		return false, fmt.Errorf("cql: %s is not a crowd predicate", p)
+	}
+}
+
+func (s *Session) execJoin(n *JoinNode) (*resultSet, error) {
+	left, err := s.exec(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := s.exec(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	li, err := left.bs.resolve(n.LeftCol)
+	if err != nil {
+		// The user may have written the condition in either order.
+		li, err = right.bs.resolve(n.LeftCol)
+		if err == nil {
+			n.LeftCol, n.RightCol = n.RightCol, n.LeftCol
+			li, err = left.bs.resolve(n.LeftCol)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	ri, err := right.bs.resolve(n.RightCol)
+	if err != nil {
+		return nil, err
+	}
+	// Hash the right side.
+	ht := make(map[string][]model.Tuple)
+	for _, r := range right.rows {
+		k := r[ri]
+		if k.IsNull() {
+			continue
+		}
+		ht[joinKey(k)] = append(ht[joinKey(k)], r)
+	}
+	out := &resultSet{bs: left.bs.concat(right.bs)}
+	for _, l := range left.rows {
+		k := l[li]
+		if k.IsNull() {
+			continue
+		}
+		for _, r := range ht[joinKey(k)] {
+			merged := make(model.Tuple, 0, len(l)+len(r))
+			merged = append(append(merged, l...), r...)
+			out.rows = append(out.rows, merged)
+		}
+	}
+	return out, nil
+}
+
+func joinKey(v model.Value) string {
+	// Normalizes INT/FLOAT cross-type equality the same way Value.Equal
+	// does.
+	if v.IsNumeric() {
+		return fmt.Sprintf("n:%v", v.AsFloat())
+	}
+	return v.Type().String() + ":" + v.String()
+}
+
+func (s *Session) execCrowdJoin(n *CrowdJoinNode) (*resultSet, error) {
+	left, err := s.exec(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := s.exec(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	li, err := left.bs.resolve(n.LeftCol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := right.bs.resolve(n.RightCol)
+	if err != nil {
+		return nil, err
+	}
+	// Distinct string values on both sides.
+	lvals := distinctStrings(left.rows, li)
+	rvals := distinctStrings(right.rows, ri)
+	// Machine pass: prune dissimilar pairs; exact matches auto-accept.
+	matched := make(map[[2]string]bool)
+	for _, lv := range lvals {
+		for _, rv := range rvals {
+			if strings.EqualFold(lv, rv) {
+				matched[[2]string{lv, rv}] = true
+				continue
+			}
+			sim := cost.CombinedSimilarity(lv, rv)
+			if sim < s.JoinPruneLow {
+				continue
+			}
+			truth := s.Oracle.equal(lv, rv)
+			difficulty := clampF(1-2*absF(sim-0.5), 0.05, 0.95)
+			opt, err := s.askChoice(
+				fmt.Sprintf("Do %q and %q refer to the same entity?", lv, rv),
+				[]string{"different", "same"}, boolOpt(truth), difficulty)
+			if err != nil {
+				return nil, err
+			}
+			s.Stats.CrowdJoinPairs++
+			if opt == 1 {
+				matched[[2]string{lv, rv}] = true
+			}
+		}
+	}
+	out := &resultSet{bs: left.bs.concat(right.bs)}
+	for _, l := range left.rows {
+		lv := l[li]
+		if lv.IsNull() {
+			continue
+		}
+		for _, r := range right.rows {
+			rv := r[ri]
+			if rv.IsNull() {
+				continue
+			}
+			if matched[[2]string{lv.String(), rv.String()}] {
+				merged := make(model.Tuple, 0, len(l)+len(r))
+				merged = append(append(merged, l...), r...)
+				out.rows = append(out.rows, merged)
+			}
+		}
+	}
+	return out, nil
+}
+
+func distinctStrings(rows []model.Tuple, idx int) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, r := range rows {
+		v := r[idx]
+		if v.IsNull() {
+			continue
+		}
+		sv := v.String()
+		if !seen[sv] {
+			seen[sv] = true
+			out = append(out, sv)
+		}
+	}
+	return out
+}
+
+func (s *Session) execSort(n *SortNode) (*resultSet, error) {
+	in, err := s.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	idxs := make([]int, len(n.Keys))
+	for i, k := range n.Keys {
+		idx, err := in.bs.resolve(k.Column)
+		if err != nil {
+			return nil, err
+		}
+		idxs[i] = idx
+	}
+	rows := append([]model.Tuple(nil), in.rows...)
+	sort.SliceStable(rows, func(a, b int) bool {
+		for i, idx := range idxs {
+			cmp := rows[a][idx].Compare(rows[b][idx])
+			if n.Keys[i].Desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return &resultSet{bs: in.bs, rows: rows}, nil
+}
+
+// CrowdSortLimit caps how many rows CROWDORDER BY will compare pairwise;
+// beyond this the quadratic crowd cost is almost certainly a mistake.
+const CrowdSortLimit = 64
+
+func (s *Session) execCrowdSort(n *CrowdSortNode) (*resultSet, error) {
+	in, err := s.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	if len(in.rows) > CrowdSortLimit {
+		return nil, fmt.Errorf("cql: CROWDORDER over %d rows exceeds the limit of %d; add machine filters or LIMIT first",
+			len(in.rows), CrowdSortLimit)
+	}
+	idx, err := in.bs.resolve(n.Column)
+	if err != nil {
+		return nil, err
+	}
+	m := len(in.rows)
+	if m < 2 {
+		return in, nil
+	}
+	// Value range for difficulty scaling of numeric columns.
+	lo, hi := 0.0, 0.0
+	numeric := true
+	for i, r := range in.rows {
+		if !r[idx].IsNumeric() {
+			numeric = false
+			break
+		}
+		f := r[idx].AsFloat()
+		if i == 0 || f < lo {
+			lo = f
+		}
+		if i == 0 || f > hi {
+			hi = f
+		}
+	}
+	wins := make([]int, m)
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			va, vb := in.rows[a][idx], in.rows[b][idx]
+			truthABetter := s.Oracle.compare(n.Question, va, vb)
+			difficulty := 0.4
+			if numeric && hi > lo {
+				gap := absF(va.AsFloat()-vb.AsFloat()) / (hi - lo)
+				difficulty = clampF(1-2*gap, 0.05, 0.95)
+			}
+			opt, err := s.askChoice(
+				fmt.Sprintf("Which ranks higher: %s or %s?", va.String(), vb.String()),
+				[]string{va.String() + " (A)", vb.String() + " (B)"},
+				boolToFirst(truthABetter), difficulty)
+			if err != nil {
+				return nil, err
+			}
+			s.Stats.CrowdCompares++
+			if opt == 0 {
+				wins[a]++
+			} else {
+				wins[b]++
+			}
+		}
+	}
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		if n.Desc {
+			return wins[order[x]] > wins[order[y]]
+		}
+		return wins[order[x]] < wins[order[y]]
+	})
+	out := &resultSet{bs: in.bs}
+	for _, i := range order {
+		out.rows = append(out.rows, in.rows[i])
+	}
+	return out, nil
+}
+
+func (s *Session) execLimit(n *LimitNode) (*resultSet, error) {
+	in, err := s.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	if len(in.rows) > n.N {
+		in.rows = in.rows[:n.N]
+	}
+	return in, nil
+}
+
+func (s *Session) execDistinct(n *DistinctNode) (*resultSet, error) {
+	in, err := s.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(in.rows))
+	out := &resultSet{bs: in.bs, base: in.base}
+	for _, r := range in.rows {
+		k := tupleKey(r)
+		if !seen[k] {
+			seen[k] = true
+			out.rows = append(out.rows, r)
+		}
+	}
+	return out, nil
+}
+
+func tupleKey(t model.Tuple) string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = joinKey(v)
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func (s *Session) execProject(n *ProjectNode) (*resultSet, error) {
+	in, err := s.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	// Star expands to everything.
+	if len(n.Items) == 1 && n.Items[0].Star {
+		return in, nil
+	}
+	outBS := &boundSchema{}
+	var idxs []int
+	for _, it := range n.Items {
+		if it.Star {
+			for i, c := range in.bs.cols {
+				outBS.cols = append(outBS.cols, c)
+				outBS.binding = append(outBS.binding, in.bs.binding[i])
+				idxs = append(idxs, i)
+			}
+			continue
+		}
+		idx, err := in.bs.resolve(it.Column)
+		if err != nil {
+			return nil, err
+		}
+		col := in.bs.cols[idx]
+		binding := in.bs.binding[idx]
+		if it.Alias != "" {
+			col.Name = it.Alias
+			binding = ""
+		}
+		outBS.cols = append(outBS.cols, col)
+		outBS.binding = append(outBS.binding, binding)
+		idxs = append(idxs, idx)
+	}
+	out := &resultSet{bs: outBS}
+	for _, r := range in.rows {
+		nr := make(model.Tuple, len(idxs))
+		for i, idx := range idxs {
+			nr[i] = r[idx]
+		}
+		out.rows = append(out.rows, nr)
+	}
+	return out, nil
+}
+
+func (s *Session) execAggregate(n *AggregateNode) (*resultSet, error) {
+	in, err := s.exec(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	groupIdx := -1
+	if n.GroupBy != "" {
+		groupIdx, err = in.bs.resolve(&ColumnRef{Name: n.GroupBy})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Bucket rows.
+	type bucket struct {
+		key  model.Value
+		rows []model.Tuple
+	}
+	var buckets []*bucket
+	if groupIdx < 0 {
+		buckets = []*bucket{{key: model.Null(), rows: in.rows}}
+	} else {
+		byKey := map[string]*bucket{}
+		for _, r := range in.rows {
+			k := joinKey(r[groupIdx])
+			b, ok := byKey[k]
+			if !ok {
+				b = &bucket{key: r[groupIdx]}
+				byKey[k] = b
+				buckets = append(buckets, b)
+			}
+			b.rows = append(b.rows, r)
+		}
+	}
+
+	outBS := &boundSchema{}
+	for _, it := range n.Items {
+		typ := model.TypeFloat
+		switch {
+		case it.Agg == "COUNT":
+			typ = model.TypeInt
+		case it.Agg == "CROWDCOUNT":
+			typ = model.TypeFloat
+		case it.Agg == "":
+			// Plain column (must be the group key).
+			if groupIdx < 0 {
+				return nil, fmt.Errorf("cql: plain column %s in aggregate without GROUP BY", it.DisplayName())
+			}
+			if it.Column == nil || !strings.EqualFold(it.Column.Name, n.GroupBy) {
+				return nil, fmt.Errorf("cql: non-grouped column %s in aggregate", it.DisplayName())
+			}
+			typ = in.bs.cols[groupIdx].Type
+		case it.Column != nil:
+			idx, err := in.bs.resolve(it.Column)
+			if err != nil {
+				return nil, err
+			}
+			if it.Agg == "MIN" || it.Agg == "MAX" {
+				typ = in.bs.cols[idx].Type
+			}
+		}
+		outBS.cols = append(outBS.cols, model.Column{Name: it.DisplayName(), Type: typ})
+		outBS.binding = append(outBS.binding, "")
+	}
+
+	out := &resultSet{bs: outBS}
+	for _, b := range buckets {
+		row := make(model.Tuple, len(n.Items))
+		for i, it := range n.Items {
+			v, err := s.aggValue(it, in.bs, b.rows, b.key, groupIdx)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.rows = append(out.rows, row)
+	}
+	return out, nil
+}
+
+func (s *Session) aggValue(it SelectItem, bs *boundSchema, rows []model.Tuple, key model.Value, groupIdx int) (model.Value, error) {
+	if it.Agg == "" {
+		return key, nil
+	}
+	if it.Agg == "CROWDCOUNT" {
+		return s.crowdCount(it, bs, rows)
+	}
+	if it.Agg == "COUNT" && it.Column == nil {
+		return model.Int(int64(len(rows))), nil
+	}
+	idx, err := bs.resolve(it.Column)
+	if err != nil {
+		return model.Null(), err
+	}
+	var vals []model.Value
+	for _, r := range rows {
+		if !r[idx].IsNull() {
+			vals = append(vals, r[idx])
+		}
+	}
+	switch it.Agg {
+	case "COUNT":
+		return model.Int(int64(len(vals))), nil
+	case "SUM":
+		sum := 0.0
+		for _, v := range vals {
+			if !v.IsNumeric() {
+				return model.Null(), fmt.Errorf("cql: SUM over non-numeric column %s", it.Column)
+			}
+			sum += v.AsFloat()
+		}
+		return model.Float(sum), nil
+	case "AVG":
+		if len(vals) == 0 {
+			return model.Null(), nil
+		}
+		sum := 0.0
+		for _, v := range vals {
+			if !v.IsNumeric() {
+				return model.Null(), fmt.Errorf("cql: AVG over non-numeric column %s", it.Column)
+			}
+			sum += v.AsFloat()
+		}
+		return model.Float(sum / float64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return model.Null(), nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			cmp := v.Compare(best)
+			if (it.Agg == "MIN" && cmp < 0) || (it.Agg == "MAX" && cmp > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	default:
+		return model.Null(), fmt.Errorf("cql: unknown aggregate %s", it.Agg)
+	}
+}
+
+// crowdCount estimates how many rows satisfy the question via crowd-
+// labeled sampling (the crowd-powered COUNT of the survey).
+func (s *Session) crowdCount(it SelectItem, bs *boundSchema, rows []model.Tuple) (model.Value, error) {
+	if it.Column == nil {
+		return model.Null(), fmt.Errorf("cql: CROWDCOUNT requires a column argument")
+	}
+	idx, err := bs.resolve(it.Column)
+	if err != nil {
+		return model.Null(), err
+	}
+	n := len(rows)
+	if n == 0 {
+		return model.Float(0), nil
+	}
+	sampleSize := s.SampleSize
+	if sampleSize <= 0 {
+		sampleSize = 100
+	}
+	if sampleSize > n {
+		sampleSize = n
+	}
+	var sample []int
+	if sampleSize == n {
+		sample = make([]int, n)
+		for i := range sample {
+			sample[i] = i
+		}
+	} else {
+		sample = s.rng.Sample(n, sampleSize)
+	}
+	labels := make([]bool, 0, sampleSize)
+	for _, ri := range sample {
+		v := rows[ri][idx]
+		if v.IsNull() {
+			labels = append(labels, false)
+			continue
+		}
+		truth := s.Oracle.filterTruth(it.CrowdCountQuestion, v)
+		opt, err := s.askChoice(
+			fmt.Sprintf("%s — %s", it.CrowdCountQuestion, v.String()),
+			[]string{"no", "yes"}, boolOpt(truth), 0.3)
+		if err != nil {
+			return model.Null(), err
+		}
+		s.Stats.CrowdCountSamples++
+		labels = append(labels, opt == 1)
+	}
+	est, err := cost.EstimateSelectivity(labels, n)
+	if err != nil {
+		return model.Null(), err
+	}
+	return model.Float(est.Count), nil
+}
+
+// --- crowd question plumbing ---
+
+// askChoice issues one choice question with the session's redundancy and
+// returns the majority option.
+func (s *Session) askChoice(question string, options []string, truthOpt int, difficulty float64) (int, error) {
+	if s.Runner == nil {
+		return 0, fmt.Errorf("cql: crowd question without a crowd attached")
+	}
+	task, err := s.Runner.NewTask(&core.Task{
+		Kind:        core.SingleChoice,
+		Question:    question,
+		Options:     options,
+		GroundTruth: truthOpt,
+		Difficulty:  difficulty,
+	})
+	if err != nil {
+		return 0, err
+	}
+	k := s.Redundancy
+	if k <= 0 {
+		k = 3
+	}
+	opt, err := s.Runner.MajorityOption(task, k)
+	if err != nil {
+		return 0, err
+	}
+	s.Stats.CrowdTasks++
+	s.Stats.CrowdAnswers += k
+	return opt, nil
+}
+
+// askFill issues one fill-in question and returns the most common answer
+// text. known=false means even the oracle cannot say (workers then
+// produce junk and the mode of junk is returned; the caller treats
+// unparseable values as still-NULL).
+func (s *Session) askFill(question, truth string, known bool) (string, error) {
+	if s.Runner == nil {
+		return "", fmt.Errorf("cql: crowd fill without a crowd attached")
+	}
+	gt := truth
+	if !known {
+		gt = ""
+	}
+	task, err := s.Runner.NewTask(&core.Task{
+		Kind:            core.FillIn,
+		Question:        question,
+		GroundTruthText: gt,
+		Difficulty:      0.2,
+	})
+	if err != nil {
+		return "", err
+	}
+	k := s.Redundancy
+	if k <= 0 {
+		k = 3
+	}
+	answers, err := s.Runner.Collect(task, k)
+	if err != nil {
+		return "", err
+	}
+	s.Stats.CrowdTasks++
+	s.Stats.CrowdAnswers += len(answers)
+	counts := map[string]int{}
+	bestText, bestN := "", 0
+	for _, a := range answers {
+		counts[a.Text]++
+		if counts[a.Text] > bestN {
+			bestText, bestN = a.Text, counts[a.Text]
+		}
+	}
+	return bestText, nil
+}
+
+func rowPreview(t model.Tuple) string {
+	s := t.String()
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
+func boolOpt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// boolToFirst maps "A is better" onto option index 0.
+func boolToFirst(aBetter bool) int {
+	if aBetter {
+		return 0
+	}
+	return 1
+}
+
+func absF(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,134 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// evalMachine evaluates a machine (non-crowd) boolean expression against a
+// row. NULL comparisons follow a pragmatic two-valued logic: any
+// comparison involving NULL is false (use IS NULL to test for it), which
+// matches what users of small analytics engines expect and keeps the
+// planner simple.
+func evalMachine(e Expr, bs *boundSchema, row model.Tuple) (bool, error) {
+	switch v := e.(type) {
+	case *And:
+		l, err := evalMachine(v.Left, bs, row)
+		if err != nil || !l {
+			return false, err
+		}
+		return evalMachine(v.Right, bs, row)
+	case *Or:
+		l, err := evalMachine(v.Left, bs, row)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return evalMachine(v.Right, bs, row)
+	case *Not:
+		b, err := evalMachine(v.Expr, bs, row)
+		return !b, err
+	case *Compare:
+		return evalCompare(v, bs, row)
+	case *IsNull:
+		val, err := evalValue(v.Expr, bs, row)
+		if err != nil {
+			return false, err
+		}
+		if v.Negate {
+			return !val.IsNull(), nil
+		}
+		return val.IsNull(), nil
+	case *CrowdEqual, *CrowdFilter:
+		return false, fmt.Errorf("cql: crowd predicate %s reached machine evaluator", e)
+	default:
+		return false, fmt.Errorf("cql: expression %s is not a predicate", e)
+	}
+}
+
+func evalCompare(c *Compare, bs *boundSchema, row model.Tuple) (bool, error) {
+	l, err := evalValue(c.Left, bs, row)
+	if err != nil {
+		return false, err
+	}
+	r, err := evalValue(c.Right, bs, row)
+	if err != nil {
+		return false, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return false, nil
+	}
+	switch c.Op {
+	case "=":
+		return l.Equal(r), nil
+	case "!=":
+		return !l.Equal(r), nil
+	case "<":
+		return l.Compare(r) < 0, nil
+	case "<=":
+		return l.Compare(r) <= 0, nil
+	case ">":
+		return l.Compare(r) > 0, nil
+	case ">=":
+		return l.Compare(r) >= 0, nil
+	case "LIKE":
+		if l.Type() != model.TypeString || r.Type() != model.TypeString {
+			return false, fmt.Errorf("cql: LIKE requires strings")
+		}
+		return matchLike(l.AsString(), r.AsString()), nil
+	default:
+		return false, fmt.Errorf("cql: unknown operator %q", c.Op)
+	}
+}
+
+// evalValue resolves a value expression (column or literal) on a row.
+func evalValue(e Expr, bs *boundSchema, row model.Tuple) (model.Value, error) {
+	switch v := e.(type) {
+	case *Literal:
+		return v.Value, nil
+	case *ColumnRef:
+		idx, err := bs.resolve(v)
+		if err != nil {
+			return model.Null(), err
+		}
+		return row[idx], nil
+	default:
+		return model.Null(), fmt.Errorf("cql: %s is not a value expression", e)
+	}
+}
+
+// matchLike implements SQL LIKE with % (any run) and _ (any single char),
+// case-insensitive.
+func matchLike(s, pattern string) bool {
+	return likeMatch(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeMatch(s, p string) bool {
+	// Dynamic programming over pattern positions (iterative, two rows).
+	// dp[j] = does s[:i] match p[:j].
+	prev := make([]bool, len(p)+1)
+	cur := make([]bool, len(p)+1)
+	prev[0] = true
+	for j := 1; j <= len(p); j++ {
+		prev[j] = prev[j-1] && p[j-1] == '%'
+	}
+	for i := 1; i <= len(s); i++ {
+		cur[0] = false
+		for j := 1; j <= len(p); j++ {
+			switch p[j-1] {
+			case '%':
+				cur[j] = cur[j-1] || prev[j]
+			case '_':
+				cur[j] = prev[j-1]
+			default:
+				cur[j] = prev[j-1] && s[i-1] == p[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(p)]
+}

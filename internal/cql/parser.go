@@ -1,0 +1,542 @@
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// parseError carries a positioned syntax error through panic/recover
+// inside the parser (never across the package boundary).
+type parseError struct{ err error }
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses one CQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	stmts, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("cql: expected exactly one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+// ParseAll parses a semicolon-separated script.
+func ParseAll(src string) (stmts []Statement, err error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(parseError)
+			if !ok {
+				panic(r)
+			}
+			err = pe.err
+			stmts = nil
+		}
+	}()
+	for {
+		for p.peek().Kind == TokSymbol && p.peek().Text == ";" {
+			p.next()
+		}
+		if p.peek().Kind == TokEOF {
+			break
+		}
+		stmts = append(stmts, p.statement())
+	}
+	return stmts, nil
+}
+
+func (p *parser) fail(format string, args ...any) {
+	t := p.peek()
+	msg := fmt.Sprintf(format, args...)
+	panic(parseError{fmt.Errorf("cql: %d:%d: %s (near %q)", t.Line, t.Col, msg, t.String())})
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// acceptKeyword consumes the keyword if it is next.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().Kind == TokKeyword && p.peek().Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) {
+	if !p.acceptKeyword(kw) {
+		p.fail("expected %s", kw)
+	}
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if p.peek().Kind == TokSymbol && p.peek().Text == sym {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) {
+	if !p.acceptSymbol(sym) {
+		p.fail("expected %q", sym)
+	}
+}
+
+func (p *parser) ident() string {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		p.fail("expected identifier")
+	}
+	p.next()
+	return t.Text
+}
+
+func (p *parser) statement() Statement {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		p.fail("expected statement keyword")
+	}
+	switch t.Text {
+	case "CREATE":
+		return p.createTable()
+	case "INSERT":
+		return p.insert()
+	case "DROP":
+		return p.dropTable()
+	case "SHOW":
+		p.next()
+		p.expectKeyword("TABLES")
+		return &ShowTables{}
+	case "DESCRIBE":
+		p.next()
+		return &Describe{Name: p.ident()}
+	case "EXPLAIN":
+		p.next()
+		sel := p.selectStmt()
+		return &Explain{Query: sel}
+	case "DELETE":
+		return p.deleteStmt()
+	case "UPDATE":
+		return p.updateStmt()
+	case "SELECT":
+		return p.selectStmt()
+	default:
+		p.fail("unsupported statement %s", t.Text)
+		return nil
+	}
+}
+
+func (p *parser) createTable() Statement {
+	p.expectKeyword("CREATE")
+	crowdTable := p.acceptKeyword("CROWD")
+	p.expectKeyword("TABLE")
+	name := p.ident()
+	p.expectSymbol("(")
+	var cols []model.Column
+	for {
+		colName := p.ident()
+		typTok := p.peek()
+		if typTok.Kind != TokKeyword {
+			p.fail("expected column type")
+		}
+		p.next()
+		typ, err := model.ParseType(typTok.Text)
+		if err != nil {
+			p.fail("unknown type %s", typTok.Text)
+		}
+		crowdCol := p.acceptKeyword("CROWD")
+		cols = append(cols, model.Column{Name: colName, Type: typ, Crowd: crowdCol})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	p.expectSymbol(")")
+	return &CreateTable{Name: name, Columns: cols, CrowdTable: crowdTable}
+}
+
+func (p *parser) insert() Statement {
+	p.expectKeyword("INSERT")
+	p.expectKeyword("INTO")
+	name := p.ident()
+	if p.peek().Kind == TokKeyword && p.peek().Text == "SELECT" {
+		return &Insert{Table: name, Query: p.selectStmt()}
+	}
+	p.expectKeyword("VALUES")
+	var rows [][]Expr
+	for {
+		p.expectSymbol("(")
+		var row []Expr
+		for {
+			row = append(row, p.literal())
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		p.expectSymbol(")")
+		rows = append(rows, row)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return &Insert{Table: name, Rows: rows}
+}
+
+func (p *parser) updateStmt() Statement {
+	p.expectKeyword("UPDATE")
+	u := &Update{Table: p.ident()}
+	p.expectKeyword("SET")
+	for {
+		col := p.ident()
+		p.expectSymbol("=")
+		u.Set = append(u.Set, SetClause{Column: col, Value: p.literal()})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("WHERE") {
+		u.Where = p.expr()
+	}
+	return u
+}
+
+func (p *parser) deleteStmt() Statement {
+	p.expectKeyword("DELETE")
+	p.expectKeyword("FROM")
+	d := &Delete{Table: p.ident()}
+	if p.acceptKeyword("WHERE") {
+		d.Where = p.expr()
+	}
+	return d
+}
+
+func (p *parser) dropTable() Statement {
+	p.expectKeyword("DROP")
+	p.expectKeyword("TABLE")
+	return &DropTable{Name: p.ident()}
+}
+
+func (p *parser) selectStmt() *Select {
+	p.expectKeyword("SELECT")
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		sel.Projections = append(sel.Projections, p.selectItem())
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	p.expectKeyword("FROM")
+	sel.From = p.tableRef()
+	for {
+		if p.acceptKeyword("JOIN") {
+			sel.Joins = append(sel.Joins, p.joinClause(false))
+			continue
+		}
+		if p.acceptKeyword("CROWDJOIN") {
+			sel.Joins = append(sel.Joins, p.joinClause(true))
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("WHERE") {
+		sel.Where = p.expr()
+	}
+	if p.acceptKeyword("GROUP") {
+		p.expectKeyword("BY")
+		sel.GroupBy = p.columnRef().Name
+	}
+	if p.acceptKeyword("HAVING") {
+		if sel.GroupBy == "" {
+			p.fail("HAVING requires GROUP BY")
+		}
+		sel.Having = p.expr()
+	}
+	if p.acceptKeyword("ORDER") {
+		p.expectKeyword("BY")
+		for {
+			key := OrderKey{Column: p.columnRef()}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("CROWDORDER") {
+		if sel.OrderBy != nil {
+			p.fail("ORDER BY and CROWDORDER BY are mutually exclusive")
+		}
+		p.expectKeyword("BY")
+		co := &CrowdOrderClause{Column: p.columnRef()}
+		if p.acceptKeyword("DESC") {
+			co.Desc = true
+		} else {
+			p.acceptKeyword("ASC")
+		}
+		if p.peek().Kind == TokString {
+			co.Question = p.next().Text
+		}
+		sel.CrowdOrder = co
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			p.fail("expected LIMIT count")
+		}
+		p.next()
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			p.fail("invalid LIMIT %s", t.Text)
+		}
+		sel.Limit = n
+	}
+	return sel
+}
+
+func (p *parser) selectItem() SelectItem {
+	t := p.peek()
+	if t.Kind == TokSymbol && t.Text == "*" {
+		p.next()
+		return SelectItem{Star: true}
+	}
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			p.next()
+			p.expectSymbol("(")
+			item := SelectItem{Agg: t.Text}
+			if t.Text == "COUNT" && p.acceptSymbol("*") {
+				// COUNT(*)
+			} else {
+				item.Column = p.columnRef()
+			}
+			p.expectSymbol(")")
+			item.Alias = p.optionalAlias()
+			return item
+		case "CROWDCOUNT":
+			p.next()
+			p.expectSymbol("(")
+			if p.peek().Kind != TokString {
+				p.fail("CROWDCOUNT needs a question string")
+			}
+			q := p.next().Text
+			item := SelectItem{Agg: "CROWDCOUNT", CrowdCountQuestion: q}
+			if p.acceptSymbol(",") {
+				item.Column = p.columnRef()
+			}
+			p.expectSymbol(")")
+			item.Alias = p.optionalAlias()
+			return item
+		}
+	}
+	col := p.columnRef()
+	return SelectItem{Column: col, Alias: p.optionalAlias()}
+}
+
+func (p *parser) optionalAlias() string {
+	if p.acceptKeyword("AS") {
+		return p.ident()
+	}
+	return ""
+}
+
+func (p *parser) tableRef() TableRef {
+	ref := TableRef{Name: p.ident()}
+	if p.acceptKeyword("AS") {
+		ref.Alias = p.ident()
+	} else if p.peek().Kind == TokIdent {
+		ref.Alias = p.ident()
+	}
+	return ref
+}
+
+func (p *parser) joinClause(crowd bool) JoinClause {
+	jc := JoinClause{Table: p.tableRef(), Crowd: crowd}
+	p.expectKeyword("ON")
+	jc.Left = p.columnRef()
+	if !p.acceptSymbol("=") && !p.acceptSymbol("~=") {
+		p.fail("expected = or ~= in join condition")
+	}
+	jc.Right = p.columnRef()
+	return jc
+}
+
+func (p *parser) columnRef() *ColumnRef {
+	first := p.ident()
+	if p.acceptSymbol(".") {
+		return &ColumnRef{Table: first, Name: p.ident()}
+	}
+	return &ColumnRef{Name: first}
+}
+
+func (p *parser) literal() Expr {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				p.fail("invalid number %s", t.Text)
+			}
+			return &Literal{Value: model.Float(f)}
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			p.fail("invalid number %s", t.Text)
+		}
+		return &Literal{Value: model.Int(n)}
+	case t.Kind == TokSymbol && t.Text == "-":
+		p.next()
+		inner := p.literal()
+		lit := inner.(*Literal)
+		switch lit.Value.Type() {
+		case model.TypeInt:
+			return &Literal{Value: model.Int(-lit.Value.AsInt())}
+		case model.TypeFloat:
+			return &Literal{Value: model.Float(-lit.Value.AsFloat())}
+		default:
+			p.fail("cannot negate %v", lit.Value.Type())
+		}
+	case t.Kind == TokString:
+		p.next()
+		return &Literal{Value: model.String_(t.Text)}
+	case t.Kind == TokKeyword && t.Text == "NULL":
+		p.next()
+		return &Literal{Value: model.Null()}
+	case t.Kind == TokKeyword && (t.Text == "TRUE" || t.Text == "FALSE"):
+		p.next()
+		return &Literal{Value: model.Bool(t.Text == "TRUE")}
+	}
+	p.fail("expected literal")
+	return nil
+}
+
+// Expression grammar: expr := and (OR and)*; and := unary (AND unary)*.
+func (p *parser) expr() Expr {
+	left := p.andExpr()
+	for p.acceptKeyword("OR") {
+		right := p.andExpr()
+		left = &Or{Left: left, Right: right}
+	}
+	return left
+}
+
+func (p *parser) andExpr() Expr {
+	left := p.unaryExpr()
+	for p.acceptKeyword("AND") {
+		right := p.unaryExpr()
+		left = &And{Left: left, Right: right}
+	}
+	return left
+}
+
+func (p *parser) unaryExpr() Expr {
+	if p.acceptKeyword("NOT") {
+		return &Not{Expr: p.unaryExpr()}
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() Expr {
+	t := p.peek()
+	if t.Kind == TokSymbol && t.Text == "(" {
+		p.next()
+		e := p.expr()
+		p.expectSymbol(")")
+		return e
+	}
+	if t.Kind == TokKeyword && t.Text == "CROWDFILTER" {
+		p.next()
+		p.expectSymbol("(")
+		if p.peek().Kind != TokString {
+			p.fail("CROWDFILTER needs a question string")
+		}
+		q := p.next().Text
+		p.expectSymbol(",")
+		col := p.columnRef()
+		p.expectSymbol(")")
+		return &CrowdFilter{Question: q, Column: col}
+	}
+	// operand (comparison | CROWDEQUAL | IS NULL)
+	left := p.operand()
+	tk := p.peek()
+	switch {
+	case tk.Kind == TokSymbol && tk.Text == "~=":
+		p.next()
+		return p.crowdEqualRHS(left)
+	case tk.Kind == TokKeyword && tk.Text == "CROWDEQUAL":
+		p.next()
+		return p.crowdEqualRHS(left)
+	case tk.Kind == TokKeyword && tk.Text == "IS":
+		p.next()
+		neg := p.acceptKeyword("NOT")
+		p.expectKeyword("NULL")
+		return &IsNull{Expr: left, Negate: neg}
+	case tk.Kind == TokKeyword && tk.Text == "LIKE":
+		p.next()
+		right := p.operand()
+		return &Compare{Op: "LIKE", Left: left, Right: right}
+	case tk.Kind == TokSymbol:
+		switch tk.Text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.next()
+			right := p.operand()
+			return &Compare{Op: tk.Text, Left: left, Right: right}
+		}
+	}
+	p.fail("expected comparison operator")
+	return nil
+}
+
+// crowdEqualRHS finishes `col ~= literal`.
+func (p *parser) crowdEqualRHS(left Expr) Expr {
+	col, ok := left.(*ColumnRef)
+	if !ok {
+		p.fail("CROWDEQUAL requires a column on the left")
+	}
+	lit, ok := p.literal().(*Literal)
+	if !ok || lit.Value.Type() != model.TypeString {
+		p.fail("CROWDEQUAL requires a string literal on the right")
+	}
+	return &CrowdEqual{Column: col, Literal: lit}
+}
+
+func (p *parser) operand() Expr {
+	t := p.peek()
+	if t.Kind == TokIdent {
+		return p.columnRef()
+	}
+	return p.literal()
+}

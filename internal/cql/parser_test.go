@@ -1,0 +1,306 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func mustSelect(t *testing.T, src string) *Select {
+	t.Helper()
+	sel, ok := mustParse(t, src).(*Select)
+	if !ok {
+		t.Fatalf("Parse(%q) is not a SELECT", src)
+	}
+	return sel
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT name, age FROM people WHERE age >= 21 -- adults\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokKeyword, TokIdent, TokSymbol, TokIdent, TokKeyword,
+		TokIdent, TokKeyword, TokIdent, TokSymbol, TokNumber, TokEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d = %v (kind %d), want kind %d", i, toks[i], toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex("'it''s fine'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "it's fine" {
+		t.Fatalf("string token = %+v", toks[0])
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Fatal("unterminated string should fail")
+	}
+}
+
+func TestLexNumbersAndSymbols(t *testing.T) {
+	toks, err := Lex("3.14 42 <> != <= >= ~=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "3.14" || toks[1].Text != "42" {
+		t.Fatalf("numbers = %v %v", toks[0], toks[1])
+	}
+	// <> normalizes to !=
+	if toks[2].Text != "!=" || toks[3].Text != "!=" {
+		t.Fatalf("inequality symbols = %v %v", toks[2], toks[3])
+	}
+	if toks[6].Text != "~=" {
+		t.Fatalf("crowd-equal symbol = %v", toks[6])
+	}
+	if _, err := Lex("@"); err == nil {
+		t.Fatal("bad character should fail")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, `CREATE TABLE people (id INT, name STRING, phone STRING CROWD)`).(*CreateTable)
+	if st.Name != "people" || len(st.Columns) != 3 {
+		t.Fatalf("create = %+v", st)
+	}
+	if st.Columns[2].Name != "phone" || !st.Columns[2].Crowd {
+		t.Fatalf("crowd column = %+v", st.Columns[2])
+	}
+	if st.Columns[0].Type != model.TypeInt {
+		t.Fatalf("id type = %v", st.Columns[0].Type)
+	}
+	crowd := mustParse(t, `CREATE CROWD TABLE depts (name STRING)`).(*CreateTable)
+	if !crowd.CrowdTable {
+		t.Fatal("CROWD TABLE flag lost")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st := mustParse(t, `INSERT INTO p VALUES (1, 'ann', NULL), (2, 'bob', 3.5)`).(*Insert)
+	if st.Table != "p" || len(st.Rows) != 2 || len(st.Rows[0]) != 3 {
+		t.Fatalf("insert = %+v", st)
+	}
+	lit := st.Rows[1][2].(*Literal)
+	if lit.Value.Type() != model.TypeFloat || lit.Value.AsFloat() != 3.5 {
+		t.Fatalf("float literal = %v", lit.Value)
+	}
+	if !st.Rows[0][2].(*Literal).Value.IsNull() {
+		t.Fatal("NULL literal lost")
+	}
+	neg := mustParse(t, `INSERT INTO p VALUES (-5)`).(*Insert)
+	if neg.Rows[0][0].(*Literal).Value.AsInt() != -5 {
+		t.Fatal("negative literal broken")
+	}
+}
+
+func TestParseSelectBasic(t *testing.T) {
+	sel := mustSelect(t, `SELECT name, age AS years FROM people WHERE age > 21 AND name LIKE 'a%' ORDER BY age DESC LIMIT 10`)
+	if len(sel.Projections) != 2 || sel.Projections[1].Alias != "years" {
+		t.Fatalf("projections = %+v", sel.Projections)
+	}
+	if sel.From.Name != "people" {
+		t.Fatalf("from = %+v", sel.From)
+	}
+	conj := Conjuncts(sel.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Fatalf("order = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Fatalf("limit = %d", sel.Limit)
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM t`)
+	if len(sel.Projections) != 1 || !sel.Projections[0].Star {
+		t.Fatalf("star projection = %+v", sel.Projections)
+	}
+}
+
+func TestParseCrowdPredicates(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM t WHERE brand ~= 'apple' AND CROWDFILTER('is it red?', color)`)
+	conj := Conjuncts(sel.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	ce, ok := conj[0].(*CrowdEqual)
+	if !ok || ce.Column.Name != "brand" || ce.Literal.Value.AsString() != "apple" {
+		t.Fatalf("crowd equal = %+v", conj[0])
+	}
+	cf, ok := conj[1].(*CrowdFilter)
+	if !ok || cf.Question != "is it red?" || cf.Column.Name != "color" {
+		t.Fatalf("crowd filter = %+v", conj[1])
+	}
+	// Keyword spelling too.
+	sel2 := mustSelect(t, `SELECT * FROM t WHERE brand CROWDEQUAL 'apple'`)
+	if _, ok := sel2.Where.(*CrowdEqual); !ok {
+		t.Fatalf("CROWDEQUAL keyword = %+v", sel2.Where)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM a JOIN b ON a.x = b.y CROWDJOIN c ON a.name ~= c.title`)
+	if len(sel.Joins) != 2 {
+		t.Fatalf("joins = %d", len(sel.Joins))
+	}
+	if sel.Joins[0].Crowd || !sel.Joins[1].Crowd {
+		t.Fatal("join crowd flags wrong")
+	}
+	if sel.Joins[0].Left.Table != "a" || sel.Joins[0].Right.Name != "y" {
+		t.Fatalf("join cols = %+v", sel.Joins[0])
+	}
+}
+
+func TestParseCrowdOrder(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM photos CROWDORDER BY quality DESC 'which photo is better?' LIMIT 5`)
+	if sel.CrowdOrder == nil || !sel.CrowdOrder.Desc {
+		t.Fatalf("crowd order = %+v", sel.CrowdOrder)
+	}
+	if sel.CrowdOrder.Question != "which photo is better?" {
+		t.Fatalf("question = %q", sel.CrowdOrder.Question)
+	}
+	if _, err := Parse(`SELECT * FROM t ORDER BY a CROWDORDER BY b`); err == nil {
+		t.Fatal("ORDER BY + CROWDORDER should fail")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	sel := mustSelect(t, `SELECT COUNT(*), AVG(price) AS p, CROWDCOUNT('is it a dog?', img) FROM animals`)
+	if len(sel.Projections) != 3 {
+		t.Fatalf("projections = %d", len(sel.Projections))
+	}
+	if sel.Projections[0].Agg != "COUNT" || sel.Projections[0].Column != nil {
+		t.Fatalf("count(*) = %+v", sel.Projections[0])
+	}
+	if sel.Projections[1].Agg != "AVG" || sel.Projections[1].Alias != "p" {
+		t.Fatalf("avg = %+v", sel.Projections[1])
+	}
+	cc := sel.Projections[2]
+	if cc.Agg != "CROWDCOUNT" || cc.CrowdCountQuestion != "is it a dog?" || cc.Column.Name != "img" {
+		t.Fatalf("crowdcount = %+v", cc)
+	}
+	grouped := mustSelect(t, `SELECT dept, COUNT(*) FROM emp GROUP BY dept`)
+	if grouped.GroupBy != "dept" {
+		t.Fatalf("group by = %q", grouped.GroupBy)
+	}
+}
+
+func TestParseBooleanStructure(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM t WHERE a = 1 OR (b = 2 AND NOT c = 3)`)
+	or, ok := sel.Where.(*Or)
+	if !ok {
+		t.Fatalf("where = %T", sel.Where)
+	}
+	and, ok := or.Right.(*And)
+	if !ok {
+		t.Fatalf("or.right = %T", or.Right)
+	}
+	if _, ok := and.Right.(*Not); !ok {
+		t.Fatalf("and.right = %T", and.Right)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM t WHERE phone IS NULL AND name IS NOT NULL`)
+	conj := Conjuncts(sel.Where)
+	a := conj[0].(*IsNull)
+	b := conj[1].(*IsNull)
+	if a.Negate || !b.Negate {
+		t.Fatal("IS NULL negation flags wrong")
+	}
+}
+
+func TestParseMisc(t *testing.T) {
+	if _, ok := mustParse(t, `SHOW TABLES`).(*ShowTables); !ok {
+		t.Fatal("SHOW TABLES")
+	}
+	if d, ok := mustParse(t, `DESCRIBE people`).(*Describe); !ok || d.Name != "people" {
+		t.Fatal("DESCRIBE")
+	}
+	if d, ok := mustParse(t, `DROP TABLE people`).(*DropTable); !ok || d.Name != "people" {
+		t.Fatal("DROP")
+	}
+	if e, ok := mustParse(t, `EXPLAIN SELECT * FROM t`).(*Explain); !ok || e.Query == nil {
+		t.Fatal("EXPLAIN")
+	}
+	if s := mustSelect(t, `SELECT DISTINCT a FROM t`); !s.Distinct {
+		t.Fatal("DISTINCT flag lost")
+	}
+}
+
+func TestParseAllScript(t *testing.T) {
+	stmts, err := ParseAll(`
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES (1);
+		SELECT * FROM t;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d", len(stmts))
+	}
+}
+
+func TestParseErrorsArePositioned(t *testing.T) {
+	cases := []string{
+		`SELECT FROM t`,
+		`SELECT * FROM`,
+		`CREATE TABLE (a INT)`,
+		`CREATE TABLE t (a BLOB)`,
+		`INSERT INTO t VALUES 1`,
+		`SELECT * FROM t WHERE`,
+		`SELECT * FROM t WHERE a ~= 5`,
+		`SELECT * FROM t LIMIT abc`,
+		`SELECT * FROM t WHERE a`,
+		`FOO BAR`,
+	}
+	for _, src := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "cql:") {
+			t.Errorf("error %q lacks package prefix", err)
+		}
+	}
+}
+
+func TestIsCrowdExprAndColumnsIn(t *testing.T) {
+	sel := mustSelect(t, `SELECT * FROM t WHERE a = 1 AND b ~= 'x'`)
+	conj := Conjuncts(sel.Where)
+	if IsCrowdExpr(conj[0]) || !IsCrowdExpr(conj[1]) {
+		t.Fatal("IsCrowdExpr misclassified")
+	}
+	cols := ColumnsIn(sel.Where)
+	if len(cols) != 2 {
+		t.Fatalf("ColumnsIn = %v", cols)
+	}
+}
+
+func TestParseMultipleStatementsViaParseFails(t *testing.T) {
+	if _, err := Parse(`SELECT * FROM t; SELECT * FROM u`); err == nil {
+		t.Fatal("Parse should require exactly one statement")
+	}
+}

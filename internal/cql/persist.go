@@ -1,0 +1,130 @@
+package cql
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// The on-disk catalog layout is one pair of files per table:
+//
+//	<dir>/<table>.schema.json   column names/types/crowd flags
+//	<dir>/<table>.csv           the tuples (header + rows)
+//
+// This is deliberately plain — the reproduction's workloads are bounded
+// by crowd cost, not I/O — but it makes acquired crowd data durable
+// across sessions, which matters because every filled cell was paid for.
+
+// schemaDTO is the JSON form of a schema.
+type schemaDTO struct {
+	CrowdTable bool        `json:"crowd_table"`
+	Columns    []columnDTO `json:"columns"`
+}
+
+type columnDTO struct {
+	Name  string `json:"name"`
+	Type  string `json:"type"`
+	Crowd bool   `json:"crowd,omitempty"`
+}
+
+// SaveCatalog writes every table of the catalog into dir (created if
+// missing). Existing files for the same tables are overwritten; unrelated
+// files are left alone.
+func SaveCatalog(c *Catalog, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cql: creating catalog dir: %w", err)
+	}
+	for _, name := range c.Names() {
+		rel, err := c.Get(name)
+		if err != nil {
+			return err
+		}
+		dto := schemaDTO{CrowdTable: rel.Schema.CrowdTable}
+		for _, col := range rel.Schema.Columns {
+			dto.Columns = append(dto.Columns, columnDTO{
+				Name: col.Name, Type: col.Type.String(), Crowd: col.Crowd,
+			})
+		}
+		sj, err := json.MarshalIndent(dto, "", "  ")
+		if err != nil {
+			return fmt.Errorf("cql: encoding schema for %s: %w", name, err)
+		}
+		base := strings.ToLower(name)
+		if err := os.WriteFile(filepath.Join(dir, base+".schema.json"), sj, 0o644); err != nil {
+			return fmt.Errorf("cql: writing schema for %s: %w", name, err)
+		}
+		f, err := os.Create(filepath.Join(dir, base+".csv"))
+		if err != nil {
+			return fmt.Errorf("cql: creating CSV for %s: %w", name, err)
+		}
+		if err := rel.WriteCSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cql: writing CSV for %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("cql: closing CSV for %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// LoadCatalog reads every *.schema.json/*.csv pair in dir into a fresh
+// catalog.
+func LoadCatalog(dir string) (*Catalog, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cql: reading catalog dir: %w", err)
+	}
+	c := NewCatalog()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".schema.json") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".schema.json")
+		sj, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("cql: reading schema %s: %w", e.Name(), err)
+		}
+		var dto schemaDTO
+		if err := json.Unmarshal(sj, &dto); err != nil {
+			return nil, fmt.Errorf("cql: decoding schema %s: %w", e.Name(), err)
+		}
+		cols := make([]model.Column, len(dto.Columns))
+		for i, cd := range dto.Columns {
+			typ, err := model.ParseType(cd.Type)
+			if err != nil {
+				return nil, fmt.Errorf("cql: schema %s column %s: %w", name, cd.Name, err)
+			}
+			cols[i] = model.Column{Name: cd.Name, Type: typ, Crowd: cd.Crowd}
+		}
+		schema, err := model.NewSchema(cols...)
+		if err != nil {
+			return nil, fmt.Errorf("cql: schema %s: %w", name, err)
+		}
+		schema.CrowdTable = dto.CrowdTable
+
+		csvPath := filepath.Join(dir, name+".csv")
+		f, err := os.Open(csvPath)
+		if err != nil {
+			return nil, fmt.Errorf("cql: opening %s: %w", csvPath, err)
+		}
+		rel, err := model.ReadCSV(name, schema, f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("cql: loading %s: %w", csvPath, err)
+		}
+		if err := c.Create(name, schema); err != nil {
+			return nil, err
+		}
+		dst, err := c.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		dst.Tuples = rel.Tuples
+	}
+	return c, nil
+}

@@ -1,0 +1,181 @@
+package cql
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCatalogSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := machineSession()
+	seedPeople(t, s)
+	mustExec(t, s, `CREATE TABLE firms (id INT, phone STRING CROWD, score FLOAT, ok BOOL)`)
+	mustExec(t, s, `INSERT INTO firms VALUES (1, NULL, 2.5, TRUE), (2, '555-1', NULL, FALSE)`)
+
+	if err := SaveCatalog(s.Catalog, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Names()) != 2 {
+		t.Fatalf("loaded tables = %v", loaded.Names())
+	}
+	// Schema flags and NULLs survive.
+	firms, err := loaded.Get("firms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !firms.Schema.Columns[1].Crowd {
+		t.Fatal("crowd flag lost")
+	}
+	if v, _ := firms.Get(0, "phone"); !v.IsNull() {
+		t.Fatal("NULL lost in round trip")
+	}
+	if v, _ := firms.Get(1, "phone"); v.AsString() != "555-1" {
+		t.Fatalf("phone = %v", v)
+	}
+	if v, _ := firms.Get(0, "ok"); !v.AsBool() {
+		t.Fatal("bool lost")
+	}
+	// Data equal row by row for the larger table.
+	orig, _ := s.Catalog.Get("people")
+	people, err := loaded.Get("people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if people.Len() != orig.Len() {
+		t.Fatalf("people rows = %d vs %d", people.Len(), orig.Len())
+	}
+	for i := range orig.Tuples {
+		if !people.Tuples[i].Equal(orig.Tuples[i]) {
+			t.Fatalf("row %d mismatch: %v vs %v", i, people.Tuples[i], orig.Tuples[i])
+		}
+	}
+	// The loaded catalog is queryable.
+	s2 := NewSession(loaded, nil, nil)
+	rel := mustExec(t, s2, `SELECT COUNT(*) AS n FROM people WHERE age > 20`)
+	if v, _ := rel.Get(0, "n"); v.AsInt() != 4 {
+		t.Fatalf("query on loaded catalog = %v", v)
+	}
+}
+
+func TestLoadCatalogErrors(t *testing.T) {
+	if _, err := LoadCatalog("/nonexistent/dir"); err == nil {
+		t.Fatal("missing dir should fail")
+	}
+	dir := t.TempDir()
+	// Orphan schema without CSV.
+	os.WriteFile(filepath.Join(dir, "x.schema.json"),
+		[]byte(`{"columns":[{"name":"a","type":"INT"}]}`), 0o644)
+	if _, err := LoadCatalog(dir); err == nil {
+		t.Fatal("schema without CSV should fail")
+	}
+	// Corrupt schema JSON.
+	dir2 := t.TempDir()
+	os.WriteFile(filepath.Join(dir2, "y.schema.json"), []byte(`{not json`), 0o644)
+	if _, err := LoadCatalog(dir2); err == nil {
+		t.Fatal("corrupt schema should fail")
+	}
+	// Unknown type.
+	dir3 := t.TempDir()
+	os.WriteFile(filepath.Join(dir3, "z.schema.json"),
+		[]byte(`{"columns":[{"name":"a","type":"BLOB"}]}`), 0o644)
+	if _, err := LoadCatalog(dir3); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+}
+
+func TestSaveCatalogOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	s := machineSession()
+	mustExec(t, s, `CREATE TABLE t (a INT)`)
+	mustExec(t, s, `INSERT INTO t VALUES (1)`)
+	if err := SaveCatalog(s.Catalog, dir); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, `INSERT INTO t VALUES (2)`)
+	if err := SaveCatalog(s.Catalog, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := loaded.Get("t")
+	if rel.Len() != 2 {
+		t.Fatalf("overwrite lost rows: %d", rel.Len())
+	}
+}
+
+func TestEstimateCostOrdersPlans(t *testing.T) {
+	s := crowdSession(600, 10)
+	mustExec(t, s, `CREATE TABLE items (id INT, price INT, brand STRING, specs STRING CROWD)`)
+	for i := 0; i < 30; i++ {
+		mustExec(t, s, fmt.Sprintf(`INSERT INTO items VALUES (%d, %d, 'b%d', NULL)`, i, i, i%5))
+	}
+	sel := mustSelect(t, `SELECT id FROM items WHERE price < 5 AND brand ~= 'b3'`)
+	opt, err := s.Plan(sel, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := s.Plan(sel, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := s.EstimateCost(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := s.EstimateCost(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.CrowdAnswers >= cn.CrowdAnswers {
+		t.Fatalf("cost model does not prefer the optimized plan: %v vs %v",
+			co.CrowdAnswers, cn.CrowdAnswers)
+	}
+	if co.Rows <= 0 || cn.Rows <= 0 {
+		t.Fatalf("degenerate row estimates: %v %v", co.Rows, cn.Rows)
+	}
+}
+
+func TestExplainIncludesCostEstimate(t *testing.T) {
+	s := crowdSession(601, 10)
+	mustExec(t, s, `CREATE TABLE t (id INT, tag STRING CROWD)`)
+	mustExec(t, s, `INSERT INTO t VALUES (1, NULL)`)
+	rel := mustExec(t, s, `EXPLAIN SELECT tag FROM t`)
+	if v, _ := rel.Get(0, "plan"); !strings.HasPrefix(v.AsString(), "est:") {
+		t.Fatalf("EXPLAIN missing cost header: %v", rel.Tuples)
+	}
+}
+
+func TestEstimateCostCoversAllNodes(t *testing.T) {
+	s := crowdSession(602, 10)
+	mustExec(t, s, `CREATE TABLE a (x INT, name STRING)`)
+	mustExec(t, s, `CREATE TABLE b (y INT, title STRING)`)
+	mustExec(t, s, `INSERT INTO a VALUES (1, 'p')`)
+	mustExec(t, s, `INSERT INTO b VALUES (1, 'q')`)
+	queries := []string{
+		`SELECT DISTINCT x FROM a JOIN b ON a.x = b.y ORDER BY x LIMIT 3`,
+		`SELECT name, COUNT(*) FROM a GROUP BY name`,
+		`SELECT CROWDCOUNT('q?', name) FROM a`,
+		`SELECT x FROM a CROWDJOIN b ON a.name ~= b.title`,
+		`SELECT x FROM a CROWDORDER BY x`,
+		`SELECT x FROM a WHERE CROWDFILTER('q?', name)`,
+	}
+	for _, q := range queries {
+		sel := mustSelect(t, q)
+		plan, err := s.Plan(sel, true)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if _, err := s.EstimateCost(plan); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+}

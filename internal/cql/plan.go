@@ -1,0 +1,232 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlanNode is a node of the logical/physical plan tree (the interpreter
+// executes the logical tree directly).
+type PlanNode interface {
+	// Describe returns a one-line description for EXPLAIN output.
+	Describe() string
+	// Children returns input nodes.
+	Children() []PlanNode
+}
+
+// ScanNode reads a base table.
+type ScanNode struct {
+	Table TableRef
+}
+
+// Describe implements PlanNode.
+func (n *ScanNode) Describe() string {
+	if n.Table.Alias != "" {
+		return fmt.Sprintf("Scan %s AS %s", n.Table.Name, n.Table.Alias)
+	}
+	return fmt.Sprintf("Scan %s", n.Table.Name)
+}
+
+// Children implements PlanNode.
+func (n *ScanNode) Children() []PlanNode { return nil }
+
+// MachineFilterNode applies machine-evaluable predicates.
+type MachineFilterNode struct {
+	Input PlanNode
+	Preds []Expr
+}
+
+// Describe implements PlanNode.
+func (n *MachineFilterNode) Describe() string {
+	return "MachineFilter " + exprList(n.Preds)
+}
+
+// Children implements PlanNode.
+func (n *MachineFilterNode) Children() []PlanNode { return []PlanNode{n.Input} }
+
+// CrowdFillNode resolves NULL CROWD-column cells by asking the crowd,
+// memoizing answers back into the base table (CrowdDB semantics).
+type CrowdFillNode struct {
+	Input   PlanNode
+	Columns []string
+}
+
+// Describe implements PlanNode.
+func (n *CrowdFillNode) Describe() string {
+	return "CrowdFill [" + strings.Join(n.Columns, ", ") + "]"
+}
+
+// Children implements PlanNode.
+func (n *CrowdFillNode) Children() []PlanNode { return []PlanNode{n.Input} }
+
+// CrowdFilterNode applies crowd-evaluated predicates.
+type CrowdFilterNode struct {
+	Input PlanNode
+	Preds []Expr
+}
+
+// Describe implements PlanNode.
+func (n *CrowdFilterNode) Describe() string {
+	return "CrowdFilter " + exprList(n.Preds)
+}
+
+// Children implements PlanNode.
+func (n *CrowdFilterNode) Children() []PlanNode { return []PlanNode{n.Input} }
+
+// JoinNode is a machine hash equi-join.
+type JoinNode struct {
+	Left, Right PlanNode
+	LeftCol     *ColumnRef
+	RightCol    *ColumnRef
+}
+
+// Describe implements PlanNode.
+func (n *JoinNode) Describe() string {
+	return fmt.Sprintf("HashJoin %s = %s", n.LeftCol, n.RightCol)
+}
+
+// Children implements PlanNode.
+func (n *JoinNode) Children() []PlanNode { return []PlanNode{n.Left, n.Right} }
+
+// CrowdJoinNode is a crowd-verified entity-matching join between two
+// string columns (pruned by machine similarity first).
+type CrowdJoinNode struct {
+	Left, Right PlanNode
+	LeftCol     *ColumnRef
+	RightCol    *ColumnRef
+}
+
+// Describe implements PlanNode.
+func (n *CrowdJoinNode) Describe() string {
+	return fmt.Sprintf("CrowdJoin %s ~= %s", n.LeftCol, n.RightCol)
+}
+
+// Children implements PlanNode.
+func (n *CrowdJoinNode) Children() []PlanNode { return []PlanNode{n.Left, n.Right} }
+
+// SortNode is machine ORDER BY.
+type SortNode struct {
+	Input PlanNode
+	Keys  []OrderKey
+}
+
+// Describe implements PlanNode.
+func (n *SortNode) Describe() string {
+	parts := make([]string, len(n.Keys))
+	for i, k := range n.Keys {
+		dir := "ASC"
+		if k.Desc {
+			dir = "DESC"
+		}
+		parts[i] = fmt.Sprintf("%s %s", k.Column, dir)
+	}
+	return "Sort " + strings.Join(parts, ", ")
+}
+
+// Children implements PlanNode.
+func (n *SortNode) Children() []PlanNode { return []PlanNode{n.Input} }
+
+// CrowdSortNode is CROWDORDER BY: ordering by crowd pairwise comparison.
+type CrowdSortNode struct {
+	Input    PlanNode
+	Column   *ColumnRef
+	Desc     bool
+	Question string
+}
+
+// Describe implements PlanNode.
+func (n *CrowdSortNode) Describe() string {
+	dir := "ASC"
+	if n.Desc {
+		dir = "DESC"
+	}
+	return fmt.Sprintf("CrowdSort %s %s", n.Column, dir)
+}
+
+// Children implements PlanNode.
+func (n *CrowdSortNode) Children() []PlanNode { return []PlanNode{n.Input} }
+
+// LimitNode caps output rows.
+type LimitNode struct {
+	Input PlanNode
+	N     int
+}
+
+// Describe implements PlanNode.
+func (n *LimitNode) Describe() string { return fmt.Sprintf("Limit %d", n.N) }
+
+// Children implements PlanNode.
+func (n *LimitNode) Children() []PlanNode { return []PlanNode{n.Input} }
+
+// DistinctNode deduplicates rows.
+type DistinctNode struct{ Input PlanNode }
+
+// Describe implements PlanNode.
+func (n *DistinctNode) Describe() string { return "Distinct" }
+
+// Children implements PlanNode.
+func (n *DistinctNode) Children() []PlanNode { return []PlanNode{n.Input} }
+
+// ProjectNode evaluates the projection list (non-aggregate).
+type ProjectNode struct {
+	Input PlanNode
+	Items []SelectItem
+}
+
+// Describe implements PlanNode.
+func (n *ProjectNode) Describe() string {
+	parts := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		parts[i] = it.DisplayName()
+	}
+	return "Project [" + strings.Join(parts, ", ") + "]"
+}
+
+// Children implements PlanNode.
+func (n *ProjectNode) Children() []PlanNode { return []PlanNode{n.Input} }
+
+// AggregateNode computes aggregates, optionally grouped.
+type AggregateNode struct {
+	Input   PlanNode
+	GroupBy string
+	Items   []SelectItem
+}
+
+// Describe implements PlanNode.
+func (n *AggregateNode) Describe() string {
+	parts := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		parts[i] = it.DisplayName()
+	}
+	if n.GroupBy != "" {
+		return fmt.Sprintf("Aggregate [%s] GROUP BY %s", strings.Join(parts, ", "), n.GroupBy)
+	}
+	return "Aggregate [" + strings.Join(parts, ", ") + "]"
+}
+
+// Children implements PlanNode.
+func (n *AggregateNode) Children() []PlanNode { return []PlanNode{n.Input} }
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, " AND ") + "]"
+}
+
+// ExplainPlan renders the plan tree as an indented listing.
+func ExplainPlan(root PlanNode) string {
+	var b strings.Builder
+	var walk func(n PlanNode, depth int)
+	walk = func(n PlanNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Describe())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(root, 0)
+	return b.String()
+}

@@ -1,0 +1,339 @@
+package cql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// predAssignment records where the planner placed each top-level conjunct:
+// pushed into a single table's pipeline, or left as a residual filter
+// above the joins.
+type predAssignment struct {
+	// perTable maps a table binding (lower-case alias or name) to the
+	// conjuncts pushed into its pipeline.
+	perTableMachine map[string][]Expr
+	perTableCrowd   map[string][]Expr
+	residualMachine []Expr
+	residualCrowd   []Expr
+}
+
+// Plan builds the plan tree for a SELECT. When optimize is true the
+// crowd-aware rules apply:
+//
+//  1. Machine predicates are evaluated before any crowd work, so that
+//     crowd fills and crowd predicates see as few tuples as possible
+//     (single-table machine predicates are pushed below the fill).
+//  2. Only CROWD columns actually referenced by the query are filled.
+//  3. Crowd predicates run after fills and after machine filters.
+//
+// With optimize false (the ablation baseline), the naive plan fills every
+// crowd column of the scanned tables up front and evaluates crowd
+// predicates before machine predicates — the behavior of a crowd-unaware
+// engine that resolves human input eagerly.
+func (s *Session) Plan(sel *Select, optimize bool) (PlanNode, error) {
+	if err := s.checkSelect(sel); err != nil {
+		return nil, err
+	}
+	assign, err := s.assignPredicates(sel)
+	if err != nil {
+		return nil, err
+	}
+
+	base, err := s.tablePipeline(sel, sel.From, assign, optimize)
+	if err != nil {
+		return nil, err
+	}
+	var node PlanNode = base
+	for i := range sel.Joins {
+		jc := &sel.Joins[i]
+		right, err := s.tablePipeline(sel, jc.Table, assign, optimize)
+		if err != nil {
+			return nil, err
+		}
+		if jc.Crowd {
+			node = &CrowdJoinNode{Left: node, Right: right, LeftCol: jc.Left, RightCol: jc.Right}
+		} else {
+			node = &JoinNode{Left: node, Right: right, LeftCol: jc.Left, RightCol: jc.Right}
+		}
+	}
+
+	if optimize {
+		if len(assign.residualMachine) > 0 {
+			node = &MachineFilterNode{Input: node, Preds: assign.residualMachine}
+		}
+		if len(assign.residualCrowd) > 0 {
+			node = &CrowdFilterNode{Input: node, Preds: assign.residualCrowd}
+		}
+	} else {
+		if len(assign.residualCrowd) > 0 {
+			node = &CrowdFilterNode{Input: node, Preds: assign.residualCrowd}
+		}
+		if len(assign.residualMachine) > 0 {
+			node = &MachineFilterNode{Input: node, Preds: assign.residualMachine}
+		}
+	}
+
+	hasAgg := false
+	for _, it := range sel.Projections {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+	addSorts := func(input PlanNode) PlanNode {
+		out := input
+		if len(sel.OrderBy) > 0 {
+			out = &SortNode{Input: out, Keys: sel.OrderBy}
+		}
+		if sel.CrowdOrder != nil {
+			out = &CrowdSortNode{
+				Input:    out,
+				Column:   sel.CrowdOrder.Column,
+				Desc:     sel.CrowdOrder.Desc,
+				Question: sel.CrowdOrder.Question,
+			}
+		}
+		return out
+	}
+	if hasAgg || sel.GroupBy != "" {
+		// Sort keys may reference aggregate aliases, so sorting happens
+		// above the aggregate, as does HAVING.
+		node = &AggregateNode{Input: node, GroupBy: sel.GroupBy, Items: sel.Projections}
+		if sel.Having != nil {
+			node = &MachineFilterNode{Input: node, Preds: Conjuncts(sel.Having)}
+		}
+		node = addSorts(node)
+	} else {
+		// Sort keys reference input columns (which the projection may
+		// drop), so sorting happens below the projection.
+		node = addSorts(node)
+		node = &ProjectNode{Input: node, Items: sel.Projections}
+	}
+	if sel.Distinct {
+		node = &DistinctNode{Input: node}
+	}
+	if sel.Limit >= 0 {
+		node = &LimitNode{Input: node, N: sel.Limit}
+	}
+	return node, nil
+}
+
+// assignPredicates splits WHERE into conjuncts, classifies each as
+// machine/crowd, and decides pushdown placement.
+func (s *Session) assignPredicates(sel *Select) (*predAssignment, error) {
+	assign := &predAssignment{
+		perTableMachine: make(map[string][]Expr),
+		perTableCrowd:   make(map[string][]Expr),
+	}
+	refs := append([]TableRef{sel.From}, joinTables(sel)...)
+	rels := make([]*model.Relation, len(refs))
+	for i, ref := range refs {
+		rel, err := s.Catalog.Get(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		rels[i] = rel
+	}
+	for _, c := range Conjuncts(sel.Where) {
+		isCrowd := IsCrowdExpr(c)
+		if isCrowd {
+			switch c.(type) {
+			case *CrowdEqual, *CrowdFilter:
+			default:
+				return nil, fmt.Errorf("cql: crowd predicates cannot be nested in %s; use top-level AND", c)
+			}
+		}
+		placed := ""
+		for i, ref := range refs {
+			if exprBoundTo(c, strings.ToLower(ref.Binding()), rels[i], sel, refs, rels) {
+				placed = strings.ToLower(ref.Binding())
+				break
+			}
+		}
+		switch {
+		case placed != "" && isCrowd:
+			assign.perTableCrowd[placed] = append(assign.perTableCrowd[placed], c)
+		case placed != "":
+			assign.perTableMachine[placed] = append(assign.perTableMachine[placed], c)
+		case isCrowd:
+			assign.residualCrowd = append(assign.residualCrowd, c)
+		default:
+			assign.residualMachine = append(assign.residualMachine, c)
+		}
+	}
+	return assign, nil
+}
+
+// tablePipeline builds scan → (pushdown machine filters) → (crowd fill) →
+// (pushdown crowd filters) for one table.
+func (s *Session) tablePipeline(sel *Select, ref TableRef, assign *predAssignment, optimize bool) (PlanNode, error) {
+	rel, err := s.Catalog.Get(ref.Name)
+	if err != nil {
+		return nil, err
+	}
+	var node PlanNode = &ScanNode{Table: ref}
+	binding := strings.ToLower(ref.Binding())
+
+	if optimize {
+		if pushed := assign.perTableMachine[binding]; len(pushed) > 0 {
+			node = &MachineFilterNode{Input: node, Preds: pushed}
+		}
+		cols := s.crowdColumnsNeeded(sel, ref, rel)
+		if len(cols) > 0 {
+			node = &CrowdFillNode{Input: node, Columns: cols}
+		}
+		if pushedCrowd := assign.perTableCrowd[binding]; len(pushedCrowd) > 0 {
+			node = &CrowdFilterNode{Input: node, Preds: pushedCrowd}
+		}
+	} else {
+		// Naive: fill every crowd column up front, then run this table's
+		// predicates crowd-first.
+		var cols []string
+		for _, c := range rel.Schema.Columns {
+			if c.Crowd {
+				cols = append(cols, c.Name)
+			}
+		}
+		if len(cols) > 0 {
+			node = &CrowdFillNode{Input: node, Columns: cols}
+		}
+		if pushedCrowd := assign.perTableCrowd[binding]; len(pushedCrowd) > 0 {
+			node = &CrowdFilterNode{Input: node, Preds: pushedCrowd}
+		}
+		if pushed := assign.perTableMachine[binding]; len(pushed) > 0 {
+			node = &MachineFilterNode{Input: node, Preds: pushed}
+		}
+	}
+	return node, nil
+}
+
+// checkSelect validates projection/aggregate mixing and crowd feature
+// availability.
+func (s *Session) checkSelect(sel *Select) error {
+	hasAgg, hasPlain := false, false
+	for _, it := range sel.Projections {
+		if it.Agg != "" {
+			hasAgg = true
+		} else {
+			hasPlain = true
+		}
+	}
+	if hasAgg && hasPlain && sel.GroupBy == "" {
+		return fmt.Errorf("cql: cannot mix aggregates and plain columns without GROUP BY")
+	}
+	if sel.Having != nil && IsCrowdExpr(sel.Having) {
+		return fmt.Errorf("cql: HAVING supports machine predicates only")
+	}
+	needsCrowd := sel.CrowdOrder != nil || IsCrowdExpr(orNilExpr(sel.Where))
+	for _, it := range sel.Projections {
+		if it.Agg == "CROWDCOUNT" {
+			needsCrowd = true
+		}
+	}
+	for _, j := range sel.Joins {
+		if j.Crowd {
+			needsCrowd = true
+		}
+	}
+	// A query touching NULL-bearing crowd columns also needs the crowd,
+	// but that is data-dependent; the executor reports it at fill time.
+	if needsCrowd && s.Runner == nil {
+		return fmt.Errorf("cql: query uses crowd features but the session has no crowd attached")
+	}
+	return nil
+}
+
+// exprBoundTo reports whether every column in e resolves to the given
+// table binding (qualified references must match it; unqualified ones
+// must exist in this table and be unambiguous across the query).
+func exprBoundTo(e Expr, binding string, rel *model.Relation, sel *Select, refs []TableRef, rels []*model.Relation) bool {
+	cols := ColumnsIn(e)
+	if len(cols) == 0 {
+		return false
+	}
+	for _, c := range cols {
+		if c.Table != "" {
+			if strings.ToLower(c.Table) != binding {
+				return false
+			}
+			continue
+		}
+		if rel.Schema.ColumnIndex(c.Name) < 0 {
+			return false
+		}
+		owners := 0
+		for _, r := range rels {
+			if r.Schema.ColumnIndex(c.Name) >= 0 {
+				owners++
+			}
+		}
+		if owners > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func joinTables(sel *Select) []TableRef {
+	out := make([]TableRef, len(sel.Joins))
+	for i, j := range sel.Joins {
+		out[i] = j.Table
+	}
+	return out
+}
+
+// crowdColumnsNeeded lists the CROWD columns of rel referenced anywhere in
+// the query (projections, predicates, ordering, grouping, join keys).
+func (s *Session) crowdColumnsNeeded(sel *Select, ref TableRef, rel *model.Relation) []string {
+	needed := map[string]bool{}
+	binding := strings.ToLower(ref.Binding())
+	mark := func(c *ColumnRef) {
+		if c == nil {
+			return
+		}
+		if c.Table != "" && strings.ToLower(c.Table) != binding {
+			return
+		}
+		ci := rel.Schema.ColumnIndex(c.Name)
+		if ci >= 0 && rel.Schema.Columns[ci].Crowd {
+			needed[rel.Schema.Columns[ci].Name] = true
+		}
+	}
+	for _, it := range sel.Projections {
+		if it.Star {
+			for _, c := range rel.Schema.Columns {
+				if c.Crowd {
+					needed[c.Name] = true
+				}
+			}
+		}
+		mark(it.Column)
+	}
+	for _, c := range ColumnsIn(orNilExpr(sel.Where)) {
+		mark(c)
+	}
+	for _, k := range sel.OrderBy {
+		mark(k.Column)
+	}
+	if sel.CrowdOrder != nil {
+		mark(sel.CrowdOrder.Column)
+	}
+	if sel.GroupBy != "" {
+		mark(&ColumnRef{Name: sel.GroupBy})
+	}
+	for _, j := range sel.Joins {
+		mark(j.Left)
+		mark(j.Right)
+	}
+	var out []string
+	for _, c := range rel.Schema.Columns {
+		if needed[c.Name] {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// orNilExpr lets nil WHERE clauses flow through expression walkers.
+func orNilExpr(e Expr) Expr { return e }

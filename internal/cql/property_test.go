@@ -1,0 +1,146 @@
+package cql
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+// referenceLike converts a LIKE pattern to a regexp and matches — the
+// independent implementation the DP matcher is checked against.
+func referenceLike(s, pattern string) bool {
+	var re strings.Builder
+	re.WriteString("(?is)^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			re.WriteString(".*")
+		case '_':
+			re.WriteString(".")
+		default:
+			re.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	re.WriteString("$")
+	return regexp.MustCompile(re.String()).MatchString(s)
+}
+
+func TestLikeMatchesReferenceImplementation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	alphabet := []byte("ab%_c")
+	gen := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	for i := 0; i < 5000; i++ {
+		s := strings.ReplaceAll(strings.ReplaceAll(gen(rng.Intn(8)), "%", "x"), "_", "y")
+		p := gen(rng.Intn(6))
+		got := matchLike(s, p)
+		want := referenceLike(s, p)
+		if got != want {
+			t.Fatalf("matchLike(%q, %q) = %v, reference says %v", s, p, got, want)
+		}
+	}
+}
+
+func TestLikeKnownCases(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "HELLO", true}, // case-insensitive
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false}, // length mismatch: _ is exactly one char
+		{"hello", "", false},
+		{"", "", true},
+		{"", "%", true},
+		{"abc", "%%%", true},
+		{"abc", "_%_", true},
+		{"ab", "_%_%_", false},
+	}
+	for _, c := range cases {
+		if got := matchLike(c.s, c.p); got != c.want {
+			t.Errorf("matchLike(%q, %q) = %v, want %v", c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestLexNeverPanics(t *testing.T) {
+	// Lexing arbitrary bytes must return tokens or an error, never panic.
+	err := quick.Check(func(src string) bool {
+		_, _ = Lex(src)
+		return true
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	// Parsing arbitrary strings must never panic across the API boundary.
+	err := quick.Check(func(src string) bool {
+		_, _ = ParseAll(src)
+		return true
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFuzzKeywordSoup(t *testing.T) {
+	// Random keyword soup exercises every parser error path.
+	rng := stats.NewRNG(2)
+	words := []string{
+		"SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "JOIN", "ON",
+		"CROWDJOIN", "CROWDORDER", "BY", "LIMIT", "GROUP", "ORDER",
+		"INSERT", "INTO", "VALUES", "CREATE", "TABLE", "CROWD", "DROP",
+		"t", "x", "y", "*", ",", "(", ")", "=", "'lit'", "42", "~=",
+		"CROWDEQUAL", "CROWDFILTER", "CROWDCOUNT", "IS", "NULL", ";",
+	}
+	for i := 0; i < 3000; i++ {
+		n := 1 + rng.Intn(12)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = words[rng.Intn(len(words))]
+		}
+		src := strings.Join(parts, " ")
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ParseAll(%q) panicked: %v", src, r)
+				}
+			}()
+			_, _ = ParseAll(src)
+		}()
+	}
+}
+
+func TestExprStringRoundTripsThroughParser(t *testing.T) {
+	// The String() rendering of a parsed WHERE must re-parse to an
+	// expression with the same rendering (idempotent pretty-print).
+	queries := []string{
+		`SELECT * FROM t WHERE a = 1 AND b != 'x' OR NOT c < 2.5`,
+		`SELECT * FROM t WHERE a ~= 'y' AND CROWDFILTER('q?', b)`,
+		`SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL`,
+		`SELECT * FROM t WHERE t.a >= 3 AND u.b LIKE '%z%'`,
+	}
+	for _, q := range queries {
+		sel1 := mustSelect(t, q)
+		rendered := sel1.Where.String()
+		sel2 := mustSelect(t, "SELECT * FROM t WHERE "+rendered)
+		if sel2.Where.String() != rendered {
+			t.Fatalf("render not idempotent:\n  first:  %s\n  second: %s",
+				rendered, sel2.Where.String())
+		}
+	}
+}

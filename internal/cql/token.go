@@ -1,0 +1,180 @@
+// Package cql implements the declarative crowd-SQL layer of crowdkit — a
+// CrowdDB-style dialect in which tables and columns can be marked CROWD,
+// predicates can be crowd-evaluated (CROWDEQUAL, CROWDFILTER), ordering
+// can be delegated to pairwise human comparison (CROWDORDER BY), and
+// aggregation can be estimated by crowd-labeled sampling (CROWDCOUNT).
+//
+// The package contains a lexer, a recursive-descent parser, a catalog of
+// in-memory relations, a rule-based crowd-aware optimizer, and an executor
+// that routes crowd work through the operators package. The optimizer's
+// core rule is the survey's cost-control principle: machine predicates run
+// before crowd predicates so that human answers are spent on as few tuples
+// as possible.
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+const (
+	// TokEOF ends the stream.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or unreserved word.
+	TokIdent
+	// TokKeyword is a reserved word (normalized upper-case in Text).
+	TokKeyword
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a single-quoted string literal (Text holds the value).
+	TokString
+	// TokSymbol is an operator or punctuation ( ( ) , * = != <= >= < > ~= ; . ).
+	TokSymbol
+)
+
+// Token is one lexeme with its source position (1-based line/column).
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "<eof>"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords are the reserved words of the dialect.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "CROWD": true,
+	"CROWDEQUAL": true, "CROWDFILTER": true, "CROWDORDER": true,
+	"CROWDCOUNT": true, "CROWDJOIN": true, "ORDER": true, "BY": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "GROUP": true,
+	"JOIN": true, "ON": true, "AS": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "LIKE": true, "IS": true, "SHOW": true,
+	"TABLES": true, "DESCRIBE": true, "EXPLAIN": true, "DELETE": true,
+	"UPDATE": true, "SET": true, "HAVING": true,
+	"INT": true, "INTEGER": true, "FLOAT": true, "DOUBLE": true,
+	"STRING": true, "TEXT": true, "VARCHAR": true, "BOOL": true,
+	"BOOLEAN": true, "DISTINCT": true,
+}
+
+// Lex tokenizes src, returning the token stream or a positioned error.
+func Lex(src string) ([]Token, error) {
+	var out []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '-' && i+1 < n && src[i+1] == '-':
+			// Line comment.
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start, startCol := i, col
+			for i < n && (unicode.IsLetter(rune(src[i])) || unicode.IsDigit(rune(src[i])) || src[i] == '_') {
+				advance(1)
+			}
+			word := src[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				out = append(out, Token{TokKeyword, upper, line, startCol})
+			} else {
+				out = append(out, Token{TokIdent, word, line, startCol})
+			}
+		case unicode.IsDigit(rune(c)):
+			start, startCol := i, col
+			seenDot := false
+			for i < n && (unicode.IsDigit(rune(src[i])) || (!seenDot && src[i] == '.')) {
+				if src[i] == '.' {
+					// A dot must be followed by a digit to be part of the
+					// number (else it is the qualifier symbol).
+					if i+1 >= n || !unicode.IsDigit(rune(src[i+1])) {
+						break
+					}
+					seenDot = true
+				}
+				advance(1)
+			}
+			out = append(out, Token{TokNumber, src[start:i], line, startCol})
+		case c == '\'':
+			startLine, startCol := line, col
+			advance(1)
+			var sb strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == '\'' {
+					// '' escapes a quote.
+					if i+1 < n && src[i+1] == '\'' {
+						sb.WriteByte('\'')
+						advance(2)
+						continue
+					}
+					advance(1)
+					closed = true
+					break
+				}
+				sb.WriteByte(src[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, fmt.Errorf("cql: %d:%d: unterminated string literal", startLine, startCol)
+			}
+			out = append(out, Token{TokString, sb.String(), startLine, startCol})
+		default:
+			startCol := col
+			// Two-character symbols first.
+			if i+1 < n {
+				two := src[i : i+2]
+				switch two {
+				case "!=", "<=", ">=", "~=", "<>":
+					if two == "<>" {
+						two = "!="
+					}
+					out = append(out, Token{TokSymbol, two, line, startCol})
+					advance(2)
+					continue
+				}
+			}
+			switch c {
+			case '(', ')', ',', '*', '=', '<', '>', ';', '.', '+', '-', '/':
+				out = append(out, Token{TokSymbol, string(c), line, startCol})
+				advance(1)
+			default:
+				return nil, fmt.Errorf("cql: %d:%d: unexpected character %q", line, col, c)
+			}
+		}
+	}
+	out = append(out, Token{TokEOF, "", line, col})
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package crowd
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Mix describes the composition of a worker population as fractions that
+// should sum to (approximately) 1. Fractions are normalized internally.
+type Mix struct {
+	Expert    float64 // ability ~ [2.5, 4.0]
+	Reliable  float64 // ability ~ [1.2, 2.5]
+	Sloppy    float64 // ability ~ [0.3, 1.0]
+	Spammer   float64 // uniform random answers
+	Adversary float64 // systematically wrong
+}
+
+// Canonical quality regimes used across the experiment suite. They mirror
+// the regimes the truth-inference literature evaluates: a reliable
+// university-style crowd, a typical open-platform mixed crowd, and a
+// spam-heavy crowd.
+var (
+	RegimeReliable = Mix{Expert: 0.35, Reliable: 0.55, Sloppy: 0.10}
+	RegimeMixed    = Mix{Expert: 0.15, Reliable: 0.45, Sloppy: 0.25, Spammer: 0.15}
+	RegimeSpammy   = Mix{Expert: 0.10, Reliable: 0.25, Sloppy: 0.20, Spammer: 0.35, Adversary: 0.10}
+)
+
+// RegimeByName resolves a regime label ("reliable", "mixed", "spammy").
+func RegimeByName(name string) (Mix, error) {
+	switch name {
+	case "reliable":
+		return RegimeReliable, nil
+	case "mixed":
+		return RegimeMixed, nil
+	case "spammy":
+		return RegimeSpammy, nil
+	default:
+		return Mix{}, fmt.Errorf("crowd: unknown regime %q", name)
+	}
+}
+
+// NewPopulation generates n simulated workers with the given mix, drawing
+// abilities from per-class ranges. Worker ids are "w000", "w001", ....
+func NewPopulation(rng *stats.RNG, n int, mix Mix) []*Worker {
+	weights := []float64{mix.Expert, mix.Reliable, mix.Sloppy, mix.Spammer, mix.Adversary}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		weights = []float64{0, 1, 0, 0, 0} // default: all reliable
+	}
+	out := make([]*Worker, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%03d", i)
+		var w *Worker
+		switch rng.Choice(weights) {
+		case 0: // expert
+			w = NewWorker(name, rng.Range(2.5, 4.0), Honest, rng)
+			w.LatencyMu += 0.3 // experts read carefully
+		case 1: // reliable
+			w = NewWorker(name, rng.Range(1.2, 2.5), Honest, rng)
+		case 2: // sloppy
+			w = NewWorker(name, rng.Range(0.3, 1.0), Honest, rng)
+			w.LatencyMu -= 0.2
+		case 3: // spammer
+			w = NewWorker(name, 0, Spammer, rng)
+			w.LatencyMu -= 0.9 // spammers click through fast
+		default: // adversary
+			w = NewWorker(name, rng.Range(1.5, 3.0), Adversary, rng)
+		}
+		out[i] = w
+	}
+	return out
+}
+
+// AsCoreWorkers converts the concrete slice to the kernel interface slice.
+func AsCoreWorkers(ws []*Worker) []core.Worker {
+	out := make([]core.Worker, len(ws))
+	for i, w := range ws {
+		out[i] = w
+	}
+	return out
+}
+
+// AssignKnowledge gives each worker a random knowledge subset of a
+// collection domain of the given size. Coverage is Zipf-skewed: popular
+// items are known by many workers, tail items by few — the regime in which
+// species-estimation matters for crowdsourced enumeration.
+func AssignKnowledge(rng *stats.RNG, ws []*Worker, domainSize int, perWorker int, zipfS float64) {
+	if domainSize <= 0 || perWorker <= 0 {
+		return
+	}
+	z := stats.NewZipf(rng, domainSize, zipfS)
+	for _, w := range ws {
+		seen := make(map[int]bool, perWorker)
+		// Draw until we have perWorker distinct items (bounded attempts to
+		// stay deterministic-time under extreme skew).
+		for attempts := 0; len(seen) < perWorker && attempts < perWorker*50; attempts++ {
+			seen[z.Next()] = true
+		}
+		w.Knowledge = w.Knowledge[:0]
+		for item := range seen {
+			w.Knowledge = append(w.Knowledge, item)
+		}
+		// Sort for determinism of downstream rng consumption.
+		for i := 1; i < len(w.Knowledge); i++ {
+			for j := i; j > 0 && w.Knowledge[j] < w.Knowledge[j-1]; j-- {
+				w.Knowledge[j], w.Knowledge[j-1] = w.Knowledge[j-1], w.Knowledge[j]
+			}
+		}
+	}
+}
+
+// TrueAccuracy returns the population's expected accuracy on a task of the
+// given difficulty with k options — the oracle quantity experiments compare
+// inferred worker quality against.
+func TrueAccuracy(ws []*Worker, difficulty float64, k int) float64 {
+	if len(ws) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, w := range ws {
+		switch w.Behave {
+		case Spammer:
+			s += 1 / float64(k)
+		case Adversary:
+			// Adversaries are wrong when they know the answer, random
+			// otherwise.
+			p := w.CorrectProb(difficulty)
+			s += (1 - p) / float64(k-1) * 0 // deliberately wrong: correct only by residual chance
+			s += (1 - p) * (1 / float64(k))
+		default:
+			s += w.CorrectProb(difficulty)
+		}
+	}
+	return s / float64(len(ws))
+}

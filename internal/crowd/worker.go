@@ -1,0 +1,306 @@
+// Package crowd is the simulated-crowd substrate: generative worker models
+// that stand in for the human workers of a commercial microtask platform.
+//
+// The survey's quality-control results all stem from one observation:
+// workers are heterogeneous and noisy. This package models that
+// heterogeneity explicitly — per-worker ability, GLAD-style sensitivity to
+// task difficulty, systematic bias, adversarial behavior, free-text typo
+// noise, partial domain knowledge for collection tasks, and log-normal
+// answer latency — so that every downstream algorithm (truth inference,
+// assignment, operators) is exercised by the same regimes the literature
+// studies.
+package crowd
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Behavior selects the answering strategy of a simulated worker.
+type Behavior int
+
+const (
+	// Honest workers try to answer correctly; their error rate follows
+	// their ability and the task difficulty.
+	Honest Behavior = iota
+	// Spammer workers answer uniformly at random without reading the task.
+	Spammer
+	// Adversary workers answer incorrectly on purpose whenever they know
+	// the right answer.
+	Adversary
+	// Biased workers behave honestly but, when unsure, always pick their
+	// preferred option instead of guessing uniformly.
+	Biased
+)
+
+// String returns the behavior name.
+func (b Behavior) String() string {
+	switch b {
+	case Honest:
+		return "honest"
+	case Spammer:
+		return "spammer"
+	case Adversary:
+		return "adversary"
+	case Biased:
+		return "biased"
+	default:
+		return fmt.Sprintf("Behavior(%d)", int(b))
+	}
+}
+
+// Worker is a simulated crowd worker implementing core.Worker.
+//
+// The probability that an honest worker answers a choice task correctly is
+// the GLAD generative model:
+//
+//	P(correct) = 1 / (1 + exp(-ability * easiness))
+//
+// where easiness is derived from the task's Difficulty. Ability 0 is a
+// coin-flip regardless of difficulty; large positive ability approaches
+// perfect accuracy on easy tasks.
+type Worker struct {
+	Name string
+	// Ability is the GLAD alpha parameter. Typical honest crowds draw it
+	// from roughly [0.5, 4].
+	Ability float64
+	// Behave selects the answering strategy.
+	Behave Behavior
+	// PreferredOption is the option a Biased worker falls back to.
+	PreferredOption int
+	// LatencyMu and LatencySigma parameterize the log-normal answer
+	// latency (seconds).
+	LatencyMu, LatencySigma float64
+	// Knowledge, when non-nil, is the subset of a collection domain this
+	// worker can contribute (indices into the domain).
+	Knowledge []int
+	// Dynamics, when non-nil, makes ability evolve with the number of
+	// tasks performed (practice effects and fatigue).
+	Dynamics *Dynamics
+
+	tasksDone int
+	rng       *stats.RNG
+}
+
+// Dynamics models how a worker's effective ability changes over a work
+// session: a practice (learning) gain that saturates, and a fatigue decay
+// that sets in after a while — both effects reported in empirical worker
+// studies.
+type Dynamics struct {
+	// Learning is the ability gained per completed task.
+	Learning float64
+	// LearnCap bounds the total practice gain.
+	LearnCap float64
+	// FatigueAfter is the task count at which fatigue sets in.
+	FatigueAfter int
+	// Fatigue is the ability lost per task beyond FatigueAfter.
+	Fatigue float64
+}
+
+// EffectiveAbility returns the worker's current ability given tasks done
+// so far (equal to Ability when no dynamics are configured). Effective
+// ability never drops below zero (a fully exhausted worker guesses, not
+// sabotages).
+func (w *Worker) EffectiveAbility() float64 {
+	a := w.Ability
+	if w.Dynamics != nil {
+		gain := w.Dynamics.Learning * float64(w.tasksDone)
+		if w.Dynamics.LearnCap > 0 && gain > w.Dynamics.LearnCap {
+			gain = w.Dynamics.LearnCap
+		}
+		a += gain
+		if over := w.tasksDone - w.Dynamics.FatigueAfter; over > 0 && w.Dynamics.Fatigue > 0 {
+			a -= w.Dynamics.Fatigue * float64(over)
+		}
+		if a < 0 {
+			a = 0
+		}
+	}
+	return a
+}
+
+// TasksDone reports how many tasks the worker has performed.
+func (w *Worker) TasksDone() int { return w.tasksDone }
+
+// NewWorker builds a worker with its own decorrelated random stream.
+func NewWorker(name string, ability float64, behave Behavior, rng *stats.RNG) *Worker {
+	return &Worker{
+		Name:         name,
+		Ability:      ability,
+		Behave:       behave,
+		LatencyMu:    math.Log(8), // median ~8s per microtask
+		LatencySigma: 0.5,
+		rng:          rng.Split(),
+	}
+}
+
+// ID implements core.Worker.
+func (w *Worker) ID() string { return w.Name }
+
+// CorrectProb returns this worker's probability of answering a task of the
+// given difficulty correctly, under the GLAD model with the current
+// effective ability. It applies to honest and biased workers; spammers
+// and adversaries ignore it.
+func (w *Worker) CorrectProb(difficulty float64) float64 {
+	easiness := easinessOf(difficulty)
+	return 1 / (1 + math.Exp(-w.EffectiveAbility()*easiness))
+}
+
+// easinessOf maps Difficulty in [0,1] to the GLAD easiness (1/beta) scale:
+// trivial tasks have easiness 4, maximally hard tasks 0.25.
+func easinessOf(difficulty float64) float64 {
+	if difficulty < 0 {
+		difficulty = 0
+	}
+	if difficulty > 1 {
+		difficulty = 1
+	}
+	return 4 - 3.75*difficulty
+}
+
+// Work implements core.Worker, dispatching on the task kind.
+func (w *Worker) Work(t *core.Task) core.Response {
+	defer func() { w.tasksDone++ }()
+	lat := w.rng.LogNormal(w.LatencyMu, w.LatencySigma)
+	resp := core.Response{Option: -1, Latency: lat}
+	switch t.Kind {
+	case core.SingleChoice, core.MultiChoice, core.PairwiseComparison:
+		resp.Option = w.answerChoice(t)
+	case core.FillIn:
+		resp.Text = w.answerFillIn(t)
+	case core.Rating:
+		resp.Score = w.answerRating(t)
+	case core.Collection:
+		resp.Text = w.answerCollection(t)
+	}
+	return resp
+}
+
+// answerChoice returns an option index for a choice-type task.
+func (w *Worker) answerChoice(t *core.Task) int {
+	k := len(t.Options)
+	if k == 0 {
+		return -1
+	}
+	switch w.Behave {
+	case Spammer:
+		return w.rng.Intn(k)
+	case Adversary:
+		if t.GroundTruth < 0 {
+			return w.rng.Intn(k)
+		}
+		// Answer a wrong option whenever ability would have found the
+		// right one.
+		if w.rng.Bool(w.CorrectProb(t.Difficulty)) {
+			return w.wrongOption(t.GroundTruth, k)
+		}
+		return w.rng.Intn(k)
+	case Biased:
+		if t.GroundTruth >= 0 && w.rng.Bool(w.CorrectProb(t.Difficulty)) {
+			return t.GroundTruth
+		}
+		if w.PreferredOption >= 0 && w.PreferredOption < k {
+			return w.PreferredOption
+		}
+		return w.rng.Intn(k)
+	default: // Honest
+		if t.GroundTruth < 0 {
+			return w.rng.Intn(k)
+		}
+		if w.rng.Bool(w.CorrectProb(t.Difficulty)) {
+			return t.GroundTruth
+		}
+		return w.wrongOption(t.GroundTruth, k)
+	}
+}
+
+// wrongOption picks a uniformly random option other than truth.
+func (w *Worker) wrongOption(truth, k int) int {
+	if k <= 1 {
+		return 0
+	}
+	o := w.rng.Intn(k - 1)
+	if o >= truth {
+		o++
+	}
+	return o
+}
+
+// answerFillIn produces free text: the planted truth when the worker gets
+// it right, a typo-corrupted variant otherwise (spammers emit junk).
+func (w *Worker) answerFillIn(t *core.Task) string {
+	truth := t.GroundTruthText
+	switch w.Behave {
+	case Spammer:
+		return fmt.Sprintf("junk-%d", w.rng.Intn(1000))
+	case Adversary:
+		return corruptText(truth, w.rng)
+	default:
+		if w.rng.Bool(w.CorrectProb(t.Difficulty)) {
+			return truth
+		}
+		return corruptText(truth, w.rng)
+	}
+}
+
+// answerRating returns the planted score plus ability-scaled noise.
+func (w *Worker) answerRating(t *core.Task) float64 {
+	switch w.Behave {
+	case Spammer:
+		return float64(w.rng.Intn(5)) + 1
+	case Adversary:
+		return 6 - t.GroundTruthScore // mirror the scale
+	default:
+		sigma := 1.5 / (0.5 + math.Max(w.Ability, 0.01))
+		return t.GroundTruthScore + w.rng.Norm(0, sigma)
+	}
+}
+
+// CollectionDomain is the payload convention for Collection tasks: the
+// open domain of items workers may contribute.
+type CollectionDomain struct {
+	Items []string
+}
+
+// answerCollection contributes an item from the worker's knowledge subset
+// of the task's domain. Workers without explicit knowledge draw uniformly.
+func (w *Worker) answerCollection(t *core.Task) string {
+	dom, ok := t.Payload.(*CollectionDomain)
+	if !ok || len(dom.Items) == 0 {
+		return ""
+	}
+	if w.Behave == Spammer {
+		return fmt.Sprintf("junk-%d", w.rng.Intn(1000))
+	}
+	if len(w.Knowledge) > 0 {
+		return dom.Items[w.Knowledge[w.rng.Intn(len(w.Knowledge))]]
+	}
+	return dom.Items[w.rng.Intn(len(dom.Items))]
+}
+
+// corruptText simulates a typo/mistake on a free-text answer: swap two
+// characters, drop one, or append a stray suffix; empty truths get junk.
+func corruptText(truth string, rng *stats.RNG) string {
+	if truth == "" {
+		return fmt.Sprintf("junk-%d", rng.Intn(1000))
+	}
+	r := []rune(truth)
+	switch rng.Intn(3) {
+	case 0: // swap adjacent
+		if len(r) >= 2 {
+			i := rng.Intn(len(r) - 1)
+			r[i], r[i+1] = r[i+1], r[i]
+			return string(r)
+		}
+	case 1: // drop one rune
+		if len(r) >= 2 {
+			i := rng.Intn(len(r))
+			return string(r[:i]) + string(r[i+1:])
+		}
+	}
+	return truth + strings.Repeat("x", 1+rng.Intn(2))
+}

@@ -1,0 +1,293 @@
+// Package datagen generates the synthetic workloads the experiment suite
+// runs on: entity-resolution catalogs with planted duplicate clusters and
+// typo noise, categorical labeling sets, latent-score item collections for
+// ranking, and open domains for crowdsourced collection.
+//
+// Every generator takes an explicit seeded RNG and plants exact ground
+// truth, so experiments can compute true accuracy/F1 — the substitution
+// for the real-world datasets (product catalogs, image labels, tweets)
+// used in the literature.
+package datagen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Vocabulary fragments for synthetic product-style records.
+var (
+	brands = []string{
+		"acme", "globex", "initech", "umbrella", "stark", "wayne", "tyrell",
+		"cyberdyne", "aperture", "hooli", "wonka", "oscorp",
+	}
+	products = []string{
+		"phone", "laptop", "tablet", "camera", "monitor", "router",
+		"keyboard", "speaker", "drone", "printer", "charger", "headset",
+	}
+	adjectives = []string{
+		"pro", "max", "mini", "ultra", "lite", "plus", "air", "neo",
+		"prime", "core",
+	}
+	colors = []string{"black", "white", "silver", "red", "blue", "gold"}
+)
+
+// ERDataset is an entity-resolution workload: records with a planted
+// clustering into entities.
+type ERDataset struct {
+	// Records holds the textual descriptions.
+	Records []string
+	// Entity[i] is the entity id of record i.
+	Entity []int
+	// NumEntities is the number of distinct entities.
+	NumEntities int
+}
+
+// TruePairs enumerates all matching record pairs (i < j).
+func (d *ERDataset) TruePairs() []struct{ I, J int } {
+	byEntity := make(map[int][]int)
+	for i, e := range d.Entity {
+		byEntity[e] = append(byEntity[e], i)
+	}
+	var out []struct{ I, J int }
+	for e := 0; e < d.NumEntities; e++ {
+		recs := byEntity[e]
+		for a := 0; a < len(recs); a++ {
+			for b := a + 1; b < len(recs); b++ {
+				out = append(out, struct{ I, J int }{recs[a], recs[b]})
+			}
+		}
+	}
+	return out
+}
+
+// ERConfig parameterizes NewERDataset.
+type ERConfig struct {
+	// Entities is the number of distinct real-world entities.
+	Entities int
+	// DupMean is the mean number of records per entity (>= 1); record
+	// counts are 1 + Poisson(DupMean-1).
+	DupMean float64
+	// Noise in [0,1] controls how aggressively duplicate records are
+	// corrupted (token drops, typos, reorderings).
+	Noise float64
+}
+
+// NewERDataset generates a catalog with planted duplicates.
+func NewERDataset(rng *stats.RNG, cfg ERConfig) (*ERDataset, error) {
+	if cfg.Entities <= 0 {
+		return nil, fmt.Errorf("datagen: entities must be positive (got %d)", cfg.Entities)
+	}
+	if cfg.DupMean < 1 {
+		cfg.DupMean = 1
+	}
+	if cfg.Noise < 0 || cfg.Noise > 1 {
+		return nil, fmt.Errorf("datagen: noise %v outside [0,1]", cfg.Noise)
+	}
+	d := &ERDataset{NumEntities: cfg.Entities}
+	for e := 0; e < cfg.Entities; e++ {
+		base := canonicalRecord(rng, e)
+		n := 1 + rng.Poisson(cfg.DupMean-1)
+		for c := 0; c < n; c++ {
+			rec := base
+			if c > 0 {
+				rec = corruptRecord(rng, base, cfg.Noise)
+			}
+			d.Records = append(d.Records, rec)
+			d.Entity = append(d.Entity, e)
+		}
+	}
+	// Shuffle records so entity clusters are not contiguous.
+	rng.Shuffle(len(d.Records), func(i, j int) {
+		d.Records[i], d.Records[j] = d.Records[j], d.Records[i]
+		d.Entity[i], d.Entity[j] = d.Entity[j], d.Entity[i]
+	})
+	return d, nil
+}
+
+// canonicalRecord builds the canonical description of entity e.
+func canonicalRecord(rng *stats.RNG, e int) string {
+	parts := []string{
+		brands[rng.Intn(len(brands))],
+		products[rng.Intn(len(products))],
+		adjectives[rng.Intn(len(adjectives))],
+		fmt.Sprintf("%d", 100+rng.Intn(900)),
+		colors[rng.Intn(len(colors))],
+		fmt.Sprintf("e%d", e), // guarantees entities are distinguishable
+	}
+	return strings.Join(parts, " ")
+}
+
+// corruptRecord produces a noisy duplicate: token drops, typos, swaps and
+// case changes, scaled by noise.
+func corruptRecord(rng *stats.RNG, base string, noise float64) string {
+	tokens := strings.Fields(base)
+	out := make([]string, 0, len(tokens))
+	for _, tok := range tokens {
+		r := rng.Float64()
+		switch {
+		case r < 0.15*noise && len(out) > 0:
+			// drop token (never drop everything)
+			continue
+		case r < 0.40*noise:
+			out = append(out, typo(rng, tok))
+		default:
+			out = append(out, tok)
+		}
+	}
+	if len(out) == 0 {
+		out = tokens
+	}
+	// Occasionally swap two tokens.
+	if rng.Bool(0.3*noise) && len(out) >= 2 {
+		i := rng.Intn(len(out) - 1)
+		out[i], out[i+1] = out[i+1], out[i]
+	}
+	return strings.Join(out, " ")
+}
+
+// typo applies a single character edit to a token.
+func typo(rng *stats.RNG, tok string) string {
+	r := []rune(tok)
+	if len(r) < 2 {
+		return tok + "x"
+	}
+	switch rng.Intn(3) {
+	case 0: // swap
+		i := rng.Intn(len(r) - 1)
+		r[i], r[i+1] = r[i+1], r[i]
+	case 1: // drop
+		i := rng.Intn(len(r))
+		r = append(r[:i], r[i+1:]...)
+	default: // duplicate
+		i := rng.Intn(len(r))
+		r = append(r[:i+1], r[i:]...)
+	}
+	return string(r)
+}
+
+// RankingDataset is a set of items with latent quality scores; the true
+// ranking is by descending score. Pairwise task difficulty derives from
+// the score gap: close items are hard to compare.
+type RankingDataset struct {
+	Items  []string
+	Scores []float64
+}
+
+// NewRankingDataset generates n items with latent scores drawn uniformly
+// from [0, 10).
+func NewRankingDataset(rng *stats.RNG, n int) (*RankingDataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: item count must be positive (got %d)", n)
+	}
+	d := &RankingDataset{
+		Items:  make([]string, n),
+		Scores: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		d.Items[i] = fmt.Sprintf("item-%03d", i)
+		d.Scores[i] = rng.Range(0, 10)
+	}
+	return d, nil
+}
+
+// Better reports whether item i truly outranks item j.
+func (d *RankingDataset) Better(i, j int) bool { return d.Scores[i] > d.Scores[j] }
+
+// PairDifficulty maps the score gap between items to a task difficulty in
+// [0,1]: similar scores are hard (difficulty near 1), distant scores easy.
+func (d *RankingDataset) PairDifficulty(i, j int) float64 {
+	gap := d.Scores[i] - d.Scores[j]
+	if gap < 0 {
+		gap = -gap
+	}
+	// A gap of 5 (half the scale) or more is trivially easy.
+	diff := 1 - gap/5
+	if diff < 0 {
+		diff = 0
+	}
+	return diff
+}
+
+// TrueRanking returns item indices sorted by descending score.
+func (d *RankingDataset) TrueRanking() []int {
+	idx := make([]int, len(d.Items))
+	for i := range idx {
+		idx[i] = i
+	}
+	// insertion sort by descending score (n is small in experiments)
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && d.Scores[idx[j]] > d.Scores[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// LabelingDataset is a categorical labeling workload (image-tagging
+// style): n items, k classes, planted labels, per-item difficulty.
+type LabelingDataset struct {
+	Classes      []string
+	Labels       []int
+	Difficulties []float64
+}
+
+// NewLabelingDataset generates n items over k classes. Difficulty is
+// Beta(2,5)-distributed (most items easy, a hard tail), matching the
+// shape reported in empirical crowdsourcing studies.
+func NewLabelingDataset(rng *stats.RNG, n, k int) (*LabelingDataset, error) {
+	if n <= 0 || k < 2 {
+		return nil, fmt.Errorf("datagen: need n > 0 and k >= 2 (got %d, %d)", n, k)
+	}
+	d := &LabelingDataset{
+		Classes:      make([]string, k),
+		Labels:       make([]int, n),
+		Difficulties: make([]float64, n),
+	}
+	for c := 0; c < k; c++ {
+		d.Classes[c] = fmt.Sprintf("class-%c", 'A'+c)
+	}
+	for i := 0; i < n; i++ {
+		d.Labels[i] = rng.Intn(k)
+		d.Difficulties[i] = rng.Beta(2, 5)
+	}
+	return d, nil
+}
+
+// CollectionDomain generates an open domain of m distinct items for
+// crowdsourced enumeration experiments (e.g. "name a city").
+func CollectionDomain(m int) []string {
+	out := make([]string, m)
+	for i := range out {
+		out[i] = fmt.Sprintf("entry-%03d", i)
+	}
+	return out
+}
+
+// FilterDataset is a crowd-filtering workload: n items, each truly
+// passing the predicate with the given selectivity; per-item difficulty
+// Beta(2,5).
+type FilterDataset struct {
+	Pass         []bool
+	Difficulties []float64
+}
+
+// NewFilterDataset generates the workload.
+func NewFilterDataset(rng *stats.RNG, n int, selectivity float64) (*FilterDataset, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("datagen: item count must be positive (got %d)", n)
+	}
+	if selectivity < 0 || selectivity > 1 {
+		return nil, fmt.Errorf("datagen: selectivity %v outside [0,1]", selectivity)
+	}
+	d := &FilterDataset{
+		Pass:         make([]bool, n),
+		Difficulties: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		d.Pass[i] = rng.Bool(selectivity)
+		d.Difficulties[i] = rng.Beta(2, 5)
+	}
+	return d, nil
+}

@@ -1,0 +1,232 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/stats"
+)
+
+func TestNewERDatasetShape(t *testing.T) {
+	rng := stats.NewRNG(1)
+	d, err := NewERDataset(rng, ERConfig{Entities: 50, DupMean: 2, Noise: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumEntities != 50 {
+		t.Fatalf("NumEntities = %d", d.NumEntities)
+	}
+	if len(d.Records) != len(d.Entity) {
+		t.Fatal("records/entity length mismatch")
+	}
+	if len(d.Records) < 50 {
+		t.Fatalf("only %d records for 50 entities", len(d.Records))
+	}
+	seen := make(map[int]bool)
+	for _, e := range d.Entity {
+		if e < 0 || e >= 50 {
+			t.Fatalf("entity id %d out of range", e)
+		}
+		seen[e] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("only %d entities appear", len(seen))
+	}
+	for _, r := range d.Records {
+		if strings.TrimSpace(r) == "" {
+			t.Fatal("empty record generated")
+		}
+	}
+}
+
+func TestNewERDatasetValidation(t *testing.T) {
+	rng := stats.NewRNG(2)
+	if _, err := NewERDataset(rng, ERConfig{Entities: 0}); err == nil {
+		t.Fatal("zero entities should fail")
+	}
+	if _, err := NewERDataset(rng, ERConfig{Entities: 5, Noise: 1.5}); err == nil {
+		t.Fatal("noise > 1 should fail")
+	}
+}
+
+func TestERDuplicatesAreSimilar(t *testing.T) {
+	rng := stats.NewRNG(3)
+	d, err := NewERDataset(rng, ERConfig{Entities: 40, DupMean: 2.5, Noise: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average similarity within entities should far exceed cross-entity.
+	var within, cross []float64
+	for i := 0; i < len(d.Records); i++ {
+		for j := i + 1; j < len(d.Records); j++ {
+			s := cost.CombinedSimilarity(d.Records[i], d.Records[j])
+			if d.Entity[i] == d.Entity[j] {
+				within = append(within, s)
+			} else if len(cross) < 2000 {
+				cross = append(cross, s)
+			}
+		}
+	}
+	if len(within) == 0 {
+		t.Fatal("no duplicate pairs generated")
+	}
+	if stats.Mean(within) < stats.Mean(cross)+0.3 {
+		t.Fatalf("duplicates not separable: within %.3f vs cross %.3f",
+			stats.Mean(within), stats.Mean(cross))
+	}
+}
+
+func TestERTruePairsConsistent(t *testing.T) {
+	rng := stats.NewRNG(4)
+	d, _ := NewERDataset(rng, ERConfig{Entities: 20, DupMean: 2, Noise: 0.2})
+	pairs := d.TruePairs()
+	for _, p := range pairs {
+		if d.Entity[p.I] != d.Entity[p.J] {
+			t.Fatalf("TruePairs produced cross-entity pair %v", p)
+		}
+		if p.I >= p.J {
+			t.Fatalf("pair not normalized: %v", p)
+		}
+	}
+	// Count check: sum over clusters of C(n,2).
+	sizes := make(map[int]int)
+	for _, e := range d.Entity {
+		sizes[e]++
+	}
+	want := 0
+	for _, n := range sizes {
+		want += n * (n - 1) / 2
+	}
+	if len(pairs) != want {
+		t.Fatalf("TruePairs = %d, want %d", len(pairs), want)
+	}
+}
+
+func TestERDeterminism(t *testing.T) {
+	a, _ := NewERDataset(stats.NewRNG(5), ERConfig{Entities: 30, DupMean: 2, Noise: 0.4})
+	b, _ := NewERDataset(stats.NewRNG(5), ERConfig{Entities: 30, DupMean: 2, Noise: 0.4})
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("not deterministic in size")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] || a.Entity[i] != b.Entity[i] {
+			t.Fatalf("not deterministic at %d", i)
+		}
+	}
+}
+
+func TestNewRankingDataset(t *testing.T) {
+	rng := stats.NewRNG(6)
+	d, err := NewRankingDataset(rng, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Items) != 30 || len(d.Scores) != 30 {
+		t.Fatal("shape wrong")
+	}
+	rank := d.TrueRanking()
+	if len(rank) != 30 {
+		t.Fatal("ranking length wrong")
+	}
+	for i := 1; i < len(rank); i++ {
+		if d.Scores[rank[i]] > d.Scores[rank[i-1]] {
+			t.Fatal("TrueRanking not descending")
+		}
+	}
+	if _, err := NewRankingDataset(rng, 0); err == nil {
+		t.Fatal("zero items should fail")
+	}
+}
+
+func TestPairDifficulty(t *testing.T) {
+	d := &RankingDataset{
+		Items:  []string{"a", "b", "c"},
+		Scores: []float64{9, 8.9, 1},
+	}
+	close := d.PairDifficulty(0, 1)
+	far := d.PairDifficulty(0, 2)
+	if close <= far {
+		t.Fatalf("close pair difficulty %v should exceed far %v", close, far)
+	}
+	if far != 0 {
+		t.Fatalf("gap > 5 should be difficulty 0, got %v", far)
+	}
+	if d.PairDifficulty(0, 1) != d.PairDifficulty(1, 0) {
+		t.Fatal("difficulty not symmetric")
+	}
+	if !d.Better(0, 2) || d.Better(2, 0) {
+		t.Fatal("Better broken")
+	}
+}
+
+func TestNewLabelingDataset(t *testing.T) {
+	rng := stats.NewRNG(7)
+	d, err := NewLabelingDataset(rng, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Classes) != 3 || len(d.Labels) != 500 || len(d.Difficulties) != 500 {
+		t.Fatal("shape wrong")
+	}
+	counts := make([]int, 3)
+	for i, l := range d.Labels {
+		if l < 0 || l >= 3 {
+			t.Fatalf("label %d out of range", l)
+		}
+		counts[l]++
+		if d.Difficulties[i] < 0 || d.Difficulties[i] > 1 {
+			t.Fatalf("difficulty %v out of range", d.Difficulties[i])
+		}
+	}
+	for c, n := range counts {
+		if n < 100 {
+			t.Fatalf("class %d underrepresented: %d", c, n)
+		}
+	}
+	// Beta(2,5) has mean 2/7: most items easy.
+	if m := stats.Mean(d.Difficulties); m > 0.4 {
+		t.Fatalf("mean difficulty %v, want ~0.29", m)
+	}
+	if _, err := NewLabelingDataset(rng, 10, 1); err == nil {
+		t.Fatal("k=1 should fail")
+	}
+}
+
+func TestCollectionDomain(t *testing.T) {
+	dom := CollectionDomain(10)
+	if len(dom) != 10 {
+		t.Fatal("domain size wrong")
+	}
+	seen := map[string]bool{}
+	for _, d := range dom {
+		if seen[d] {
+			t.Fatalf("duplicate domain item %s", d)
+		}
+		seen[d] = true
+	}
+}
+
+func TestNewFilterDataset(t *testing.T) {
+	rng := stats.NewRNG(8)
+	d, err := NewFilterDataset(rng, 2000, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := 0
+	for _, p := range d.Pass {
+		if p {
+			pass++
+		}
+	}
+	frac := float64(pass) / 2000
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("selectivity %v, want ~0.3", frac)
+	}
+	if _, err := NewFilterDataset(rng, 0, 0.5); err == nil {
+		t.Fatal("zero items should fail")
+	}
+	if _, err := NewFilterDataset(rng, 10, 1.5); err == nil {
+		t.Fatal("bad selectivity should fail")
+	}
+}

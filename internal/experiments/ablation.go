@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/crowd"
+	"repro/internal/datagen"
+	"repro/internal/latency"
+	"repro/internal/operators"
+	"repro/internal/stats"
+)
+
+// A1MaxRedundancy ablates the per-comparison redundancy of the
+// tournament-max operator: more votes per match cost linearly more and
+// push the winner's true rank toward 1.
+func A1MaxRedundancy(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "A1",
+		Title:  "Ablation: tournament-max redundancy per match",
+		Header: []string{"redundancy", "votes", "winner-rank"},
+		Notes: []string{
+			"60 items, mixed crowd; mean over 5 seeds",
+			fmt.Sprintf("seed %d", seed),
+		},
+	}
+	const n = 60
+	const reps = 5
+	for _, k := range []int{1, 3, 5, 7} {
+		var votes, rank float64
+		for rep := uint64(0); rep < reps; rep++ {
+			rng := stats.NewRNG(seed + rep)
+			d, err := datagen.NewRankingDataset(rng, n)
+			if err != nil {
+				return nil, err
+			}
+			actual := d.TrueRanking()
+			crng := stats.NewRNG(seed*17 + rep)
+			ws := crowd.NewPopulation(crng, 80, crowd.RegimeMixed)
+			runner := operators.NewRunner(crowd.AsCoreWorkers(ws), nil, crng.Split())
+			res, err := operators.MaxTournament(runner, n, rankingOracle{d}, k)
+			if err != nil {
+				return nil, err
+			}
+			votes += float64(res.VotesUsed)
+			for r, item := range actual {
+				if item == res.Winner {
+					rank += float64(r + 1)
+					break
+				}
+			}
+		}
+		tbl.AddRow(k, votes/reps, rank/reps)
+	}
+	return tbl, nil
+}
+
+// A2JoinBatching ablates the batching factor of the crowd join: HIT count
+// falls as 1/batch while votes (and quality) stay constant — batching
+// trades per-task overhead, not answers.
+func A2JoinBatching(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "A2",
+		Title:  "Ablation: crowd-join batch size",
+		Header: []string{"batch", "pairs-asked", "tasks", "votes", "F1"},
+		Notes: []string{
+			"ER catalog: 100 entities; pruning 0.3 + transitivity; redundancy 3",
+			fmt.Sprintf("seed %d", seed),
+		},
+	}
+	for _, batch := range []int{1, 5, 10, 20, 50} {
+		d, runner, err := joinWorkload(seed, 100)
+		if err != nil {
+			return nil, err
+		}
+		res, err := operators.Join(runner, d.Records, operators.JoinConfig{
+			PruneLow: 0.3, AutoHigh: 2, Redundancy: 3,
+			UseTransitivity: true, BatchSize: batch,
+		}, func(i int) int { return d.Entity[i] })
+		if err != nil {
+			return nil, err
+		}
+		prf := cost.EvaluatePairs(res.Matches, truePairs(d), true)
+		tbl.AddRow(batch, res.AskedPairs, res.TaskCount, res.VotesUsed, prf.F1)
+	}
+	return tbl, nil
+}
+
+// F10Categorize compares flat wide-choice categorization against
+// hierarchical taxonomy walks on cost and accuracy, for narrow-easy and
+// wide-hard taxonomies.
+func F10Categorize(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "F10",
+		Title:  "Crowd categorization: flat vs hierarchical",
+		Header: []string{"taxonomy", "strategy", "questions", "votes", "accuracy"},
+		Notes: []string{
+			"120 items, mixed crowd, redundancy 3; mean over 3 seeds",
+			fmt.Sprintf("seed %d", seed),
+		},
+	}
+	taxonomies := []struct {
+		name string
+		tax  *operators.Taxonomy
+		diff float64
+	}{
+		{"narrow-easy (3x3, d=0.15)", narrowTaxonomy(), 0.15},
+		{"wide-hard (5x5, d=0.5)", wideTaxonomy(), 0.5},
+	}
+	const nItems = 120
+	const reps = 3
+	for _, tc := range taxonomies {
+		leaves := tc.tax.Leaves()
+		for _, strategy := range []string{"flat", "hierarchical"} {
+			var questions, votes, acc float64
+			for rep := uint64(0); rep < reps; rep++ {
+				rng := stats.NewRNG(seed + rep*7)
+				items := make([]operators.CategorizeItem, nItems)
+				for i := range items {
+					leaf := leaves[rng.Intn(len(leaves))]
+					items[i] = operators.CategorizeItem{
+						Question: "item of type " + leaf, TruthLeaf: leaf,
+						Difficulty: tc.diff,
+					}
+				}
+				crng := stats.NewRNG(seed*13 + rep)
+				ws := crowd.NewPopulation(crng, 60, crowd.RegimeMixed)
+				runner := operators.NewRunner(crowd.AsCoreWorkers(ws), nil, crng.Split())
+				var res *operators.CategorizeResult
+				var err error
+				if strategy == "flat" {
+					res, err = operators.CategorizeFlat(runner, items, tc.tax, 3)
+				} else {
+					res, err = operators.CategorizeHierarchical(runner, items, tc.tax, 3)
+				}
+				if err != nil {
+					return nil, err
+				}
+				questions += float64(res.QuestionsAsked)
+				votes += float64(res.VotesUsed)
+				acc += res.Accuracy(items)
+			}
+			tbl.AddRow(tc.name, strategy, questions/reps, votes/reps, acc/reps)
+		}
+	}
+	return tbl, nil
+}
+
+func narrowTaxonomy() *operators.Taxonomy {
+	root := &operators.Taxonomy{Name: "root"}
+	for g := 0; g < 3; g++ {
+		group := &operators.Taxonomy{Name: fmt.Sprintf("g%d", g)}
+		for l := 0; l < 3; l++ {
+			group.Children = append(group.Children,
+				&operators.Taxonomy{Name: fmt.Sprintf("g%d-l%d", g, l)})
+		}
+		root.Children = append(root.Children, group)
+	}
+	return root
+}
+
+func wideTaxonomy() *operators.Taxonomy {
+	root := &operators.Taxonomy{Name: "root"}
+	for g := 0; g < 5; g++ {
+		group := &operators.Taxonomy{Name: fmt.Sprintf("w%d", g)}
+		for l := 0; l < 5; l++ {
+			group.Children = append(group.Children,
+				&operators.Taxonomy{Name: fmt.Sprintf("w%d-l%d", g, l)})
+		}
+		root.Children = append(root.Children, group)
+	}
+	return root
+}
+
+// A3Pricing sweeps the per-task reward through the pricing–latency model:
+// higher pay draws workers faster (superlinear supply response), cutting
+// makespan while total spend rises — the "pay more, wait less" frontier
+// of latency control.
+func A3Pricing(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "A3",
+		Title:  "Pricing vs latency: the pay-more-wait-less frontier",
+		Header: []string{"price", "arrival-rate", "makespan(s)", "total-cost"},
+		Notes: []string{
+			"300 tasks, redundancy 3; supply model rate = 0.1·(price/0.05)^1.5; mean of 3 seeds",
+			fmt.Sprintf("seed %d", seed),
+		},
+	}
+	model := latency.PricingModel{BaseRate: 0.1, ReferencePrice: 0.05, Elasticity: 1.5}
+	cfg := latency.AsyncConfig{
+		Tasks: 300, Redundancy: 3, SessionTasks: 15,
+		Latency: latency.LogNormalLatency(12, 1.0),
+	}
+	prices := []float64{0.02, 0.05, 0.10, 0.20, 0.40}
+	const reps = 3
+	sums := make([]latency.PriceLatencyPoint, len(prices))
+	for rep := uint64(0); rep < reps; rep++ {
+		points, err := latency.PriceSweep(stats.NewRNG(seed+rep*3), model, cfg, prices)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range points {
+			sums[i].Price = p.Price
+			sums[i].ArrivalRate = p.ArrivalRate
+			sums[i].Makespan += p.Makespan
+			sums[i].TotalCost += p.TotalCost
+		}
+	}
+	for _, p := range sums {
+		tbl.AddRow(p.Price, p.ArrivalRate, p.Makespan/reps, p.TotalCost/reps)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,440 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cellF(t *testing.T, tbl *Table, row int, header string) float64 {
+	t.Helper()
+	s := tbl.Cell(row, header)
+	if s == "" || s == "-" {
+		t.Fatalf("%s: empty cell (%d, %s)", tbl.ID, row, header)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%s)=%q not numeric: %v", tbl.ID, row, header, s, err)
+	}
+	return v
+}
+
+func TestTableWriteAndCell(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Header: []string{"a", "b"}}
+	tbl.AddRow(1, 2.5)
+	tbl.Notes = append(tbl.Notes, "a note")
+	var buf bytes.Buffer
+	if err := tbl.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"X", "demo", "2.500", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.Cell(0, "b") != "2.500" || tbl.Cell(0, "zz") != "" || tbl.Cell(5, "a") != "" {
+		t.Fatal("Cell lookup broken")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 18 {
+		t.Fatalf("registry has %d experiments, want 18: %v", len(ids), ids)
+	}
+	if _, err := Get("T2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+func TestT1SystemsMatrix(t *testing.T) {
+	tbl, err := T1Systems(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 10 {
+		t.Fatalf("capability rows = %d", len(tbl.Rows))
+	}
+	// crowdkit column should claim every capability at least partially.
+	for i, row := range tbl.Rows {
+		v := tbl.Cell(i, "crowdkit")
+		if v == "no" {
+			t.Fatalf("crowdkit claims 'no' for %s", row[0])
+		}
+	}
+}
+
+func TestT2TruthInferenceShape(t *testing.T) {
+	tbl, err := T2TruthInference(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 12 { // 3 regimes x 4 methods
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Reliable-regime MV should be accurate; spammy-regime EM should beat
+	// spammy-regime MV (the headline qualitative result).
+	byKey := map[string]float64{}
+	for i := range tbl.Rows {
+		byKey[tbl.Cell(i, "regime")+"/"+tbl.Cell(i, "method")] = cellF(t, tbl, i, "accuracy")
+	}
+	if byKey["reliable/MV"] < 0.9 {
+		t.Fatalf("reliable MV = %.3f", byKey["reliable/MV"])
+	}
+	if byKey["spammy/DS"] < byKey["spammy/MV"]-0.01 {
+		t.Fatalf("spammy DS %.3f should not lose to MV %.3f",
+			byKey["spammy/DS"], byKey["spammy/MV"])
+	}
+	if byKey["spammy/OneCoinEM"] < byKey["spammy/MV"]-0.01 {
+		t.Fatalf("spammy OneCoinEM %.3f should not lose to MV %.3f",
+			byKey["spammy/OneCoinEM"], byKey["spammy/MV"])
+	}
+}
+
+func TestF1RedundancyMonotoneImprovement(t *testing.T) {
+	tbl, err := F1Redundancy(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// k=9 should clearly beat k=1 for every method.
+	for _, method := range []string{"MV", "OneCoinEM", "DS", "GLAD"} {
+		lo := cellF(t, tbl, 0, method)
+		hi := cellF(t, tbl, len(tbl.Rows)-1, method)
+		if hi < lo+0.03 {
+			t.Fatalf("%s: k=9 accuracy %.3f not above k=1 %.3f", method, hi, lo)
+		}
+	}
+}
+
+func TestF2AssignmentSmartNotWorse(t *testing.T) {
+	tbl, err := F2Assignment(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(tbl.Rows) - 1
+	rand0 := cellF(t, tbl, 0, "random")
+	randN := cellF(t, tbl, last, "random")
+	if randN < rand0 {
+		t.Fatalf("more budget should not hurt random: %.3f -> %.3f", rand0, randN)
+	}
+	// At mid budgets, quality-aware policies should not lose badly.
+	qasca := cellF(t, tbl, 2, "qasca")
+	randm := cellF(t, tbl, 2, "random")
+	if qasca < randm-0.05 {
+		t.Fatalf("qasca %.3f far below random %.3f at 3x budget", qasca, randm)
+	}
+}
+
+func TestT3EliminationHelps(t *testing.T) {
+	tbl, err := T3Elimination(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc0 := cellF(t, tbl, 0, "accuracy")
+	accLast := cellF(t, tbl, len(tbl.Rows)-1, "accuracy")
+	if accLast < acc0-0.02 {
+		t.Fatalf("screening hurt accuracy: %.3f -> %.3f", acc0, accLast)
+	}
+	if elim := cellF(t, tbl, len(tbl.Rows)-1, "eliminated"); elim == 0 {
+		t.Fatal("20% goldens eliminated nobody in a spammy crowd")
+	}
+}
+
+func TestT4JoinOrdering(t *testing.T) {
+	tbl, err := T4Join(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asked := map[string]float64{}
+	f1 := map[string]float64{}
+	for i := range tbl.Rows {
+		name := tbl.Cell(i, "strategy")
+		asked[name] = cellF(t, tbl, i, "pairs-asked")
+		f1[name] = cellF(t, tbl, i, "F1")
+	}
+	if !(asked["all-pairs"] > asked["pruned"] && asked["pruned"] > asked["pruned+trans"]) {
+		t.Fatalf("ask counts not ordered: %v", asked)
+	}
+	for name, v := range f1 {
+		if v < 0.85 {
+			t.Fatalf("%s F1 = %.3f", name, v)
+		}
+	}
+	// Batching cuts task count below asked pairs.
+	for i := range tbl.Rows {
+		if tbl.Cell(i, "strategy") == "pruned+trans+batch10" {
+			if cellF(t, tbl, i, "tasks") >= cellF(t, tbl, i, "pairs-asked") {
+				t.Fatal("batching did not reduce task count")
+			}
+		}
+	}
+}
+
+func TestF3ThresholdTradeoff(t *testing.T) {
+	tbl, err := F3JoinThreshold(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asked pairs shrink monotonically with the threshold.
+	prev := cellF(t, tbl, 0, "asked")
+	for i := 1; i < len(tbl.Rows); i++ {
+		cur := cellF(t, tbl, i, "asked")
+		if cur > prev {
+			t.Fatalf("asked pairs rose with threshold at row %d", i)
+		}
+		prev = cur
+	}
+	// Recall at the loosest threshold beats recall at the tightest.
+	if cellF(t, tbl, 0, "recall") <= cellF(t, tbl, len(tbl.Rows)-1, "recall") {
+		t.Fatal("tight pruning should eventually cost recall")
+	}
+}
+
+func TestF4TransitivityGrowsWithClusters(t *testing.T) {
+	tbl, err := F4Transitivity(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cellF(t, tbl, 0, "deduced-frac")
+	last := cellF(t, tbl, len(tbl.Rows)-1, "deduced-frac")
+	if first != 0 {
+		t.Fatalf("singleton clusters deduced %.3f, want 0", first)
+	}
+	if last < 0.3 {
+		t.Fatalf("size-8 clusters deduced only %.3f", last)
+	}
+}
+
+func TestF5TopKShape(t *testing.T) {
+	tbl, err := F5TopK(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	votes := map[string]float64{}
+	tau := map[string]float64{}
+	for i := range tbl.Rows {
+		name := tbl.Cell(i, "strategy")
+		votes[name] = cellF(t, tbl, i, "votes")
+		if s := tbl.Cell(i, "tau"); s != "-" {
+			tau[name] = cellF(t, tbl, i, "tau")
+		}
+	}
+	if votes["tournament-max"] >= votes["all-pairs"] {
+		t.Fatalf("tournament should be cheaper than all-pairs: %v", votes)
+	}
+	if votes["rating"] >= votes["all-pairs"] {
+		t.Fatalf("rating should be cheaper than all-pairs: %v", votes)
+	}
+	if tau["all-pairs"] <= tau["rating"] {
+		t.Fatalf("all-pairs tau %.3f should beat rating %.3f", tau["all-pairs"], tau["rating"])
+	}
+}
+
+func TestF6CountErrorShrinks(t *testing.T) {
+	tbl, err := F6Count(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range []string{"sel=0.1", "sel=0.3", "sel=0.5"} {
+		small := cellF(t, tbl, 0, col)
+		large := cellF(t, tbl, len(tbl.Rows)-1, col)
+		if large >= small {
+			t.Fatalf("%s: error did not shrink with samples (%.3f -> %.3f)", col, small, large)
+		}
+	}
+}
+
+func TestF7CollectSaturates(t *testing.T) {
+	tbl, err := F7Collect(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i := range tbl.Rows {
+		d := cellF(t, tbl, i, "distinct")
+		if d < prev {
+			t.Fatal("distinct counts not monotone")
+		}
+		prev = d
+	}
+	// Final Chao92 should be in the ballpark of the true domain.
+	chao := cellF(t, tbl, len(tbl.Rows)-1, "chao92")
+	if chao < prev || chao > 3*200 {
+		t.Fatalf("final chao92 = %.1f (distinct %.0f, domain 200)", chao, prev)
+	}
+}
+
+func TestF8FilterTradeoffs(t *testing.T) {
+	tbl, err := F8Filter(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := map[string]float64{}
+	acc := map[string]float64{}
+	for i := range tbl.Rows {
+		name := tbl.Cell(i, "strategy")
+		cost[name] = cellF(t, tbl, i, "votes/item")
+		acc[name] = cellF(t, tbl, i, "accuracy")
+	}
+	if cost["early-m2-max7"] >= cost["fixed-7"] {
+		t.Fatalf("early stop should undercut fixed-7: %v", cost)
+	}
+	if acc["fixed-7"] < acc["fixed-3"]-0.02 {
+		t.Fatalf("more votes should not hurt: %v", acc)
+	}
+}
+
+func TestF9LatencyShape(t *testing.T) {
+	tbl, err := F9Latency(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Makespan grows with redundancy for plain rounds.
+	var plain []float64
+	byName := map[string][]int{}
+	for i := range tbl.Rows {
+		byName[tbl.Cell(i, "setting")] = append(byName[tbl.Cell(i, "setting")], i)
+	}
+	for _, i := range byName["rounds"] {
+		plain = append(plain, cellF(t, tbl, i, "makespan(s)"))
+	}
+	if len(plain) != 3 || plain[2] <= plain[0] {
+		t.Fatalf("round makespans not growing with k: %v", plain)
+	}
+	// Mitigation beats plain at the same redundancy.
+	for idx := range byName["rounds"] {
+		p := cellF(t, tbl, byName["rounds"][idx], "makespan(s)")
+		m := cellF(t, tbl, byName["rounds+mitigation"][idx], "makespan(s)")
+		if m >= p {
+			t.Fatalf("mitigation %.1f >= plain %.1f at row %d", m, p, idx)
+		}
+	}
+	// Async: higher arrival rate, lower makespan.
+	lo := cellF(t, tbl, byName["async rate=0.05/s"][0], "makespan(s)")
+	hi := cellF(t, tbl, byName["async rate=1.00/s"][0], "makespan(s)")
+	if hi >= lo {
+		t.Fatalf("async makespan did not drop with arrivals: %.1f vs %.1f", hi, lo)
+	}
+}
+
+func TestT5OptimizerSavesCrowdWork(t *testing.T) {
+	tbl, err := T5Optimizer(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		naive := cellF(t, tbl, i, "naive")
+		opt := cellF(t, tbl, i, "optimized")
+		if opt >= naive {
+			t.Fatalf("query %s: optimized %v >= naive %v", tbl.Cell(i, "query"), opt, naive)
+		}
+	}
+}
+
+func TestRunAndRunAllSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	tbl, err := Run("F4", 2, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "F4" || buf.Len() == 0 {
+		t.Fatal("Run did not produce output")
+	}
+	if _, err := Run("nope", 2, nil); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestA1MaxRedundancyMonotone(t *testing.T) {
+	tbl, err := A1MaxRedundancy(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost grows linearly with k; winner rank should improve (shrink)
+	// from k=1 to k=7.
+	v1 := cellF(t, tbl, 0, "votes")
+	v7 := cellF(t, tbl, len(tbl.Rows)-1, "votes")
+	if v7 != 7*v1 {
+		t.Fatalf("votes not linear in k: %v vs %v", v1, v7)
+	}
+	r1 := cellF(t, tbl, 0, "winner-rank")
+	r7 := cellF(t, tbl, len(tbl.Rows)-1, "winner-rank")
+	if r7 > r1 {
+		t.Fatalf("winner rank worsened with redundancy: %v -> %v", r1, r7)
+	}
+}
+
+func TestA2JoinBatchingShape(t *testing.T) {
+	tbl, err := A2JoinBatching(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tasks shrink ~1/batch; votes and F1 stay flat.
+	t1 := cellF(t, tbl, 0, "tasks")
+	tLast := cellF(t, tbl, len(tbl.Rows)-1, "tasks")
+	if tLast >= t1/5 {
+		t.Fatalf("batching did not shrink tasks: %v -> %v", t1, tLast)
+	}
+	v1 := cellF(t, tbl, 0, "votes")
+	for i := 1; i < len(tbl.Rows); i++ {
+		if cellF(t, tbl, i, "votes") != v1 {
+			t.Fatal("votes should be independent of batch size")
+		}
+	}
+}
+
+func TestF10CategorizeShape(t *testing.T) {
+	tbl, err := F10Categorize(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	get := func(taxPrefix, strategy, col string) float64 {
+		for i := range tbl.Rows {
+			if strings.HasPrefix(tbl.Cell(i, "taxonomy"), taxPrefix) &&
+				tbl.Cell(i, "strategy") == strategy {
+				return cellF(t, tbl, i, col)
+			}
+		}
+		t.Fatalf("row %s/%s not found", taxPrefix, strategy)
+		return 0
+	}
+	// Hierarchical asks more questions but wins accuracy on the wide-hard
+	// taxonomy.
+	if get("wide", "hierarchical", "accuracy") <= get("wide", "flat", "accuracy") {
+		t.Fatalf("hierarchical should beat flat on wide-hard: %v vs %v",
+			get("wide", "hierarchical", "accuracy"), get("wide", "flat", "accuracy"))
+	}
+	if get("wide", "hierarchical", "questions") <= get("wide", "flat", "questions") {
+		t.Fatal("hierarchical should ask more questions per item")
+	}
+}
+
+func TestA3PricingFrontier(t *testing.T) {
+	tbl, err := A3Pricing(23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Makespan monotone down, cost monotone up across the price sweep.
+	for i := 1; i < len(tbl.Rows); i++ {
+		if cellF(t, tbl, i, "makespan(s)") >= cellF(t, tbl, i-1, "makespan(s)") {
+			t.Fatalf("makespan did not fall at row %d", i)
+		}
+		if cellF(t, tbl, i, "total-cost") <= cellF(t, tbl, i-1, "total-cost") {
+			t.Fatalf("cost did not rise at row %d", i)
+		}
+	}
+}

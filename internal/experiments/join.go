@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/crowd"
+	"repro/internal/datagen"
+	"repro/internal/operators"
+	"repro/internal/stats"
+)
+
+// joinWorkload plants an ER catalog and a reliable crowd runner.
+func joinWorkload(seed uint64, entities int) (*datagen.ERDataset, *operators.Runner, error) {
+	rng := stats.NewRNG(seed)
+	d, err := datagen.NewERDataset(rng, datagen.ERConfig{
+		Entities: entities, DupMean: 2.2, Noise: 0.3,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ws := crowd.NewPopulation(rng, 60, crowd.RegimeReliable)
+	runner := operators.NewRunner(crowd.AsCoreWorkers(ws), nil, rng.Split())
+	return d, runner, nil
+}
+
+func truePairs(d *datagen.ERDataset) []cost.Pair {
+	tp := d.TruePairs()
+	out := make([]cost.Pair, len(tp))
+	for i, p := range tp {
+		out[i] = cost.Pair{I: p.I, J: p.J}
+	}
+	return out
+}
+
+// T4Join compares crowd-join strategies (CrowdER pipeline stages) on task
+// count, votes and quality.
+func T4Join(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "T4",
+		Title:  "Crowd join strategies: cost and quality",
+		Header: []string{"strategy", "pairs-asked", "tasks", "votes", "precision", "recall", "F1"},
+		Notes: []string{
+			"ER catalog: 150 entities, ~2.2 records each, noise 0.3; redundancy 3; reliable crowd",
+			fmt.Sprintf("seed %d", seed),
+		},
+	}
+	type strat struct {
+		name string
+		cfg  operators.JoinConfig
+	}
+	strategies := []strat{
+		{"all-pairs", operators.JoinConfig{PruneLow: 0, AutoHigh: 2, Redundancy: 3}},
+		{"pruned", operators.JoinConfig{PruneLow: 0.3, AutoHigh: 2, Redundancy: 3}},
+		{"pruned+trans", operators.JoinConfig{PruneLow: 0.3, AutoHigh: 2, Redundancy: 3, UseTransitivity: true}},
+		{"pruned+trans+batch10", operators.JoinConfig{PruneLow: 0.3, AutoHigh: 2, Redundancy: 3, UseTransitivity: true, BatchSize: 10}},
+	}
+	for _, st := range strategies {
+		d, runner, err := joinWorkload(seed, 150)
+		if err != nil {
+			return nil, err
+		}
+		res, err := operators.Join(runner, d.Records, st.cfg, func(i int) int { return d.Entity[i] })
+		if err != nil {
+			return nil, err
+		}
+		prf := cost.EvaluatePairs(res.Matches, truePairs(d), true)
+		tbl.AddRow(st.name, res.AskedPairs, res.TaskCount, res.VotesUsed,
+			prf.Precision, prf.Recall, prf.F1)
+	}
+	return tbl, nil
+}
+
+// F3JoinThreshold sweeps the pruning threshold: asked pairs shrink while
+// recall eventually collapses — the cost/quality crossover.
+func F3JoinThreshold(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "F3",
+		Title:  "Crowd join: pruning threshold sweep",
+		Header: []string{"threshold", "candidates", "pruned", "asked", "F1", "recall"},
+		Notes: []string{
+			"ER catalog: 100 entities; transitivity on; redundancy 3",
+			fmt.Sprintf("seed %d", seed),
+		},
+	}
+	for _, th := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8} {
+		d, runner, err := joinWorkload(seed, 100)
+		if err != nil {
+			return nil, err
+		}
+		res, err := operators.Join(runner, d.Records, operators.JoinConfig{
+			PruneLow: th, AutoHigh: 2, Redundancy: 3, UseTransitivity: true,
+		}, func(i int) int { return d.Entity[i] })
+		if err != nil {
+			return nil, err
+		}
+		prf := cost.EvaluatePairs(res.Matches, truePairs(d), true)
+		tbl.AddRow(th, res.CandidatePairs, res.Pruned, res.AskedPairs, prf.F1, prf.Recall)
+	}
+	return tbl, nil
+}
+
+// F4Transitivity isolates answer deduction: fraction of candidate pairs
+// deduced (not asked) as the planted cluster size grows.
+func F4Transitivity(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "F4",
+		Title:  "Transitivity deduction vs entity cluster size",
+		Header: []string{"cluster-size", "pairs", "asked", "deduced", "deduced-frac"},
+		Notes: []string{
+			"Perfect oracle; 40 entities per setting; match-first pair order (as similarity ordering yields)",
+			fmt.Sprintf("seed %d (deterministic)", seed),
+		},
+	}
+	for _, size := range []int{1, 2, 3, 4, 6, 8} {
+		nRecords := 40 * size
+		entityOf := func(i int) int { return i / size }
+		var matchFirst, rest []cost.Pair
+		for i := 0; i < nRecords; i++ {
+			for j := i + 1; j < nRecords; j++ {
+				p := cost.Pair{I: i, J: j}
+				if entityOf(i) == entityOf(j) {
+					matchFirst = append(matchFirst, p)
+				} else {
+					rest = append(rest, p)
+				}
+			}
+		}
+		// Bound the non-match pairs so the experiment stays fast while
+		// still exercising negative deduction.
+		if len(rest) > 20000 {
+			rest = rest[:20000]
+		}
+		ordered := append(matchFirst, rest...)
+		tr := cost.NewTransitivity(nRecords)
+		st := tr.ResolveWithOracle(ordered, func(p cost.Pair) cost.Verdict {
+			if entityOf(p.I) == entityOf(p.J) {
+				return cost.Match
+			}
+			return cost.NonMatch
+		})
+		total := len(ordered)
+		deduced := st.DeducedMatch + st.DeducedNon
+		tbl.AddRow(size, total, st.Asked, deduced, float64(deduced)/float64(total))
+	}
+	return tbl, nil
+}

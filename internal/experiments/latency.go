@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/latency"
+	"repro/internal/stats"
+)
+
+// F9Latency measures the round model: makespan vs redundancy, with and
+// without straggler mitigation, plus the asynchronous arrival-rate sweep.
+func F9Latency(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "F9",
+		Title:  "Latency: makespan vs redundancy; straggler mitigation; arrivals",
+		Header: []string{"setting", "redundancy", "rounds", "makespan(s)", "extra-answers"},
+		Notes: []string{
+			"500 tasks, 100 workers/round, log-normal latency median 12s sigma 1.4; mean of 5 seeds",
+			"async rows: Poisson arrivals, session length 20 tasks",
+			fmt.Sprintf("seed %d", seed),
+		},
+	}
+	heavy := latency.LogNormalLatency(12, 1.4)
+	const reps = 5
+	for _, k := range []int{1, 3, 5} {
+		for _, mitigate := range []bool{false, true} {
+			var rounds, makespan, extra float64
+			for rep := uint64(0); rep < reps; rep++ {
+				cfg := latency.RoundConfig{
+					Tasks: 500, Workers: 100, Redundancy: k, Latency: heavy,
+				}
+				if mitigate {
+					cfg.MitigateAfter = 0.85
+				}
+				res, err := latency.SimulateRounds(stats.NewRNG(seed+rep*7), cfg)
+				if err != nil {
+					return nil, err
+				}
+				rounds += float64(res.Rounds)
+				makespan += res.Makespan
+				extra += float64(res.TotalAnswers - 500*k)
+			}
+			name := "rounds"
+			if mitigate {
+				name = "rounds+mitigation"
+			}
+			tbl.AddRow(name, k, rounds/reps, makespan/reps, extra/reps)
+		}
+	}
+	// Asynchronous completion vs worker arrival rate.
+	for _, rate := range []float64{0.05, 0.2, 1.0} {
+		var makespan float64
+		for rep := uint64(0); rep < reps; rep++ {
+			res, err := latency.SimulateAsync(stats.NewRNG(seed+rep*11), latency.AsyncConfig{
+				Tasks: 500, Redundancy: 3, ArrivalRate: rate,
+				SessionTasks: 20, Latency: heavy,
+			})
+			if err != nil {
+				return nil, err
+			}
+			makespan += res.Makespan
+		}
+		tbl.AddRow(fmt.Sprintf("async rate=%.2f/s", rate), 3, "-", makespan/reps, 0)
+	}
+	return tbl, nil
+}

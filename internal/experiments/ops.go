@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/crowd"
+	"repro/internal/datagen"
+	"repro/internal/operators"
+	"repro/internal/stats"
+)
+
+type rankingOracle struct{ d *datagen.RankingDataset }
+
+func (o rankingOracle) Truth(i, j int) (bool, float64) {
+	return o.d.Better(i, j), o.d.PairDifficulty(i, j)
+}
+
+func (o rankingOracle) Label(i int) string { return o.d.Items[i] }
+
+// F5TopK compares max/sort strategies on cost (votes) and quality: the
+// mean true rank of the returned winner (1 = perfect; close latent scores
+// make exact max identification near-impossible at low redundancy, so a
+// graded metric is fairer than a hit rate), Kendall tau, and precision@10.
+func F5TopK(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "F5",
+		Title:  "Max / sort / top-k strategies: cost vs quality",
+		Header: []string{"strategy", "votes", "winner-rank", "tau", "P@10"},
+		Notes: []string{
+			"60 items, latent scores U[0,10); mixed crowd; redundancy 3 (ratings 5); mean of 3 seeds",
+			fmt.Sprintf("seed %d", seed),
+		},
+	}
+	const n = 60
+	const reps = 3
+	type acc struct {
+		votes, winnerRank, tau, p10 float64
+	}
+	results := map[string]*acc{}
+	order := []string{"tournament-max", "all-pairs", "binary-insertion", "rating", "hybrid"}
+	for _, name := range order {
+		results[name] = &acc{}
+	}
+	for rep := uint64(0); rep < reps; rep++ {
+		rng := stats.NewRNG(seed + rep)
+		d, err := datagen.NewRankingDataset(rng, n)
+		if err != nil {
+			return nil, err
+		}
+		oracle := rankingOracle{d}
+		actual := d.TrueRanking()
+		rankOf := func(item int) int {
+			for r, it := range actual {
+				if it == item {
+					return r
+				}
+			}
+			return len(actual)
+		}
+		newRunner := func() *operators.Runner {
+			r2 := stats.NewRNG(seed*31 + rep)
+			ws := crowd.NewPopulation(r2, 80, crowd.RegimeMixed)
+			return operators.NewRunner(crowd.AsCoreWorkers(ws), nil, r2.Split())
+		}
+
+		// Tournament max.
+		r := newRunner()
+		mx, err := operators.MaxTournament(r, n, oracle, 3)
+		if err != nil {
+			return nil, err
+		}
+		results["tournament-max"].votes += float64(mx.VotesUsed)
+		results["tournament-max"].winnerRank += float64(rankOf(mx.Winner) + 1)
+
+		// All-pairs sort.
+		r = newRunner()
+		ap, err := operators.AllPairsSort(r, n, oracle, 3)
+		if err != nil {
+			return nil, err
+		}
+		tau, err := operators.KendallTau(ap.Ranking, actual)
+		if err != nil {
+			return nil, err
+		}
+		results["all-pairs"].votes += float64(ap.VotesUsed)
+		results["all-pairs"].tau += tau
+		results["all-pairs"].p10 += operators.PrecisionAtK(ap.Ranking, actual, 10)
+		results["all-pairs"].winnerRank += float64(rankOf(ap.Ranking[0]) + 1)
+
+		// Binary insertion sort (O(n log n) comparisons).
+		r = newRunner()
+		bi, err := operators.BinaryInsertionSort(r, n, oracle, 3)
+		if err != nil {
+			return nil, err
+		}
+		tau, err = operators.KendallTau(bi.Ranking, actual)
+		if err != nil {
+			return nil, err
+		}
+		results["binary-insertion"].votes += float64(bi.VotesUsed)
+		results["binary-insertion"].tau += tau
+		results["binary-insertion"].p10 += operators.PrecisionAtK(bi.Ranking, actual, 10)
+		results["binary-insertion"].winnerRank += float64(rankOf(bi.Ranking[0]) + 1)
+
+		// Rating sort.
+		r = newRunner()
+		rt, err := operators.RatingSort(r, n, oracle, func(i int) float64 { return d.Scores[i] }, 5)
+		if err != nil {
+			return nil, err
+		}
+		tau, err = operators.KendallTau(rt.Ranking, actual)
+		if err != nil {
+			return nil, err
+		}
+		results["rating"].votes += float64(rt.VotesUsed)
+		results["rating"].tau += tau
+		results["rating"].p10 += operators.PrecisionAtK(rt.Ranking, actual, 10)
+		results["rating"].winnerRank += float64(rankOf(rt.Ranking[0]) + 1)
+
+		// Hybrid.
+		r = newRunner()
+		hy, err := operators.HybridSort(r, n, oracle, func(i int) float64 { return d.Scores[i] }, 3, 3, 15)
+		if err != nil {
+			return nil, err
+		}
+		tau, err = operators.KendallTau(hy.Ranking, actual)
+		if err != nil {
+			return nil, err
+		}
+		results["hybrid"].votes += float64(hy.VotesUsed)
+		results["hybrid"].tau += tau
+		results["hybrid"].p10 += operators.PrecisionAtK(hy.Ranking, actual, 10)
+		results["hybrid"].winnerRank += float64(rankOf(hy.Ranking[0]) + 1)
+	}
+	for _, name := range order {
+		a := results[name]
+		if name == "tournament-max" {
+			tbl.AddRow(name, a.votes/reps, a.winnerRank/reps, "-", "-")
+			continue
+		}
+		tbl.AddRow(name, a.votes/reps, a.winnerRank/reps, a.tau/reps, a.p10/reps)
+	}
+	return tbl, nil
+}
+
+// F6Count measures sampling-based count estimation error vs sample size
+// across selectivities.
+func F6Count(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "F6",
+		Title:  "Crowd count: relative error vs sample size",
+		Header: []string{"samples", "sel=0.1", "sel=0.3", "sel=0.5"},
+		Notes: []string{
+			"population 10000; redundancy 3; reliable crowd; mean |err| over 3 seeds",
+			fmt.Sprintf("seed %d", seed),
+		},
+	}
+	const pop = 10000
+	selectivities := []float64{0.1, 0.3, 0.5}
+	for _, nSamples := range []int{25, 50, 100, 200, 400, 800} {
+		row := []any{nSamples}
+		for _, sel := range selectivities {
+			sumErr := 0.0
+			const reps = 3
+			for rep := uint64(0); rep < reps; rep++ {
+				rng := stats.NewRNG(seed + rep*97)
+				d, err := datagen.NewFilterDataset(rng, pop, sel)
+				if err != nil {
+					return nil, err
+				}
+				items := make([]operators.CountItem, pop)
+				trueCount := 0
+				for i := range items {
+					items[i] = operators.CountItem{
+						Question: "pass?", Truth: d.Pass[i], Difficulty: d.Difficulties[i],
+					}
+					if d.Pass[i] {
+						trueCount++
+					}
+				}
+				ws := crowd.NewPopulation(rng, 60, crowd.RegimeReliable)
+				runner := operators.NewRunner(crowd.AsCoreWorkers(ws), nil, rng.Split())
+				res, err := operators.Count(runner, items, rng.Sample(pop, nSamples), 3)
+				if err != nil {
+					return nil, err
+				}
+				sumErr += math.Abs(res.Estimate.Count-float64(trueCount)) / float64(trueCount)
+			}
+			row = append(row, sumErr/reps)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}
+
+// F7Collect traces open-world collection: distinct items found and the
+// Chao92 estimate as answers accumulate over a Zipf-skewed domain.
+func F7Collect(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "F7",
+		Title:  "Crowd collection: coverage and Chao92 estimate vs answers",
+		Header: []string{"answers", "distinct", "chao92", "true-domain"},
+		Notes: []string{
+			"domain 200 items, 80 workers with Zipf(1.1) knowledge of 25 items each",
+			fmt.Sprintf("seed %d", seed),
+		},
+	}
+	const domainSize = 200
+	rng := stats.NewRNG(seed)
+	ws := crowd.NewPopulation(rng, 80, crowd.RegimeReliable)
+	crowd.AssignKnowledge(rng, ws, domainSize, 25, 1.1)
+	items := datagen.CollectionDomain(domainSize)
+	runner := operators.NewRunner(crowd.AsCoreWorkers(ws), nil, rng.Split())
+
+	checkpoints := []int{50, 100, 200, 400, 800, 1600}
+	res, err := operators.Collect(runner, "name an entry",
+		&crowd.CollectionDomain{Items: items}, checkpoints[len(checkpoints)-1])
+	if err != nil {
+		return nil, err
+	}
+	// Recompute the Chao92 estimate at each checkpoint from the exact
+	// contribution prefix.
+	for _, cp := range checkpoints {
+		prefix := make(map[string]int)
+		for _, v := range res.Sequence[:cp] {
+			if v != "" {
+				prefix[v]++
+			}
+		}
+		tbl.AddRow(cp, res.CoverageCurve[cp-1], operators.Chao92(prefix), domainSize)
+	}
+	return tbl, nil
+}
+
+// F8Filter compares filtering strategies: cost and accuracy on easy and
+// hard item populations.
+func F8Filter(seed uint64) (*Table, error) {
+	tbl := &Table{
+		ID:     "F8",
+		Title:  "Crowd filter strategies: votes/item and accuracy",
+		Header: []string{"strategy", "votes/item", "accuracy"},
+		Notes: []string{
+			"300 items, selectivity 0.3, Beta(2,5) difficulty; mixed crowd; mean of 3 seeds",
+			fmt.Sprintf("seed %d", seed),
+		},
+	}
+	crowdScreen, err := operators.NewOptimalFilter(0.78, 0.3, 15, 60)
+	if err != nil {
+		return nil, err
+	}
+	strategies := []operators.FilterStrategy{
+		operators.FixedK{K: 3},
+		operators.FixedK{K: 7},
+		operators.EarlyStop{Margin: 2, MaxVotes: 7},
+		operators.EarlyStop{Margin: 3, MaxVotes: 9},
+		operators.SPRT{Accuracy: 0.75, Alpha: 0.05, Beta: 0.05, MaxVotes: 15},
+		crowdScreen,
+	}
+	const nItems = 300
+	const reps = 3
+	for _, strat := range strategies {
+		var votes, acc float64
+		for rep := uint64(0); rep < reps; rep++ {
+			rng := stats.NewRNG(seed + rep*13)
+			d, err := datagen.NewFilterDataset(rng, nItems, 0.3)
+			if err != nil {
+				return nil, err
+			}
+			items := make([]operators.FilterItem, nItems)
+			for i := range items {
+				items[i] = operators.FilterItem{
+					Question: "pass?", Truth: d.Pass[i], Difficulty: d.Difficulties[i],
+				}
+			}
+			ws := crowd.NewPopulation(rng, 50, crowd.RegimeMixed)
+			runner := operators.NewRunner(crowd.AsCoreWorkers(ws), nil, rng.Split())
+			res, err := operators.Filter(runner, items, strat)
+			if err != nil {
+				return nil, err
+			}
+			votes += float64(res.TotalVotes) / float64(nItems)
+			acc += res.Accuracy(items)
+		}
+		tbl.AddRow(strat.Name(), votes/reps, acc/reps)
+	}
+	return tbl, nil
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner is one experiment entry point: given a seed, produce the result
+// table.
+type Runner func(seed uint64) (*Table, error)
+
+// registry maps experiment ids (as used in DESIGN.md / EXPERIMENTS.md) to
+// their runners.
+var registry = map[string]Runner{
+	"T1":  T1Systems,
+	"T2":  T2TruthInference,
+	"T3":  T3Elimination,
+	"T4":  T4Join,
+	"T5":  T5Optimizer,
+	"F1":  F1Redundancy,
+	"F2":  F2Assignment,
+	"F3":  F3JoinThreshold,
+	"F4":  F4Transitivity,
+	"F5":  F5TopK,
+	"F6":  F6Count,
+	"F7":  F7Collect,
+	"F8":  F8Filter,
+	"F9":  F9Latency,
+	"F10": F10Categorize,
+	"A1":  A1MaxRedundancy,
+	"A2":  A2JoinBatching,
+	"A3":  A3Pricing,
+}
+
+// IDs returns all experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the runner for an experiment id.
+func Get(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r, nil
+}
+
+// Run executes one experiment and writes its table to w.
+func Run(id string, seed uint64, w io.Writer) (*Table, error) {
+	r, err := Get(id)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := r(seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", id, err)
+	}
+	if w != nil {
+		if err := tbl.Write(w); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(seed uint64, w io.Writer) error {
+	for _, id := range IDs() {
+		if _, err := Run(id, seed, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+// Package experiments implements the reproduction harness: one runnable
+// experiment per table/figure in the DESIGN.md experiment index, each
+// producing a printable Table of the same rows/series the survey
+// literature reports. cmd/benchrunner runs them by id; bench_test.go wraps
+// them as Go benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable experiment result: a title, a header row, data
+// rows, and free-form notes (assumptions, parameters).
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a data row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table as aligned ASCII.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	writeCells := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeCells(t.Header)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeCells(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Cell returns the table cell at (row, col header name), or "" when
+// missing — a convenience for tests asserting on results.
+func (t *Table) Cell(row int, header string) string {
+	col := -1
+	for i, h := range t.Header {
+		if h == header {
+			col = i
+			break
+		}
+	}
+	if col < 0 || row < 0 || row >= len(t.Rows) || col >= len(t.Rows[row]) {
+		return ""
+	}
+	return t.Rows[row][col]
+}

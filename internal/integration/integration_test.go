@@ -1,0 +1,345 @@
+// Package integration_test exercises crowdkit end-to-end across module
+// boundaries: realistic workloads flowing through datagen → crowd →
+// platform/assignment → operators/CQL → truth inference → evaluation.
+package integration_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/cql"
+	"repro/internal/crowd"
+	"repro/internal/datagen"
+	"repro/internal/model"
+	"repro/internal/operators"
+	"repro/internal/stats"
+	"repro/internal/truth"
+)
+
+// TestLabelingPipelineEndToEnd drives the full quality-control stack on
+// one workload: golden-task screening + uncertainty assignment under a
+// budget + EM inference, and checks the combined system beats the naive
+// baseline (random assignment, majority vote, no screening) on the same
+// crowd and budget.
+func TestLabelingPipelineEndToEnd(t *testing.T) {
+	build := func() (*core.Pool, []core.TaskID) {
+		rng := stats.NewRNG(1000)
+		pool := core.NewPool()
+		// 30 easy golden tasks + 300 real tasks.
+		for i := 0; i < 30; i++ {
+			pool.MustAdd(&core.Task{
+				ID: core.TaskID(i + 1), Kind: core.SingleChoice,
+				Options: []string{"no", "yes"}, GroundTruth: i % 2,
+				Difficulty: 0.05, Golden: true,
+			})
+		}
+		var ids []core.TaskID
+		for i := 0; i < 300; i++ {
+			id := pool.MustAdd(&core.Task{
+				ID: core.TaskID(i + 31), Kind: core.SingleChoice,
+				Options: []string{"no", "yes"}, GroundTruth: rng.Intn(2),
+				Difficulty: rng.Beta(2, 5),
+			})
+			ids = append(ids, id)
+		}
+		return pool, ids
+	}
+	newCrowd := func() []core.Worker {
+		return crowd.AsCoreWorkers(crowd.NewPopulation(stats.NewRNG(1001), 40, crowd.RegimeSpammy))
+	}
+	const budget = 1600
+
+	// Naive arm.
+	poolN, idsN := build()
+	plN := core.NewPlatform(poolN, newCrowd(), core.NewBudget(budget))
+	rngN := stats.NewRNG(1002)
+	if _, err := plN.CollectBudget(&assign.Random{RNG: rngN}); err != nil &&
+		!errors.Is(err, core.ErrBudgetExhausted) {
+		t.Fatal(err)
+	}
+	dsN, err := truth.FromPool(poolN, idsN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mvRes, err := truth.MajorityVote{}.Infer(dsN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveAcc := truth.Accuracy(mvRes, poolN, dsN)
+
+	// Full stack arm.
+	poolS, idsS := build()
+	plS := core.NewPlatform(poolS, newCrowd(), core.NewBudget(budget))
+	plS.Screen = core.NewWorkerScreen(3, 0.6)
+	if _, err := plS.CollectBudget(assign.Uncertainty{}); err != nil &&
+		!errors.Is(err, core.ErrBudgetExhausted) {
+		t.Fatal(err)
+	}
+	dsS, err := truth.FromPool(poolS, idsS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emRes, err := truth.OneCoinEM{}.Infer(dsS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stackAcc := truth.Accuracy(emRes, poolS, dsS)
+
+	if stackAcc <= naiveAcc {
+		t.Fatalf("full stack %.3f should beat naive baseline %.3f", stackAcc, naiveAcc)
+	}
+	if stackAcc < 0.85 {
+		t.Fatalf("full stack accuracy implausibly low: %.3f", stackAcc)
+	}
+}
+
+// TestERThroughCQL loads a generated ER catalog into the declarative
+// layer, runs the crowd join, and scores the joined pairs against the
+// planted clustering.
+func TestERThroughCQL(t *testing.T) {
+	rng := stats.NewRNG(1100)
+	data, err := datagen.NewERDataset(rng, datagen.ERConfig{
+		Entities: 25, DupMean: 2, Noise: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := crowd.NewPopulation(rng, 40, crowd.RegimeReliable)
+	runner := operators.NewRunner(crowd.AsCoreWorkers(ws), nil, rng.Split())
+	s := cql.NewSession(cql.NewCatalog(), runner, rng.Split())
+	entityByRecord := make(map[string]int, len(data.Records))
+	for i, r := range data.Records {
+		entityByRecord[r] = data.Entity[i]
+	}
+	s.Oracle = &cql.SimOracle{
+		Equal: func(a, b string) bool {
+			ea, oka := entityByRecord[a]
+			eb, okb := entityByRecord[b]
+			return oka && okb && ea == eb
+		},
+	}
+	mustExec := func(q string) *model.Relation {
+		rel, err := s.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		return rel
+	}
+	mustExec(`CREATE TABLE a (aid INT, adesc STRING)`)
+	mustExec(`CREATE TABLE b (bid INT, bdesc STRING)`)
+	// Split records across two tables (cross-source dedup).
+	var ins1, ins2 strings.Builder
+	ins1.WriteString(`INSERT INTO a VALUES `)
+	ins2.WriteString(`INSERT INTO b VALUES `)
+	n1, n2 := 0, 0
+	for i, r := range data.Records {
+		esc := strings.ReplaceAll(r, "'", "''")
+		if i%2 == 0 {
+			if n1 > 0 {
+				ins1.WriteString(", ")
+			}
+			fmt.Fprintf(&ins1, "(%d, '%s')", i, esc)
+			n1++
+		} else {
+			if n2 > 0 {
+				ins2.WriteString(", ")
+			}
+			fmt.Fprintf(&ins2, "(%d, '%s')", i, esc)
+			n2++
+		}
+	}
+	mustExec(ins1.String())
+	mustExec(ins2.String())
+
+	rel := mustExec(`SELECT aid, bid FROM a CROWDJOIN b ON a.adesc ~= b.bdesc`)
+	// Score joined (aid,bid) pairs against the planted clustering.
+	var predicted, actual []cost.Pair
+	for _, row := range rel.Tuples {
+		predicted = append(predicted, cost.Pair{I: int(row[0].AsInt()), J: int(row[1].AsInt())})
+	}
+	for i := 0; i < len(data.Records); i++ {
+		for j := 1; j < len(data.Records); j += 2 {
+			if i%2 == 0 && data.Entity[i] == data.Entity[j] && i != j {
+				actual = append(actual, cost.Pair{I: i, J: j})
+			}
+		}
+	}
+	prf := cost.EvaluatePairs(predicted, actual, false)
+	if prf.F1 < 0.85 {
+		t.Fatalf("CQL crowd join F1 = %.3f (P %.3f R %.3f)", prf.F1, prf.Precision, prf.Recall)
+	}
+	if s.Stats.CrowdJoinPairs == 0 {
+		t.Fatal("crowd join asked nothing")
+	}
+}
+
+// TestConfidenceStoppingSavesBudget compares fixed redundancy-5 against
+// confidence-based early stopping end to end.
+func TestConfidenceStoppingSavesBudget(t *testing.T) {
+	build := func() *core.Pool {
+		rng := stats.NewRNG(1200)
+		pool := core.NewPool()
+		for i := 0; i < 300; i++ {
+			pool.MustAdd(&core.Task{
+				ID: core.TaskID(i + 1), Kind: core.SingleChoice,
+				Options: []string{"no", "yes"}, GroundTruth: rng.Intn(2),
+				Difficulty: rng.Beta(2, 5),
+			})
+		}
+		return pool
+	}
+	newCrowd := func() []core.Worker {
+		return crowd.AsCoreWorkers(crowd.NewPopulation(stats.NewRNG(1201), 40, crowd.RegimeMixed))
+	}
+	score := func(pool *core.Pool) float64 {
+		ds, err := truth.FromPool(pool, pool.TaskIDs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := truth.OneCoinEM{}.Infer(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return truth.Accuracy(res, pool, ds)
+	}
+
+	// Arm 1: plain redundancy 5.
+	poolA := build()
+	plA := core.NewPlatform(poolA, newCrowd(), core.Unlimited())
+	resA, err := plA.CollectRedundant(assign.FewestAnswers{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Arm 2: redundancy up to 5, but a confidence stopper closes easy
+	// tasks after 3 agreeing answers.
+	poolB := build()
+	plB := core.NewPlatform(poolB, newCrowd(), core.Unlimited())
+	stopper := &assign.ConfidenceStopper{Threshold: 0.93, MinAnswers: 3,
+		Quality: assign.ConstantQuality(0.8)}
+	answersB := 0
+	for {
+		n, err := plB.Step(assign.FewestAnswers{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		answersB += n
+		stopper.Sweep(poolB)
+		done := true
+		for _, id := range poolB.OpenTasks() {
+			if poolB.AnswerCount(id) < 5 {
+				done = false
+				break
+			}
+		}
+		if done || n == 0 {
+			break
+		}
+		for _, id := range poolB.OpenTasks() {
+			if poolB.AnswerCount(id) >= 5 {
+				poolB.Close(id)
+			}
+		}
+	}
+
+	accA, accB := score(poolA), score(poolB)
+	if answersB >= resA.AnswersCollected {
+		t.Fatalf("confidence stopping used %d answers vs fixed %d",
+			answersB, resA.AnswersCollected)
+	}
+	if accB < accA-0.03 {
+		t.Fatalf("early stopping accuracy %.3f collapsed vs fixed %.3f", accB, accA)
+	}
+}
+
+// TestCQLFullFeatureScript runs one session through every crowd feature
+// in sequence, asserting the session-level accounting adds up.
+func TestCQLFullFeatureScript(t *testing.T) {
+	rng := stats.NewRNG(1300)
+	ws := crowd.NewPopulation(rng, 50, crowd.RegimeReliable)
+	runner := operators.NewRunner(crowd.AsCoreWorkers(ws), nil, rng)
+	s := cql.NewSession(cql.NewCatalog(), runner, rng.Split())
+	s.Oracle = &cql.SimOracle{
+		Fill: func(table, column string, row model.Tuple, schema *model.Schema) (string, bool) {
+			return fmt.Sprintf("filled-%d", row[0].AsInt()), true
+		},
+		Equal:  func(a, b string) bool { return strings.HasPrefix(a, b) },
+		Filter: func(q string, v model.Value) bool { return v.AsInt()%2 == 0 },
+	}
+	script := `
+		CREATE TABLE items (id INT, tag STRING CROWD);
+		INSERT INTO items VALUES (1, NULL), (2, NULL), (3, NULL), (4, NULL);
+		SELECT id, tag FROM items WHERE tag ~= 'filled';
+		SELECT CROWDCOUNT('even?', id) AS evens FROM items;
+		SELECT id FROM items CROWDORDER BY id DESC LIMIT 2;
+	`
+	rel, err := s.ExecuteScript(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("final statement rows = %d", rel.Len())
+	}
+	if v, _ := rel.Get(0, "id"); v.AsInt() != 4 {
+		t.Fatalf("crowd order head = %v", rel.Tuples[0])
+	}
+	if s.Stats.Fills != 4 {
+		t.Fatalf("fills = %d", s.Stats.Fills)
+	}
+	if s.Stats.CrowdFilterRows != 4 || s.Stats.CrowdCountSamples != 4 {
+		t.Fatalf("stats = %+v", s.Stats)
+	}
+	if s.Stats.CrowdCompares != 6 {
+		t.Fatalf("compares = %d, want C(4,2)=6", s.Stats.CrowdCompares)
+	}
+	if s.Stats.CrowdAnswers != runner.AnswersUsed {
+		t.Fatalf("session answers %d != runner %d", s.Stats.CrowdAnswers, runner.AnswersUsed)
+	}
+}
+
+// TestOperatorsShareOneBudget verifies several operators drawing from one
+// budget stop collectively at the cap.
+func TestOperatorsShareOneBudget(t *testing.T) {
+	rng := stats.NewRNG(1400)
+	ws := crowd.NewPopulation(rng, 30, crowd.RegimeReliable)
+	budget := core.NewBudget(100)
+	runner := operators.NewRunner(crowd.AsCoreWorkers(ws), budget, rng.Split())
+
+	d, err := datagen.NewFilterDataset(rng, 40, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]operators.FilterItem, 40)
+	for i := range items {
+		items[i] = operators.FilterItem{Question: "q", Truth: d.Pass[i], Difficulty: 0.1}
+	}
+	// First operator consumes most of the budget.
+	if _, err := operators.Filter(runner, items, operators.FixedK{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Second operator must hit the budget wall.
+	rank, err := datagen.NewRankingDataset(rng, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = operators.AllPairsSort(runner, 30, intOracle{rank}, 3)
+	if !errors.Is(err, core.ErrBudgetExhausted) {
+		t.Fatalf("expected shared budget exhaustion, got %v", err)
+	}
+	if runner.AnswersUsed != 100 {
+		t.Fatalf("answers used %d != budget 100", runner.AnswersUsed)
+	}
+}
+
+type intOracle struct{ d *datagen.RankingDataset }
+
+func (o intOracle) Truth(i, j int) (bool, float64) {
+	return o.d.Better(i, j), o.d.PairDifficulty(i, j)
+}
+
+func (o intOracle) Label(i int) string { return o.d.Items[i] }

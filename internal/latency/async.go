@@ -1,0 +1,161 @@
+package latency
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// AsyncConfig parameterizes the asynchronous completion model: workers
+// arrive as a Poisson process, repeatedly claim the task with the fewest
+// answers, work for a drawn latency, and stay for a limited session.
+type AsyncConfig struct {
+	Tasks      int
+	Redundancy int
+	// ArrivalRate is the Poisson rate of worker arrivals (workers/second).
+	ArrivalRate float64
+	// SessionTasks is how many tasks each arriving worker performs before
+	// leaving (the empirical "session length" of microtask workers).
+	SessionTasks int
+	// Latency is the per-answer latency distribution.
+	Latency LatencyModel
+	// MaxSimTime bounds the simulation (seconds); 0 means 30 days.
+	MaxSimTime float64
+}
+
+// AsyncResult reports the asynchronous schedule.
+type AsyncResult struct {
+	// Makespan is the simulated time at which every task reached the
+	// redundancy target (or MaxSimTime if it never did).
+	Makespan float64
+	// Completed reports whether all tasks finished within MaxSimTime.
+	Completed bool
+	// WorkersArrived counts arrivals during the run.
+	WorkersArrived int
+	// AnswersCollected counts answers submitted.
+	AnswersCollected int
+	// CompletionTimes holds, for each milestone decile (10%, 20%, ... of
+	// total needed answers), the simulated time it was reached.
+	CompletionTimes []float64
+}
+
+// event is an entry in the simulation's time-ordered queue.
+type event struct {
+	at   float64
+	kind int // 0 = worker arrival, 1 = answer completion
+	// worker session state for completions:
+	remaining int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *eventHeap) push(e event)      { heap.Push(h, e) }
+func (h *eventHeap) pop() (event, bool) {
+	if h.Len() == 0 {
+		return event{}, false
+	}
+	return heap.Pop(h).(event), true
+}
+
+// SimulateAsync runs the event-driven completion model.
+func SimulateAsync(rng *stats.RNG, cfg AsyncConfig) (*AsyncResult, error) {
+	if cfg.Tasks <= 0 || cfg.Redundancy <= 0 {
+		return nil, fmt.Errorf("latency: tasks and redundancy must be positive (got %d, %d)",
+			cfg.Tasks, cfg.Redundancy)
+	}
+	if cfg.ArrivalRate <= 0 {
+		return nil, fmt.Errorf("latency: arrival rate must be positive (got %v)", cfg.ArrivalRate)
+	}
+	if cfg.SessionTasks <= 0 {
+		cfg.SessionTasks = 20
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = LogNormalLatency(10, 1)
+	}
+	maxT := cfg.MaxSimTime
+	if maxT <= 0 {
+		maxT = 30 * 24 * 3600
+	}
+
+	needTotal := cfg.Tasks * cfg.Redundancy
+	// answers[i] counts answers for task i; we always hand out the task
+	// with the fewest answers that still needs more.
+	answers := make([]int, cfg.Tasks)
+	collected := 0
+	res := &AsyncResult{}
+	deciles := make([]float64, 0, 10)
+	nextMilestone := needTotal / 10
+	if nextMilestone == 0 {
+		nextMilestone = 1
+	}
+	milestone := nextMilestone
+
+	var q eventHeap
+	q.push(event{at: rng.Exp(cfg.ArrivalRate), kind: 0})
+
+	claim := func() (int, bool) {
+		best, bestN := -1, 1<<31-1
+		for i, n := range answers {
+			if n < cfg.Redundancy && n < bestN {
+				best, bestN = i, n
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		return best, true
+	}
+
+	for {
+		e, ok := q.pop()
+		if !ok || e.at > maxT {
+			res.Makespan = maxT
+			res.Completed = false
+			return res, nil
+		}
+		switch e.kind {
+		case 0: // arrival
+			res.WorkersArrived++
+			// Schedule the next arrival.
+			q.push(event{at: e.at + rng.Exp(cfg.ArrivalRate), kind: 0})
+			// The new worker claims a task if any remain.
+			if ti, ok := claim(); ok {
+				answers[ti]++ // reserve the slot
+				q.push(event{
+					at:        e.at + cfg.Latency(rng),
+					kind:      1,
+					remaining: cfg.SessionTasks - 1,
+				})
+			}
+		case 1: // answer completion
+			collected++
+			res.AnswersCollected++
+			if collected >= milestone && len(deciles) < 10 {
+				deciles = append(deciles, e.at)
+				milestone += nextMilestone
+			}
+			if collected >= needTotal {
+				res.Makespan = e.at
+				res.Completed = true
+				res.CompletionTimes = deciles
+				return res, nil
+			}
+			if e.remaining > 0 {
+				if ti, ok := claim(); ok {
+					answers[ti]++
+					q.push(event{
+						at:        e.at + cfg.Latency(rng),
+						kind:      1,
+						remaining: e.remaining - 1,
+					})
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package latency
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestLogNormalLatencyMedian(t *testing.T) {
+	rng := stats.NewRNG(1)
+	m := LogNormalLatency(20, 0.8)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = m(rng)
+		if xs[i] <= 0 {
+			t.Fatalf("non-positive latency %v", xs[i])
+		}
+	}
+	med := stats.Median(xs)
+	if math.Abs(med-20) > 1.0 {
+		t.Fatalf("median latency %v, want ~20", med)
+	}
+}
+
+func TestSimulateRoundsBasic(t *testing.T) {
+	rng := stats.NewRNG(2)
+	res, err := SimulateRounds(rng, RoundConfig{
+		Tasks: 100, Workers: 50, Redundancy: 3,
+		Latency: LogNormalLatency(10, 0.8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 300 assignments at 50/round = 6 rounds.
+	if res.Rounds != 6 {
+		t.Fatalf("rounds = %d, want 6", res.Rounds)
+	}
+	if res.TotalAnswers != 300 {
+		t.Fatalf("answers = %d", res.TotalAnswers)
+	}
+	if len(res.RoundTimes) != 6 {
+		t.Fatalf("round times = %v", res.RoundTimes)
+	}
+	sum := 0.0
+	for _, rt := range res.RoundTimes {
+		if rt <= 0 {
+			t.Fatalf("round time %v", rt)
+		}
+		sum += rt
+	}
+	if math.Abs(sum-res.Makespan) > 1e-9 {
+		t.Fatalf("makespan %v != sum of rounds %v", res.Makespan, sum)
+	}
+}
+
+func TestSimulateRoundsValidation(t *testing.T) {
+	rng := stats.NewRNG(3)
+	if _, err := SimulateRounds(rng, RoundConfig{Tasks: 0, Workers: 1, Redundancy: 1}); err == nil {
+		t.Fatal("zero tasks should fail")
+	}
+	if _, err := SimulateRounds(rng, RoundConfig{Tasks: 1, Workers: 0, Redundancy: 1}); err == nil {
+		t.Fatal("zero workers should fail")
+	}
+	if _, err := SimulateRounds(rng, RoundConfig{Tasks: 1, Workers: 1, Redundancy: 0}); err == nil {
+		t.Fatal("zero redundancy should fail")
+	}
+}
+
+func TestMoreWorkersFewerRounds(t *testing.T) {
+	base := RoundConfig{Tasks: 200, Redundancy: 3, Latency: LogNormalLatency(10, 1)}
+	small := base
+	small.Workers = 20
+	big := base
+	big.Workers = 200
+	rs, err := SimulateRounds(stats.NewRNG(4), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := SimulateRounds(stats.NewRNG(4), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Rounds >= rs.Rounds {
+		t.Fatalf("more workers should mean fewer rounds: %d vs %d", rb.Rounds, rs.Rounds)
+	}
+	if rb.Makespan >= rs.Makespan {
+		t.Fatalf("more workers should cut makespan: %v vs %v", rb.Makespan, rs.Makespan)
+	}
+}
+
+func TestStragglerMitigationCutsMakespan(t *testing.T) {
+	// A heavy-tailed latency distribution is where mitigation pays.
+	heavyTail := LogNormalLatency(10, 1.8)
+	noMit := RoundConfig{Tasks: 100, Workers: 100, Redundancy: 2, Latency: heavyTail}
+	mit := noMit
+	mit.MitigateAfter = 0.8
+
+	// Average over several seeds to damp variance.
+	var mk0, mk1 float64
+	for seed := uint64(10); seed < 20; seed++ {
+		r0, err := SimulateRounds(stats.NewRNG(seed), noMit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := SimulateRounds(stats.NewRNG(seed), mit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mk0 += r0.Makespan
+		mk1 += r1.Makespan
+		if r1.Reissued == 0 {
+			t.Fatal("mitigation never re-issued anything")
+		}
+		if r1.TotalAnswers <= r0.TotalAnswers {
+			t.Fatal("mitigation should cost extra answers")
+		}
+	}
+	if mk1 >= mk0 {
+		t.Fatalf("mitigated makespan %v >= unmitigated %v", mk1/10, mk0/10)
+	}
+}
+
+func TestSimulateAsyncCompletes(t *testing.T) {
+	rng := stats.NewRNG(5)
+	res, err := SimulateAsync(rng, AsyncConfig{
+		Tasks: 100, Redundancy: 3,
+		ArrivalRate:  0.5, // a worker every 2s on average
+		SessionTasks: 10,
+		Latency:      LogNormalLatency(10, 0.8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatal("simulation did not complete")
+	}
+	if res.AnswersCollected != 300 {
+		t.Fatalf("answers = %d", res.AnswersCollected)
+	}
+	if res.Makespan <= 0 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+	if len(res.CompletionTimes) == 0 {
+		t.Fatal("no decile milestones recorded")
+	}
+	for i := 1; i < len(res.CompletionTimes); i++ {
+		if res.CompletionTimes[i] < res.CompletionTimes[i-1] {
+			t.Fatal("milestones not monotone")
+		}
+	}
+}
+
+func TestSimulateAsyncValidation(t *testing.T) {
+	rng := stats.NewRNG(6)
+	if _, err := SimulateAsync(rng, AsyncConfig{Tasks: 0, Redundancy: 1, ArrivalRate: 1}); err == nil {
+		t.Fatal("zero tasks should fail")
+	}
+	if _, err := SimulateAsync(rng, AsyncConfig{Tasks: 1, Redundancy: 1, ArrivalRate: 0}); err == nil {
+		t.Fatal("zero arrival rate should fail")
+	}
+}
+
+func TestSimulateAsyncTimeBound(t *testing.T) {
+	rng := stats.NewRNG(7)
+	// Arrival rate so low the workload cannot finish in the time bound.
+	res, err := SimulateAsync(rng, AsyncConfig{
+		Tasks: 1000, Redundancy: 5,
+		ArrivalRate: 0.0001, SessionTasks: 1,
+		Latency:    LogNormalLatency(10, 0.5),
+		MaxSimTime: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("implausible completion under starved arrivals")
+	}
+	if res.Makespan != 1000 {
+		t.Fatalf("makespan should be the bound: %v", res.Makespan)
+	}
+}
+
+func TestAsyncHigherArrivalRateFaster(t *testing.T) {
+	run := func(rate float64) float64 {
+		res, err := SimulateAsync(stats.NewRNG(8), AsyncConfig{
+			Tasks: 200, Redundancy: 3, ArrivalRate: rate,
+			SessionTasks: 10, Latency: LogNormalLatency(10, 0.8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	slow := run(0.05)
+	fast := run(1.0)
+	if fast >= slow {
+		t.Fatalf("20x arrival rate should cut makespan: %v vs %v", fast, slow)
+	}
+}
+
+func TestAsyncRedundancyScalesAnswers(t *testing.T) {
+	for _, k := range []int{1, 3, 5} {
+		res, err := SimulateAsync(stats.NewRNG(9), AsyncConfig{
+			Tasks: 50, Redundancy: k, ArrivalRate: 0.5,
+			SessionTasks: 20, Latency: LogNormalLatency(5, 0.5),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AnswersCollected != 50*k {
+			t.Fatalf("k=%d: answers = %d", k, res.AnswersCollected)
+		}
+	}
+}
+
+func TestPricingModelArrivalRate(t *testing.T) {
+	m := PricingModel{BaseRate: 0.2, ReferencePrice: 0.05, Elasticity: 1.5}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// At the reference price, the base rate.
+	if r := m.ArrivalRate(0.05); math.Abs(r-0.2) > 1e-12 {
+		t.Fatalf("rate at reference = %v", r)
+	}
+	// Double price: 2^1.5 ≈ 2.83x arrivals.
+	if r := m.ArrivalRate(0.10); math.Abs(r-0.2*math.Pow(2, 1.5)) > 1e-9 {
+		t.Fatalf("rate at 2x = %v", r)
+	}
+	if m.ArrivalRate(0) != 0 {
+		t.Fatal("zero price should yield zero arrivals")
+	}
+	bad := PricingModel{BaseRate: 0, ReferencePrice: 1, Elasticity: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero base rate should fail validation")
+	}
+}
+
+func TestPriceSweepFrontier(t *testing.T) {
+	rng := stats.NewRNG(50)
+	model := PricingModel{BaseRate: 0.1, ReferencePrice: 0.05, Elasticity: 1.5}
+	cfg := AsyncConfig{
+		Tasks: 200, Redundancy: 3, SessionTasks: 15,
+		Latency: LogNormalLatency(10, 0.8),
+	}
+	prices := []float64{0.02, 0.05, 0.10, 0.20}
+	points, err := PriceSweep(rng, model, cfg, prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Makespan falls with price; total cost rises with price.
+	for i := 1; i < len(points); i++ {
+		if points[i].Makespan >= points[i-1].Makespan {
+			t.Fatalf("makespan did not fall with price: %+v", points)
+		}
+		if points[i].TotalCost <= points[i-1].TotalCost {
+			t.Fatalf("total cost did not rise with price: %+v", points)
+		}
+	}
+	for _, p := range points {
+		if !p.Completed {
+			t.Fatalf("workload incomplete at price %v", p.Price)
+		}
+	}
+}
+
+func TestPriceSweepValidation(t *testing.T) {
+	rng := stats.NewRNG(51)
+	model := PricingModel{BaseRate: 0.1, ReferencePrice: 0.05, Elasticity: 1.5}
+	cfg := AsyncConfig{Tasks: 10, Redundancy: 1, Latency: LogNormalLatency(5, 0.5)}
+	if _, err := PriceSweep(rng, model, cfg, nil); err == nil {
+		t.Fatal("empty price list should fail")
+	}
+	if _, err := PriceSweep(rng, PricingModel{}, cfg, []float64{0.05}); err == nil {
+		t.Fatal("invalid model should fail")
+	}
+}

@@ -1,0 +1,82 @@
+package latency
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// PricingModel maps a per-task reward to a worker arrival rate — the
+// "pay more, wait less" lever of latency control. Empirical platform
+// studies find a superlinear supply response around the going rate, which
+// the power-law form captures:
+//
+//	rate(price) = BaseRate · (price / ReferencePrice)^Elasticity
+type PricingModel struct {
+	// BaseRate is the arrival rate (workers/second) at the reference
+	// price.
+	BaseRate float64
+	// ReferencePrice is the market-rate reward per task.
+	ReferencePrice float64
+	// Elasticity is the supply elasticity (> 0; typical fits 1–2).
+	Elasticity float64
+}
+
+// Validate checks the model parameters.
+func (m PricingModel) Validate() error {
+	if m.BaseRate <= 0 || m.ReferencePrice <= 0 || m.Elasticity <= 0 {
+		return fmt.Errorf("latency: pricing model parameters must be positive (%+v)", m)
+	}
+	return nil
+}
+
+// ArrivalRate returns the modeled arrival rate at the given price.
+func (m PricingModel) ArrivalRate(price float64) float64 {
+	if price <= 0 {
+		return 0
+	}
+	return m.BaseRate * math.Pow(price/m.ReferencePrice, m.Elasticity)
+}
+
+// PriceLatencyPoint is one evaluated point of the price sweep.
+type PriceLatencyPoint struct {
+	Price       float64
+	ArrivalRate float64
+	Makespan    float64
+	// TotalCost is price × answers collected.
+	TotalCost float64
+	Completed bool
+}
+
+// PriceSweep simulates the same workload at several price points and
+// reports the latency/cost frontier.
+func PriceSweep(rng *stats.RNG, model PricingModel, cfg AsyncConfig, prices []float64) ([]PriceLatencyPoint, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if len(prices) == 0 {
+		return nil, fmt.Errorf("latency: empty price list")
+	}
+	out := make([]PriceLatencyPoint, 0, len(prices))
+	for _, price := range prices {
+		rate := model.ArrivalRate(price)
+		if rate <= 0 {
+			return nil, fmt.Errorf("latency: price %v yields no arrivals", price)
+		}
+		c := cfg
+		c.ArrivalRate = rate
+		res, err := SimulateAsync(rng.Split(), c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PriceLatencyPoint{
+			Price:       price,
+			ArrivalRate: rate,
+			Makespan:    res.Makespan,
+			TotalCost:   price * float64(res.AnswersCollected),
+			Completed:   res.Completed,
+		})
+	}
+	return out, nil
+}

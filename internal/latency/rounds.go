@@ -1,0 +1,136 @@
+// Package latency implements the latency-control models of crowdsourced
+// data management: the synchronous round model (a query proceeds in
+// rounds; each round lasts as long as its slowest answer), straggler
+// mitigation by task re-issue, and an asynchronous event-driven completion
+// model with Poisson worker arrivals.
+//
+// The survey's observation is that crowd latency is dominated by the long
+// tail of slow workers ("stragglers") and by how many rounds a plan
+// needs; both are modeled here on a simulated clock, seeded and
+// deterministic.
+package latency
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// LatencyModel draws one answer latency (seconds) for a worker.
+type LatencyModel func(rng *stats.RNG) float64
+
+// LogNormalLatency returns the standard microtask latency model: a
+// log-normal with the given median (seconds) and sigma. Typical platform
+// fits use medians of 10-60s with sigma 0.5-1.5.
+func LogNormalLatency(median, sigma float64) LatencyModel {
+	if median <= 0 {
+		median = 10
+	}
+	mu := math.Log(median)
+	return func(rng *stats.RNG) float64 {
+		return rng.LogNormal(mu, sigma)
+	}
+}
+
+// RoundConfig parameterizes a synchronous round-model simulation.
+type RoundConfig struct {
+	Tasks      int          // number of distinct tasks
+	Workers    int          // workers available per round
+	Redundancy int          // answers needed per task
+	Latency    LatencyModel // per-answer latency distribution
+	// MitigateAfter, when in (0,1), enables straggler mitigation: once
+	// this fraction of a round's assignments has completed, unfinished
+	// assignments are re-issued to already-finished workers and the round
+	// takes the earlier of the two completions per assignment.
+	MitigateAfter float64
+}
+
+// RoundResult reports the simulated schedule.
+type RoundResult struct {
+	Rounds     int
+	Makespan   float64
+	RoundTimes []float64
+	// Reissued counts assignments duplicated by straggler mitigation.
+	Reissued int
+	// TotalAnswers includes mitigation duplicates (the cost of latency).
+	TotalAnswers int
+}
+
+// SimulateRounds runs the synchronous round model: every round assigns
+// min(Workers, remaining-need) tasks, one per worker; a round ends when
+// its slowest assignment finishes. Redundancy-k means each task must be
+// answered k times (by distinct assignments).
+func SimulateRounds(rng *stats.RNG, cfg RoundConfig) (*RoundResult, error) {
+	if cfg.Tasks <= 0 || cfg.Workers <= 0 || cfg.Redundancy <= 0 {
+		return nil, fmt.Errorf("latency: tasks, workers, redundancy must be positive (got %d, %d, %d)",
+			cfg.Tasks, cfg.Workers, cfg.Redundancy)
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = LogNormalLatency(10, 1)
+	}
+	if cfg.MitigateAfter < 0 || cfg.MitigateAfter >= 1 {
+		cfg.MitigateAfter = 0
+	}
+	need := cfg.Tasks * cfg.Redundancy
+	res := &RoundResult{}
+	for need > 0 {
+		n := cfg.Workers
+		if n > need {
+			n = need
+		}
+		lats := make([]float64, n)
+		for i := range lats {
+			lats[i] = cfg.Latency(rng)
+		}
+		res.TotalAnswers += n
+		roundTime := 0.0
+		if cfg.MitigateAfter > 0 && n > 1 {
+			roundTime = mitigateRound(rng, cfg, lats, res)
+		} else {
+			for _, l := range lats {
+				if l > roundTime {
+					roundTime = l
+				}
+			}
+		}
+		res.RoundTimes = append(res.RoundTimes, roundTime)
+		res.Makespan += roundTime
+		res.Rounds++
+		need -= n
+	}
+	return res, nil
+}
+
+// mitigateRound applies re-issue mitigation to one round's latencies and
+// returns the mitigated round time.
+func mitigateRound(rng *stats.RNG, cfg RoundConfig, lats []float64, res *RoundResult) float64 {
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	cut := int(cfg.MitigateAfter * float64(len(sorted)))
+	if cut >= len(sorted) {
+		cut = len(sorted) - 1
+	}
+	if cut < 1 {
+		cut = 1
+	}
+	trigger := sorted[cut-1] // time the mitigation threshold is reached
+	roundTime := 0.0
+	for _, l := range lats {
+		finish := l
+		if l > trigger {
+			// Re-issue to a finished (fast) worker at the trigger time.
+			re := trigger + cfg.Latency(rng)
+			res.Reissued++
+			res.TotalAnswers++
+			if re < finish {
+				finish = re
+			}
+		}
+		if finish > roundTime {
+			roundTime = finish
+		}
+	}
+	return roundTime
+}

@@ -1,0 +1,404 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"int": TypeInt, "INTEGER": TypeInt, "bigint": TypeInt,
+		"float": TypeFloat, "DOUBLE": TypeFloat,
+		"string": TypeString, "varchar": TypeString, "TEXT": TypeString,
+		"bool": TypeBool, "BOOLEAN": TypeBool,
+	}
+	for in, want := range cases {
+		got, err := ParseType(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseType(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Fatal("ParseType(blob) should fail")
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := Int(7); v.Type() != TypeInt || v.AsInt() != 7 || v.AsFloat() != 7 {
+		t.Fatalf("Int value broken: %+v", v)
+	}
+	if v := Float(2.5); v.Type() != TypeFloat || v.AsFloat() != 2.5 {
+		t.Fatalf("Float value broken: %+v", v)
+	}
+	if v := String_("x"); v.Type() != TypeString || v.AsString() != "x" {
+		t.Fatalf("String value broken: %+v", v)
+	}
+	if v := Bool(true); v.Type() != TypeBool || !v.AsBool() {
+		t.Fatalf("Bool value broken: %+v", v)
+	}
+	if !Null().IsNull() {
+		t.Fatal("Null().IsNull() = false")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Fatal("zero Value should be NULL")
+	}
+}
+
+func TestValueEqualCrossNumeric(t *testing.T) {
+	if !Int(3).Equal(Float(3)) {
+		t.Fatal("Int(3) should equal Float(3)")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Fatal("Int(3) should not equal Float(3.5)")
+	}
+	if Int(3).Equal(String_("3")) {
+		t.Fatal("Int(3) should not equal String(3)")
+	}
+	if !Null().Equal(Null()) {
+		t.Fatal("NULL should equal NULL under identity semantics")
+	}
+}
+
+func TestValueCompareOrdering(t *testing.T) {
+	if Null().Compare(Int(0)) != -1 {
+		t.Fatal("NULL should sort before values")
+	}
+	if Int(1).Compare(Int(2)) != -1 || Int(2).Compare(Int(1)) != 1 {
+		t.Fatal("int compare broken")
+	}
+	if Int(2).Compare(Float(2)) != 0 {
+		t.Fatal("cross-numeric compare broken")
+	}
+	if String_("a").Compare(String_("b")) != -1 {
+		t.Fatal("string compare broken")
+	}
+	if Bool(false).Compare(Bool(true)) != -1 {
+		t.Fatal("bool compare broken")
+	}
+}
+
+func TestValueCompareTotalOrderProperty(t *testing.T) {
+	// Antisymmetry: Compare(a,b) == -Compare(b,a) over a mixed value pool.
+	pool := []Value{Null(), Int(-2), Int(5), Float(1.5), Float(5),
+		String_(""), String_("z"), Bool(false), Bool(true)}
+	for _, a := range pool {
+		for _, b := range pool {
+			if a.Compare(b) != -b.Compare(a) {
+				t.Fatalf("Compare not antisymmetric for %v, %v", a, b)
+			}
+		}
+	}
+	// Transitivity spot check via sortedness of pairwise relations.
+	for _, a := range pool {
+		for _, b := range pool {
+			for _, c := range pool {
+				if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+					t.Fatalf("Compare not transitive: %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	err := quick.Check(func(i int64) bool {
+		v, err := ParseValue(Int(i).String(), TypeInt)
+		return err == nil && v.AsInt() == i
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ParseValue("", TypeInt)
+	if err != nil || !v.IsNull() {
+		t.Fatalf("empty string should parse to NULL: %v, %v", v, err)
+	}
+	if _, err := ParseValue("abc", TypeInt); err == nil {
+		t.Fatal("ParseValue(abc, INT) should fail")
+	}
+	b, err := ParseValue("yes", TypeBool)
+	if err != nil || !b.AsBool() {
+		t.Fatalf("ParseValue(yes, BOOL) = %v, %v", b, err)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(Column{Name: "a", Type: TypeInt}, Column{Name: "A", Type: TypeInt}); err == nil {
+		t.Fatal("duplicate column names (case-insensitive) should fail")
+	}
+	if _, err := NewSchema(Column{Name: "", Type: TypeInt}); err == nil {
+		t.Fatal("empty column name should fail")
+	}
+	s := MustSchema(Column{Name: "id", Type: TypeInt}, Column{Name: "name", Type: TypeString})
+	if s.ColumnIndex("ID") != 0 || s.ColumnIndex("Name") != 1 || s.ColumnIndex("zzz") != -1 {
+		t.Fatal("ColumnIndex lookup broken")
+	}
+	if s.Arity() != 2 {
+		t.Fatalf("Arity = %d", s.Arity())
+	}
+}
+
+func TestSchemaCrowdFlags(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "id", Type: TypeInt},
+		Column{Name: "phone", Type: TypeString, Crowd: true},
+	)
+	if !s.HasCrowdColumns() {
+		t.Fatal("HasCrowdColumns should be true")
+	}
+	c := s.Clone()
+	if !c.HasCrowdColumns() || c.ColumnIndex("phone") != 1 {
+		t.Fatal("Clone lost crowd column info")
+	}
+	if !strings.Contains(s.String(), "CROWD") {
+		t.Fatalf("schema string missing CROWD: %s", s)
+	}
+}
+
+func testRelation(t *testing.T) *Relation {
+	t.Helper()
+	s := MustSchema(
+		Column{Name: "id", Type: TypeInt},
+		Column{Name: "name", Type: TypeString},
+		Column{Name: "score", Type: TypeFloat},
+	)
+	r := NewRelation("people", s)
+	r.MustInsert(Tuple{Int(2), String_("bob"), Float(1.5)})
+	r.MustInsert(Tuple{Int(1), String_("ann"), Float(2.5)})
+	r.MustInsert(Tuple{Int(3), String_("cid"), Null()})
+	return r
+}
+
+func TestRelationInsertValidation(t *testing.T) {
+	r := testRelation(t)
+	if err := r.Insert(Tuple{Int(4)}); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if err := r.Insert(Tuple{String_("x"), String_("y"), Float(0)}); err == nil {
+		t.Fatal("type mismatch should fail")
+	}
+	// INT coerces into FLOAT columns.
+	if err := r.Insert(Tuple{Int(4), String_("dee"), Int(3)}); err != nil {
+		t.Fatalf("INT into FLOAT column should coerce: %v", err)
+	}
+	if v, _ := r.Get(3, "score"); v.Type() != TypeFloat || v.AsFloat() != 3 {
+		t.Fatalf("coerced value wrong: %v", v)
+	}
+}
+
+func TestRelationGetAndColumn(t *testing.T) {
+	r := testRelation(t)
+	v, ok := r.Get(0, "name")
+	if !ok || v.AsString() != "bob" {
+		t.Fatalf("Get(0, name) = %v, %v", v, ok)
+	}
+	if _, ok := r.Get(0, "nope"); ok {
+		t.Fatal("Get on missing column should report false")
+	}
+	if _, ok := r.Get(99, "name"); ok {
+		t.Fatal("Get out of range should report false")
+	}
+	col, err := r.Column("id")
+	if err != nil || len(col) != 3 || col[0].AsInt() != 2 {
+		t.Fatalf("Column(id) = %v, %v", col, err)
+	}
+	if _, err := r.Column("nope"); err == nil {
+		t.Fatal("Column on missing name should fail")
+	}
+}
+
+func TestRelationSortBy(t *testing.T) {
+	r := testRelation(t)
+	if err := r.SortBy([]string{"id"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ids := []int64{r.Tuples[0][0].AsInt(), r.Tuples[1][0].AsInt(), r.Tuples[2][0].AsInt()}
+	if ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("ascending sort wrong: %v", ids)
+	}
+	if err := r.SortBy([]string{"id"}, []bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Tuples[0][0].AsInt() != 3 {
+		t.Fatalf("descending sort wrong: %v", r.Tuples)
+	}
+	// NULL sorts first ascending.
+	if err := r.SortBy([]string{"score"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Tuples[0][2].IsNull() {
+		t.Fatal("NULL should sort first")
+	}
+	if err := r.SortBy([]string{"missing"}, nil); err == nil {
+		t.Fatal("sorting on missing column should fail")
+	}
+}
+
+func TestRelationProjectFilter(t *testing.T) {
+	r := testRelation(t)
+	p, err := r.Project("name", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema.Arity() != 2 || p.Schema.Columns[0].Name != "name" {
+		t.Fatalf("projection schema wrong: %v", p.Schema)
+	}
+	if p.Tuples[0][0].AsString() != "bob" || p.Tuples[0][1].AsInt() != 2 {
+		t.Fatalf("projection row wrong: %v", p.Tuples[0])
+	}
+	if _, err := r.Project("ghost"); err == nil {
+		t.Fatal("projecting missing column should fail")
+	}
+
+	f := r.Filter(func(tp Tuple) bool { return tp[0].AsInt() >= 2 })
+	if f.Len() != 2 {
+		t.Fatalf("Filter kept %d rows, want 2", f.Len())
+	}
+}
+
+func TestRelationCloneIndependence(t *testing.T) {
+	r := testRelation(t)
+	c := r.Clone()
+	c.Tuples[0][1] = String_("mutated")
+	if v, _ := r.Get(0, "name"); v.AsString() != "bob" {
+		t.Fatal("Clone shares tuple storage")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := testRelation(t)
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("people", r.Schema, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != r.Len() {
+		t.Fatalf("round trip lost rows: %d vs %d", back.Len(), r.Len())
+	}
+	for i := range r.Tuples {
+		if !back.Tuples[i].Equal(r.Tuples[i]) {
+			t.Fatalf("row %d mismatch: %v vs %v", i, back.Tuples[i], r.Tuples[i])
+		}
+	}
+}
+
+func TestReadCSVHeaderMismatch(t *testing.T) {
+	s := MustSchema(Column{Name: "a", Type: TypeInt})
+	if _, err := ReadCSV("x", s, strings.NewReader("wrong\n1\n")); err == nil {
+		t.Fatal("header name mismatch should fail")
+	}
+	if _, err := ReadCSV("x", s, strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Fatal("header arity mismatch should fail")
+	}
+	if _, err := ReadCSV("x", s, strings.NewReader("a\nnot-an-int\n")); err == nil {
+		t.Fatal("bad cell should fail")
+	}
+}
+
+func TestTupleEqualAndClone(t *testing.T) {
+	a := Tuple{Int(1), String_("x")}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone should be equal")
+	}
+	b[0] = Int(2)
+	if a.Equal(b) || a[0].AsInt() != 1 {
+		t.Fatal("clone should be independent")
+	}
+	if a.Equal(Tuple{Int(1)}) {
+		t.Fatal("different arity tuples should not be equal")
+	}
+}
+
+func TestFormatTableContainsData(t *testing.T) {
+	r := testRelation(t)
+	s := r.FormatTable()
+	for _, want := range []string{"id", "name", "score", "bob", "NULL"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("FormatTable missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCSVRoundTripAdversarialStrings(t *testing.T) {
+	s := MustSchema(
+		Column{Name: "id", Type: TypeInt},
+		Column{Name: "text", Type: TypeString},
+	)
+	tricky := []string{
+		`comma, inside`, `"quoted"`, "new\nline", `both, "things"`,
+		`trailing space `, `	tab`, `unicode: héllo, 世界`, `''`,
+	}
+	r := NewRelation("tricky", s)
+	for i, v := range tricky {
+		r.MustInsert(Tuple{Int(int64(i)), String_(v)})
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV("tricky", s, bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != len(tricky) {
+		t.Fatalf("rows = %d", back.Len())
+	}
+	for i, v := range tricky {
+		got, _ := back.Get(i, "text")
+		if got.AsString() != v {
+			t.Fatalf("row %d: %q round-tripped to %q", i, v, got.AsString())
+		}
+	}
+}
+
+func TestCSVRoundTripRandomRelations(t *testing.T) {
+	err := quick.Check(func(ids []int64, names []string) bool {
+		n := len(ids)
+		if len(names) < n {
+			n = len(names)
+		}
+		if n > 30 {
+			n = 30
+		}
+		s := MustSchema(
+			Column{Name: "id", Type: TypeInt},
+			Column{Name: "name", Type: TypeString},
+		)
+		r := NewRelation("rand", s)
+		for i := 0; i < n; i++ {
+			// Empty strings decode as NULL by design; skip them so the
+			// property stays exact (NULL round-trip is covered elsewhere).
+			name := names[i]
+			if name == "" {
+				name = "_"
+			}
+			r.MustInsert(Tuple{Int(ids[i]), String_(name)})
+		}
+		var buf bytes.Buffer
+		if err := r.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV("rand", s, bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		if back.Len() != r.Len() {
+			return false
+		}
+		for i := range r.Tuples {
+			if !back.Tuples[i].Equal(r.Tuples[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,393 @@
+package model
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Column describes one attribute of a relation schema.
+type Column struct {
+	Name string
+	Type Type
+	// Crowd marks a CROWD column (CrowdDB-style): its values may be NULL
+	// until resolved by crowd workers.
+	Crowd bool
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+	// CrowdTable marks the whole relation as crowd-sourced: tuples may be
+	// appended by workers (open-world), not just by the machine.
+	CrowdTable bool
+	byName     map[string]int
+}
+
+// NewSchema builds a schema from columns, validating that names are
+// non-empty and unique (case-insensitive).
+func NewSchema(cols ...Column) (*Schema, error) {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("model: column %d has empty name", i)
+		}
+		key := strings.ToLower(c.Name)
+		if _, dup := s.byName[key]; dup {
+			return nil, fmt.Errorf("model: duplicate column name %q", c.Name)
+		}
+		s.byName[key] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema but panics on error; for tests and literals.
+func MustSchema(cols ...Column) *Schema {
+	s, err := NewSchema(cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// ColumnIndex returns the index of the named column (case-insensitive) or
+// -1 if absent.
+func (s *Schema) ColumnIndex(name string) int {
+	if i, ok := s.byName[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasCrowdColumns reports whether any column is CROWD-annotated.
+func (s *Schema) HasCrowdColumns() bool {
+	for _, c := range s.Columns {
+		if c.Crowd {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	cols := append([]Column(nil), s.Columns...)
+	c := MustSchema(cols...)
+	c.CrowdTable = s.CrowdTable
+	return c
+}
+
+// String renders the schema as "name TYPE [CROWD], ...".
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+		if c.Crowd {
+			b.WriteString(" CROWD")
+		}
+	}
+	return b.String()
+}
+
+// Tuple is one row of values, positionally aligned with a schema.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Equal reports whether two tuples have identical length and values.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is an in-memory table: a schema plus a slice of tuples. It is
+// the unit exchanged between the storage layer, the operators, and CQL.
+// Relation is not safe for concurrent mutation.
+type Relation struct {
+	Name   string
+	Schema *Schema
+	Tuples []Tuple
+}
+
+// NewRelation creates an empty relation with the given name and schema.
+func NewRelation(name string, schema *Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Insert appends a tuple after validating its arity and column types
+// (NULL is accepted in any column).
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.Schema.Arity() {
+		return fmt.Errorf("model: relation %s: tuple arity %d, schema arity %d",
+			r.Name, len(t), r.Schema.Arity())
+	}
+	for i, v := range t {
+		if v.IsNull() {
+			continue
+		}
+		want := r.Schema.Columns[i].Type
+		if v.Type() != want {
+			// Allow INT literals into FLOAT columns.
+			if want == TypeFloat && v.Type() == TypeInt {
+				t[i] = Float(v.AsFloat())
+				continue
+			}
+			return fmt.Errorf("model: relation %s: column %s expects %v, got %v",
+				r.Name, r.Schema.Columns[i].Name, want, v.Type())
+		}
+	}
+	r.Tuples = append(r.Tuples, t)
+	return nil
+}
+
+// MustInsert inserts and panics on error; for tests and generators.
+func (r *Relation) MustInsert(t Tuple) {
+	if err := r.Insert(t); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the value at row i, column named col. It returns NULL and
+// false if the column does not exist or the row is out of range.
+func (r *Relation) Get(i int, col string) (Value, bool) {
+	ci := r.Schema.ColumnIndex(col)
+	if ci < 0 || i < 0 || i >= len(r.Tuples) {
+		return Null(), false
+	}
+	return r.Tuples[i][ci], true
+}
+
+// Column returns all values of the named column in row order.
+func (r *Relation) Column(col string) ([]Value, error) {
+	ci := r.Schema.ColumnIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("model: relation %s has no column %q", r.Name, col)
+	}
+	out := make([]Value, len(r.Tuples))
+	for i, t := range r.Tuples {
+		out[i] = t[ci]
+	}
+	return out, nil
+}
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.Name, r.Schema.Clone())
+	c.Tuples = make([]Tuple, len(r.Tuples))
+	for i, t := range r.Tuples {
+		c.Tuples[i] = t.Clone()
+	}
+	return c
+}
+
+// SortBy stably sorts tuples by the named columns in order; desc applies
+// per column (parallel slice, padded with false).
+func (r *Relation) SortBy(cols []string, desc []bool) error {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		ci := r.Schema.ColumnIndex(c)
+		if ci < 0 {
+			return fmt.Errorf("model: sort column %q not in relation %s", c, r.Name)
+		}
+		idx[i] = ci
+	}
+	sort.SliceStable(r.Tuples, func(a, b int) bool {
+		for i, ci := range idx {
+			cmp := r.Tuples[a][ci].Compare(r.Tuples[b][ci])
+			if i < len(desc) && desc[i] {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// Project returns a new relation containing only the named columns.
+func (r *Relation) Project(cols ...string) (*Relation, error) {
+	idx := make([]int, len(cols))
+	newCols := make([]Column, len(cols))
+	for i, c := range cols {
+		ci := r.Schema.ColumnIndex(c)
+		if ci < 0 {
+			return nil, fmt.Errorf("model: project column %q not in relation %s", c, r.Name)
+		}
+		idx[i] = ci
+		newCols[i] = r.Schema.Columns[ci]
+	}
+	schema, err := NewSchema(newCols...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewRelation(r.Name, schema)
+	for _, t := range r.Tuples {
+		nt := make(Tuple, len(idx))
+		for i, ci := range idx {
+			nt[i] = t[ci]
+		}
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out, nil
+}
+
+// Filter returns a new relation holding the tuples for which keep returns
+// true.
+func (r *Relation) Filter(keep func(Tuple) bool) *Relation {
+	out := NewRelation(r.Name, r.Schema)
+	for _, t := range r.Tuples {
+		if keep(t) {
+			out.Tuples = append(out.Tuples, t)
+		}
+	}
+	return out
+}
+
+// WriteCSV writes the relation (header row first) to w.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, r.Schema.Arity())
+	for i, c := range r.Schema.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("model: writing CSV header: %w", err)
+	}
+	row := make([]string, r.Schema.Arity())
+	for _, t := range r.Tuples {
+		for i, v := range t {
+			if v.IsNull() {
+				row[i] = ""
+			} else {
+				row[i] = v.String()
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("model: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads tuples from CSV data (with a header row that must match
+// the schema's column names in order) into a new relation.
+func ReadCSV(name string, schema *Schema, rd io.Reader) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("model: reading CSV header: %w", err)
+	}
+	if len(header) != schema.Arity() {
+		return nil, fmt.Errorf("model: CSV header arity %d, schema arity %d",
+			len(header), schema.Arity())
+	}
+	for i, h := range header {
+		if !strings.EqualFold(h, schema.Columns[i].Name) {
+			return nil, fmt.Errorf("model: CSV column %d is %q, schema expects %q",
+				i, h, schema.Columns[i].Name)
+		}
+	}
+	rel := NewRelation(name, schema)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("model: reading CSV row: %w", err)
+		}
+		t := make(Tuple, schema.Arity())
+		for i, field := range rec {
+			v, err := ParseValue(field, schema.Columns[i].Type)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = v
+		}
+		if err := rel.Insert(t); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// FormatTable renders the relation as an aligned ASCII table, for CLI and
+// experiment output.
+func (r *Relation) FormatTable() string {
+	widths := make([]int, r.Schema.Arity())
+	for i, c := range r.Schema.Columns {
+		widths[i] = len(c.Name)
+	}
+	rows := make([][]string, len(r.Tuples))
+	for ri, t := range r.Tuples {
+		rows[ri] = make([]string, len(t))
+		for i, v := range t {
+			s := v.String()
+			rows[ri][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	header := make([]string, r.Schema.Arity())
+	for i, c := range r.Schema.Columns {
+		header[i] = c.Name
+	}
+	writeRow(header)
+	total := 0
+	for _, w := range widths {
+		total += w + 3
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

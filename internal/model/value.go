@@ -1,0 +1,248 @@
+// Package model defines the relational data model shared by the storage
+// engine, the crowd operators, and the declarative CQL layer: typed values,
+// schemas, tuples, and in-memory relations with CSV import/export.
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Type enumerates the value types supported by crowdkit relations.
+type Type int
+
+const (
+	// TypeNull is the type of the NULL value (and of CROWD cells that have
+	// not yet been resolved by workers).
+	TypeNull Type = iota
+	// TypeInt is a 64-bit signed integer.
+	TypeInt
+	// TypeFloat is a 64-bit IEEE float.
+	TypeFloat
+	// TypeString is a UTF-8 string.
+	TypeString
+	// TypeBool is a boolean.
+	TypeBool
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "STRING"
+	case TypeBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// ParseType converts a type name (case-insensitive; accepts common SQL
+// aliases) into a Type.
+func ParseType(s string) (Type, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "INT", "INTEGER", "BIGINT":
+		return TypeInt, nil
+	case "FLOAT", "DOUBLE", "REAL":
+		return TypeFloat, nil
+	case "STRING", "TEXT", "VARCHAR", "CHAR":
+		return TypeString, nil
+	case "BOOL", "BOOLEAN":
+		return TypeBool, nil
+	default:
+		return TypeNull, fmt.Errorf("model: unknown type %q", s)
+	}
+}
+
+// Value is a dynamically typed cell value. The zero Value is NULL.
+type Value struct {
+	typ Type
+	i   int64
+	f   float64
+	s   string
+	b   bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an INT value.
+func Int(v int64) Value { return Value{typ: TypeInt, i: v} }
+
+// Float returns a FLOAT value.
+func Float(v float64) Value { return Value{typ: TypeFloat, f: v} }
+
+// String_ returns a STRING value. (Named with a trailing underscore to
+// avoid colliding with the fmt.Stringer method on Value.)
+func String_(v string) Value { return Value{typ: TypeString, s: v} }
+
+// Bool returns a BOOL value.
+func Bool(v bool) Value { return Value{typ: TypeBool, b: v} }
+
+// Type returns the value's type.
+func (v Value) Type() Type { return v.typ }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.typ == TypeNull }
+
+// AsInt returns the integer content; it is 0 unless Type is TypeInt.
+func (v Value) AsInt() int64 { return v.i }
+
+// AsFloat returns the numeric content as float64, converting INT values.
+func (v Value) AsFloat() float64 {
+	if v.typ == TypeInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// AsString returns the string content; it is "" unless Type is TypeString.
+func (v Value) AsString() string { return v.s }
+
+// AsBool returns the boolean content; it is false unless Type is TypeBool.
+func (v Value) AsBool() bool { return v.b }
+
+// IsNumeric reports whether the value is INT or FLOAT.
+func (v Value) IsNumeric() bool { return v.typ == TypeInt || v.typ == TypeFloat }
+
+// String renders the value for display. NULL renders as "NULL"; strings
+// render without quotes.
+func (v Value) String() string {
+	switch v.typ {
+	case TypeNull:
+		return "NULL"
+	case TypeInt:
+		return strconv.FormatInt(v.i, 10)
+	case TypeFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case TypeString:
+		return v.s
+	case TypeBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Equal reports deep equality of two values. NULL equals only NULL (this is
+// identity equality used by the engine, not SQL ternary logic — the CQL
+// executor handles NULL semantics above this level).
+func (v Value) Equal(o Value) bool {
+	if v.typ != o.typ {
+		// INT and FLOAT compare numerically across types.
+		if v.IsNumeric() && o.IsNumeric() {
+			return v.AsFloat() == o.AsFloat()
+		}
+		return false
+	}
+	switch v.typ {
+	case TypeNull:
+		return true
+	case TypeInt:
+		return v.i == o.i
+	case TypeFloat:
+		return v.f == o.f
+	case TypeString:
+		return v.s == o.s
+	case TypeBool:
+		return v.b == o.b
+	}
+	return false
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// NULL sorts before everything; cross-type comparisons order by type rank
+// except numeric types, which compare numerically. Returns an error for
+// incomparable pairs only when strict is required by callers; here all
+// pairs are totally ordered so sorting is always possible.
+func (v Value) Compare(o Value) int {
+	if v.typ == TypeNull || o.typ == TypeNull {
+		switch {
+		case v.typ == o.typ:
+			return 0
+		case v.typ == TypeNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if v.typ != o.typ {
+		// Deterministic but arbitrary cross-type ordering by type rank.
+		if v.typ < o.typ {
+			return -1
+		}
+		return 1
+	}
+	switch v.typ {
+	case TypeString:
+		return strings.Compare(v.s, o.s)
+	case TypeBool:
+		switch {
+		case v.b == o.b:
+			return 0
+		case !v.b:
+			return -1
+		default:
+			return 1
+		}
+	}
+	return 0
+}
+
+// ParseValue parses the literal s as the given type. An empty string parses
+// to NULL for every type.
+func ParseValue(s string, t Type) (Value, error) {
+	if s == "" {
+		return Null(), nil
+	}
+	switch t {
+	case TypeInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("model: parsing %q as INT: %w", s, err)
+		}
+		return Int(i), nil
+	case TypeFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return Null(), fmt.Errorf("model: parsing %q as FLOAT: %w", s, err)
+		}
+		return Float(f), nil
+	case TypeString:
+		return String_(s), nil
+	case TypeBool:
+		switch strings.ToLower(strings.TrimSpace(s)) {
+		case "true", "t", "1", "yes":
+			return Bool(true), nil
+		case "false", "f", "0", "no":
+			return Bool(false), nil
+		default:
+			return Null(), fmt.Errorf("model: parsing %q as BOOL", s)
+		}
+	case TypeNull:
+		return Null(), nil
+	default:
+		return Null(), fmt.Errorf("model: unknown target type %v", t)
+	}
+}

@@ -1,0 +1,230 @@
+package operators
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Taxonomy is a category tree for crowd-powered categorization. Leaf
+// names must be unique across the tree.
+type Taxonomy struct {
+	Name     string
+	Children []*Taxonomy
+}
+
+// IsLeaf reports whether the node has no children.
+func (t *Taxonomy) IsLeaf() bool { return len(t.Children) == 0 }
+
+// Leaves returns the leaf names in depth-first order.
+func (t *Taxonomy) Leaves() []string {
+	if t.IsLeaf() {
+		return []string{t.Name}
+	}
+	var out []string
+	for _, c := range t.Children {
+		out = append(out, c.Leaves()...)
+	}
+	return out
+}
+
+// Depth returns the maximum root-to-leaf edge count.
+func (t *Taxonomy) Depth() int {
+	if t.IsLeaf() {
+		return 0
+	}
+	max := 0
+	for _, c := range t.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// contains reports whether the subtree holds the named leaf.
+func (t *Taxonomy) contains(leaf string) bool {
+	if t.IsLeaf() {
+		return t.Name == leaf
+	}
+	for _, c := range t.Children {
+		if c.contains(leaf) {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks leaf-name uniqueness and non-empty names.
+func (t *Taxonomy) Validate() error {
+	seen := map[string]bool{}
+	var walk func(n *Taxonomy) error
+	walk = func(n *Taxonomy) error {
+		if n.Name == "" {
+			return fmt.Errorf("operators: taxonomy node with empty name")
+		}
+		if n.IsLeaf() {
+			if seen[n.Name] {
+				return fmt.Errorf("operators: duplicate leaf %q", n.Name)
+			}
+			seen[n.Name] = true
+			return nil
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(t)
+}
+
+// CategorizeItem is one item to place into the taxonomy.
+type CategorizeItem struct {
+	// Question describes the item to workers.
+	Question string
+	// TruthLeaf is the planted correct leaf (for simulated workers and
+	// evaluation).
+	TruthLeaf string
+	// Difficulty in [0,1] is the base confusability of the item.
+	Difficulty float64
+}
+
+// CategorizeResult reports a categorization run.
+type CategorizeResult struct {
+	// Assigned holds the chosen leaf per item.
+	Assigned []string
+	// QuestionsAsked counts the choice questions issued.
+	QuestionsAsked int
+	// VotesUsed counts worker answers consumed.
+	VotesUsed int
+	// Strategy is "flat" or "hierarchical".
+	Strategy string
+}
+
+// Accuracy scores assignments against the planted leaves.
+func (cr *CategorizeResult) Accuracy(items []CategorizeItem) float64 {
+	if len(items) == 0 || len(items) != len(cr.Assigned) {
+		return 0
+	}
+	ok := 0
+	for i, it := range items {
+		if cr.Assigned[i] == it.TruthLeaf {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(items))
+}
+
+// choiceDifficulty scales a base item difficulty by the number of options
+// shown: wide flat choices are more confusable than small per-level ones.
+func choiceDifficulty(base float64, options int) float64 {
+	d := base + 0.04*float64(options-2)
+	if d < 0 {
+		d = 0
+	}
+	if d > 0.95 {
+		d = 0.95
+	}
+	return d
+}
+
+// CategorizeFlat places each item with one wide multiple-choice question
+// over all leaves (majority of k votes).
+func CategorizeFlat(r *Runner, items []CategorizeItem, tax *Taxonomy, k int) (*CategorizeResult, error) {
+	if err := tax.Validate(); err != nil {
+		return nil, err
+	}
+	leaves := tax.Leaves()
+	if len(leaves) < 2 {
+		return nil, fmt.Errorf("operators: taxonomy needs >= 2 leaves")
+	}
+	if k <= 0 {
+		k = 3
+	}
+	leafIdx := make(map[string]int, len(leaves))
+	for i, l := range leaves {
+		leafIdx[l] = i
+	}
+	res := &CategorizeResult{Strategy: "flat"}
+	for _, it := range items {
+		truth, ok := leafIdx[it.TruthLeaf]
+		if !ok {
+			truth = -1
+		}
+		task, err := r.NewTask(&core.Task{
+			Kind:        core.SingleChoice,
+			Question:    fmt.Sprintf("Which category fits? %s", it.Question),
+			Options:     leaves,
+			GroundTruth: truth,
+			Difficulty:  choiceDifficulty(it.Difficulty, len(leaves)),
+		})
+		if err != nil {
+			return res, err
+		}
+		opt, err := r.MajorityOption(task, k)
+		if err != nil {
+			return res, err
+		}
+		res.QuestionsAsked++
+		res.VotesUsed += k
+		res.Assigned = append(res.Assigned, leaves[opt])
+	}
+	return res, nil
+}
+
+// CategorizeHierarchical walks each item down the taxonomy: one small
+// choice question per level (majority of k votes). An early wrong turn
+// propagates — subsequent questions have no correct option and workers
+// guess — which is exactly the failure mode the taxonomy literature
+// describes.
+func CategorizeHierarchical(r *Runner, items []CategorizeItem, tax *Taxonomy, k int) (*CategorizeResult, error) {
+	if err := tax.Validate(); err != nil {
+		return nil, err
+	}
+	if tax.IsLeaf() {
+		return nil, fmt.Errorf("operators: taxonomy root has no children")
+	}
+	if k <= 0 {
+		k = 3
+	}
+	res := &CategorizeResult{Strategy: "hierarchical"}
+	for _, it := range items {
+		node := tax
+		for !node.IsLeaf() {
+			options := make([]string, len(node.Children))
+			truth := -1
+			for ci, c := range node.Children {
+				options[ci] = c.Name
+				if c.contains(it.TruthLeaf) {
+					truth = ci
+				}
+			}
+			task, err := r.NewTask(&core.Task{
+				Kind:        core.SingleChoice,
+				Question:    fmt.Sprintf("Under %q, which branch fits? %s", node.Name, it.Question),
+				Options:     options,
+				GroundTruth: truth,
+				Difficulty:  choiceDifficulty(it.Difficulty, len(options)),
+			})
+			if err != nil {
+				return res, err
+			}
+			opt := 0
+			if len(options) == 1 {
+				// Degenerate single-child level: no question needed.
+			} else {
+				opt, err = r.MajorityOption(task, k)
+				if err != nil {
+					return res, err
+				}
+				res.QuestionsAsked++
+				res.VotesUsed += k
+			}
+			node = node.Children[opt]
+		}
+		res.Assigned = append(res.Assigned, node.Name)
+	}
+	return res, nil
+}

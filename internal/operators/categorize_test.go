@@ -1,0 +1,202 @@
+package operators
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func animalTaxonomy() *Taxonomy {
+	return &Taxonomy{Name: "animal", Children: []*Taxonomy{
+		{Name: "mammal", Children: []*Taxonomy{
+			{Name: "dog"}, {Name: "cat"}, {Name: "horse"},
+		}},
+		{Name: "bird", Children: []*Taxonomy{
+			{Name: "eagle"}, {Name: "sparrow"},
+		}},
+		{Name: "reptile", Children: []*Taxonomy{
+			{Name: "snake"}, {Name: "lizard"}, {Name: "turtle"},
+		}},
+	}}
+}
+
+func categorizeItems(seed uint64, n int, tax *Taxonomy, difficulty float64) []CategorizeItem {
+	rng := stats.NewRNG(seed)
+	leaves := tax.Leaves()
+	items := make([]CategorizeItem, n)
+	for i := range items {
+		leaf := leaves[rng.Intn(len(leaves))]
+		items[i] = CategorizeItem{
+			Question:   "photo of a " + leaf,
+			TruthLeaf:  leaf,
+			Difficulty: difficulty,
+		}
+	}
+	return items
+}
+
+func TestTaxonomyBasics(t *testing.T) {
+	tax := animalTaxonomy()
+	if err := tax.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	leaves := tax.Leaves()
+	if len(leaves) != 8 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	if tax.Depth() != 2 {
+		t.Fatalf("depth = %d", tax.Depth())
+	}
+	if !tax.contains("turtle") || tax.contains("whale") {
+		t.Fatal("contains broken")
+	}
+	dup := &Taxonomy{Name: "r", Children: []*Taxonomy{{Name: "x"}, {Name: "x"}}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("duplicate leaves should fail validation")
+	}
+	empty := &Taxonomy{Name: "r", Children: []*Taxonomy{{Name: ""}}}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty name should fail validation")
+	}
+}
+
+func TestCategorizeFlatAndHierarchicalAccuracy(t *testing.T) {
+	tax := animalTaxonomy()
+	items := categorizeItems(200, 80, tax, 0.1)
+
+	flat, err := CategorizeFlat(reliableRunner(201, 40), items, tax, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Accuracy(items) < 0.85 {
+		t.Fatalf("flat accuracy %.3f", flat.Accuracy(items))
+	}
+	if flat.QuestionsAsked != 80 || flat.VotesUsed != 240 {
+		t.Fatalf("flat accounting: %d questions, %d votes", flat.QuestionsAsked, flat.VotesUsed)
+	}
+
+	hier, err := CategorizeHierarchical(reliableRunner(201, 40), items, tax, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hier.Accuracy(items) < 0.85 {
+		t.Fatalf("hierarchical accuracy %.3f", hier.Accuracy(items))
+	}
+	// Two levels => exactly 2 questions per item for this taxonomy.
+	if hier.QuestionsAsked != 160 {
+		t.Fatalf("hierarchical questions = %d, want 160", hier.QuestionsAsked)
+	}
+}
+
+func TestHierarchicalBeatsFlatOnWideHardTaxonomies(t *testing.T) {
+	// A wide taxonomy with confusable items: flat asks one 16-way
+	// question (very hard); hierarchical asks two small ones.
+	wide := &Taxonomy{Name: "root"}
+	for g := 0; g < 4; g++ {
+		group := &Taxonomy{Name: string(rune('A' + g))}
+		for l := 0; l < 4; l++ {
+			group.Children = append(group.Children,
+				&Taxonomy{Name: string(rune('A'+g)) + string(rune('0'+l))})
+		}
+		wide.Children = append(wide.Children, group)
+	}
+	items := categorizeItems(202, 100, wide, 0.5)
+	var flatAcc, hierAcc float64
+	for seed := uint64(210); seed < 214; seed++ {
+		flat, err := CategorizeFlat(mixedRunner(seed, 50), items, wide, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flatAcc += flat.Accuracy(items)
+		hier, err := CategorizeHierarchical(mixedRunner(seed, 50), items, wide, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hierAcc += hier.Accuracy(items)
+	}
+	if hierAcc <= flatAcc {
+		t.Fatalf("hierarchical %.3f should beat flat %.3f on wide hard taxonomy",
+			hierAcc/4, flatAcc/4)
+	}
+}
+
+func TestCategorizeErrorPropagation(t *testing.T) {
+	// With an adversarial first level, hierarchical walks into the wrong
+	// subtree and cannot recover — assigned leaf differs from truth.
+	tax := animalTaxonomy()
+	items := []CategorizeItem{{Question: "a dog", TruthLeaf: "dog", Difficulty: 0.99}}
+	res, err := CategorizeHierarchical(mixedRunner(220, 10), items, tax, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assigned) != 1 {
+		t.Fatal("no assignment")
+	}
+	// Whatever leaf came out must be a real leaf of the taxonomy.
+	found := false
+	for _, l := range tax.Leaves() {
+		if res.Assigned[0] == l {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("assigned %q is not a leaf", res.Assigned[0])
+	}
+}
+
+func TestCategorizeValidation(t *testing.T) {
+	r := reliableRunner(230, 5)
+	leafOnly := &Taxonomy{Name: "x"}
+	if _, err := CategorizeFlat(r, nil, leafOnly, 3); err == nil {
+		t.Fatal("single-leaf taxonomy should fail flat")
+	}
+	if _, err := CategorizeHierarchical(r, nil, leafOnly, 3); err == nil {
+		t.Fatal("leaf root should fail hierarchical")
+	}
+}
+
+func TestBinaryInsertionSortCostAndQuality(t *testing.T) {
+	d, oracle := rankingData(t, 240, 30)
+	r := reliableRunner(241, 100)
+	res, err := BinaryInsertionSort(r, 30, oracle, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O(n log n): far fewer than C(30,2)=435 comparisons.
+	if res.Comparisons >= 435 {
+		t.Fatalf("binary insertion used %d comparisons", res.Comparisons)
+	}
+	if res.Comparisons < 30 {
+		t.Fatalf("implausibly few comparisons: %d", res.Comparisons)
+	}
+	tau, err := KendallTau(res.Ranking, d.TrueRanking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 0.75 {
+		t.Fatalf("binary insertion tau %.3f", tau)
+	}
+	if _, err := BinaryInsertionSort(r, 0, oracle, 3); err == nil {
+		t.Fatal("n=0 should fail")
+	}
+}
+
+func TestBinaryInsertionPerfectOracle(t *testing.T) {
+	// With trivial difficulty (all gaps large) and reliable workers, the
+	// ranking should be exact.
+	d, _ := rankingData(t, 242, 8)
+	// Spread the scores far apart so comparisons are easy.
+	for i := range d.Scores {
+		d.Scores[i] = float64(i * 10)
+	}
+	oracle := rankOracle{d}
+	r := reliableRunner(243, 50)
+	res, err := BinaryInsertionSort(r, 8, oracle, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, _ := KendallTau(res.Ranking, d.TrueRanking())
+	if tau != 1 {
+		t.Fatalf("easy-instance tau = %v", tau)
+	}
+}

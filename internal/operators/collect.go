@@ -1,0 +1,116 @@
+package operators
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// CollectResult reports a crowdsourced enumeration run.
+type CollectResult struct {
+	// Distinct holds the unique contributed values in first-seen order.
+	Distinct []string
+	// AnswersUsed is the number of contributions collected (including
+	// duplicates and empties).
+	AnswersUsed int
+	// CoverageCurve[i] is the number of distinct values after i+1 answers
+	// — the saturation curve of open-world collection.
+	CoverageCurve []int
+	// Sequence records each contribution in arrival order ("" for empty
+	// answers), enabling exact prefix re-analysis.
+	Sequence []string
+	// Frequencies counts how often each distinct value was contributed.
+	Frequencies map[string]int
+	// ChaoEstimate is the Chao92 species-richness estimate of the true
+	// domain size implied by the sample, 0 when undefined.
+	ChaoEstimate float64
+}
+
+// Collect runs the crowd collection (enumeration) operator: it issues
+// `asks` open collection tasks carrying the given payload (the domain
+// handle interpreted by the worker implementation) and deduplicates the
+// contributed values. Unlike choice tasks, each ask is a fresh task, so
+// the same worker may contribute repeatedly — the open-world model of
+// CROWD tables.
+func Collect(r *Runner, question string, payload any, asks int) (*CollectResult, error) {
+	if asks <= 0 {
+		return nil, fmt.Errorf("operators: asks must be positive (got %d)", asks)
+	}
+	res := &CollectResult{Frequencies: make(map[string]int)}
+	for i := 0; i < asks; i++ {
+		task, err := r.NewTask(&core.Task{
+			Kind:     core.Collection,
+			Question: question,
+			Payload:  payload,
+		})
+		if err != nil {
+			return res, err
+		}
+		a, err := r.One(task)
+		if err != nil {
+			return res, err
+		}
+		res.AnswersUsed++
+		v := a.Text
+		res.Sequence = append(res.Sequence, v)
+		if v != "" {
+			if res.Frequencies[v] == 0 {
+				res.Distinct = append(res.Distinct, v)
+			}
+			res.Frequencies[v]++
+		}
+		res.CoverageCurve = append(res.CoverageCurve, len(res.Distinct))
+	}
+	res.ChaoEstimate = Chao92(res.Frequencies)
+	return res, nil
+}
+
+// Chao92 estimates the true number of distinct values ("species") in an
+// open domain from contribution frequencies, using the coverage-based
+// Chao92 estimator:
+//
+//	C_hat = 1 - f1/n                                (sample coverage)
+//	gamma² = max(D/C_hat · Σ i(i-1)f_i / (n(n-1)) - 1, 0)
+//	N_hat = D/C_hat + n(1-C_hat)/C_hat · gamma²
+//
+// where n is the number of contributions, D the distinct count, f1 the
+// number of singletons and f_i the number of values seen exactly i times.
+// This is the estimator the crowdsourced-enumeration literature uses to
+// decide when a collection query is "complete enough". It returns 0 when
+// the estimate is undefined (no data), and D when coverage is zero
+// (every value a singleton — the estimator degenerates; callers should
+// keep collecting).
+func Chao92(freqs map[string]int) float64 {
+	n := 0
+	d := 0
+	f1 := 0
+	sumII := 0 // Σ i(i-1) f_i
+	for _, c := range freqs {
+		if c <= 0 {
+			continue
+		}
+		n += c
+		d++
+		if c == 1 {
+			f1++
+		}
+		sumII += c * (c - 1)
+	}
+	if n == 0 || d == 0 {
+		return 0
+	}
+	cHat := 1 - float64(f1)/float64(n)
+	if cHat <= 0 {
+		// All singletons: no abundance information.
+		return float64(d)
+	}
+	dHat := float64(d) / cHat
+	gamma2 := 0.0
+	if n > 1 {
+		gamma2 = dHat*float64(sumII)/(float64(n)*float64(n-1)) - 1
+		if gamma2 < 0 {
+			gamma2 = 0
+		}
+	}
+	return dHat + float64(n)*(1-cHat)/cHat*gamma2
+}

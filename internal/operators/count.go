@@ -1,0 +1,80 @@
+package operators
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// CountItem is one population member for crowd-powered count/selectivity
+// estimation.
+type CountItem struct {
+	Question   string
+	Truth      bool
+	Difficulty float64
+}
+
+// CountResult reports a sampling-based crowd count.
+type CountResult struct {
+	// Estimate extrapolates the sampled selectivity to the population.
+	Estimate *cost.SelectivityEstimate
+	// SampledItems is how many population members were labeled.
+	SampledItems int
+	// VotesUsed is the total crowd answers consumed.
+	VotesUsed int
+}
+
+// Count estimates how many of the population items satisfy the predicate
+// by labeling a random sample of sampleSize items with redundancy-k
+// majority votes and extrapolating — the crowd-powered COUNT/selectivity
+// estimator from the survey. Sampling uses the runner's RNG stream via
+// the provided index sample.
+func Count(r *Runner, population []CountItem, sampleIdx []int, k int) (*CountResult, error) {
+	if len(population) == 0 {
+		return nil, fmt.Errorf("operators: empty population")
+	}
+	if len(sampleIdx) == 0 {
+		return nil, fmt.Errorf("operators: empty sample")
+	}
+	if k <= 0 {
+		k = 3
+	}
+	labels := make([]bool, 0, len(sampleIdx))
+	votes := 0
+	for _, idx := range sampleIdx {
+		if idx < 0 || idx >= len(population) {
+			return nil, fmt.Errorf("operators: sample index %d out of range", idx)
+		}
+		it := population[idx]
+		truthOpt := 0
+		if it.Truth {
+			truthOpt = 1
+		}
+		task, err := r.NewTask(&core.Task{
+			Kind:        core.SingleChoice,
+			Question:    it.Question,
+			Options:     []string{"no", "yes"},
+			GroundTruth: truthOpt,
+			Difficulty:  it.Difficulty,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opt, err := r.MajorityOption(task, k)
+		if err != nil {
+			return nil, err
+		}
+		votes += k
+		labels = append(labels, opt == 1)
+	}
+	est, err := cost.EstimateSelectivity(labels, len(population))
+	if err != nil {
+		return nil, err
+	}
+	return &CountResult{
+		Estimate:     est,
+		SampledItems: len(sampleIdx),
+		VotesUsed:    votes,
+	}, nil
+}

@@ -1,0 +1,186 @@
+package operators
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/crowd"
+	"repro/internal/datagen"
+	"repro/internal/stats"
+)
+
+func TestCountEstimatesSelectivity(t *testing.T) {
+	rng := stats.NewRNG(100)
+	d, err := datagen.NewFilterDataset(rng, 5000, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := make([]CountItem, 5000)
+	for i := range pop {
+		pop[i] = CountItem{Question: "pass?", Truth: d.Pass[i], Difficulty: d.Difficulties[i]}
+	}
+	r := reliableRunner(101, 80)
+	sample := rng.Sample(5000, 300)
+	res, err := Count(r, pop, sample, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueCount := 0
+	for _, p := range d.Pass {
+		if p {
+			trueCount++
+		}
+	}
+	if math.Abs(res.Estimate.Count-float64(trueCount)) > 0.15*float64(trueCount) {
+		t.Fatalf("count estimate %.0f vs true %d", res.Estimate.Count, trueCount)
+	}
+	if res.VotesUsed != 900 || res.SampledItems != 300 {
+		t.Fatalf("accounting: votes=%d sampled=%d", res.VotesUsed, res.SampledItems)
+	}
+	// CI should usually bracket the truth.
+	if res.Estimate.CountLo > float64(trueCount) || res.Estimate.CountHi < float64(trueCount) {
+		t.Logf("CI [%.0f, %.0f] missed truth %d (allowed ~5%% of the time)",
+			res.Estimate.CountLo, res.Estimate.CountHi, trueCount)
+	}
+}
+
+func TestCountValidation(t *testing.T) {
+	r := reliableRunner(102, 5)
+	if _, err := Count(r, nil, []int{0}, 3); err == nil {
+		t.Fatal("empty population should fail")
+	}
+	pop := []CountItem{{Question: "q"}}
+	if _, err := Count(r, pop, nil, 3); err == nil {
+		t.Fatal("empty sample should fail")
+	}
+	if _, err := Count(r, pop, []int{5}, 3); err == nil {
+		t.Fatal("out-of-range sample index should fail")
+	}
+}
+
+func TestMoreSamplesTightenEstimate(t *testing.T) {
+	rng := stats.NewRNG(103)
+	d, _ := datagen.NewFilterDataset(rng, 4000, 0.5)
+	pop := make([]CountItem, 4000)
+	for i := range pop {
+		pop[i] = CountItem{Question: "pass?", Truth: d.Pass[i], Difficulty: 0.1}
+	}
+	small, err := Count(reliableRunner(104, 60), pop, rng.Sample(4000, 50), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Count(reliableRunner(104, 60), pop, rng.Sample(4000, 800), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Estimate.StdErr >= small.Estimate.StdErr {
+		t.Fatalf("stderr did not shrink: %.4f -> %.4f",
+			small.Estimate.StdErr, large.Estimate.StdErr)
+	}
+}
+
+func collectRunner(seed uint64, n, domain, perWorker int) (*Runner, []string) {
+	rng := stats.NewRNG(seed)
+	ws := crowd.NewPopulation(rng, n, crowd.RegimeReliable)
+	items := datagen.CollectionDomain(domain)
+	crowd.AssignKnowledge(rng, ws, domain, perWorker, 1.05)
+	return NewRunner(crowd.AsCoreWorkers(ws), nil, rng), items
+}
+
+func TestCollectCoverageGrows(t *testing.T) {
+	r, items := collectRunner(110, 60, 80, 15)
+	res, err := Collect(r, "name an entry", &crowd.CollectionDomain{Items: items}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnswersUsed != 400 {
+		t.Fatalf("answers = %d", res.AnswersUsed)
+	}
+	if len(res.Distinct) < 30 {
+		t.Fatalf("found only %d distinct of 80", len(res.Distinct))
+	}
+	// Coverage curve is monotone non-decreasing.
+	for i := 1; i < len(res.CoverageCurve); i++ {
+		if res.CoverageCurve[i] < res.CoverageCurve[i-1] {
+			t.Fatal("coverage curve decreased")
+		}
+	}
+	if res.CoverageCurve[len(res.CoverageCurve)-1] != len(res.Distinct) {
+		t.Fatal("curve endpoint != distinct count")
+	}
+	// All contributions are real domain entries (reliable crowd).
+	valid := map[string]bool{}
+	for _, it := range items {
+		valid[it] = true
+	}
+	for _, d := range res.Distinct {
+		if !valid[d] {
+			t.Fatalf("contributed %q outside domain", d)
+		}
+	}
+}
+
+func TestChao92OnUniformAbundance(t *testing.T) {
+	// 50 species each seen 4 times: coverage ~1, estimate ~50.
+	freqs := map[string]int{}
+	for i := 0; i < 50; i++ {
+		freqs[datagen.CollectionDomain(50)[i]] = 4
+	}
+	est := Chao92(freqs)
+	if math.Abs(est-50) > 1 {
+		t.Fatalf("Chao92 on saturated sample = %v, want ~50", est)
+	}
+}
+
+func TestChao92ExtrapolatesBeyondObserved(t *testing.T) {
+	// Many singletons imply unseen species: estimate must exceed D.
+	freqs := map[string]int{}
+	dom := datagen.CollectionDomain(40)
+	for i := 0; i < 30; i++ {
+		freqs[dom[i]] = 1
+	}
+	for i := 30; i < 40; i++ {
+		freqs[dom[i]] = 3
+	}
+	est := Chao92(freqs)
+	if est <= 40 {
+		t.Fatalf("Chao92 = %v, should exceed observed 40 given 30 singletons", est)
+	}
+}
+
+func TestChao92Degenerate(t *testing.T) {
+	if Chao92(nil) != 0 {
+		t.Fatal("empty frequencies should give 0")
+	}
+	// All singletons: degenerate, returns observed count.
+	freqs := map[string]int{"a": 1, "b": 1}
+	if Chao92(freqs) != 2 {
+		t.Fatalf("all-singletons = %v", Chao92(freqs))
+	}
+	if Chao92(map[string]int{"a": 0}) != 0 {
+		t.Fatal("zero counts ignored")
+	}
+}
+
+func TestChao92TracksTrueDomain(t *testing.T) {
+	// Simulated collection over an 80-item domain: once coverage is
+	// substantial, the estimate should be in the right ballpark.
+	r, items := collectRunner(111, 80, 80, 20)
+	res, err := Collect(r, "name an entry", &crowd.CollectionDomain{Items: items}, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChaoEstimate < float64(len(res.Distinct)) {
+		t.Fatalf("estimate %v below observed %d", res.ChaoEstimate, len(res.Distinct))
+	}
+	if res.ChaoEstimate > 3*80 {
+		t.Fatalf("estimate %v wildly above true 80", res.ChaoEstimate)
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	r, _ := collectRunner(112, 5, 10, 3)
+	if _, err := Collect(r, "q", nil, 0); err == nil {
+		t.Fatal("asks=0 should fail")
+	}
+}

@@ -1,0 +1,149 @@
+package operators
+
+import "fmt"
+
+// OptimalFilter is a CrowdScreen-style dynamically-programmed sequential
+// filtering strategy: given the per-answer worker accuracy, the prior
+// probability that an item passes, a per-question cost of 1, and a
+// penalty for a wrong final decision, it precomputes — for every
+// reachable (yes, no) vote state — whether to stop (and how to decide)
+// or to buy one more answer.
+//
+// This is the survey's "strategy grid" view of crowd filtering: fixed-k
+// and early-stop heuristics are points in the space of grids; the DP
+// finds the cost-optimal grid for the assumed worker model.
+type OptimalFilter struct {
+	// Accuracy is the assumed per-answer accuracy (must be in (0.5, 1)).
+	Accuracy float64
+	// Prior is the assumed probability an item truly passes.
+	Prior float64
+	// MaxVotes bounds the grid depth.
+	MaxVotes int
+	// ErrorPenalty is the cost of a wrong decision, in units of one
+	// answer. Larger penalties buy more votes.
+	ErrorPenalty float64
+
+	// decision[y][n]: 0 = continue, 1 = stop-pass, 2 = stop-fail.
+	decision [][]int8
+}
+
+// NewOptimalFilter validates parameters and solves the DP.
+func NewOptimalFilter(accuracy, prior float64, maxVotes int, errorPenalty float64) (*OptimalFilter, error) {
+	if accuracy <= 0.5 || accuracy >= 1 {
+		return nil, fmt.Errorf("operators: worker accuracy %v outside (0.5, 1)", accuracy)
+	}
+	if prior <= 0 || prior >= 1 {
+		return nil, fmt.Errorf("operators: prior %v outside (0, 1)", prior)
+	}
+	if maxVotes < 1 {
+		return nil, fmt.Errorf("operators: max votes %d < 1", maxVotes)
+	}
+	if errorPenalty <= 0 {
+		return nil, fmt.Errorf("operators: error penalty %v must be positive", errorPenalty)
+	}
+	f := &OptimalFilter{
+		Accuracy: accuracy, Prior: prior,
+		MaxVotes: maxVotes, ErrorPenalty: errorPenalty,
+	}
+	f.solve()
+	return f, nil
+}
+
+// posterior returns P(item passes | y yes votes, n no votes).
+func (f *OptimalFilter) posterior(y, n int) float64 {
+	p, pi := f.Accuracy, f.Prior
+	// Likelihood ratios stay in log space to avoid under/overflow at deep
+	// grids.
+	num := pi
+	den := 1 - pi
+	// Multiply iteratively; y+n <= MaxVotes is small (tens), so direct
+	// products are fine numerically for p in (0.5, 1).
+	for i := 0; i < y; i++ {
+		num *= p
+		den *= 1 - p
+	}
+	for i := 0; i < n; i++ {
+		num *= 1 - p
+		den *= p
+	}
+	if num+den == 0 {
+		return 0.5
+	}
+	return num / (num + den)
+}
+
+// solve fills the decision grid by backward induction over y+n.
+func (f *OptimalFilter) solve() {
+	m := f.MaxVotes
+	value := make([][]float64, m+1)
+	f.decision = make([][]int8, m+1)
+	for y := 0; y <= m; y++ {
+		value[y] = make([]float64, m+1-y)
+		f.decision[y] = make([]int8, m+1-y)
+	}
+	for total := m; total >= 0; total-- {
+		for y := 0; y <= total; y++ {
+			n := total - y
+			post := f.posterior(y, n)
+			// Expected penalty of stopping now.
+			passCost := f.ErrorPenalty * (1 - post) // accept: wrong if item fails
+			failCost := f.ErrorPenalty * post       // reject: wrong if item passes
+			best := passCost
+			dec := int8(1)
+			if failCost < best {
+				best = failCost
+				dec = 2
+			}
+			if total < m {
+				// P(next answer is yes | state).
+				pYes := post*f.Accuracy + (1-post)*(1-f.Accuracy)
+				cont := 1 + pYes*value[y+1][n] + (1-pYes)*value[y][n+1]
+				if cont < best {
+					best = cont
+					dec = 0
+				}
+			}
+			value[y][n] = best
+			f.decision[y][n] = dec
+		}
+	}
+}
+
+// Name implements FilterStrategy.
+func (f *OptimalFilter) Name() string {
+	return fmt.Sprintf("crowdscreen-p%.2f-e%.0f", f.Accuracy, f.ErrorPenalty)
+}
+
+// Decide implements FilterStrategy by looking up the precomputed grid.
+func (f *OptimalFilter) Decide(yes, no int) (bool, bool) {
+	if yes < 0 || no < 0 || yes+no > f.MaxVotes {
+		// Off-grid (shouldn't happen): decide by posterior.
+		return f.posterior(yes, no) >= 0.5, true
+	}
+	switch f.decision[yes][no] {
+	case 1:
+		return true, true
+	case 2:
+		return false, true
+	default:
+		return false, false
+	}
+}
+
+// ExpectedVotes returns the DP's expected number of answers per item
+// under the assumed model — the a-priori cost of the strategy.
+func (f *OptimalFilter) ExpectedVotes() float64 {
+	var walk func(y, n int, prob float64) float64
+	walk = func(y, n int, prob float64) float64 {
+		if prob < 1e-12 {
+			return 0
+		}
+		if _, done := f.Decide(y, n); done {
+			return 0
+		}
+		post := f.posterior(y, n)
+		pYes := post*f.Accuracy + (1-post)*(1-f.Accuracy)
+		return prob + walk(y+1, n, prob*pYes) + walk(y, n+1, prob*(1-pYes))
+	}
+	return walk(0, 0, 1)
+}

@@ -1,0 +1,159 @@
+package operators
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/stats"
+)
+
+func TestOptimalFilterValidation(t *testing.T) {
+	cases := []struct {
+		p, prior float64
+		max      int
+		pen      float64
+	}{
+		{0.5, 0.5, 10, 50}, // accuracy at boundary
+		{1.0, 0.5, 10, 50}, // accuracy at boundary
+		{0.8, 0, 10, 50},   // prior at boundary
+		{0.8, 1, 10, 50},   // prior at boundary
+		{0.8, 0.5, 0, 50},  // no votes
+		{0.8, 0.5, 10, 0},  // no penalty
+	}
+	for _, c := range cases {
+		if _, err := NewOptimalFilter(c.p, c.prior, c.max, c.pen); err == nil {
+			t.Errorf("NewOptimalFilter(%v, %v, %d, %v) should fail", c.p, c.prior, c.max, c.pen)
+		}
+	}
+	if _, err := NewOptimalFilter(0.8, 0.3, 15, 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimalFilterPosterior(t *testing.T) {
+	f, err := NewOptimalFilter(0.8, 0.5, 10, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := f.posterior(0, 0); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("prior posterior = %v", p)
+	}
+	// One yes at p=0.8, uniform prior: posterior = 0.8.
+	if p := f.posterior(1, 0); math.Abs(p-0.8) > 1e-12 {
+		t.Fatalf("posterior(1,0) = %v", p)
+	}
+	// Symmetric counts cancel.
+	if p := f.posterior(3, 3); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("posterior(3,3) = %v", p)
+	}
+	if f.posterior(5, 0) <= f.posterior(4, 0) {
+		t.Fatal("posterior not monotone in yes votes")
+	}
+}
+
+func TestOptimalFilterGridStructure(t *testing.T) {
+	f, err := NewOptimalFilter(0.75, 0.5, 20, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root must continue (one answer is cheap vs penalty 100).
+	if _, done := f.Decide(0, 0); done {
+		t.Fatal("root state should ask at least one question")
+	}
+	// Lopsided states decide; ties deep in the grid keep asking until
+	// the cap.
+	if pass, done := f.Decide(8, 0); !done || !pass {
+		t.Fatal("8-0 should stop and pass")
+	}
+	if pass, done := f.Decide(0, 8); !done || pass {
+		t.Fatal("0-8 should stop and fail")
+	}
+	// Frontier states always stop.
+	for y := 0; y <= 20; y++ {
+		if _, done := f.Decide(y, 20-y); !done {
+			t.Fatalf("frontier state (%d,%d) did not stop", y, 20-y)
+		}
+	}
+	// Higher penalty buys more questioning: the continue region grows.
+	low, _ := NewOptimalFilter(0.75, 0.5, 20, 5)
+	high, _ := NewOptimalFilter(0.75, 0.5, 20, 500)
+	contLow, contHigh := 0, 0
+	for y := 0; y <= 20; y++ {
+		for n := 0; y+n <= 20; n++ {
+			if _, done := low.Decide(y, n); !done {
+				contLow++
+			}
+			if _, done := high.Decide(y, n); !done {
+				contHigh++
+			}
+		}
+	}
+	if contHigh <= contLow {
+		t.Fatalf("higher penalty should widen the continue region: %d vs %d", contHigh, contLow)
+	}
+}
+
+func TestOptimalFilterExpectedVotes(t *testing.T) {
+	f, err := NewOptimalFilter(0.8, 0.5, 15, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := f.ExpectedVotes()
+	if ev <= 1 || ev > 15 {
+		t.Fatalf("expected votes = %v", ev)
+	}
+	// Asymmetric prior should cut expected cost (most items decided by
+	// the prior direction quickly).
+	skew, _ := NewOptimalFilter(0.8, 0.05, 15, 50)
+	if skew.ExpectedVotes() >= ev {
+		t.Fatalf("skewed prior should reduce expected votes: %v vs %v",
+			skew.ExpectedVotes(), ev)
+	}
+}
+
+func TestOptimalFilterDominatesHeuristicsOnFrontier(t *testing.T) {
+	// Run planted filter workloads; the DP strategy should achieve
+	// accuracy comparable to fixed-7 at clearly lower cost (i.e. sit on
+	// or inside the heuristic frontier).
+	const nItems = 400
+	const trials = 3
+	var optVotes, optAcc, fixedVotes, fixedAcc float64
+	for seed := uint64(700); seed < 700+trials; seed++ {
+		rng := stats.NewRNG(seed)
+		d, err := datagen.NewFilterDataset(rng, nItems, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items := make([]FilterItem, nItems)
+		for i := range items {
+			items[i] = FilterItem{Question: "q", Truth: d.Pass[i], Difficulty: d.Difficulties[i]}
+		}
+		opt, err := NewOptimalFilter(0.8, 0.3, 15, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ro := mixedRunner(seed*3, 50)
+		resO, err := Filter(ro, items, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optVotes += float64(resO.TotalVotes)
+		optAcc += resO.Accuracy(items)
+
+		rf := mixedRunner(seed*3, 50)
+		resF, err := Filter(rf, items, FixedK{K: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixedVotes += float64(resF.TotalVotes)
+		fixedAcc += resF.Accuracy(items)
+	}
+	if optVotes >= fixedVotes {
+		t.Fatalf("DP strategy cost %v >= fixed-7 %v", optVotes/trials, fixedVotes/trials)
+	}
+	if optAcc < fixedAcc-0.06*trials {
+		t.Fatalf("DP accuracy %.3f collapsed vs fixed-7 %.3f",
+			optAcc/trials, fixedAcc/trials)
+	}
+}

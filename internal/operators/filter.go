@@ -1,0 +1,203 @@
+package operators
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// FilterStrategy decides, after each answer to a boolean predicate task,
+// whether to stop and with what decision. It sees the running yes/no vote
+// counts — the state space of the CrowdScreen strategy grid.
+type FilterStrategy interface {
+	// Decide returns done=true when the strategy terminates at this state,
+	// along with the pass/fail decision at that point.
+	Decide(yes, no int) (pass, done bool)
+	// Name identifies the strategy in experiment output.
+	Name() string
+}
+
+// FixedK asks exactly K workers and takes the majority (ties fail).
+type FixedK struct{ K int }
+
+// Name implements FilterStrategy.
+func (s FixedK) Name() string { return fmt.Sprintf("fixed-%d", s.K) }
+
+// Decide implements FilterStrategy.
+func (s FixedK) Decide(yes, no int) (bool, bool) {
+	if yes+no < s.K {
+		return false, false
+	}
+	return yes > no, true
+}
+
+// EarlyStop stops as soon as one side leads by Margin, with a MaxVotes
+// cap (majority at the cap). This is the classic "gambler's ruin" shaped
+// strategy from the filtering literature: easy items stop after Margin
+// agreeing answers, contentious ones run to the cap.
+type EarlyStop struct {
+	Margin   int
+	MaxVotes int
+}
+
+// Name implements FilterStrategy.
+func (s EarlyStop) Name() string { return fmt.Sprintf("early-m%d-max%d", s.Margin, s.MaxVotes) }
+
+// Decide implements FilterStrategy.
+func (s EarlyStop) Decide(yes, no int) (bool, bool) {
+	diff := yes - no
+	if diff >= s.Margin {
+		return true, true
+	}
+	if -diff >= s.Margin {
+		return false, true
+	}
+	if yes+no >= s.MaxVotes {
+		return yes > no, true
+	}
+	return false, false
+}
+
+// SPRT is Wald's sequential probability ratio test assuming workers answer
+// correctly with probability Accuracy: it stops when the posterior
+// likelihood ratio clears the error bounds derived from target false
+// positive/negative rates Alpha and Beta.
+type SPRT struct {
+	// Accuracy is the assumed per-answer worker accuracy (> 0.5).
+	Accuracy float64
+	// Alpha and Beta are the target false-positive and false-negative
+	// rates (e.g. 0.05 each).
+	Alpha, Beta float64
+	// MaxVotes caps the walk (majority at the cap).
+	MaxVotes int
+}
+
+// Name implements FilterStrategy.
+func (s SPRT) Name() string { return fmt.Sprintf("sprt-p%.2f", s.Accuracy) }
+
+// Decide implements FilterStrategy.
+func (s SPRT) Decide(yes, no int) (bool, bool) {
+	p := s.Accuracy
+	if p <= 0.5 || p >= 1 {
+		p = 0.8
+	}
+	alpha, beta := s.Alpha, s.Beta
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	if beta <= 0 || beta >= 1 {
+		beta = 0.05
+	}
+	// Log-likelihood ratio of "item passes" vs "item fails": each yes
+	// contributes log(p/(1-p)), each no the negative.
+	step := math.Log(p / (1 - p))
+	llr := float64(yes-no) * step
+	upper := math.Log((1 - beta) / alpha)
+	lower := math.Log(beta / (1 - alpha))
+	if llr >= upper {
+		return true, true
+	}
+	if llr <= lower {
+		return false, true
+	}
+	if s.MaxVotes > 0 && yes+no >= s.MaxVotes {
+		return yes > no, true
+	}
+	return false, false
+}
+
+// FilterItem describes one item of a crowd-filter run.
+type FilterItem struct {
+	// Question is shown to workers.
+	Question string
+	// Truth is the planted predicate value (for simulated workers and
+	// evaluation); use false when unknown.
+	Truth bool
+	// Difficulty in [0,1].
+	Difficulty float64
+}
+
+// FilterResult reports a crowd-filter run.
+type FilterResult struct {
+	// Decisions holds the per-item pass/fail outcomes.
+	Decisions []bool
+	// VotesPerItem records how many answers each item consumed.
+	VotesPerItem []int
+	// TotalVotes is the summed cost.
+	TotalVotes int
+	// Strategy echoes the strategy name.
+	Strategy string
+}
+
+// Accuracy compares decisions to the planted truth.
+func (fr *FilterResult) Accuracy(items []FilterItem) float64 {
+	if len(items) == 0 || len(items) != len(fr.Decisions) {
+		return 0
+	}
+	correct := 0
+	for i, it := range items {
+		if fr.Decisions[i] == it.Truth {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(items))
+}
+
+// Filter runs the crowd-filter operator: for each item it asks workers a
+// yes/no predicate task one answer at a time until the strategy stops.
+// When the worker pool is exhausted for an item the current majority is
+// taken; budget exhaustion aborts with the partial result and the error.
+func Filter(r *Runner, items []FilterItem, strategy FilterStrategy) (*FilterResult, error) {
+	if strategy == nil {
+		return nil, fmt.Errorf("operators: nil filter strategy")
+	}
+	res := &FilterResult{
+		Decisions:    make([]bool, len(items)),
+		VotesPerItem: make([]int, len(items)),
+		Strategy:     strategy.Name(),
+	}
+	for i, it := range items {
+		truthOpt := 0
+		if it.Truth {
+			truthOpt = 1
+		}
+		task, err := r.NewTask(&core.Task{
+			Kind:        core.SingleChoice,
+			Question:    it.Question,
+			Options:     []string{"no", "yes"},
+			GroundTruth: truthOpt,
+			Difficulty:  it.Difficulty,
+		})
+		if err != nil {
+			return res, err
+		}
+		yes, no := 0, 0
+		for {
+			pass, done := strategy.Decide(yes, no)
+			if done {
+				res.Decisions[i] = pass
+				break
+			}
+			a, err := r.One(task)
+			if err != nil {
+				if errors.Is(err, ErrNoWorkers) {
+					res.Decisions[i] = yes > no
+					break
+				}
+				res.TotalVotes += yes + no
+				res.VotesPerItem[i] = yes + no
+				return res, err
+			}
+			if a.Option == 1 {
+				yes++
+			} else {
+				no++
+			}
+		}
+		res.VotesPerItem[i] = yes + no
+		res.TotalVotes += yes + no
+	}
+	return res, nil
+}

@@ -1,0 +1,184 @@
+package operators
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/datagen"
+	"repro/internal/stats"
+)
+
+func filterItems(t *testing.T, seed uint64, n int, selectivity float64) []FilterItem {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	d, err := datagen.NewFilterDataset(rng, n, selectivity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]FilterItem, n)
+	for i := range items {
+		items[i] = FilterItem{
+			Question:   "does it pass?",
+			Truth:      d.Pass[i],
+			Difficulty: d.Difficulties[i],
+		}
+	}
+	return items
+}
+
+func TestFixedKStrategy(t *testing.T) {
+	s := FixedK{K: 5}
+	if _, done := s.Decide(2, 2); done {
+		t.Fatal("should not stop before K votes")
+	}
+	pass, done := s.Decide(3, 2)
+	if !done || !pass {
+		t.Fatalf("3-2 should pass: %v %v", pass, done)
+	}
+	pass, done = s.Decide(2, 3)
+	if !done || pass {
+		t.Fatal("2-3 should fail")
+	}
+}
+
+func TestEarlyStopStrategy(t *testing.T) {
+	s := EarlyStop{Margin: 2, MaxVotes: 7}
+	if _, done := s.Decide(1, 0); done {
+		t.Fatal("margin 1 should not stop")
+	}
+	if pass, done := s.Decide(2, 0); !done || !pass {
+		t.Fatal("margin 2 yes should stop pass")
+	}
+	if pass, done := s.Decide(0, 2); !done || pass {
+		t.Fatal("margin 2 no should stop fail")
+	}
+	// Cap: 4-3 at 7 votes => majority pass.
+	if pass, done := s.Decide(4, 3); !done || !pass {
+		t.Fatal("cap majority broken")
+	}
+}
+
+func TestSPRTStrategy(t *testing.T) {
+	s := SPRT{Accuracy: 0.8, Alpha: 0.05, Beta: 0.05, MaxVotes: 20}
+	// Needs a few net-agreeing answers to clear the bound.
+	if _, done := s.Decide(1, 0); done {
+		t.Fatal("one answer should not clear a 5% SPRT bound at p=0.8")
+	}
+	pass, done := s.Decide(3, 0)
+	if !done || !pass {
+		t.Fatalf("3-0 at p=0.8 should accept: %v %v", pass, done)
+	}
+	pass, done = s.Decide(0, 3)
+	if !done || pass {
+		t.Fatal("0-3 should reject")
+	}
+	// Degenerate parameters fall back to sane defaults rather than loop.
+	d := SPRT{Accuracy: 1.5, MaxVotes: 5}
+	if _, done := d.Decide(3, 2); !done {
+		t.Fatal("MaxVotes cap must terminate")
+	}
+}
+
+func TestFilterAccuracyReliableCrowd(t *testing.T) {
+	items := filterItems(t, 10, 150, 0.3)
+	r := reliableRunner(11, 40)
+	res, err := Filter(r, items, FixedK{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.Accuracy(items); acc < 0.9 {
+		t.Fatalf("fixed-5 accuracy %.3f", acc)
+	}
+	if res.TotalVotes != 150*5 {
+		t.Fatalf("fixed-5 votes = %d", res.TotalVotes)
+	}
+	for _, v := range res.VotesPerItem {
+		if v != 5 {
+			t.Fatalf("fixed-K spent %d votes on an item", v)
+		}
+	}
+}
+
+func TestEarlyStopCheaperThanFixed(t *testing.T) {
+	items := filterItems(t, 12, 200, 0.4)
+	fixed, err := Filter(reliableRunner(13, 60), items, FixedK{K: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early, err := Filter(reliableRunner(13, 60), items, EarlyStop{Margin: 2, MaxVotes: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.TotalVotes >= fixed.TotalVotes {
+		t.Fatalf("early-stop votes %d should undercut fixed %d",
+			early.TotalVotes, fixed.TotalVotes)
+	}
+	accF, accE := fixed.Accuracy(items), early.Accuracy(items)
+	if accE < accF-0.07 {
+		t.Fatalf("early-stop accuracy %.3f too far below fixed %.3f", accE, accF)
+	}
+}
+
+func TestSPRTAdaptsToContention(t *testing.T) {
+	// SPRT should spend more votes on hard items than easy ones.
+	easy := []FilterItem{{Question: "easy", Truth: true, Difficulty: 0.02}}
+	hard := []FilterItem{{Question: "hard", Truth: true, Difficulty: 0.98}}
+	strategy := SPRT{Accuracy: 0.75, Alpha: 0.02, Beta: 0.02, MaxVotes: 25}
+	var easyVotes, hardVotes int
+	for seed := uint64(20); seed < 30; seed++ {
+		re, err := Filter(mixedRunner(seed, 40), easy, strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh, err := Filter(mixedRunner(seed+100, 40), hard, strategy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		easyVotes += re.TotalVotes
+		hardVotes += rh.TotalVotes
+	}
+	if hardVotes <= easyVotes {
+		t.Fatalf("SPRT spent %d on hard vs %d on easy", hardVotes, easyVotes)
+	}
+}
+
+func TestFilterWorkerExhaustionFallsBackToMajority(t *testing.T) {
+	items := []FilterItem{{Question: "q", Truth: true, Difficulty: 0}}
+	r := reliableRunner(31, 3) // only 3 workers but margin needs 4 agreeing...
+	res, err := Filter(r, items, EarlyStop{Margin: 10, MaxVotes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VotesPerItem[0] != 3 {
+		t.Fatalf("should have consumed all 3 workers, used %d", res.VotesPerItem[0])
+	}
+	if !res.Decisions[0] {
+		t.Fatal("3 reliable yes votes should pass on fallback majority")
+	}
+}
+
+func TestFilterBudgetAborts(t *testing.T) {
+	items := filterItems(t, 32, 50, 0.5)
+	rng := stats.NewRNG(33)
+	ws := crowd.NewPopulation(rng, 30, crowd.RegimeReliable)
+	r := NewRunner(crowd.AsCoreWorkers(ws), core.NewBudget(20), rng)
+	_, err := Filter(r, items, FixedK{K: 5})
+	if !errors.Is(err, core.ErrBudgetExhausted) {
+		t.Fatalf("expected budget exhaustion, got %v", err)
+	}
+}
+
+func TestFilterNilStrategy(t *testing.T) {
+	if _, err := Filter(reliableRunner(34, 5), nil, nil); err == nil {
+		t.Fatal("nil strategy should fail")
+	}
+}
+
+func TestFilterResultAccuracyShapeMismatch(t *testing.T) {
+	fr := &FilterResult{Decisions: []bool{true}}
+	if fr.Accuracy(nil) != 0 {
+		t.Fatal("mismatched lengths should yield 0")
+	}
+}

@@ -1,0 +1,145 @@
+package operators
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// JoinConfig parameterizes the crowdsourced entity-resolution join
+// (CrowdER-style pipeline: machine pruning → crowd verification of the
+// candidate pairs, most-similar first → transitivity deduction).
+type JoinConfig struct {
+	// PruneLow is the similarity below which pairs are discarded without
+	// the crowd.
+	PruneLow float64
+	// AutoHigh is the similarity at or above which pairs are matched
+	// without the crowd; set > 1 to always ask.
+	AutoHigh float64
+	// Sim overrides the similarity function (default CombinedSimilarity).
+	Sim cost.Similarity
+	// Redundancy is the number of votes per pair question (majority).
+	Redundancy int
+	// UseTransitivity enables answer deduction between crowd questions.
+	UseTransitivity bool
+	// BatchSize groups candidate pairs into batched tasks for cost
+	// accounting (0 = no batching). Batching affects TaskCount, not the
+	// per-pair vote flow.
+	BatchSize int
+}
+
+// JoinResult reports a crowd-join run.
+type JoinResult struct {
+	// Matches holds the final matched pairs (record indices, I < J).
+	Matches []cost.Pair
+	// CandidatePairs is how many pairs survived pruning.
+	CandidatePairs int
+	// AutoMatched is how many pairs were accepted by similarity alone.
+	AutoMatched int
+	// Pruned is how many pairs were discarded by similarity alone.
+	Pruned int
+	// AskedPairs is how many pairs were sent to the crowd.
+	AskedPairs int
+	// DeducedPairs is how many candidate pairs were skipped thanks to
+	// transitivity.
+	DeducedPairs int
+	// VotesUsed is the total crowd answers consumed.
+	VotesUsed int
+	// TaskCount is the number of crowd tasks after batching.
+	TaskCount int
+	// Inconsistencies counts crowd verdicts contradicting the closure.
+	Inconsistencies int
+}
+
+// Join resolves duplicates within records: it prunes the pair space by
+// machine similarity, asks the crowd about the surviving pairs in
+// descending-similarity order, optionally deduces answers transitively,
+// and returns the matched pairs implied by the final clustering.
+//
+// entityOf, when non-nil, supplies the planted entity of each record so
+// simulated workers can answer; pass nil in production settings where
+// tasks would reach real workers (the simulated crowd then cannot answer
+// meaningfully, so tests always provide it).
+func Join(r *Runner, records []string, cfg JoinConfig, entityOf func(int) int) (*JoinResult, error) {
+	if cfg.Redundancy <= 0 {
+		cfg.Redundancy = 3
+	}
+	pruner := &cost.Pruner{Sim: cfg.Sim, Low: cfg.PruneLow, High: cfg.AutoHigh}
+	pr, err := pruner.SelfPairs(records)
+	if err != nil {
+		return nil, fmt.Errorf("operators: join pruning: %w", err)
+	}
+	res := &JoinResult{
+		CandidatePairs: len(pr.Candidates),
+		AutoMatched:    len(pr.AutoMatch),
+		Pruned:         pr.PrunedCount,
+	}
+
+	tr := cost.NewTransitivity(len(records))
+	for _, sp := range pr.AutoMatch {
+		// An auto-match contradicting earlier evidence is counted by the
+		// closure itself; ignore the per-call error here.
+		_ = tr.RecordMatch(sp.I, sp.J)
+	}
+
+	askPair := func(p cost.Pair) (cost.Verdict, error) {
+		truthOpt := -1
+		difficulty := 0.4
+		if entityOf != nil {
+			if entityOf(p.I) == entityOf(p.J) {
+				truthOpt = 1
+			} else {
+				truthOpt = 0
+			}
+		}
+		task, err := r.NewTask(&core.Task{
+			Kind:     core.SingleChoice,
+			Question: fmt.Sprintf("Do these refer to the same entity?\nA: %s\nB: %s", records[p.I], records[p.J]),
+			Options:  []string{"different", "same"},
+			// The pair is behind a similarity threshold, so it is
+			// genuinely ambiguous to machines; difficulty reflects that.
+			Difficulty:  difficulty,
+			GroundTruth: truthOpt,
+			Payload:     p,
+		})
+		if err != nil {
+			return cost.Unknown, err
+		}
+		opt, err := r.MajorityOption(task, cfg.Redundancy)
+		if err != nil {
+			return cost.Unknown, err
+		}
+		res.VotesUsed += cfg.Redundancy
+		if opt == 1 {
+			return cost.Match, nil
+		}
+		return cost.NonMatch, nil
+	}
+
+	for _, sp := range pr.Candidates {
+		if cfg.UseTransitivity {
+			switch tr.Deduce(sp.I, sp.J) {
+			case cost.Match, cost.NonMatch:
+				res.DeducedPairs++
+				continue
+			}
+		}
+		v, err := askPair(sp.Pair)
+		if err != nil {
+			return res, err
+		}
+		res.AskedPairs++
+		switch v {
+		case cost.Match:
+			_ = tr.RecordMatch(sp.I, sp.J) // closure counts inconsistencies
+		case cost.NonMatch:
+			_ = tr.RecordNonMatch(sp.I, sp.J)
+		}
+	}
+
+	res.Matches = tr.MatchedPairs()
+	res.TaskCount = cost.BatchedTaskCount(res.AskedPairs, cfg.BatchSize)
+	res.Inconsistencies = tr.Inconsistencies()
+	return res, nil
+}

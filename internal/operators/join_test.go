@@ -1,0 +1,140 @@
+package operators
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/datagen"
+	"repro/internal/stats"
+)
+
+func erData(t *testing.T, seed uint64, entities int) *datagen.ERDataset {
+	t.Helper()
+	d, err := datagen.NewERDataset(stats.NewRNG(seed), datagen.ERConfig{
+		Entities: entities, DupMean: 2.2, Noise: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func truePairsOf(d *datagen.ERDataset) []cost.Pair {
+	tp := d.TruePairs()
+	out := make([]cost.Pair, len(tp))
+	for i, p := range tp {
+		out[i] = cost.Pair{I: p.I, J: p.J}
+	}
+	return out
+}
+
+func TestJoinRecoversClusters(t *testing.T) {
+	d := erData(t, 40, 40)
+	r := reliableRunner(41, 50)
+	res, err := Join(r, d.Records, JoinConfig{
+		PruneLow: 0.3, AutoHigh: 2, Redundancy: 3, UseTransitivity: true,
+	}, func(i int) int { return d.Entity[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	prf := cost.EvaluatePairs(res.Matches, truePairsOf(d), true)
+	if prf.F1 < 0.9 {
+		t.Fatalf("join F1 = %.3f (P=%.3f R=%.3f)", prf.F1, prf.Precision, prf.Recall)
+	}
+}
+
+func TestJoinPruningCutsPairSpace(t *testing.T) {
+	d := erData(t, 42, 40)
+	r := reliableRunner(43, 50)
+	res, err := Join(r, d.Records, JoinConfig{
+		PruneLow: 0.3, AutoHigh: 2, Redundancy: 3,
+	}, func(i int) int { return d.Entity[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(d.Records)
+	allPairs := n * (n - 1) / 2
+	if res.Pruned == 0 {
+		t.Fatal("pruning removed nothing")
+	}
+	if res.AskedPairs >= allPairs/2 {
+		t.Fatalf("asked %d of %d pairs; pruning ineffective", res.AskedPairs, allPairs)
+	}
+	if res.Pruned+res.CandidatePairs+res.AutoMatched != allPairs {
+		t.Fatalf("partition mismatch: %d + %d + %d != %d",
+			res.Pruned, res.CandidatePairs, res.AutoMatched, allPairs)
+	}
+}
+
+func TestJoinTransitivitySavesQuestions(t *testing.T) {
+	d := erData(t, 44, 30)
+	base, err := Join(reliableRunner(45, 50), d.Records, JoinConfig{
+		PruneLow: 0.2, AutoHigh: 2, Redundancy: 3, UseTransitivity: false,
+	}, func(i int) int { return d.Entity[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	trans, err := Join(reliableRunner(45, 50), d.Records, JoinConfig{
+		PruneLow: 0.2, AutoHigh: 2, Redundancy: 3, UseTransitivity: true,
+	}, func(i int) int { return d.Entity[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trans.AskedPairs >= base.AskedPairs {
+		t.Fatalf("transitivity asked %d >= baseline %d", trans.AskedPairs, base.AskedPairs)
+	}
+	if trans.DeducedPairs == 0 {
+		t.Fatal("no pairs deduced")
+	}
+	// Quality should not collapse.
+	basePRF := cost.EvaluatePairs(base.Matches, truePairsOf(d), true)
+	transPRF := cost.EvaluatePairs(trans.Matches, truePairsOf(d), true)
+	if transPRF.F1 < basePRF.F1-0.1 {
+		t.Fatalf("transitivity F1 %.3f collapsed vs %.3f", transPRF.F1, basePRF.F1)
+	}
+}
+
+func TestJoinAutoAcceptReducesAsks(t *testing.T) {
+	d := erData(t, 46, 30)
+	strict, err := Join(reliableRunner(47, 50), d.Records, JoinConfig{
+		PruneLow: 0.3, AutoHigh: 2, Redundancy: 3,
+	}, func(i int) int { return d.Entity[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Join(reliableRunner(47, 50), d.Records, JoinConfig{
+		PruneLow: 0.3, AutoHigh: 0.95, Redundancy: 3,
+	}, func(i int) int { return d.Entity[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.AutoMatched == 0 {
+		t.Fatal("auto-accept matched nothing at 0.95")
+	}
+	if auto.AskedPairs >= strict.AskedPairs {
+		t.Fatalf("auto-accept should reduce asks: %d vs %d",
+			auto.AskedPairs, strict.AskedPairs)
+	}
+}
+
+func TestJoinBatchingAccounting(t *testing.T) {
+	d := erData(t, 48, 20)
+	res, err := Join(reliableRunner(49, 40), d.Records, JoinConfig{
+		PruneLow: 0.3, AutoHigh: 2, Redundancy: 3, BatchSize: 10,
+	}, func(i int) int { return d.Entity[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (res.AskedPairs + 9) / 10
+	if res.TaskCount != want {
+		t.Fatalf("TaskCount = %d, want %d", res.TaskCount, want)
+	}
+}
+
+func TestJoinBadThresholds(t *testing.T) {
+	if _, err := Join(reliableRunner(50, 5), []string{"a", "b"}, JoinConfig{
+		PruneLow: 0.9, AutoHigh: 0.1,
+	}, nil); err == nil {
+		t.Fatal("High < Low should fail")
+	}
+}

@@ -1,0 +1,183 @@
+// Package operators implements the crowd-powered query operators surveyed
+// in crowdsourced data management: selection/filtering with sequential
+// stopping strategies, entity-resolution join (machine pruning + batching
+// + transitivity), sort / top-k / max via pairwise comparisons,
+// tournaments, ratings and hybrids, sampling-based count/aggregation, and
+// open-domain collection with species estimation.
+//
+// Operators talk to the crowd through a Runner, which hands tasks to
+// simulated (or scripted) workers one answer at a time, enforces the
+// one-answer-per-worker-per-task rule, and accounts cost against a budget.
+package operators
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/truth"
+)
+
+// ErrNoWorkers is returned when every worker has already answered a task
+// that needs more answers.
+var ErrNoWorkers = errors.New("operators: no remaining worker for task")
+
+// Runner feeds operator questions to a worker pool sequentially. It is the
+// cost/quality-facing counterpart of core.Platform (which models rounds
+// and latency): operators care about how many answers they consume and
+// what the aggregated results are.
+type Runner struct {
+	workers []core.Worker
+	budget  *core.Budget
+	rng     *stats.RNG
+
+	// answered[taskKey] tracks which worker indices have answered.
+	answered map[core.TaskID]map[int]bool
+	nextID   core.TaskID
+
+	// AnswersUsed counts every answer collected through this runner.
+	AnswersUsed int
+	// TasksAsked counts distinct tasks that received at least one answer.
+	TasksAsked int
+}
+
+// NewRunner wires a runner. A nil budget means unlimited.
+func NewRunner(workers []core.Worker, budget *core.Budget, rng *stats.RNG) *Runner {
+	if budget == nil {
+		budget = core.Unlimited()
+	}
+	return &Runner{
+		workers:  workers,
+		budget:   budget,
+		rng:      rng,
+		answered: make(map[core.TaskID]map[int]bool),
+		nextID:   1,
+	}
+}
+
+// Budget exposes the runner's budget for callers that share it.
+func (r *Runner) Budget() *core.Budget { return r.budget }
+
+// NewTask stamps a fresh task id onto t and validates it.
+func (r *Runner) NewTask(t *core.Task) (*core.Task, error) {
+	t.ID = r.nextID
+	r.nextID++
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// One collects a single answer for t from a uniformly random worker that
+// has not answered it yet. It charges one budget unit.
+func (r *Runner) One(t *core.Task) (core.Answer, error) {
+	used := r.answered[t.ID]
+	if used == nil {
+		used = make(map[int]bool)
+		r.answered[t.ID] = used
+	}
+	remaining := len(r.workers) - len(used)
+	if remaining <= 0 {
+		return core.Answer{}, fmt.Errorf("task %d: %w", t.ID, ErrNoWorkers)
+	}
+	if err := r.budget.Charge(1); err != nil {
+		return core.Answer{}, err
+	}
+	// Pick the nth unused worker uniformly.
+	n := r.rng.Intn(remaining)
+	wi := -1
+	for i := range r.workers {
+		if used[i] {
+			continue
+		}
+		if n == 0 {
+			wi = i
+			break
+		}
+		n--
+	}
+	used[wi] = true
+	if len(used) == 1 {
+		r.TasksAsked++
+	}
+	w := r.workers[wi]
+	resp := w.Work(t)
+	r.AnswersUsed++
+	return core.Answer{
+		Task: t.ID, Worker: w.ID(),
+		Option: resp.Option, Text: resp.Text, Score: resp.Score,
+		Latency: resp.Latency,
+	}, nil
+}
+
+// Collect gathers k answers for t (distinct workers).
+func (r *Runner) Collect(t *core.Task, k int) ([]core.Answer, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("operators: redundancy must be positive (got %d)", k)
+	}
+	out := make([]core.Answer, 0, k)
+	for i := 0; i < k; i++ {
+		a, err := r.One(t)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// MajorityOption asks k workers and returns the plurality option (ties to
+// the lowest index).
+func (r *Runner) MajorityOption(t *core.Task, k int) (int, error) {
+	answers, err := r.Collect(t, k)
+	if err != nil {
+		return 0, err
+	}
+	votes := make([]float64, len(t.Options))
+	for _, a := range answers {
+		if a.Option >= 0 && a.Option < len(votes) {
+			votes[a.Option]++
+		}
+	}
+	best := stats.ArgMax(votes)
+	if best < 0 {
+		return 0, fmt.Errorf("operators: task %d got no usable votes", t.ID)
+	}
+	return best, nil
+}
+
+// InferBatch publishes all tasks, collects redundancy-k answers for each,
+// and aggregates with the given inference method (MajorityVote when nil).
+// It is the batch-mode counterpart of MajorityOption used by operators
+// that generate many homogeneous tasks (joins, filters in batch mode).
+func (r *Runner) InferBatch(tasks []*core.Task, k int, inf truth.Inferrer) (*truth.Result, error) {
+	if inf == nil {
+		inf = truth.MajorityVote{}
+	}
+	pool := core.NewPool()
+	ids := make([]core.TaskID, 0, len(tasks))
+	for _, t := range tasks {
+		id, err := pool.Add(t)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	for _, t := range tasks {
+		answers, err := r.Collect(t, k)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range answers {
+			if recErr := pool.Record(a); recErr != nil {
+				return nil, recErr
+			}
+		}
+	}
+	ds, err := truth.FromPool(pool, ids)
+	if err != nil {
+		return nil, err
+	}
+	return inf.Infer(ds)
+}

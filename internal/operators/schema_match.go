@@ -1,0 +1,173 @@
+package operators
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// SchemaMatchConfig parameterizes crowd-powered schema matching: given the
+// attribute names (optionally with example values) of two source schemas,
+// find the 1:1 correspondence between them. The machine prunes clearly
+// unrelated attribute pairs by name/value similarity; the crowd verifies
+// the rest; a greedy weighted matching enforces the 1:1 constraint.
+type SchemaMatchConfig struct {
+	// PruneLow is the similarity below which attribute pairs are never
+	// asked. Zero means the default (0.02 — schema pair spaces are tiny,
+	// so pruning only needs to cut the obviously unrelated pairs);
+	// negative disables pruning entirely (every pair is asked), which is
+	// right when attributes carry numeric examples with no shared text.
+	PruneLow float64
+	// Redundancy is votes per pair question (default 3).
+	Redundancy int
+	// Sim overrides the similarity used for pruning and difficulty.
+	Sim cost.Similarity
+}
+
+// Attribute describes one schema attribute presented to workers.
+type Attribute struct {
+	Name string
+	// Example is a sample value shown alongside the name (workers match
+	// far better with instances than with bare names).
+	Example string
+}
+
+// describe renders the attribute for a question.
+func (a Attribute) describe() string {
+	if a.Example == "" {
+		return a.Name
+	}
+	return fmt.Sprintf("%s (e.g. %q)", a.Name, a.Example)
+}
+
+// SchemaMatchResult reports a schema-matching run.
+type SchemaMatchResult struct {
+	// Mapping maps left attribute index -> right attribute index; absent
+	// keys are unmatched.
+	Mapping map[int]int
+	// PairsAsked counts crowd questions.
+	PairsAsked int
+	// Pruned counts pairs skipped by similarity.
+	Pruned int
+	// VotesUsed counts answers consumed.
+	VotesUsed int
+}
+
+// SchemaMatch matches the attributes of two schemas. truthMatch, when
+// non-nil, supplies the planted correspondence for simulated workers:
+// truthMatch(l, r) reports whether left attribute l truly corresponds to
+// right attribute r.
+func SchemaMatch(r *Runner, left, right []Attribute, cfg SchemaMatchConfig, truthMatch func(l, rIdx int) bool) (*SchemaMatchResult, error) {
+	if len(left) == 0 || len(right) == 0 {
+		return nil, fmt.Errorf("operators: schema match needs non-empty schemas")
+	}
+	if cfg.Redundancy <= 0 {
+		cfg.Redundancy = 3
+	}
+	if cfg.PruneLow == 0 {
+		cfg.PruneLow = 0.02
+	}
+	sim := cfg.Sim
+	if sim == nil {
+		sim = cost.CombinedSimilarity
+	}
+	res := &SchemaMatchResult{Mapping: make(map[int]int)}
+
+	type scored struct {
+		l, r  int
+		sim   float64
+		votes int // yes votes
+	}
+	var candidates []scored
+	for li, la := range left {
+		for ri, ra := range right {
+			s := 0.5*sim(la.Name, ra.Name) + 0.5*sim(la.Example, ra.Example)
+			if s < cfg.PruneLow {
+				res.Pruned++
+				continue
+			}
+			candidates = append(candidates, scored{l: li, r: ri, sim: s})
+		}
+	}
+	// Ask the crowd about each surviving pair.
+	type verdict struct {
+		l, r int
+		conf float64 // fraction of yes votes
+	}
+	var matches []verdict
+	for _, c := range candidates {
+		truthOpt := -1
+		if truthMatch != nil {
+			if truthMatch(c.l, c.r) {
+				truthOpt = 1
+			} else {
+				truthOpt = 0
+			}
+		}
+		difficulty := clampDiff(1 - 2*absDiff(c.sim-0.5))
+		task, err := r.NewTask(&core.Task{
+			Kind: core.SingleChoice,
+			Question: fmt.Sprintf("Do these attributes mean the same thing?\nA: %s\nB: %s",
+				left[c.l].describe(), right[c.r].describe()),
+			Options:     []string{"different", "same"},
+			GroundTruth: truthOpt,
+			Difficulty:  difficulty,
+		})
+		if err != nil {
+			return res, err
+		}
+		answers, err := r.Collect(task, cfg.Redundancy)
+		if err != nil {
+			return res, err
+		}
+		res.PairsAsked++
+		res.VotesUsed += len(answers)
+		yes := 0
+		for _, a := range answers {
+			if a.Option == 1 {
+				yes++
+			}
+		}
+		if yes*2 > len(answers) {
+			matches = append(matches, verdict{c.l, c.r, float64(yes) / float64(len(answers))})
+		}
+	}
+	// Greedy 1:1 matching by confidence (stable order for determinism).
+	sort.SliceStable(matches, func(a, b int) bool {
+		if matches[a].conf != matches[b].conf {
+			return matches[a].conf > matches[b].conf
+		}
+		if matches[a].l != matches[b].l {
+			return matches[a].l < matches[b].l
+		}
+		return matches[a].r < matches[b].r
+	})
+	usedRight := make(map[int]bool)
+	for _, m := range matches {
+		if _, taken := res.Mapping[m.l]; taken || usedRight[m.r] {
+			continue
+		}
+		res.Mapping[m.l] = m.r
+		usedRight[m.r] = true
+	}
+	return res, nil
+}
+
+func clampDiff(v float64) float64 {
+	if v < 0.05 {
+		return 0.05
+	}
+	if v > 0.95 {
+		return 0.95
+	}
+	return v
+}
+
+func absDiff(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,269 @@
+package operators
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/truth"
+)
+
+func TestBTSortBeatsMajorityAtSameBudget(t *testing.T) {
+	// Same vote budget (k per pair); BT aggregation should at least match
+	// Copeland majority, typically beating it on hard instances.
+	var btTau, mjTau float64
+	const trials = 4
+	for seed := uint64(400); seed < 400+trials; seed++ {
+		d, oracle := rankingData(t, seed, 18)
+		actual := d.TrueRanking()
+
+		rb := mixedRunner(seed*7, 60)
+		bt, err := BTSort(rb, 18, oracle, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tau, err := KendallTau(bt.Ranking, actual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		btTau += tau
+
+		rm := mixedRunner(seed*7, 60)
+		mj, err := AllPairsSort(rm, 18, oracle, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tau, err = KendallTau(mj.Ranking, actual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mjTau += tau
+
+		if bt.VotesUsed != mj.VotesUsed {
+			t.Fatalf("budgets differ: BT %d vs majority %d", bt.VotesUsed, mj.VotesUsed)
+		}
+	}
+	if btTau < mjTau-0.05 {
+		t.Fatalf("BT tau %.3f clearly below majority %.3f", btTau/trials, mjTau/trials)
+	}
+}
+
+func TestBradleyTerryRecoversOrder(t *testing.T) {
+	// Noiseless comparisons over 5 items with total order 4>3>2>1>0.
+	var comps []truth.Comparison
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if i == j {
+				continue
+			}
+			for rep := 0; rep < 3; rep++ {
+				comps = append(comps, truth.Comparison{I: i, J: j, IWon: i > j})
+			}
+		}
+	}
+	res, err := truth.BradleyTerry(5, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, item := range res.Ranking {
+		if item != 4-r {
+			t.Fatalf("ranking = %v", res.Ranking)
+		}
+	}
+	// Scores strictly decreasing down the ranking.
+	for r := 1; r < 5; r++ {
+		if res.Scores[res.Ranking[r]] >= res.Scores[res.Ranking[r-1]] {
+			t.Fatalf("scores not ordered: %v", res.Scores)
+		}
+	}
+}
+
+func TestBradleyTerryValidation(t *testing.T) {
+	if _, err := truth.BradleyTerry(0, nil); err == nil {
+		t.Fatal("n=0 should fail")
+	}
+	if _, err := truth.BradleyTerry(2, []truth.Comparison{{I: 0, J: 5, IWon: true}}); err == nil {
+		t.Fatal("out-of-range comparison should fail")
+	}
+	if _, err := truth.BradleyTerry(2, []truth.Comparison{{I: 1, J: 1, IWon: true}}); err == nil {
+		t.Fatal("self-comparison should fail")
+	}
+	// No comparisons: uniform scores, identity-ish ranking; no panic.
+	res, err := truth.BradleyTerry(3, nil)
+	if err != nil || len(res.Ranking) != 3 {
+		t.Fatalf("empty comparisons: %v, %v", res, err)
+	}
+}
+
+func TestBradleyTerryAllWinsRegularized(t *testing.T) {
+	// Item 0 wins every game: score must stay finite and top-ranked.
+	comps := []truth.Comparison{
+		{I: 0, J: 1, IWon: true}, {I: 0, J: 2, IWon: true},
+		{I: 1, J: 2, IWon: true},
+	}
+	res, err := truth.BradleyTerry(3, comps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ranking[0] != 0 {
+		t.Fatalf("ranking = %v", res.Ranking)
+	}
+	for _, s := range res.Scores {
+		if s <= 0 || s > 1e6 {
+			t.Fatalf("degenerate score: %v", res.Scores)
+		}
+	}
+}
+
+func schemaFixture() (left, right []Attribute, matchOf map[int]int) {
+	left = []Attribute{
+		{Name: "phone_number", Example: "555-0101"},
+		{Name: "full_name", Example: "Ann Smith"},
+		{Name: "dob", Example: "1990-01-02"},
+		{Name: "zipcode", Example: "94110"},
+	}
+	right = []Attribute{
+		{Name: "birth_date", Example: "02/01/1990"},
+		{Name: "name", Example: "Bob Jones"},
+		{Name: "postal_code", Example: "10001"},
+		{Name: "telephone", Example: "555-0202"},
+		{Name: "loyalty_tier", Example: "gold"},
+	}
+	matchOf = map[int]int{0: 3, 1: 1, 2: 0, 3: 2}
+	return
+}
+
+func TestSchemaMatchRecoversMapping(t *testing.T) {
+	left, right, want := schemaFixture()
+	r := reliableRunner(500, 40)
+	res, err := SchemaMatch(r, left, right, SchemaMatchConfig{}, func(l, rr int) bool {
+		return want[l] == rr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, wantR := range want {
+		if got, ok := res.Mapping[l]; !ok || got != wantR {
+			t.Fatalf("mapping[%d] = %d (ok=%v), want %d; full %v", l, got, ok, wantR, res.Mapping)
+		}
+	}
+	// loyalty_tier stays unmatched.
+	for _, rr := range res.Mapping {
+		if rr == 4 {
+			t.Fatal("unmatched right attribute was mapped")
+		}
+	}
+	if res.VotesUsed == 0 || res.PairsAsked == 0 {
+		t.Fatal("no crowd work recorded")
+	}
+}
+
+func TestSchemaMatchOneToOneConstraint(t *testing.T) {
+	left, right, want := schemaFixture()
+	r := mixedRunner(501, 40)
+	res, err := SchemaMatch(r, left, right, SchemaMatchConfig{Redundancy: 5}, func(l, rr int) bool {
+		return want[l] == rr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, rr := range res.Mapping {
+		if seen[rr] {
+			t.Fatalf("right attribute %d mapped twice: %v", rr, res.Mapping)
+		}
+		seen[rr] = true
+	}
+}
+
+func TestSchemaMatchValidation(t *testing.T) {
+	r := reliableRunner(502, 5)
+	if _, err := SchemaMatch(r, nil, []Attribute{{Name: "x"}}, SchemaMatchConfig{}, nil); err == nil {
+		t.Fatal("empty left schema should fail")
+	}
+}
+
+// gridSkylineOracle plants items on a 2D grid; higher is better on both
+// dimensions, gaps scale difficulty.
+type gridSkylineOracle struct {
+	xs, ys []float64
+}
+
+func (o gridSkylineOracle) Dimensions() int { return 2 }
+
+func (o gridSkylineOracle) DimBetter(d, i, j int) (bool, float64) {
+	var vi, vj float64
+	if d == 0 {
+		vi, vj = o.xs[i], o.xs[j]
+	} else {
+		vi, vj = o.ys[i], o.ys[j]
+	}
+	gap := vi - vj
+	if gap < 0 {
+		gap = -gap
+	}
+	diff := 1 - gap/5
+	if diff < 0 {
+		diff = 0
+	}
+	return vi > vj, diff
+}
+
+func (o gridSkylineOracle) Label(i int) string { return fmt.Sprintf("item-%d", i) }
+
+func (o gridSkylineOracle) DimName(d int) string { return []string{"price", "quality"}[d] }
+
+func TestSkylineFindsParetoSet(t *testing.T) {
+	// Planted grid: items 0..4 form a clean Pareto frontier; 5..9 are
+	// strictly dominated.
+	oracle := gridSkylineOracle{
+		xs: []float64{0, 2.5, 5, 7.5, 10, 0.5, 2, 4, 6, 1},
+		ys: []float64{10, 7.5, 5, 2.5, 0, 4, 3, 2, 1, 0.5},
+	}
+	r := reliableRunner(510, 60)
+	res, err := Skyline(r, 10, oracle, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	if len(res.Skyline) != len(want) {
+		t.Fatalf("skyline = %v, want %v", res.Skyline, want)
+	}
+	for i, v := range want {
+		if res.Skyline[i] != v {
+			t.Fatalf("skyline = %v, want %v", res.Skyline, want)
+		}
+	}
+	if res.VotesUsed == 0 {
+		t.Fatal("no crowd work recorded")
+	}
+}
+
+func TestSkylineSingleItem(t *testing.T) {
+	oracle := gridSkylineOracle{xs: []float64{1}, ys: []float64{1}}
+	res, err := Skyline(reliableRunner(511, 5), 1, oracle, 3)
+	if err != nil || len(res.Skyline) != 1 || res.Comparisons != 0 {
+		t.Fatalf("singleton skyline: %+v, %v", res, err)
+	}
+	if _, err := Skyline(reliableRunner(511, 5), 0, oracle, 3); err == nil {
+		t.Fatal("n=0 should fail")
+	}
+}
+
+func TestSkylineCacheBoundsQuestions(t *testing.T) {
+	oracle := gridSkylineOracle{
+		xs: []float64{0, 5, 10, 3, 7},
+		ys: []float64{10, 5, 0, 4, 2},
+	}
+	r := reliableRunner(512, 40)
+	res, err := Skyline(r, 5, oracle, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With memoization, at most d * C(n,2) distinct questions.
+	if res.Comparisons > 2*10 {
+		t.Fatalf("comparisons = %d exceeds distinct question bound", res.Comparisons)
+	}
+}
+
+var _ = stats.NewRNG // keep the stats import when fixtures change

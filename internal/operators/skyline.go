@@ -1,0 +1,145 @@
+package operators
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// SkylineOracle supplies the planted per-dimension preferences for the
+// crowd skyline operator: DimBetter(d, i, j) reports whether item i truly
+// beats item j on dimension d, with a difficulty for the comparison.
+type SkylineOracle interface {
+	Dimensions() int
+	DimBetter(d, i, j int) (better bool, difficulty float64)
+	Label(i int) string
+	DimName(d int) string
+}
+
+// SkylineResult reports a crowd skyline computation.
+type SkylineResult struct {
+	// Skyline lists the indices of non-dominated items, ascending.
+	Skyline []int
+	// Comparisons counts dimension-level crowd questions.
+	Comparisons int
+	// VotesUsed counts answers consumed.
+	VotesUsed int
+}
+
+// Skyline computes the crowd-powered skyline (Pareto set) of n items over
+// the oracle's subjective dimensions: item j dominates item i if j is
+// judged at least as good on every dimension and strictly better on one.
+// Since "at least as good" needs both directions, each (pair, dimension)
+// is resolved with a redundancy-k majority question; a dominance check
+// short-circuits on the first dimension where the candidate dominator
+// loses.
+//
+// The implementation follows the block-nested-loop style skyline with
+// crowd comparators: candidates are compared against the current skyline
+// set only, which keeps question counts far below the full n²·d worst
+// case on realistic inputs.
+func Skyline(r *Runner, n int, oracle SkylineOracle, k int) (*SkylineResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("operators: skyline over %d items", n)
+	}
+	d := oracle.Dimensions()
+	if d <= 0 {
+		return nil, fmt.Errorf("operators: skyline needs >= 1 dimension")
+	}
+	if k <= 0 {
+		k = 3
+	}
+	res := &SkylineResult{}
+
+	// betterCache memoizes majority outcomes of (dim, i, j) questions.
+	type key struct{ d, i, j int }
+	cache := make(map[key]bool)
+	better := func(dim, i, j int) (bool, error) {
+		if v, ok := cache[key{dim, i, j}]; ok {
+			return v, nil
+		}
+		truthBetter, difficulty := oracle.DimBetter(dim, i, j)
+		truthOpt := 1
+		if truthBetter {
+			truthOpt = 0
+		}
+		task, err := r.NewTask(&core.Task{
+			Kind: core.PairwiseComparison,
+			Question: fmt.Sprintf("On %s, which is better: %s or %s?",
+				oracle.DimName(dim), oracle.Label(i), oracle.Label(j)),
+			Options:     []string{oracle.Label(i), oracle.Label(j)},
+			GroundTruth: truthOpt,
+			Difficulty:  difficulty,
+		})
+		if err != nil {
+			return false, err
+		}
+		opt, err := r.MajorityOption(task, k)
+		if err != nil {
+			return false, err
+		}
+		res.Comparisons++
+		res.VotesUsed += k
+		win := opt == 0
+		cache[key{dim, i, j}] = win
+		cache[key{dim, j, i}] = !win
+		return win, nil
+	}
+
+	// dominates reports whether a dominates b: a wins or ties every
+	// dimension and wins at least one. With binary majority comparisons a
+	// tie is unobservable, so we use the strict form: a beats b on every
+	// dimension (the standard simplification for subjective skylines).
+	dominates := func(a, b int) (bool, error) {
+		for dim := 0; dim < d; dim++ {
+			win, err := better(dim, a, b)
+			if err != nil {
+				return false, err
+			}
+			if !win {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+
+	var skyline []int
+	for cand := 0; cand < n; cand++ {
+		dominated := false
+		keep := skyline[:0]
+		for _, s := range skyline {
+			if dominated {
+				keep = append(keep, s)
+				continue
+			}
+			sDominatesCand, err := dominates(s, cand)
+			if err != nil {
+				return res, err
+			}
+			if sDominatesCand {
+				dominated = true
+				keep = append(keep, s)
+				continue
+			}
+			candDominatesS, err := dominates(cand, s)
+			if err != nil {
+				return res, err
+			}
+			if !candDominatesS {
+				keep = append(keep, s)
+			}
+		}
+		skyline = keep
+		if !dominated {
+			skyline = append(skyline, cand)
+		}
+	}
+	// Ascending order for determinism.
+	for i := 1; i < len(skyline); i++ {
+		for j := i; j > 0 && skyline[j] < skyline[j-1]; j-- {
+			skyline[j], skyline[j-1] = skyline[j-1], skyline[j]
+		}
+	}
+	res.Skyline = skyline
+	return res, nil
+}

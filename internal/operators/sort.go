@@ -1,0 +1,351 @@
+package operators
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// CompareOracle answers "is item i better than item j?" for the sort/max
+// operators. Experiments provide planted comparators; production code
+// routes to the crowd via Runner-backed implementations.
+type CompareOracle interface {
+	// Better reports whether item i outranks item j, plus the pairwise
+	// task difficulty in [0,1] for the simulated workers.
+	Truth(i, j int) (better bool, difficulty float64)
+	// Label returns the display string of item i.
+	Label(i int) string
+}
+
+// comparePair asks the crowd (with redundancy k) which of items i and j is
+// better and returns true if i wins the majority.
+func comparePair(r *Runner, oracle CompareOracle, i, j, k int) (bool, error) {
+	better, difficulty := oracle.Truth(i, j)
+	truthOpt := 1
+	if better {
+		truthOpt = 0
+	}
+	task, err := r.NewTask(&core.Task{
+		Kind:        core.PairwiseComparison,
+		Question:    fmt.Sprintf("Which is better: %s or %s?", oracle.Label(i), oracle.Label(j)),
+		Options:     []string{oracle.Label(i), oracle.Label(j)},
+		GroundTruth: truthOpt,
+		Difficulty:  difficulty,
+	})
+	if err != nil {
+		return false, err
+	}
+	opt, err := r.MajorityOption(task, k)
+	if err != nil {
+		return false, err
+	}
+	return opt == 0, nil
+}
+
+// MaxResult reports a crowd-max run.
+type MaxResult struct {
+	// Winner is the index of the item judged best.
+	Winner int
+	// Comparisons is the number of pair questions asked.
+	Comparisons int
+	// VotesUsed is the total answers consumed.
+	VotesUsed int
+}
+
+// MaxTournament finds the best of items[0..n) by single-elimination
+// tournament with redundancy-k majority per match — the O(n) crowd-max
+// strategy from the survey (versus the O(n²) all-pairs approach).
+func MaxTournament(r *Runner, n int, oracle CompareOracle, k int) (*MaxResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("operators: max over %d items", n)
+	}
+	if k <= 0 {
+		k = 1
+	}
+	alive := make([]int, n)
+	for i := range alive {
+		alive[i] = i
+	}
+	res := &MaxResult{}
+	for len(alive) > 1 {
+		var next []int
+		for i := 0; i+1 < len(alive); i += 2 {
+			win, err := comparePair(r, oracle, alive[i], alive[i+1], k)
+			if err != nil {
+				return res, err
+			}
+			res.Comparisons++
+			res.VotesUsed += k
+			if win {
+				next = append(next, alive[i])
+			} else {
+				next = append(next, alive[i+1])
+			}
+		}
+		if len(alive)%2 == 1 {
+			next = append(next, alive[len(alive)-1]) // bye
+		}
+		alive = next
+	}
+	res.Winner = alive[0]
+	return res, nil
+}
+
+// SortResult reports a crowd-sort / top-k run.
+type SortResult struct {
+	// Ranking is the inferred order, best first.
+	Ranking []int
+	// Comparisons / Ratings count the questions asked by kind.
+	Comparisons int
+	Ratings     int
+	// VotesUsed is the total answers consumed.
+	VotesUsed int
+	Method    string
+}
+
+// AllPairsSort asks every unordered pair (redundancy k) and ranks items by
+// Copeland score (number of pairwise wins) — the quality ceiling at
+// quadratic cost.
+func AllPairsSort(r *Runner, n int, oracle CompareOracle, k int) (*SortResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("operators: sort over %d items", n)
+	}
+	if k <= 0 {
+		k = 1
+	}
+	wins := make([]int, n)
+	res := &SortResult{Method: "all-pairs"}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			iw, err := comparePair(r, oracle, i, j, k)
+			if err != nil {
+				return res, err
+			}
+			res.Comparisons++
+			res.VotesUsed += k
+			if iw {
+				wins[i]++
+			} else {
+				wins[j]++
+			}
+		}
+	}
+	res.Ranking = rankByScore(wins)
+	return res, nil
+}
+
+// RatingSort asks k workers to rate each item and ranks by aggregated
+// score (median for robustness) — linear cost, coarser than comparisons.
+func RatingSort(r *Runner, n int, oracle CompareOracle, trueScore func(int) float64, k int) (*SortResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("operators: sort over %d items", n)
+	}
+	if k <= 0 {
+		k = 1
+	}
+	res := &SortResult{Method: "rating"}
+	scores := make([]float64, n)
+	for i := 0; i < n; i++ {
+		task, err := r.NewTask(&core.Task{
+			Kind:             core.Rating,
+			Question:         fmt.Sprintf("Rate %s", oracle.Label(i)),
+			GroundTruthScore: trueScore(i),
+		})
+		if err != nil {
+			return res, err
+		}
+		answers, err := r.Collect(task, k)
+		if err != nil {
+			return res, err
+		}
+		res.Ratings += k
+		res.VotesUsed += k
+		xs := make([]float64, len(answers))
+		for ai, a := range answers {
+			xs[ai] = a.Score
+		}
+		scores[i] = stats.Median(xs)
+	}
+	res.Ranking = rankByFloat(scores)
+	return res, nil
+}
+
+// HybridSort is the rating-then-compare strategy: cheap ratings order all
+// items, then the top refine window is re-sorted with all-pairs
+// comparisons. It approaches comparison quality near the top of the list
+// at a fraction of quadratic cost.
+func HybridSort(r *Runner, n int, oracle CompareOracle, trueScore func(int) float64, ratingK, compareK, refineTop int) (*SortResult, error) {
+	base, err := RatingSort(r, n, oracle, trueScore, ratingK)
+	if err != nil {
+		return base, err
+	}
+	res := &SortResult{
+		Method:    "hybrid",
+		Ratings:   base.Ratings,
+		VotesUsed: base.VotesUsed,
+		Ranking:   base.Ranking,
+	}
+	if refineTop > n {
+		refineTop = n
+	}
+	if refineTop < 2 {
+		return res, nil
+	}
+	head := append([]int(nil), base.Ranking[:refineTop]...)
+	// All-pairs comparisons within the head, Copeland-ranked.
+	wins := make(map[int]int, refineTop)
+	for a := 0; a < len(head); a++ {
+		for b := a + 1; b < len(head); b++ {
+			iw, err := comparePair(r, oracle, head[a], head[b], compareK)
+			if err != nil {
+				return res, err
+			}
+			res.Comparisons++
+			res.VotesUsed += compareK
+			if iw {
+				wins[head[a]]++
+			} else {
+				wins[head[b]]++
+			}
+		}
+	}
+	sort.SliceStable(head, func(a, b int) bool { return wins[head[a]] > wins[head[b]] })
+	copy(res.Ranking[:refineTop], head)
+	return res, nil
+}
+
+// TopK returns the best k items using a tournament for max followed by
+// re-running on the remainder (selection sort over tournaments); cost is
+// O(k·n) comparisons with early rounds shared.
+func TopK(r *Runner, n, k int, oracle CompareOracle, redundancy int) (*SortResult, error) {
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("operators: top-%d of %d items", k, n)
+	}
+	res := &SortResult{Method: "topk-tournament"}
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	for len(res.Ranking) < k {
+		// Tournament over remaining items.
+		alive := append([]int(nil), remaining...)
+		for len(alive) > 1 {
+			var next []int
+			for i := 0; i+1 < len(alive); i += 2 {
+				win, err := comparePair(r, oracle, alive[i], alive[i+1], redundancy)
+				if err != nil {
+					return res, err
+				}
+				res.Comparisons++
+				res.VotesUsed += redundancy
+				if win {
+					next = append(next, alive[i])
+				} else {
+					next = append(next, alive[i+1])
+				}
+			}
+			if len(alive)%2 == 1 {
+				next = append(next, alive[len(alive)-1])
+			}
+			alive = next
+		}
+		winner := alive[0]
+		res.Ranking = append(res.Ranking, winner)
+		out := remaining[:0]
+		for _, v := range remaining {
+			if v != winner {
+				out = append(out, v)
+			}
+		}
+		remaining = out
+	}
+	return res, nil
+}
+
+// rankByScore returns indices sorted by descending integer score (stable).
+func rankByScore(scores []int) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}
+
+// rankByFloat returns indices sorted by descending float score (stable).
+func rankByFloat(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}
+
+// KendallTau computes the Kendall rank correlation between an inferred
+// ranking and a true ranking (both as item-index slices, best first).
+// 1 means identical order, -1 reversed.
+func KendallTau(inferred, actual []int) (float64, error) {
+	n := len(inferred)
+	if n != len(actual) {
+		return 0, fmt.Errorf("operators: ranking lengths differ (%d vs %d)", n, len(actual))
+	}
+	if n < 2 {
+		return 1, nil
+	}
+	posA := make(map[int]int, n)
+	for r, item := range actual {
+		posA[item] = r
+	}
+	posI := make(map[int]int, n)
+	for r, item := range inferred {
+		if _, ok := posA[item]; !ok {
+			return 0, fmt.Errorf("operators: item %d missing from actual ranking", item)
+		}
+		posI[item] = r
+	}
+	if len(posI) != n {
+		return 0, fmt.Errorf("operators: inferred ranking has duplicates")
+	}
+	concordant, discordant := 0, 0
+	items := make([]int, 0, n)
+	for item := range posA {
+		items = append(items, item)
+	}
+	sort.Ints(items)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			ia, ib := items[a], items[b]
+			dA := posA[ia] - posA[ib]
+			dI := posI[ia] - posI[ib]
+			if dA*dI > 0 {
+				concordant++
+			} else if dA*dI < 0 {
+				discordant++
+			}
+		}
+	}
+	total := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(total), nil
+}
+
+// PrecisionAtK measures how many of the inferred top-k items are in the
+// true top-k.
+func PrecisionAtK(inferred, actual []int, k int) float64 {
+	if k <= 0 || k > len(inferred) || k > len(actual) {
+		return 0
+	}
+	truth := make(map[int]bool, k)
+	for _, it := range actual[:k] {
+		truth[it] = true
+	}
+	hit := 0
+	for _, it := range inferred[:k] {
+		if truth[it] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k)
+}

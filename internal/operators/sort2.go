@@ -1,0 +1,97 @@
+package operators
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/truth"
+)
+
+// BinaryInsertionSort builds a full ranking with O(n log n) crowd
+// comparisons: items are inserted one by one into the sorted prefix via
+// binary search, each probe being a redundancy-k majority comparison.
+// It sits between RatingSort (linear, coarse) and AllPairsSort
+// (quadratic, robust) on the cost/quality frontier — a noisy comparison
+// during the binary search misplaces the item locally but cannot corrupt
+// the rest of the order.
+func BinaryInsertionSort(r *Runner, n int, oracle CompareOracle, k int) (*SortResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("operators: sort over %d items", n)
+	}
+	if k <= 0 {
+		k = 1
+	}
+	res := &SortResult{Method: "binary-insertion"}
+	ranking := make([]int, 0, n) // best first
+	for item := 0; item < n; item++ {
+		lo, hi := 0, len(ranking)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			better, err := comparePair(r, oracle, item, ranking[mid], k)
+			if err != nil {
+				return res, err
+			}
+			res.Comparisons++
+			res.VotesUsed += k
+			if better {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		ranking = append(ranking, 0)
+		copy(ranking[lo+1:], ranking[lo:])
+		ranking[lo] = item
+	}
+	res.Ranking = ranking
+	return res, nil
+}
+
+// BTSort asks k individual answers per unordered pair and aggregates all
+// of them jointly with the Bradley–Terry model instead of per-pair
+// majority. Same vote budget as AllPairsSort, but each answer informs the
+// whole ranking (CrowdBT-style aggregation).
+func BTSort(r *Runner, n int, oracle CompareOracle, k int) (*SortResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("operators: sort over %d items", n)
+	}
+	if k <= 0 {
+		k = 1
+	}
+	res := &SortResult{Method: "bt"}
+	var comparisons []truth.Comparison
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			better, difficulty := oracle.Truth(i, j)
+			truthOpt := 1
+			if better {
+				truthOpt = 0
+			}
+			task, err := r.NewTask(&core.Task{
+				Kind:        core.PairwiseComparison,
+				Question:    fmt.Sprintf("Which is better: %s or %s?", oracle.Label(i), oracle.Label(j)),
+				Options:     []string{oracle.Label(i), oracle.Label(j)},
+				GroundTruth: truthOpt,
+				Difficulty:  difficulty,
+			})
+			if err != nil {
+				return res, err
+			}
+			answers, err := r.Collect(task, k)
+			if err != nil {
+				return res, err
+			}
+			res.Comparisons++
+			res.VotesUsed += len(answers)
+			for _, a := range answers {
+				comparisons = append(comparisons, truth.Comparison{I: i, J: j, IWon: a.Option == 0})
+			}
+		}
+	}
+	bt, err := truth.BradleyTerry(n, comparisons)
+	if err != nil {
+		return res, err
+	}
+	res.Ranking = bt.Ranking
+	return res, nil
+}

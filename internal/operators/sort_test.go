@@ -1,0 +1,235 @@
+package operators
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/stats"
+)
+
+// rankOracle adapts a datagen.RankingDataset to CompareOracle.
+type rankOracle struct{ d *datagen.RankingDataset }
+
+func (o rankOracle) Truth(i, j int) (bool, float64) {
+	return o.d.Better(i, j), o.d.PairDifficulty(i, j)
+}
+
+func (o rankOracle) Label(i int) string { return o.d.Items[i] }
+
+func rankingData(t *testing.T, seed uint64, n int) (*datagen.RankingDataset, rankOracle) {
+	t.Helper()
+	d, err := datagen.NewRankingDataset(stats.NewRNG(seed), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, rankOracle{d}
+}
+
+func TestKendallTau(t *testing.T) {
+	tau, err := KendallTau([]int{0, 1, 2, 3}, []int{0, 1, 2, 3})
+	if err != nil || tau != 1 {
+		t.Fatalf("identical ranking tau = %v, %v", tau, err)
+	}
+	tau, err = KendallTau([]int{3, 2, 1, 0}, []int{0, 1, 2, 3})
+	if err != nil || tau != -1 {
+		t.Fatalf("reversed ranking tau = %v, %v", tau, err)
+	}
+	if _, err := KendallTau([]int{0, 1}, []int{0, 1, 2}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+	if _, err := KendallTau([]int{0, 0}, []int{0, 1}); err == nil {
+		t.Fatal("duplicates should fail")
+	}
+	if _, err := KendallTau([]int{5, 1}, []int{0, 1}); err == nil {
+		t.Fatal("unknown item should fail")
+	}
+	tau, err = KendallTau([]int{7}, []int{7})
+	if err != nil || tau != 1 {
+		t.Fatalf("singleton tau = %v, %v", tau, err)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	inf := []int{1, 2, 3, 4}
+	act := []int{2, 1, 9, 9}
+	if p := PrecisionAtK(inf, act, 2); p != 1 {
+		t.Fatalf("P@2 = %v", p)
+	}
+	if p := PrecisionAtK(inf, act, 4); p != 0.5 {
+		t.Fatalf("P@4 = %v", p)
+	}
+	if p := PrecisionAtK(inf, act, 0); p != 0 {
+		t.Fatalf("P@0 = %v", p)
+	}
+}
+
+func TestMaxTournamentFindsTrueMax(t *testing.T) {
+	d, oracle := rankingData(t, 60, 64)
+	trueBest := d.TrueRanking()[0]
+	hits := 0
+	for seed := uint64(61); seed < 66; seed++ {
+		r := reliableRunner(seed, 60)
+		res, err := MaxTournament(r, 64, oracle, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Comparisons != 63 {
+			t.Fatalf("tournament over 64 items used %d comparisons, want 63", res.Comparisons)
+		}
+		if res.VotesUsed != 63*3 {
+			t.Fatalf("votes = %d", res.VotesUsed)
+		}
+		if res.Winner == trueBest {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Fatalf("tournament found the true max only %d/5 times", hits)
+	}
+}
+
+func TestMaxTournamentSingleItem(t *testing.T) {
+	_, oracle := rankingData(t, 62, 1)
+	res, err := MaxTournament(reliableRunner(63, 5), 1, oracle, 3)
+	if err != nil || res.Winner != 0 || res.Comparisons != 0 {
+		t.Fatalf("singleton tournament: %+v, %v", res, err)
+	}
+	if _, err := MaxTournament(reliableRunner(63, 5), 0, oracle, 3); err == nil {
+		t.Fatal("zero items should fail")
+	}
+}
+
+func TestAllPairsSortHighTau(t *testing.T) {
+	d, oracle := rankingData(t, 64, 20)
+	r := reliableRunner(65, 80)
+	res, err := AllPairsSort(r, 20, oracle, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Comparisons != 190 {
+		t.Fatalf("comparisons = %d, want C(20,2)=190", res.Comparisons)
+	}
+	tau, err := KendallTau(res.Ranking, d.TrueRanking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 0.85 {
+		t.Fatalf("all-pairs tau = %.3f", tau)
+	}
+}
+
+func TestRatingSortReasonableTau(t *testing.T) {
+	d, oracle := rankingData(t, 66, 20)
+	r := reliableRunner(67, 80)
+	res, err := RatingSort(r, 20, oracle, func(i int) float64 { return d.Scores[i] }, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratings != 100 {
+		t.Fatalf("ratings = %d, want 100", res.Ratings)
+	}
+	tau, err := KendallTau(res.Ranking, d.TrueRanking())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < 0.6 {
+		t.Fatalf("rating tau = %.3f", tau)
+	}
+}
+
+func TestComparisonsBeatRatings(t *testing.T) {
+	// The survey's qualitative result: comparisons give finer rankings
+	// than ratings at higher cost. Average tau over seeds.
+	var tauAll, tauRate float64
+	const trials = 5
+	for seed := uint64(70); seed < 70+trials; seed++ {
+		d, oracle := rankingData(t, seed, 15)
+		ra := reliableRunner(seed*2, 60)
+		resA, err := AllPairsSort(ra, 15, oracle, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta, _ := KendallTau(resA.Ranking, d.TrueRanking())
+		tauAll += ta
+
+		rr := reliableRunner(seed*2+1, 60)
+		resR, err := RatingSort(rr, 15, oracle, func(i int) float64 { return d.Scores[i] }, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, _ := KendallTau(resR.Ranking, d.TrueRanking())
+		tauRate += tr
+	}
+	if tauAll <= tauRate {
+		t.Fatalf("all-pairs mean tau %.3f should beat ratings %.3f",
+			tauAll/trials, tauRate/trials)
+	}
+}
+
+func TestHybridSortImprovesTopOverRating(t *testing.T) {
+	// Single noisy ratings leave the head poorly ordered; the comparison
+	// refinement should recover ordering quality at the top. Measure the
+	// tau of the top-10 prefix against its true relative order.
+	headTau := func(ranking []int, d *datagen.RankingDataset) float64 {
+		head := append([]int(nil), ranking[:10]...)
+		trueHead := append([]int(nil), head...)
+		// Sort trueHead by descending true score.
+		for i := 1; i < len(trueHead); i++ {
+			for j := i; j > 0 && d.Scores[trueHead[j]] > d.Scores[trueHead[j-1]]; j-- {
+				trueHead[j], trueHead[j-1] = trueHead[j-1], trueHead[j]
+			}
+		}
+		tau, err := KendallTau(head, trueHead)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tau
+	}
+	var hybridTau, rateTau float64
+	const trials = 6
+	for seed := uint64(80); seed < 80+trials; seed++ {
+		d, oracle := rankingData(t, seed, 30)
+
+		rr := mixedRunner(seed*3, 80)
+		resR, err := RatingSort(rr, 30, oracle, func(i int) float64 { return d.Scores[i] }, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rateTau += headTau(resR.Ranking, d)
+
+		rh := mixedRunner(seed*3, 80)
+		resH, err := HybridSort(rh, 30, oracle, func(i int) float64 { return d.Scores[i] }, 1, 3, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hybridTau += headTau(resH.Ranking, d)
+		if resH.Comparisons != 45 {
+			t.Fatalf("hybrid refine comparisons = %d, want C(10,2)=45", resH.Comparisons)
+		}
+	}
+	if hybridTau <= rateTau {
+		t.Fatalf("hybrid head tau %.3f should beat rating %.3f",
+			hybridTau/trials, rateTau/trials)
+	}
+}
+
+func TestTopKPrecision(t *testing.T) {
+	d, oracle := rankingData(t, 90, 24)
+	r := reliableRunner(91, 80)
+	res, err := TopK(r, 24, 3, oracle, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranking) != 3 {
+		t.Fatalf("topk returned %d items", len(res.Ranking))
+	}
+	if p := PrecisionAtK(res.Ranking, d.TrueRanking(), 3); p < 2.0/3.0 {
+		t.Fatalf("top-3 precision %.3f", p)
+	}
+	if _, err := TopK(r, 5, 0, oracle, 3); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := TopK(r, 5, 6, oracle, 3); err == nil {
+		t.Fatal("k>n should fail")
+	}
+}

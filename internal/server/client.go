@@ -1,0 +1,154 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Client is the worker-side API wrapper: it polls for assignments and
+// submits answers over HTTP. The simulated crowd drives it in tests and
+// demos; real deployments would put a task UI behind the same calls.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient wires a client for the given base URL (no trailing slash).
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+// FetchTask asks for an assignment for the worker. ok=false means no
+// eligible task right now.
+func (c *Client) FetchTask(worker string) (*TaskDTO, bool, error) {
+	resp, err := c.HTTP.Get(fmt.Sprintf("%s/api/task?worker=%s", c.BaseURL, worker))
+	if err != nil {
+		return nil, false, fmt.Errorf("server: fetching task: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil, false, nil
+	case http.StatusOK:
+		var t TaskDTO
+		if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+			return nil, false, fmt.Errorf("server: decoding task: %w", err)
+		}
+		return &t, true, nil
+	default:
+		return nil, false, apiError(resp)
+	}
+}
+
+// SubmitAnswer posts an answer.
+func (c *Client) SubmitAnswer(a AnswerDTO) error {
+	body, err := json.Marshal(a)
+	if err != nil {
+		return fmt.Errorf("server: encoding answer: %w", err)
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+"/api/answer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("server: submitting answer: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Stats fetches pool statistics.
+func (c *Client) Stats() (*StatsDTO, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/api/stats")
+	if err != nil {
+		return nil, fmt.Errorf("server: fetching stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var s StatsDTO
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, fmt.Errorf("server: decoding stats: %w", err)
+	}
+	return &s, nil
+}
+
+// Results fetches inferred labels aggregated with the given method
+// ("mv", "onecoin", "ds", "glad"; "" = mv).
+func (c *Client) Results(method string) ([]ResultDTO, error) {
+	url := c.BaseURL + "/api/results"
+	if method != "" {
+		url += "?method=" + method
+	}
+	resp, err := c.HTTP.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("server: fetching results: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var out []ResultDTO
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("server: decoding results: %w", err)
+	}
+	return out, nil
+}
+
+// DriveWorker runs one simulated worker against the platform until no
+// more assignments are available (or maxTasks is reached). The worker's
+// behavior comes from its core.Worker implementation; the HTTP task DTO
+// is reconstituted into a core.Task sans ground truth, so the caller must
+// provide a truthful task source via lookup for simulation (nil lookup
+// makes workers answer from the DTO alone — random for honest workers,
+// since they cannot know the planted truth over the wire).
+func (c *Client) DriveWorker(w core.Worker, lookup func(core.TaskID) *core.Task, maxTasks int) (int, error) {
+	done := 0
+	for maxTasks <= 0 || done < maxTasks {
+		dto, ok, err := c.FetchTask(w.ID())
+		if err != nil {
+			return done, err
+		}
+		if !ok {
+			return done, nil
+		}
+		var task *core.Task
+		if lookup != nil {
+			task = lookup(dto.ID)
+		}
+		if task == nil {
+			task = &core.Task{
+				ID: dto.ID, Kind: core.SingleChoice,
+				Question: dto.Question, Options: dto.Options,
+				GroundTruth: -1,
+			}
+		}
+		resp := w.Work(task)
+		err = c.SubmitAnswer(AnswerDTO{
+			Task: dto.ID, Worker: w.ID(),
+			Option: resp.Option, Text: resp.Text, Score: resp.Score,
+		})
+		if err != nil {
+			return done, err
+		}
+		done++
+	}
+	return done, nil
+}
+
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+}

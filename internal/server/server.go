@@ -1,0 +1,254 @@
+// Package server exposes a crowdkit task pool as an HTTP microtask
+// platform — the AMT-like service layer of the system: workers poll for
+// assignments, submit answers, and the requester reads aggregated
+// results. The API is deliberately small and JSON-only:
+//
+//	GET  /api/task?worker=ID   -> 200 {task} | 204 (nothing eligible)
+//	POST /api/answer           -> 200 {recorded} | 4xx
+//	GET  /api/stats            -> pool statistics
+//	GET  /api/results?method=mv|onecoin|ds|glad -> inferred labels
+//
+// The server serializes access to the pool (core.Pool is not safe for
+// concurrent use); handlers are safe to call from many workers at once.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/truth"
+)
+
+// Server is an http.Handler exposing one crowdsourcing pool.
+type Server struct {
+	mu       sync.Mutex
+	pool     *core.Pool
+	assigner core.Assigner
+	budget   *core.Budget
+	screen   *core.WorkerScreen
+	mux      *http.ServeMux
+}
+
+// New wires a server. assigner must not be nil; budget nil means
+// unlimited; screen nil disables golden-task elimination.
+func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *core.WorkerScreen) (*Server, error) {
+	if pool == nil || assigner == nil {
+		return nil, fmt.Errorf("server: pool and assigner are required")
+	}
+	if budget == nil {
+		budget = core.Unlimited()
+	}
+	s := &Server{pool: pool, assigner: assigner, budget: budget, screen: screen}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /api/task", s.handleTask)
+	s.mux.HandleFunc("POST /api/answer", s.handleAnswer)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/results", s.handleResults)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// TaskDTO is the wire form of an assignment. Ground truth never leaves
+// the server.
+type TaskDTO struct {
+	ID       core.TaskID `json:"id"`
+	Kind     string      `json:"kind"`
+	Question string      `json:"question"`
+	Options  []string    `json:"options,omitempty"`
+}
+
+// AnswerDTO is the wire form of a submission.
+type AnswerDTO struct {
+	Task   core.TaskID `json:"task"`
+	Worker string      `json:"worker"`
+	Option int         `json:"option"`
+	Text   string      `json:"text,omitempty"`
+	Score  float64     `json:"score,omitempty"`
+}
+
+// StatsDTO summarizes pool progress.
+type StatsDTO struct {
+	Tasks        int     `json:"tasks"`
+	OpenTasks    int     `json:"open_tasks"`
+	TotalAnswers int     `json:"total_answers"`
+	Workers      int     `json:"workers"`
+	BudgetSpent  float64 `json:"budget_spent"`
+	Eliminated   int     `json:"eliminated_workers"`
+}
+
+// ResultDTO is one inferred label.
+type ResultDTO struct {
+	Task       core.TaskID `json:"task"`
+	Label      int         `json:"label"`
+	Option     string      `json:"option"`
+	Confidence float64     `json:"confidence"`
+}
+
+func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
+	worker := r.URL.Query().Get("worker")
+	if worker == "" {
+		httpError(w, http.StatusBadRequest, "missing worker parameter")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.screen != nil && s.screen.Eliminated(worker) {
+		httpError(w, http.StatusForbidden, "worker eliminated by quality screening")
+		return
+	}
+	if !s.budget.CanAfford(1) {
+		httpError(w, http.StatusConflict, "budget exhausted")
+		return
+	}
+	id, ok := s.assigner.Assign(s.pool, worker)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	t := s.pool.Task(id)
+	writeJSON(w, TaskDTO{
+		ID:       t.ID,
+		Kind:     t.Kind.String(),
+		Question: t.Question,
+		Options:  t.Options,
+	})
+}
+
+func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	var dto AnswerDTO
+	if err := json.NewDecoder(r.Body).Decode(&dto); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if dto.Worker == "" {
+		httpError(w, http.StatusBadRequest, "missing worker")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.pool.Task(dto.Task)
+	if t == nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown task %d", dto.Task))
+		return
+	}
+	if err := s.budget.Charge(1); err != nil {
+		if errors.Is(err, core.ErrBudgetExhausted) {
+			httpError(w, http.StatusConflict, "budget exhausted")
+			return
+		}
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	a := core.Answer{
+		Task: dto.Task, Worker: dto.Worker,
+		Option: dto.Option, Text: dto.Text, Score: dto.Score,
+	}
+	if err := s.pool.Record(a); err != nil {
+		httpError(w, http.StatusConflict, err.Error())
+		return
+	}
+	if s.screen != nil && t.Golden {
+		correct := false
+		switch t.Kind {
+		case core.SingleChoice, core.MultiChoice, core.PairwiseComparison:
+			correct = dto.Option == t.GroundTruth
+		case core.FillIn:
+			correct = dto.Text == t.GroundTruthText
+		}
+		s.screen.Observe(dto.Worker, correct)
+	}
+	writeJSON(w, map[string]string{"status": "recorded"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eliminated := 0
+	if s.screen != nil {
+		eliminated = len(s.screen.EliminatedWorkers())
+	}
+	writeJSON(w, StatsDTO{
+		Tasks:        s.pool.Len(),
+		OpenTasks:    len(s.pool.OpenTasks()),
+		TotalAnswers: s.pool.TotalAnswers(),
+		Workers:      len(s.pool.Workers()),
+		BudgetSpent:  s.budget.Spent(),
+		Eliminated:   eliminated,
+	})
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	method := strings.ToLower(r.URL.Query().Get("method"))
+	var inf truth.Inferrer
+	switch method {
+	case "", "mv":
+		inf = truth.MajorityVote{}
+	case "onecoin":
+		inf = truth.OneCoinEM{}
+	case "ds":
+		inf = truth.DawidSkene{}
+	case "glad":
+		inf = truth.GLAD{}
+	default:
+		httpError(w, http.StatusBadRequest, "unknown method "+method)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Infer over the choice-type tasks (grouped by option count).
+	byK := map[int][]core.TaskID{}
+	for _, id := range s.pool.TaskIDs() {
+		t := s.pool.Task(id)
+		switch t.Kind {
+		case core.SingleChoice, core.MultiChoice, core.PairwiseComparison:
+			byK[len(t.Options)] = append(byK[len(t.Options)], id)
+		}
+	}
+	var out []ResultDTO
+	for _, ids := range byK {
+		ds, err := truth.FromPool(s.pool, ids)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		res, err := inf.Infer(ds)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		for _, id := range ids {
+			t := s.pool.Task(id)
+			lbl := res.Labels[id]
+			opt := ""
+			if lbl >= 0 && lbl < len(t.Options) {
+				opt = t.Options[lbl]
+			}
+			out = append(out, ResultDTO{
+				Task: id, Label: lbl, Option: opt,
+				Confidence: res.Confidence(id),
+			})
+		}
+	}
+	writeJSON(w, out)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already written; nothing more we can do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds matched %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(7)
+	s := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s += r.Float64()
+	}
+	mean := s / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := NewRNG(13)
+	err := quick.Check(func(nRaw, kRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		k := int(kRaw) % (n + 1)
+		s := r.Sample(n, k)
+		if len(s) != k {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, v := range s {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	r := NewRNG(17)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Choice([]float64{1, 2, 7})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("Choice counts not ordered by weight: %v", counts)
+	}
+	frac := float64(counts[2]) / 30000
+	if math.Abs(frac-0.7) > 0.03 {
+		t.Fatalf("weight-7 item frequency %v, want ~0.7", frac)
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Choice with zero-sum weights did not panic")
+		}
+	}()
+	NewRNG(1).Choice([]float64{0, 0})
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(19)
+	const n = 100000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Norm(3, 2)
+	}
+	if m := Mean(xs); math.Abs(m-3) > 0.05 {
+		t.Fatalf("Norm mean %v, want ~3", m)
+	}
+	if sd := StdDev(xs); math.Abs(sd-2) > 0.05 {
+		t.Fatalf("Norm stddev %v, want ~2", sd)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(23)
+	const n = 100000
+	s := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(2)
+		if v < 0 {
+			t.Fatalf("Exp produced negative %v", v)
+		}
+		s += v
+	}
+	if m := s / n; math.Abs(m-0.5) > 0.02 {
+		t.Fatalf("Exp(2) mean %v, want ~0.5", m)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(29)
+	for _, lambda := range []float64{0.5, 4, 50} {
+		const n = 50000
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += float64(r.Poisson(lambda))
+		}
+		m := s / n
+		if math.Abs(m-lambda) > 0.05*lambda+0.05 {
+			t.Fatalf("Poisson(%v) mean %v", lambda, m)
+		}
+	}
+}
+
+func TestBetaRangeAndMean(t *testing.T) {
+	r := NewRNG(31)
+	const n = 50000
+	s := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Beta(2, 5)
+		if v < 0 || v > 1 {
+			t.Fatalf("Beta out of [0,1]: %v", v)
+		}
+		s += v
+	}
+	want := 2.0 / 7.0
+	if m := s / n; math.Abs(m-want) > 0.01 {
+		t.Fatalf("Beta(2,5) mean %v, want ~%v", m, want)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := NewRNG(37)
+	for _, shape := range []float64{0.5, 1, 3.5} {
+		const n = 50000
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += r.Gamma(shape)
+		}
+		if m := s / n; math.Abs(m-shape) > 0.05*shape+0.05 {
+			t.Fatalf("Gamma(%v) mean %v", shape, m)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(41)
+	z := NewZipf(r, 100, 1.1)
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[z.Next()]++
+	}
+	if !(counts[0] > counts[9] && counts[9] > counts[49]) {
+		t.Fatalf("Zipf counts not skewed: first=%d tenth=%d fiftieth=%d",
+			counts[0], counts[9], counts[49])
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(99)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("Split stream matched parent %d/100 times", same)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(43)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", v)
+		}
+	}
+}

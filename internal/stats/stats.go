@@ -1,0 +1,323 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 when len < 2).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median of xs, or 0 for an empty slice. xs is not
+// modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks. xs is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q >= 1 {
+		q = 1
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Entropy returns the Shannon entropy (nats) of a discrete distribution.
+// Probabilities that are zero contribute nothing; the distribution need
+// not be normalized (it is normalized internally).
+func Entropy(ps []float64) float64 {
+	total := 0.0
+	for _, p := range ps {
+		if p > 0 {
+			total += p
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, p := range ps {
+		if p <= 0 {
+			continue
+		}
+		q := p / total
+		h -= q * math.Log(q)
+	}
+	return h
+}
+
+// Normalize scales the non-negative slice in place so it sums to 1. If the
+// sum is zero it assigns the uniform distribution.
+func Normalize(ps []float64) {
+	total := 0.0
+	for _, p := range ps {
+		total += p
+	}
+	if total <= 0 {
+		u := 1 / float64(len(ps))
+		for i := range ps {
+			ps[i] = u
+		}
+		return
+	}
+	for i := range ps {
+		ps[i] /= total
+	}
+}
+
+// ArgMax returns the index of the maximum value (first occurrence). It
+// returns -1 for an empty slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// WelchT reports the t statistic and approximate two-sided p-value for
+// Welch's unequal-variance t-test between samples a and b. It returns
+// (0, 1) when either sample has fewer than 2 observations.
+func WelchT(a, b []float64) (t, p float64) {
+	na, nb := float64(len(a)), float64(len(b))
+	if na < 2 || nb < 2 {
+		return 0, 1
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	se := math.Sqrt(va/na + vb/nb)
+	if se == 0 {
+		if ma == mb {
+			return 0, 1
+		}
+		return math.Inf(1), 0
+	}
+	t = (ma - mb) / se
+	// Welch–Satterthwaite degrees of freedom.
+	num := (va/na + vb/nb) * (va/na + vb/nb)
+	den := (va/na)*(va/na)/(na-1) + (vb/nb)*(vb/nb)/(nb-1)
+	df := num / den
+	p = 2 * studentTSF(math.Abs(t), df)
+	return t, p
+}
+
+// studentTSF returns P(T > t) for Student's t with df degrees of freedom,
+// via the regularized incomplete beta function.
+func studentTSF(t, df float64) float64 {
+	x := df / (df + t*t)
+	return 0.5 * regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes style).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log(1-x)
+	front := math.Exp(lbeta)
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+func betaCF(a, b, x float64) float64 {
+	const maxIter = 200
+	const eps = 3e-14
+	const fpmin = 1e-300
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// BootstrapCI returns an approximate (lo, hi) confidence interval for the
+// mean of xs at the given confidence level (e.g. 0.95), using resamples
+// bootstrap replicates drawn from rng.
+func BootstrapCI(rng *RNG, xs []float64, resamples int, level float64) (lo, hi float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	means := make([]float64, resamples)
+	for i := 0; i < resamples; i++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += xs[rng.Intn(n)]
+		}
+		means[i] = s / float64(n)
+	}
+	alpha := (1 - level) / 2
+	return Quantile(means, alpha), Quantile(means, 1-alpha)
+}
+
+// Confusion is a k×k confusion matrix over class indices; Confusion[i][j]
+// is the count (or probability) of true class i being reported as class j.
+type Confusion [][]float64
+
+// NewConfusion returns a zeroed k×k confusion matrix.
+func NewConfusion(k int) Confusion {
+	m := make(Confusion, k)
+	for i := range m {
+		m[i] = make([]float64, k)
+	}
+	return m
+}
+
+// K returns the number of classes.
+func (m Confusion) K() int { return len(m) }
+
+// Add records one observation of true class i answered as class j with the
+// given weight.
+func (m Confusion) Add(i, j int, w float64) { m[i][j] += w }
+
+// RowNormalize converts counts into per-true-class probabilities with
+// Laplace smoothing alpha. A row whose total (including smoothing) is zero
+// becomes uniform.
+func (m Confusion) RowNormalize(alpha float64) {
+	k := len(m)
+	for i := range m {
+		total := 0.0
+		for j := range m[i] {
+			m[i][j] += alpha
+			total += m[i][j]
+		}
+		if total == 0 {
+			for j := range m[i] {
+				m[i][j] = 1 / float64(k)
+			}
+			continue
+		}
+		for j := range m[i] {
+			m[i][j] /= total
+		}
+	}
+}
+
+// Accuracy returns the trace-weighted accuracy of a probability-form
+// confusion matrix assuming uniform class priors.
+func (m Confusion) Accuracy() float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range m {
+		s += m[i][i]
+	}
+	return s / float64(len(m))
+}
+
+// Clone returns a deep copy of the matrix.
+func (m Confusion) Clone() Confusion {
+	c := NewConfusion(len(m))
+	for i := range m {
+		copy(c[i], m[i])
+	}
+	return c
+}

@@ -1,0 +1,252 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceBasics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !approx(m, 5, 1e-12) {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if v := Variance(xs); !approx(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty-slice statistics should be 0")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !approx(got, c.want, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestEntropyUniformIsMax(t *testing.T) {
+	hUniform := Entropy([]float64{0.25, 0.25, 0.25, 0.25})
+	if !approx(hUniform, math.Log(4), 1e-12) {
+		t.Fatalf("uniform entropy = %v, want ln 4", hUniform)
+	}
+	hSkew := Entropy([]float64{0.97, 0.01, 0.01, 0.01})
+	if hSkew >= hUniform {
+		t.Fatalf("skewed entropy %v >= uniform %v", hSkew, hUniform)
+	}
+	if h := Entropy([]float64{1, 0, 0}); !approx(h, 0, 1e-12) {
+		t.Fatalf("point-mass entropy = %v, want 0", h)
+	}
+}
+
+func TestEntropyUnnormalizedInput(t *testing.T) {
+	a := Entropy([]float64{1, 1})
+	b := Entropy([]float64{10, 10})
+	if !approx(a, b, 1e-12) {
+		t.Fatalf("entropy should be scale-invariant: %v vs %v", a, b)
+	}
+}
+
+func TestNormalizeSumsToOne(t *testing.T) {
+	err := quick.Check(func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ps := make([]float64, len(raw))
+		for i, v := range raw {
+			ps[i] = float64(v)
+		}
+		Normalize(ps)
+		s := 0.0
+		for _, p := range ps {
+			if p < 0 {
+				return false
+			}
+			s += p
+		}
+		return approx(s, 1, 1e-9)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeZeroSumGivesUniform(t *testing.T) {
+	ps := []float64{0, 0, 0, 0}
+	Normalize(ps)
+	for _, p := range ps {
+		if !approx(p, 0.25, 1e-12) {
+			t.Fatalf("zero-sum normalize gave %v", ps)
+		}
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if i := ArgMax([]float64{1, 5, 3}); i != 1 {
+		t.Fatalf("ArgMax = %d, want 1", i)
+	}
+	if i := ArgMax(nil); i != -1 {
+		t.Fatalf("ArgMax(nil) = %d, want -1", i)
+	}
+	// Ties resolve to first occurrence.
+	if i := ArgMax([]float64{2, 2, 1}); i != 0 {
+		t.Fatalf("ArgMax tie = %d, want 0", i)
+	}
+}
+
+func TestWelchTSeparatedSamples(t *testing.T) {
+	r := NewRNG(5)
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = r.Norm(0, 1)
+		b[i] = r.Norm(3, 1)
+	}
+	_, p := WelchT(a, b)
+	if p > 1e-6 {
+		t.Fatalf("clearly separated samples: p = %v", p)
+	}
+}
+
+func TestWelchTIdenticalDistributions(t *testing.T) {
+	r := NewRNG(6)
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	for i := range a {
+		a[i] = r.Norm(0, 1)
+		b[i] = r.Norm(0, 1)
+	}
+	_, p := WelchT(a, b)
+	if p < 0.001 {
+		t.Fatalf("same-distribution samples rejected: p = %v", p)
+	}
+}
+
+func TestWelchTDegenerate(t *testing.T) {
+	if _, p := WelchT([]float64{1}, []float64{2, 3}); p != 1 {
+		t.Fatalf("tiny sample should give p=1, got %v", p)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if v := regIncBeta(2, 3, 0); v != 0 {
+		t.Fatalf("I_0 = %v", v)
+	}
+	if v := regIncBeta(2, 3, 1); v != 1 {
+		t.Fatalf("I_1 = %v", v)
+	}
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if v := regIncBeta(1, 1, x); !approx(v, x, 1e-9) {
+			t.Fatalf("I_%v(1,1) = %v", x, v)
+		}
+	}
+}
+
+func TestBootstrapCIContainsMean(t *testing.T) {
+	r := NewRNG(8)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = r.Norm(10, 2)
+	}
+	lo, hi := BootstrapCI(r, xs, 500, 0.95)
+	m := Mean(xs)
+	if !(lo < m && m < hi) {
+		t.Fatalf("CI [%v, %v] does not contain sample mean %v", lo, hi, m)
+	}
+	if hi-lo > 2 {
+		t.Fatalf("CI implausibly wide: [%v, %v]", lo, hi)
+	}
+}
+
+func TestConfusionRowNormalize(t *testing.T) {
+	m := NewConfusion(2)
+	m.Add(0, 0, 8)
+	m.Add(0, 1, 2)
+	m.Add(1, 1, 5)
+	m.RowNormalize(0)
+	if !approx(m[0][0], 0.8, 1e-12) || !approx(m[1][1], 1, 1e-12) {
+		t.Fatalf("normalized matrix wrong: %v", m)
+	}
+	if !approx(m.Accuracy(), 0.9, 1e-12) {
+		t.Fatalf("Accuracy = %v, want 0.9", m.Accuracy())
+	}
+}
+
+func TestConfusionSmoothingUniformEmptyRow(t *testing.T) {
+	m := NewConfusion(3)
+	m.Add(0, 0, 1)
+	m.RowNormalize(0)
+	// Rows 1 and 2 had no observations: should be uniform.
+	for i := 1; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if !approx(m[i][j], 1.0/3.0, 1e-12) {
+				t.Fatalf("empty row %d not uniform: %v", i, m[i])
+			}
+		}
+	}
+}
+
+func TestConfusionCloneIndependent(t *testing.T) {
+	m := NewConfusion(2)
+	m.Add(0, 0, 1)
+	c := m.Clone()
+	c.Add(0, 0, 5)
+	if m[0][0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestConfusionRowsSumToOneProperty(t *testing.T) {
+	r := NewRNG(9)
+	err := quick.Check(func(kRaw uint8) bool {
+		k := int(kRaw%5) + 2
+		m := NewConfusion(k)
+		for n := 0; n < 30; n++ {
+			m.Add(r.Intn(k), r.Intn(k), float64(r.Intn(5)))
+		}
+		m.RowNormalize(1)
+		for i := range m {
+			s := 0.0
+			for j := range m[i] {
+				s += m[i][j]
+			}
+			if !approx(s, 1, 1e-9) {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package truth
+
+import (
+	"testing"
+
+	"repro/internal/crowd"
+)
+
+// benchDataset builds a 1000-task, 50-worker, redundancy-5 dataset once
+// per benchmark.
+func benchDataset(b *testing.B) (ds *Dataset) {
+	b.Helper()
+	_, ds = buildWorkload(999, 1000, 50, 5, crowd.RegimeMixed, 0.3)
+	b.ResetTimer()
+	return ds
+}
+
+func BenchmarkMajorityVote1000(b *testing.B) {
+	ds := benchDataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := (MajorityVote{}).Infer(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOneCoinEM1000(b *testing.B) {
+	ds := benchDataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := (OneCoinEM{}).Infer(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDawidSkene1000(b *testing.B) {
+	ds := benchDataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := (DawidSkene{}).Infer(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGLAD1000(b *testing.B) {
+	ds := benchDataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := (GLAD{}).Infer(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBradleyTerry200Items(b *testing.B) {
+	// Dense comparison set over 200 items.
+	var comps []Comparison
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j += 7 {
+			comps = append(comps, Comparison{I: i, J: j, IWon: i > j})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BradleyTerry(200, comps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package truth implements truth inference for crowdsourced answers: given
+// redundant noisy labels, estimate the true answer of every task and the
+// quality of every worker.
+//
+// The methods span the taxonomy in the survey:
+//
+//   - MajorityVote / WeightedMajorityVote — direct aggregation.
+//   - OneCoinEM — worker-probability model (ZenCrowd-style): one accuracy
+//     parameter per worker, EM.
+//   - DawidSkene — full per-worker confusion matrices, EM.
+//   - GLAD — worker ability × task difficulty logistic model, EM with
+//     gradient M-step.
+//   - Numeric aggregation (mean / median / weighted mean) for rating tasks.
+//
+// All methods consume a Dataset, a normalized view of choice-task answers,
+// and produce a Result containing posterior label distributions, hard
+// labels, and per-worker quality estimates.
+package truth
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Dataset is the input to inference: a set of choice-type tasks with the
+// same option count, plus all collected answers for them.
+type Dataset struct {
+	// K is the number of options shared by every task in the dataset.
+	K int
+	// TaskIDs lists the tasks in a deterministic order.
+	TaskIDs []core.TaskID
+	// Answers maps each task to its recorded answers (option >= 0 only).
+	Answers map[core.TaskID][]core.Answer
+	// WorkerIDs lists every worker that answered at least one task,
+	// sorted.
+	WorkerIDs []string
+
+	taskIndex   map[core.TaskID]int
+	workerIndex map[string]int
+}
+
+// FromPool builds a Dataset from the choice-type tasks of a pool. Tasks
+// with a different option count than the first task are rejected with an
+// error (callers partition heterogeneous pools by option count first).
+// Tasks with no answers are retained (their posterior will be the prior).
+func FromPool(p *core.Pool, ids []core.TaskID) (*Dataset, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("truth: empty task set")
+	}
+	ds := &Dataset{
+		Answers:     make(map[core.TaskID][]core.Answer, len(ids)),
+		taskIndex:   make(map[core.TaskID]int, len(ids)),
+		workerIndex: make(map[string]int),
+	}
+	workerSet := make(map[string]bool)
+	for _, id := range ids {
+		t := p.Task(id)
+		if t == nil {
+			return nil, fmt.Errorf("truth: unknown task %d", id)
+		}
+		switch t.Kind {
+		case core.SingleChoice, core.MultiChoice, core.PairwiseComparison:
+		default:
+			return nil, fmt.Errorf("truth: task %d is %v, not choice-type", id, t.Kind)
+		}
+		k := len(t.Options)
+		if ds.K == 0 {
+			ds.K = k
+		} else if k != ds.K {
+			return nil, fmt.Errorf("truth: task %d has %d options, dataset has %d",
+				id, k, ds.K)
+		}
+		ds.taskIndex[id] = len(ds.TaskIDs)
+		ds.TaskIDs = append(ds.TaskIDs, id)
+		for _, a := range p.Answers(id) {
+			if a.Option < 0 || a.Option >= k {
+				continue
+			}
+			ds.Answers[id] = append(ds.Answers[id], a)
+			workerSet[a.Worker] = true
+		}
+	}
+	for w := range workerSet {
+		ds.WorkerIDs = append(ds.WorkerIDs, w)
+	}
+	sort.Strings(ds.WorkerIDs)
+	for i, w := range ds.WorkerIDs {
+		ds.workerIndex[w] = i
+	}
+	return ds, nil
+}
+
+// TaskIndex returns the dense index of a task id, or -1.
+func (ds *Dataset) TaskIndex(id core.TaskID) int {
+	if i, ok := ds.taskIndex[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// WorkerIndex returns the dense index of a worker id, or -1.
+func (ds *Dataset) WorkerIndex(w string) int {
+	if i, ok := ds.workerIndex[w]; ok {
+		return i
+	}
+	return -1
+}
+
+// TotalAnswers returns the number of usable answers in the dataset.
+func (ds *Dataset) TotalAnswers() int {
+	n := 0
+	for _, as := range ds.Answers {
+		n += len(as)
+	}
+	return n
+}
+
+// Result is the output of an inference method.
+type Result struct {
+	// Method is the name of the inference method that produced this.
+	Method string
+	// Labels holds the hard (argmax) label per task.
+	Labels map[core.TaskID]int
+	// Posterior holds the per-option probability distribution per task.
+	Posterior map[core.TaskID][]float64
+	// WorkerQuality maps each worker to an estimated accuracy in [0,1].
+	WorkerQuality map[string]float64
+	// Iterations reports how many EM/gradient iterations ran (0 for
+	// non-iterative methods).
+	Iterations int
+
+	// taskEasiness, when set (GLAD), maps dense task indices to the
+	// inferred easiness parameter; read through TaskEasiness.
+	taskEasiness map[int]float64
+}
+
+// TaskEasiness returns the inferred easiness of a task for methods that
+// model difficulty (GLAD); ok is false otherwise.
+func (r *Result) TaskEasiness(ds *Dataset, id core.TaskID) (float64, bool) {
+	if r.taskEasiness == nil {
+		return 0, false
+	}
+	ti := ds.TaskIndex(id)
+	if ti < 0 {
+		return 0, false
+	}
+	v, ok := r.taskEasiness[ti]
+	return v, ok
+}
+
+// Confidence returns the posterior mass of the chosen label for a task
+// (0 when the task is unknown).
+func (r *Result) Confidence(id core.TaskID) float64 {
+	post, ok := r.Posterior[id]
+	if !ok {
+		return 0
+	}
+	lbl := r.Labels[id]
+	if lbl < 0 || lbl >= len(post) {
+		return 0
+	}
+	return post[lbl]
+}
+
+// Inferrer is a truth-inference method over choice-task datasets.
+type Inferrer interface {
+	// Name returns the method's display name.
+	Name() string
+	// Infer estimates labels and worker qualities for the dataset.
+	Infer(ds *Dataset) (*Result, error)
+}
+
+// newResult allocates a Result shell for the dataset.
+func newResult(method string, ds *Dataset) *Result {
+	return &Result{
+		Method:        method,
+		Labels:        make(map[core.TaskID]int, len(ds.TaskIDs)),
+		Posterior:     make(map[core.TaskID][]float64, len(ds.TaskIDs)),
+		WorkerQuality: make(map[string]float64, len(ds.WorkerIDs)),
+	}
+}
+
+// Accuracy compares inferred labels with the pool's planted ground truth
+// over the dataset's tasks and returns the fraction correct. Tasks with
+// GroundTruth < 0 are skipped.
+func Accuracy(r *Result, p *core.Pool, ds *Dataset) float64 {
+	total, correct := 0, 0
+	for _, id := range ds.TaskIDs {
+		t := p.Task(id)
+		if t == nil || t.GroundTruth < 0 {
+			continue
+		}
+		total++
+		if r.Labels[id] == t.GroundTruth {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

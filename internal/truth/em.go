@@ -1,0 +1,262 @@
+package truth
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// emDefaults bound the iterative methods.
+const (
+	defaultMaxIter = 100
+	defaultTol     = 1e-6
+	smoothing      = 0.01 // Laplace smoothing for M-steps
+)
+
+// OneCoinEM is the worker-probability model (ZenCrowd-style): each worker
+// has a single reliability parameter p; a worker answers the true label
+// with probability p and any specific wrong label with probability
+// (1-p)/(K-1). Parameters and posteriors are estimated jointly with EM.
+type OneCoinEM struct {
+	MaxIter int
+	Tol     float64
+}
+
+// Name implements Inferrer.
+func (OneCoinEM) Name() string { return "OneCoinEM" }
+
+// Infer implements Inferrer.
+func (m OneCoinEM) Infer(ds *Dataset) (*Result, error) {
+	maxIter, tol := m.MaxIter, m.Tol
+	if maxIter <= 0 {
+		maxIter = defaultMaxIter
+	}
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	k := float64(ds.K)
+
+	// Initialize posteriors from vote fractions (soft majority vote).
+	post := initPosteriors(ds)
+	reliability := make([]float64, len(ds.WorkerIDs))
+	for i := range reliability {
+		reliability[i] = 0.8
+	}
+	prior := make([]float64, ds.K)
+	for c := range prior {
+		prior[c] = 1 / k
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// M-step: worker reliability = expected fraction of answers that
+		// match the (soft) truth; class prior from posteriors.
+		correct := make([]float64, len(ds.WorkerIDs))
+		total := make([]float64, len(ds.WorkerIDs))
+		for ti, id := range ds.TaskIDs {
+			for _, a := range ds.Answers[id] {
+				wi := ds.workerIndex[a.Worker]
+				correct[wi] += post[ti][a.Option]
+				total[wi]++
+			}
+		}
+		for wi := range reliability {
+			if total[wi] == 0 {
+				reliability[wi] = 1 / k
+				continue
+			}
+			reliability[wi] = (correct[wi] + smoothing) / (total[wi] + 2*smoothing)
+			// Clamp away from 0/1 to keep likelihoods finite.
+			reliability[wi] = clamp(reliability[wi], 0.01, 0.99)
+		}
+		newPrior := make([]float64, ds.K)
+		for ti := range ds.TaskIDs {
+			for c := 0; c < ds.K; c++ {
+				newPrior[c] += post[ti][c]
+			}
+		}
+		stats.Normalize(newPrior)
+		prior = newPrior
+
+		// E-step: posterior over true labels.
+		delta := 0.0
+		for ti, id := range ds.TaskIDs {
+			logp := make([]float64, ds.K)
+			for c := 0; c < ds.K; c++ {
+				logp[c] = math.Log(prior[c] + 1e-300)
+			}
+			for _, a := range ds.Answers[id] {
+				wi := ds.workerIndex[a.Worker]
+				p := reliability[wi]
+				wrong := (1 - p) / (k - 1)
+				for c := 0; c < ds.K; c++ {
+					if a.Option == c {
+						logp[c] += math.Log(p)
+					} else {
+						logp[c] += math.Log(wrong)
+					}
+				}
+			}
+			np := softmax(logp)
+			for c := 0; c < ds.K; c++ {
+				delta += math.Abs(np[c] - post[ti][c])
+			}
+			post[ti] = np
+		}
+		if delta < tol*float64(len(ds.TaskIDs)) {
+			iters++
+			break
+		}
+	}
+	return packResult("OneCoinEM", ds, post, func(w string) float64 {
+		return reliability[ds.workerIndex[w]]
+	}, iters), nil
+}
+
+// DawidSkene is the classic confusion-matrix EM estimator: each worker w
+// has a K×K matrix T_w where T_w[c][l] = P(worker answers l | truth c).
+type DawidSkene struct {
+	MaxIter int
+	Tol     float64
+}
+
+// Name implements Inferrer.
+func (DawidSkene) Name() string { return "DS" }
+
+// Infer implements Inferrer.
+func (m DawidSkene) Infer(ds *Dataset) (*Result, error) {
+	maxIter, tol := m.MaxIter, m.Tol
+	if maxIter <= 0 {
+		maxIter = defaultMaxIter
+	}
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	post := initPosteriors(ds)
+	conf := make([]stats.Confusion, len(ds.WorkerIDs))
+	prior := make([]float64, ds.K)
+	for c := range prior {
+		prior[c] = 1 / float64(ds.K)
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// M-step: confusion matrices from soft counts.
+		for wi := range conf {
+			conf[wi] = stats.NewConfusion(ds.K)
+		}
+		for ti, id := range ds.TaskIDs {
+			for _, a := range ds.Answers[id] {
+				wi := ds.workerIndex[a.Worker]
+				for c := 0; c < ds.K; c++ {
+					conf[wi].Add(c, a.Option, post[ti][c])
+				}
+			}
+		}
+		for wi := range conf {
+			conf[wi].RowNormalize(smoothing)
+		}
+		newPrior := make([]float64, ds.K)
+		for ti := range ds.TaskIDs {
+			for c := 0; c < ds.K; c++ {
+				newPrior[c] += post[ti][c]
+			}
+		}
+		stats.Normalize(newPrior)
+		prior = newPrior
+
+		// E-step.
+		delta := 0.0
+		for ti, id := range ds.TaskIDs {
+			logp := make([]float64, ds.K)
+			for c := 0; c < ds.K; c++ {
+				logp[c] = math.Log(prior[c] + 1e-300)
+			}
+			for _, a := range ds.Answers[id] {
+				wi := ds.workerIndex[a.Worker]
+				for c := 0; c < ds.K; c++ {
+					logp[c] += math.Log(conf[wi][c][a.Option] + 1e-300)
+				}
+			}
+			np := softmax(logp)
+			for c := 0; c < ds.K; c++ {
+				delta += math.Abs(np[c] - post[ti][c])
+			}
+			post[ti] = np
+		}
+		if delta < tol*float64(len(ds.TaskIDs)) {
+			iters++
+			break
+		}
+	}
+	return packResult("DS", ds, post, func(w string) float64 {
+		wi := ds.workerIndex[w]
+		if conf[wi] == nil {
+			return 0.5
+		}
+		return conf[wi].Accuracy()
+	}, iters), nil
+}
+
+// initPosteriors seeds EM with normalized vote fractions; tasks without
+// answers start uniform.
+func initPosteriors(ds *Dataset) [][]float64 {
+	post := make([][]float64, len(ds.TaskIDs))
+	for ti, id := range ds.TaskIDs {
+		p := make([]float64, ds.K)
+		for _, a := range ds.Answers[id] {
+			p[a.Option]++
+		}
+		stats.Normalize(p)
+		post[ti] = p
+	}
+	return post
+}
+
+// softmax exponentiates and normalizes log-probabilities stably.
+func softmax(logp []float64) []float64 {
+	max := logp[0]
+	for _, v := range logp[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(logp))
+	sum := 0.0
+	for i, v := range logp {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// packResult converts posteriors into a Result with hard labels.
+func packResult(method string, ds *Dataset, post [][]float64, quality func(string) float64, iters int) *Result {
+	res := newResult(method, ds)
+	res.Iterations = iters
+	for ti, id := range ds.TaskIDs {
+		res.Posterior[id] = post[ti]
+		lbl := stats.ArgMax(post[ti])
+		if lbl < 0 {
+			lbl = 0
+		}
+		res.Labels[id] = lbl
+	}
+	for _, w := range ds.WorkerIDs {
+		res.WorkerQuality[w] = quality(w)
+	}
+	return res
+}

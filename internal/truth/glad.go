@@ -1,0 +1,166 @@
+package truth
+
+import "math"
+
+// GLAD implements the Whitehill et al. model: the probability that worker
+// w answers a task t correctly is sigmoid(alpha_w * beta_t), where alpha
+// is worker ability and beta > 0 is task easiness (parameterized as
+// exp(b) for unconstrained optimization). Wrong answers spread uniformly
+// over the remaining K-1 options. Estimation is EM with a gradient-ascent
+// M-step and Gaussian priors alpha ~ N(1,1), b ~ N(0,1).
+type GLAD struct {
+	MaxIter   int
+	Tol       float64
+	GradSteps int     // gradient steps per M-step (default 10)
+	LearnRate float64 // default 0.05
+}
+
+// Name implements Inferrer.
+func (GLAD) Name() string { return "GLAD" }
+
+// Infer implements Inferrer.
+func (m GLAD) Infer(ds *Dataset) (*Result, error) {
+	maxIter, tol := m.MaxIter, m.Tol
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if tol <= 0 {
+		tol = defaultTol
+	}
+	gradSteps := m.GradSteps
+	if gradSteps <= 0 {
+		gradSteps = 10
+	}
+	lr := m.LearnRate
+	if lr <= 0 {
+		lr = 0.3
+	}
+	km1 := float64(ds.K - 1)
+
+	post := initPosteriors(ds)
+	alpha := make([]float64, len(ds.WorkerIDs)) // worker abilities
+	for i := range alpha {
+		alpha[i] = 1
+	}
+	logBeta := make([]float64, len(ds.TaskIDs)) // task log-easiness
+	// The class prior stays fixed and uniform, as in the original GLAD
+	// model. Re-estimating it is unidentifiable at low redundancy: a
+	// slight imbalance feeds back through the E-step and collapses every
+	// label onto one class.
+	prior := make([]float64, ds.K)
+	for c := range prior {
+		prior[c] = 1 / float64(ds.K)
+	}
+
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// M-step: gradient ascent on the expected complete log-likelihood
+		// with respect to alpha and logBeta. Data gradients are averaged
+		// per parameter (each worker/task sees a mean over its answers) so
+		// step sizes stay bounded regardless of answer counts.
+		for step := 0; step < gradSteps; step++ {
+			gAlpha := make([]float64, len(alpha))
+			gBeta := make([]float64, len(logBeta))
+			nAlpha := make([]float64, len(alpha))
+			nBeta := make([]float64, len(logBeta))
+			for ti, id := range ds.TaskIDs {
+				beta := math.Exp(logBeta[ti])
+				for _, a := range ds.Answers[id] {
+					wi := ds.workerIndex[a.Worker]
+					x := alpha[wi] * beta
+					s := sigmoid(x)
+					// d/dx of expected log-likelihood contribution.
+					gradX := 0.0
+					for c := 0; c < ds.K; c++ {
+						q := post[ti][c]
+						if q == 0 {
+							continue
+						}
+						if a.Option == c {
+							gradX += q * (1 - s)
+						} else {
+							gradX -= q * s
+						}
+					}
+					gAlpha[wi] += gradX * beta
+					gBeta[ti] += gradX * alpha[wi] * beta
+					nAlpha[wi]++
+					nBeta[ti]++
+				}
+			}
+			for wi := range alpha {
+				g := -(alpha[wi] - 1) * 0.1 // weak Gaussian prior toward 1
+				if nAlpha[wi] > 0 {
+					g += gAlpha[wi] / nAlpha[wi]
+				}
+				alpha[wi] = clamp(alpha[wi]+lr*g, -6, 6)
+			}
+			for ti := range logBeta {
+				g := -logBeta[ti] * 0.1 // weak Gaussian prior toward 0
+				if nBeta[ti] > 0 {
+					g += gBeta[ti] / nBeta[ti]
+				}
+				logBeta[ti] = clamp(logBeta[ti]+lr*g, -3, 3)
+			}
+		}
+
+		// E-step.
+		delta := 0.0
+		for ti, id := range ds.TaskIDs {
+			beta := math.Exp(logBeta[ti])
+			logp := make([]float64, ds.K)
+			for c := 0; c < ds.K; c++ {
+				logp[c] = math.Log(prior[c] + 1e-300)
+			}
+			for _, a := range ds.Answers[id] {
+				wi := ds.workerIndex[a.Worker]
+				s := clamp(sigmoid(alpha[wi]*beta), 1e-9, 1-1e-9)
+				for c := 0; c < ds.K; c++ {
+					if a.Option == c {
+						logp[c] += math.Log(s)
+					} else {
+						logp[c] += math.Log((1 - s) / km1)
+					}
+				}
+			}
+			np := softmax(logp)
+			for c := 0; c < ds.K; c++ {
+				delta += math.Abs(np[c] - post[ti][c])
+			}
+			post[ti] = np
+		}
+		if delta < tol*float64(len(ds.TaskIDs)) {
+			iters++
+			break
+		}
+	}
+
+	// Worker quality: average modeled correctness over the tasks each
+	// worker actually answered.
+	res := packResult("GLAD", ds, post, func(w string) float64 { return 0 }, iters)
+	qualitySum := make(map[string]float64, len(ds.WorkerIDs))
+	qualityN := make(map[string]int, len(ds.WorkerIDs))
+	for ti, id := range ds.TaskIDs {
+		beta := math.Exp(logBeta[ti])
+		for _, a := range ds.Answers[id] {
+			wi := ds.workerIndex[a.Worker]
+			qualitySum[a.Worker] += sigmoid(alpha[wi] * beta)
+			qualityN[a.Worker]++
+		}
+	}
+	for _, w := range ds.WorkerIDs {
+		if qualityN[w] == 0 {
+			res.WorkerQuality[w] = 0.5
+			continue
+		}
+		res.WorkerQuality[w] = qualitySum[w] / float64(qualityN[w])
+	}
+	// Expose inferred difficulty for diagnostics via TaskEasiness.
+	res.taskEasiness = make(map[int]float64, len(logBeta))
+	for ti := range logBeta {
+		res.taskEasiness[ti] = math.Exp(logBeta[ti])
+	}
+	return res, nil
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

@@ -1,0 +1,111 @@
+package truth
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// NumericMethod selects how rating-task answers are aggregated.
+type NumericMethod int
+
+const (
+	// NumericMean averages the scores.
+	NumericMean NumericMethod = iota
+	// NumericMedian takes the median score, robust to spam outliers.
+	NumericMedian
+	// NumericWeightedMean weighs scores by supplied worker weights.
+	NumericWeightedMean
+)
+
+// String returns the method name.
+func (m NumericMethod) String() string {
+	switch m {
+	case NumericMean:
+		return "mean"
+	case NumericMedian:
+		return "median"
+	case NumericWeightedMean:
+		return "weighted-mean"
+	default:
+		return fmt.Sprintf("NumericMethod(%d)", int(m))
+	}
+}
+
+// AggregateNumeric estimates the true score of each rating task in ids.
+// weights is consulted only for NumericWeightedMean (missing workers get
+// weight 0.5).
+func AggregateNumeric(p *core.Pool, ids []core.TaskID, method NumericMethod, weights map[string]float64) (map[core.TaskID]float64, error) {
+	out := make(map[core.TaskID]float64, len(ids))
+	for _, id := range ids {
+		t := p.Task(id)
+		if t == nil {
+			return nil, fmt.Errorf("truth: unknown task %d", id)
+		}
+		if t.Kind != core.Rating {
+			return nil, fmt.Errorf("truth: task %d is %v, not rating", id, t.Kind)
+		}
+		answers := p.Answers(id)
+		if len(answers) == 0 {
+			continue
+		}
+		switch method {
+		case NumericMean:
+			xs := make([]float64, len(answers))
+			for i, a := range answers {
+				xs[i] = a.Score
+			}
+			out[id] = stats.Mean(xs)
+		case NumericMedian:
+			xs := make([]float64, len(answers))
+			for i, a := range answers {
+				xs[i] = a.Score
+			}
+			out[id] = stats.Median(xs)
+		case NumericWeightedMean:
+			num, den := 0.0, 0.0
+			for _, a := range answers {
+				w, ok := weights[a.Worker]
+				if !ok {
+					w = 0.5
+				}
+				num += w * a.Score
+				den += w
+			}
+			if den == 0 {
+				continue
+			}
+			out[id] = num / den
+		default:
+			return nil, fmt.Errorf("truth: unknown numeric method %d", int(method))
+		}
+	}
+	return out, nil
+}
+
+// NumericError returns the mean absolute error of aggregated scores
+// against the planted truth over the tasks present in est.
+func NumericError(p *core.Pool, est map[core.TaskID]float64) float64 {
+	if len(est) == 0 {
+		return 0
+	}
+	total := 0.0
+	n := 0
+	for id, v := range est {
+		t := p.Task(id)
+		if t == nil {
+			continue
+		}
+		d := v - t.GroundTruthScore
+		if d < 0 {
+			d = -d
+		}
+		total += d
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,171 @@
+package truth
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// NumericEM is an iterative truth-inference method for numeric (rating)
+// tasks in the spirit of PM / CATD: it alternates between estimating each
+// task's true value as a weight-averaged answer and re-estimating each
+// worker's weight from their residuals, so that workers who consistently
+// land near the consensus dominate the next round's averages.
+//
+//	truth_t   = Σ_w weight_w · answer_{w,t} / Σ_w weight_w
+//	weight_w  ∝ 1 / (mean squared residual of w + ε)
+type NumericEM struct {
+	MaxIter int
+	Tol     float64
+}
+
+// NumericResult is the output of numeric truth inference.
+type NumericResult struct {
+	// Values holds the inferred true score per task.
+	Values map[core.TaskID]float64
+	// WorkerWeight maps each worker to their final (normalized to mean 1)
+	// weight.
+	WorkerWeight map[string]float64
+	// Iterations reports how many refinement rounds ran.
+	Iterations int
+}
+
+// Infer estimates true scores for the rating tasks in ids.
+func (m NumericEM) Infer(p *core.Pool, ids []core.TaskID) (*NumericResult, error) {
+	maxIter, tol := m.MaxIter, m.Tol
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	type obs struct {
+		task   int
+		worker int
+		score  float64
+	}
+	var observations []obs
+	taskIdx := make(map[core.TaskID]int, len(ids))
+	workerIdx := make(map[string]int)
+	var workerNames []string
+	for _, id := range ids {
+		t := p.Task(id)
+		if t == nil {
+			return nil, fmt.Errorf("truth: unknown task %d", id)
+		}
+		if t.Kind != core.Rating {
+			return nil, fmt.Errorf("truth: task %d is %v, not rating", id, t.Kind)
+		}
+		if _, ok := taskIdx[id]; !ok {
+			taskIdx[id] = len(taskIdx)
+		}
+		for _, a := range p.Answers(id) {
+			wi, ok := workerIdx[a.Worker]
+			if !ok {
+				wi = len(workerNames)
+				workerIdx[a.Worker] = wi
+				workerNames = append(workerNames, a.Worker)
+			}
+			observations = append(observations, obs{taskIdx[id], wi, a.Score})
+		}
+	}
+	if len(observations) == 0 {
+		return nil, fmt.Errorf("truth: no rating answers for the given tasks")
+	}
+
+	nTasks := len(taskIdx)
+	nWorkers := len(workerNames)
+	weights := make([]float64, nWorkers)
+	for i := range weights {
+		weights[i] = 1
+	}
+	values := make([]float64, nTasks)
+
+	const eps = 1e-6
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		// Truth step: weighted means.
+		num := make([]float64, nTasks)
+		den := make([]float64, nTasks)
+		for _, o := range observations {
+			num[o.task] += weights[o.worker] * o.score
+			den[o.task] += weights[o.worker]
+		}
+		delta := 0.0
+		for ti := range values {
+			if den[ti] == 0 {
+				continue
+			}
+			nv := num[ti] / den[ti]
+			delta += math.Abs(nv - values[ti])
+			values[ti] = nv
+		}
+		// Weight step: inverse mean squared residual.
+		sq := make([]float64, nWorkers)
+		cnt := make([]float64, nWorkers)
+		for _, o := range observations {
+			r := o.score - values[o.task]
+			sq[o.worker] += r * r
+			cnt[o.worker]++
+		}
+		for wi := range weights {
+			if cnt[wi] == 0 {
+				weights[wi] = 1
+				continue
+			}
+			weights[wi] = 1 / (sq[wi]/cnt[wi] + eps)
+		}
+		// Normalize weights to mean 1 for interpretability and numeric
+		// stability (the model is scale-invariant in weights).
+		total := 0.0
+		for _, w := range weights {
+			total += w
+		}
+		mean := total / float64(nWorkers)
+		if mean > 0 {
+			for wi := range weights {
+				weights[wi] /= mean
+			}
+		}
+		if delta < tol*float64(nTasks) && iters > 0 {
+			iters++
+			break
+		}
+	}
+
+	res := &NumericResult{
+		Values:       make(map[core.TaskID]float64, nTasks),
+		WorkerWeight: make(map[string]float64, nWorkers),
+		Iterations:   iters,
+	}
+	for id, ti := range taskIdx {
+		res.Values[id] = values[ti]
+	}
+	for wi, name := range workerNames {
+		res.WorkerWeight[name] = weights[wi]
+	}
+	return res, nil
+}
+
+// NumericResultError returns the mean absolute error of inferred values
+// against the planted truth.
+func NumericResultError(p *core.Pool, r *NumericResult) float64 {
+	if len(r.Values) == 0 {
+		return 0
+	}
+	total := 0.0
+	n := 0
+	for id, v := range r.Values {
+		t := p.Task(id)
+		if t == nil {
+			continue
+		}
+		total += math.Abs(v - t.GroundTruthScore)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}

@@ -1,0 +1,126 @@
+package truth
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+	"repro/internal/stats"
+)
+
+func ratingWorkload(seed uint64, nTasks, k int, mix crowd.Mix) (*core.Pool, []core.TaskID, []*crowd.Worker) {
+	rng := stats.NewRNG(seed)
+	pool := core.NewPool()
+	var ids []core.TaskID
+	for i := 0; i < nTasks; i++ {
+		id := pool.MustAdd(&core.Task{
+			ID: core.TaskID(i + 1), Kind: core.Rating,
+			GroundTruthScore: rng.Range(1, 5),
+		})
+		ids = append(ids, id)
+	}
+	ws := crowd.NewPopulation(rng, 20, mix)
+	pl := core.NewPlatform(pool, crowd.AsCoreWorkers(ws), core.Unlimited())
+	assigner := core.AssignerFunc(func(p *core.Pool, w string) (core.TaskID, bool) {
+		el := p.EligibleFor(w)
+		if len(el) == 0 {
+			return 0, false
+		}
+		return el[0], true
+	})
+	if _, err := pl.CollectRedundant(assigner, k); err != nil {
+		panic(err)
+	}
+	return pool, ids, ws
+}
+
+func TestNumericEMBeatsPlainMeanUnderSpam(t *testing.T) {
+	var emErr, meanErr float64
+	for seed := uint64(300); seed < 305; seed++ {
+		pool, ids, _ := ratingWorkload(seed, 80, 7, crowd.RegimeSpammy)
+		res, err := NumericEM{}.Infer(pool, ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emErr += NumericResultError(pool, res)
+		mean, err := AggregateNumeric(pool, ids, NumericMean, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meanErr += NumericError(pool, mean)
+	}
+	if emErr >= meanErr {
+		t.Fatalf("NumericEM error %.4f should beat plain mean %.4f under spam",
+			emErr/5, meanErr/5)
+	}
+}
+
+func TestNumericEMWeightsSeparateWorkers(t *testing.T) {
+	pool, ids, ws := ratingWorkload(301, 100, 7, crowd.RegimeSpammy)
+	res, err := NumericEM{}.Infer(pool, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var honestSum, honestN, spamSum, spamN float64
+	for _, w := range ws {
+		wt, ok := res.WorkerWeight[w.Name]
+		if !ok {
+			continue
+		}
+		switch w.Behave {
+		case crowd.Honest:
+			honestSum += wt
+			honestN++
+		case crowd.Spammer, crowd.Adversary:
+			spamSum += wt
+			spamN++
+		}
+	}
+	if honestN == 0 || spamN == 0 {
+		t.Skip("population lacks one class")
+	}
+	if honestSum/honestN <= spamSum/spamN {
+		t.Fatalf("honest mean weight %.3f should exceed spam %.3f",
+			honestSum/honestN, spamSum/spamN)
+	}
+}
+
+func TestNumericEMValidation(t *testing.T) {
+	pool := core.NewPool()
+	choice := pool.MustAdd(&core.Task{ID: 1, Kind: core.SingleChoice, Options: []string{"a", "b"}, GroundTruth: 0})
+	if _, err := (NumericEM{}).Infer(pool, []core.TaskID{choice}); err == nil {
+		t.Fatal("non-rating task should fail")
+	}
+	if _, err := (NumericEM{}).Infer(pool, []core.TaskID{999}); err == nil {
+		t.Fatal("unknown task should fail")
+	}
+	rating := pool.MustAdd(&core.Task{ID: 2, Kind: core.Rating, GroundTruthScore: 3})
+	if _, err := (NumericEM{}).Infer(pool, []core.TaskID{rating}); err == nil {
+		t.Fatal("no answers should fail")
+	}
+}
+
+func TestNumericEMExactOnPerfectAnswers(t *testing.T) {
+	pool := core.NewPool()
+	var ids []core.TaskID
+	for i := 0; i < 10; i++ {
+		id := pool.MustAdd(&core.Task{
+			ID: core.TaskID(i + 1), Kind: core.Rating,
+			GroundTruthScore: float64(i),
+		})
+		ids = append(ids, id)
+		for _, w := range []string{"a", "b", "c"} {
+			pool.Record(core.Answer{Task: id, Worker: w, Option: -1, Score: float64(i)})
+		}
+	}
+	res, err := NumericEM{}.Infer(pool, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := NumericResultError(pool, res); e > 1e-9 {
+		t.Fatalf("perfect answers give error %v", e)
+	}
+	if res.Iterations < 1 {
+		t.Fatal("iterations not reported")
+	}
+}

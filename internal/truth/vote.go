@@ -1,0 +1,119 @@
+package truth
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// MajorityVote labels each task with its most-voted option. Ties resolve
+// to the lowest option index for determinism. Worker quality is estimated
+// post hoc as each worker's agreement rate with the majority labels.
+type MajorityVote struct{}
+
+// Name implements Inferrer.
+func (MajorityVote) Name() string { return "MV" }
+
+// Infer implements Inferrer.
+func (MajorityVote) Infer(ds *Dataset) (*Result, error) {
+	res := newResult("MV", ds)
+	for _, id := range ds.TaskIDs {
+		votes := make([]float64, ds.K)
+		for _, a := range ds.Answers[id] {
+			votes[a.Option]++
+		}
+		post := append([]float64(nil), votes...)
+		stats.Normalize(post)
+		res.Posterior[id] = post
+		res.Labels[id] = stats.ArgMax(votes)
+		if res.Labels[id] < 0 {
+			res.Labels[id] = 0
+		}
+	}
+	agreementQuality(ds, res)
+	return res, nil
+}
+
+// WeightedMajorityVote weighs each worker's vote by a supplied weight
+// (e.g. golden-task accuracy or a prior reputation score). Workers absent
+// from Weights get DefaultWeight.
+type WeightedMajorityVote struct {
+	Weights       map[string]float64
+	DefaultWeight float64
+}
+
+// Name implements Inferrer.
+func (WeightedMajorityVote) Name() string { return "WMV" }
+
+// Infer implements Inferrer.
+func (v WeightedMajorityVote) Infer(ds *Dataset) (*Result, error) {
+	def := v.DefaultWeight
+	if def <= 0 {
+		def = 0.5
+	}
+	res := newResult("WMV", ds)
+	for _, id := range ds.TaskIDs {
+		votes := make([]float64, ds.K)
+		for _, a := range ds.Answers[id] {
+			w, ok := v.Weights[a.Worker]
+			if !ok {
+				w = def
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("truth: negative weight %v for worker %s", w, a.Worker)
+			}
+			votes[a.Option] += w
+		}
+		post := append([]float64(nil), votes...)
+		stats.Normalize(post)
+		res.Posterior[id] = post
+		res.Labels[id] = stats.ArgMax(votes)
+		if res.Labels[id] < 0 {
+			res.Labels[id] = 0
+		}
+	}
+	agreementQuality(ds, res)
+	return res, nil
+}
+
+// agreementQuality fills res.WorkerQuality with each worker's rate of
+// agreement with the inferred hard labels — the cheap post-hoc quality
+// estimate used by voting methods.
+func agreementQuality(ds *Dataset, res *Result) {
+	agree := make(map[string]int, len(ds.WorkerIDs))
+	total := make(map[string]int, len(ds.WorkerIDs))
+	for _, id := range ds.TaskIDs {
+		for _, a := range ds.Answers[id] {
+			total[a.Worker]++
+			if a.Option == res.Labels[id] {
+				agree[a.Worker]++
+			}
+		}
+	}
+	for _, w := range ds.WorkerIDs {
+		if total[w] == 0 {
+			res.WorkerQuality[w] = 0.5
+			continue
+		}
+		res.WorkerQuality[w] = float64(agree[w]) / float64(total[w])
+	}
+}
+
+// GoldenWeights derives a WeightedMajorityVote weight map from a
+// WorkerScreen's golden-task observations: weight = max(acc, floor).
+func GoldenWeights(screen *core.WorkerScreen, workers []string, floor float64) map[string]float64 {
+	out := make(map[string]float64, len(workers))
+	for _, w := range workers {
+		acc, n := screen.Accuracy(w)
+		if n == 0 {
+			out[w] = 0.5
+			continue
+		}
+		if acc < floor {
+			acc = floor
+		}
+		out[w] = acc
+	}
+	return out
+}
