@@ -5,6 +5,10 @@
 //
 //	crowdserve -addr :8080 -tasks 100            # serve; workers poll /api/task
 //	crowdserve -drive -workers 20 -regime mixed  # also simulate the crowd, then print results
+//	crowdserve -budget 300                       # cap accepted answers at 300 units
+//
+// The server handles concurrent workers without a global lock; see the
+// server package docs for the concurrency model.
 package main
 
 import (
@@ -30,6 +34,7 @@ func main() {
 		drive   = flag.Bool("drive", false, "drive the platform with simulated workers and exit")
 		workers = flag.Int("workers", 20, "simulated workers (with -drive)")
 		regime  = flag.String("regime", "mixed", "crowd regime (with -drive)")
+		budgetF = flag.Float64("budget", 0, "answer budget in units (0 = unlimited)")
 		seed    = flag.Uint64("seed", 42, "random seed")
 	)
 	flag.Parse()
@@ -44,7 +49,11 @@ func main() {
 			GroundTruth: rng.Intn(2), Difficulty: rng.Beta(2, 5),
 		})
 	}
-	srv, err := server.New(pool, assign.FewestAnswers{}, nil, nil)
+	var budget *core.Budget
+	if *budgetF > 0 {
+		budget = core.NewBudget(*budgetF)
+	}
+	srv, err := server.New(pool, assign.FewestAnswers{}, budget, nil)
 	if err != nil {
 		fatal(err)
 	}
@@ -84,7 +93,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("collected %d answers from %d workers\n", st.TotalAnswers, st.Workers)
+	fmt.Printf("collected %d answers from %d workers (budget spent: %v)\n",
+		st.TotalAnswers, st.Workers, st.BudgetSpent)
 	results, err := client.Results("onecoin")
 	if err != nil {
 		fatal(err)

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync/atomic"
 )
 
 // ErrBudgetExhausted is returned by Budget.Charge when the remaining budget
@@ -13,11 +15,18 @@ var ErrBudgetExhausted = errors.New("core: budget exhausted")
 //
 // The survey literature reports cost control results in task counts, so a
 // unit cost of 1 per answer preserves every ratio; a per-task price can be
-// modeled by charging non-unit amounts. Budget is not safe for concurrent
-// use; the platform serializes charges.
+// modeled by charging non-unit amounts.
+//
+// Budget is safe for concurrent use: the spent counter is an atomic
+// float64 updated with compare-and-swap, so many serving goroutines can
+// charge and refund without external locking. The total is fixed at
+// construction. TryCharge/Refund form the reservation protocol for
+// operations that may still fail after being paid for: reserve a unit up
+// front, and give it back if the downstream step (e.g. Pool.Record)
+// rejects the work — no unit is ever spent on a rejected answer.
 type Budget struct {
 	total float64
-	spent float64
+	spent atomic.Uint64 // float64 bits
 }
 
 // NewBudget returns a budget with the given total capacity. A non-positive
@@ -29,6 +38,25 @@ func NewBudget(total float64) *Budget {
 // Unlimited returns a budget that never exhausts.
 func Unlimited() *Budget { return &Budget{total: 0} }
 
+// TryCharge atomically records a spend of amount units if the remaining
+// budget covers it, reporting whether the charge was applied. Negative
+// amounts are never applied.
+func (b *Budget) TryCharge(amount float64) bool {
+	if amount < 0 {
+		return false
+	}
+	for {
+		old := b.spent.Load()
+		spent := math.Float64frombits(old)
+		if b.total > 0 && spent+amount > b.total {
+			return false
+		}
+		if b.spent.CompareAndSwap(old, math.Float64bits(spent+amount)) {
+			return true
+		}
+	}
+}
+
 // Charge records a spend of amount units. It returns ErrBudgetExhausted
 // (wrapped with context) if the charge would exceed the total; the charge
 // is not applied in that case.
@@ -36,30 +64,49 @@ func (b *Budget) Charge(amount float64) error {
 	if amount < 0 {
 		return fmt.Errorf("core: negative charge %v", amount)
 	}
-	if b.total > 0 && b.spent+amount > b.total {
+	if !b.TryCharge(amount) {
 		return fmt.Errorf("charging %v with %v remaining: %w",
 			amount, b.Remaining(), ErrBudgetExhausted)
 	}
-	b.spent += amount
 	return nil
 }
 
-// Spent returns the units spent so far.
-func (b *Budget) Spent() float64 { return b.spent }
+// Refund atomically returns amount units to the budget, undoing an earlier
+// charge whose work was rejected. The spent counter never goes below zero;
+// non-positive amounts are ignored.
+func (b *Budget) Refund(amount float64) {
+	if amount <= 0 {
+		return
+	}
+	for {
+		old := b.spent.Load()
+		spent := math.Float64frombits(old) - amount
+		if spent < 0 {
+			spent = 0
+		}
+		if b.spent.CompareAndSwap(old, math.Float64bits(spent)) {
+			return
+		}
+	}
+}
 
-// Remaining returns the units left, or +Inf-like large value semantics via
-// ok=false when the budget is unlimited.
+// Spent returns the units spent so far.
+func (b *Budget) Spent() float64 { return math.Float64frombits(b.spent.Load()) }
+
+// Remaining returns the units left, or -1 when the budget is unlimited.
 func (b *Budget) Remaining() float64 {
 	if b.total <= 0 {
 		return -1
 	}
-	return b.total - b.spent
+	return b.total - b.Spent()
 }
 
 // Limited reports whether the budget has a finite total.
 func (b *Budget) Limited() bool { return b.total > 0 }
 
-// CanAfford reports whether a charge of amount would succeed.
+// CanAfford reports whether a charge of amount would succeed. Under
+// concurrency it is only a hint — another goroutine may charge in between;
+// use TryCharge for an atomic check-and-spend.
 func (b *Budget) CanAfford(amount float64) bool {
-	return b.total <= 0 || b.spent+amount <= b.total
+	return b.total <= 0 || b.Spent()+amount <= b.total
 }

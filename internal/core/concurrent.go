@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ConcurrentPool makes a Pool safe for concurrent use by guarding it with
+// an RWMutex: reads (task lookup, eligibility scans, statistics, assigner
+// runs) proceed in parallel, while mutations (Add, Record, Close) take the
+// write lock. The single-threaded Pool keeps its lock-free API for the
+// simulator hot loops; the serving layer wraps it here.
+//
+// The wrapper also maintains a monotonically increasing version counter,
+// bumped on every successful mutation. Consumers that derive expensive
+// state from the pool (e.g. EM truth inference behind /api/results) key
+// their caches on Version: an unchanged version proves the answer set is
+// unchanged, so the cached result is still exact.
+type ConcurrentPool struct {
+	mu      sync.RWMutex
+	pool    *Pool
+	version atomic.Uint64
+}
+
+// NewConcurrentPool wraps p (a fresh empty pool when nil). The wrapped
+// pool must not be mutated directly while the wrapper is in use; read-only
+// access from other goroutines remains safe as long as no one bypasses the
+// wrapper for writes.
+func NewConcurrentPool(p *Pool) *ConcurrentPool {
+	if p == nil {
+		p = NewPool()
+	}
+	return &ConcurrentPool{pool: p}
+}
+
+// Version returns the current mutation counter. Two equal observations
+// bracket a window in which the pool's tasks and answers did not change.
+func (cp *ConcurrentPool) Version() uint64 { return cp.version.Load() }
+
+// Add registers a task under the write lock.
+func (cp *ConcurrentPool) Add(t *Task) (TaskID, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	id, err := cp.pool.Add(t)
+	if err == nil {
+		cp.version.Add(1)
+	}
+	return id, err
+}
+
+// Record stores an answer under the write lock; the version is bumped only
+// when the platform rules accept the answer.
+func (cp *ConcurrentPool) Record(a Answer) error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if err := cp.pool.Record(a); err != nil {
+		return err
+	}
+	cp.version.Add(1)
+	return nil
+}
+
+// Close marks a task as finished under the write lock.
+func (cp *ConcurrentPool) Close(id TaskID) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.pool.Close(id)
+	cp.version.Add(1)
+}
+
+// Assign runs an assignment policy against the pool under the read lock.
+// Assigners only read pool state, so concurrent assignments for different
+// workers proceed in parallel.
+func (cp *ConcurrentPool) Assign(a Assigner, worker string) (TaskID, bool) {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return a.Assign(cp.pool, worker)
+}
+
+// View runs fn with the read lock held, giving it a consistent snapshot of
+// the pool across multiple calls. fn must not mutate the pool and must not
+// retain references to its internal slices past the call.
+func (cp *ConcurrentPool) View(fn func(p *Pool)) {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	fn(cp.pool)
+}
+
+// Task returns the task with the given id, or nil. Tasks are immutable
+// once added, so the returned pointer is safe to read without the lock.
+func (cp *ConcurrentPool) Task(id TaskID) *Task {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.Task(id)
+}
+
+// Len returns the number of tasks.
+func (cp *ConcurrentPool) Len() int {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.Len()
+}
+
+// TaskIDs returns a copy of the task ids in insertion order.
+func (cp *ConcurrentPool) TaskIDs() []TaskID {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	out := make([]TaskID, len(cp.pool.TaskIDs()))
+	copy(out, cp.pool.TaskIDs())
+	return out
+}
+
+// Answers returns a copy of the answers recorded for a task.
+func (cp *ConcurrentPool) Answers(id TaskID) []Answer {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	src := cp.pool.Answers(id)
+	if src == nil {
+		return nil
+	}
+	out := make([]Answer, len(src))
+	copy(out, src)
+	return out
+}
+
+// AnswerCount returns the number of answers for a task.
+func (cp *ConcurrentPool) AnswerCount(id TaskID) int {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.AnswerCount(id)
+}
+
+// TotalAnswers returns the number of answers across all tasks.
+func (cp *ConcurrentPool) TotalAnswers() int {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.TotalAnswers()
+}
+
+// HasAnswered reports whether the worker already answered the task.
+func (cp *ConcurrentPool) HasAnswered(worker string, id TaskID) bool {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.HasAnswered(worker, id)
+}
+
+// Closed reports whether the task has been closed.
+func (cp *ConcurrentPool) Closed(id TaskID) bool {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.Closed(id)
+}
+
+// OpenTasks returns the ids of tasks that are not closed.
+func (cp *ConcurrentPool) OpenTasks() []TaskID {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.OpenTasks()
+}
+
+// EligibleFor returns open tasks the worker has not answered yet.
+func (cp *ConcurrentPool) EligibleFor(worker string) []TaskID {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.EligibleFor(worker)
+}
+
+// Workers returns the sorted ids of all workers that answered.
+func (cp *ConcurrentPool) Workers() []string {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.Workers()
+}
+
+// OptionVotes tallies option votes for a choice-type task.
+func (cp *ConcurrentPool) OptionVotes(id TaskID) []int {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.OptionVotes(id)
+}

@@ -1,6 +1,9 @@
 package core
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // WorkerScreen implements golden-task (hidden test) worker elimination:
 // the requester seeds the pool with tasks whose answers are known, tracks
@@ -10,6 +13,12 @@ import "sort"
 // This is the "worker elimination" arm of quality control in the survey
 // taxonomy, complementary to truth inference (which reweights rather than
 // removes workers).
+//
+// WorkerScreen is safe for concurrent use: Observe and the accuracy
+// queries serialize on an internal mutex, so serving handlers may screen
+// and score workers from many goroutines. The policy fields
+// (MinObservations, MinAccuracy) must not be changed after the screen is
+// shared between goroutines.
 type WorkerScreen struct {
 	// MinObservations is how many golden answers must be seen before a
 	// worker can be eliminated (avoids firing good workers on one slip).
@@ -18,6 +27,7 @@ type WorkerScreen struct {
 	// eliminated.
 	MinAccuracy float64
 
+	mu      sync.Mutex
 	correct map[string]int
 	total   map[string]int
 }
@@ -37,6 +47,8 @@ func NewWorkerScreen(minObs int, minAcc float64) *WorkerScreen {
 
 // Observe records the outcome of one golden task for the worker.
 func (s *WorkerScreen) Observe(worker string, correct bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.total[worker]++
 	if correct {
 		s.correct[worker]++
@@ -47,6 +59,12 @@ func (s *WorkerScreen) Observe(worker string, correct bool) {
 // observations. A worker never observed has accuracy 1 (benefit of the
 // doubt) and count 0.
 func (s *WorkerScreen) Accuracy(worker string) (float64, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.accuracyLocked(worker)
+}
+
+func (s *WorkerScreen) accuracyLocked(worker string) (float64, int) {
 	n := s.total[worker]
 	if n == 0 {
 		return 1, 0
@@ -57,15 +75,23 @@ func (s *WorkerScreen) Accuracy(worker string) (float64, int) {
 // Eliminated reports whether the worker has enough observations and too
 // low an accuracy to keep working.
 func (s *WorkerScreen) Eliminated(worker string) bool {
-	acc, n := s.Accuracy(worker)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eliminatedLocked(worker)
+}
+
+func (s *WorkerScreen) eliminatedLocked(worker string) bool {
+	acc, n := s.accuracyLocked(worker)
 	return n >= s.MinObservations && acc < s.MinAccuracy
 }
 
 // EliminatedWorkers returns the sorted ids of all eliminated workers.
 func (s *WorkerScreen) EliminatedWorkers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []string
 	for w := range s.total {
-		if s.Eliminated(w) {
+		if s.eliminatedLocked(w) {
 			out = append(out, w)
 		}
 	}

@@ -9,7 +9,9 @@ import (
 // answers collected so far. It is the shared blackboard between the
 // platform loop, assignment policies, and truth inference.
 //
-// Pool is not safe for concurrent use.
+// Pool is not safe for concurrent use; it stays lock-free so simulator
+// hot loops pay no synchronization cost. Concurrent callers (the HTTP
+// serving layer) wrap it in a ConcurrentPool instead.
 type Pool struct {
 	tasks   map[TaskID]*Task
 	order   []TaskID // insertion order, for deterministic iteration

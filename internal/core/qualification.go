@@ -8,6 +8,11 @@ import "fmt"
 // golden-task WorkerScreen (hidden tests mixed into real work), the quiz
 // runs up front and costs its answers before any useful work happens —
 // the classic qualification-test tradeoff.
+//
+// A Qualification value is read-only during Run, so distinct Run calls
+// may proceed concurrently as long as they do not share Worker values
+// (simulated workers typically share a *stats.RNG and are not safe to
+// drive from multiple goroutines).
 type Qualification struct {
 	// Quiz is the question set; every task must have a planted truth.
 	Quiz []*Task

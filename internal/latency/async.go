@@ -117,6 +117,9 @@ func SimulateAsync(rng *stats.RNG, cfg AsyncConfig) (*AsyncResult, error) {
 		if !ok || e.at > maxT {
 			res.Makespan = maxT
 			res.Completed = false
+			// Report the decile milestones reached before the cutoff, so a
+			// timed-out run still shows its partial progress curve.
+			res.CompletionTimes = deciles
 			return res, nil
 		}
 		switch e.kind {

@@ -181,6 +181,43 @@ func TestSimulateAsyncTimeBound(t *testing.T) {
 	}
 }
 
+func TestSimulateAsyncTimeoutKeepsPartialDeciles(t *testing.T) {
+	rng := stats.NewRNG(13)
+	// Enough arrivals to pass several decile milestones, but a session
+	// limit and time bound that make the full workload impossible: the
+	// run must time out while still reporting the deciles it reached.
+	res, err := SimulateAsync(rng, AsyncConfig{
+		Tasks: 50, Redundancy: 4,
+		ArrivalRate: 2, SessionTasks: 1,
+		Latency:    LogNormalLatency(5, 0.5),
+		MaxSimTime: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("workload should not complete within the time bound")
+	}
+	if res.AnswersCollected == 0 {
+		t.Fatal("no answers collected before the cutoff")
+	}
+	if len(res.CompletionTimes) == 0 {
+		t.Fatalf("timed-out run dropped its partial deciles (%d answers collected)",
+			res.AnswersCollected)
+	}
+	if len(res.CompletionTimes) >= 10 {
+		t.Fatalf("partial run reports %d deciles", len(res.CompletionTimes))
+	}
+	for i, at := range res.CompletionTimes {
+		if at > res.Makespan {
+			t.Fatalf("decile %d at %v exceeds makespan %v", i, at, res.Makespan)
+		}
+		if i > 0 && at < res.CompletionTimes[i-1] {
+			t.Fatal("partial milestones not monotone")
+		}
+	}
+}
+
 func TestAsyncHigherArrivalRateFaster(t *testing.T) {
 	run := func(rate float64) float64 {
 		res, err := SimulateAsync(stats.NewRNG(8), AsyncConfig{

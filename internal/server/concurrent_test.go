@@ -1,0 +1,303 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// TestConcurrentLoadMixed hammers every endpoint at once — many answering
+// workers, a budget, golden screening, plus stats and results pollers —
+// and checks the accounting invariants afterwards. Run under -race it
+// locks in the thread-safety guarantees of the serving layer.
+func TestConcurrentLoadMixed(t *testing.T) {
+	rng := stats.NewRNG(11)
+	const tasks, workers, perWorker = 60, 12, 25
+	pool := testPool(rng, tasks)
+	budget := core.NewBudget(tasks * workers) // ample, but finite
+	screen := core.NewWorkerScreen(1000, 0.1) // active code path, never fires
+	_, client := newTestServer(t, pool, budget, screen)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers+2)
+
+	// Answering workers: fetch a task, submit, repeat. Each also throws in
+	// a duplicate submission to exercise the refund path under load.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := fmt.Sprintf("load-%d", w)
+			for i := 0; i < perWorker; i++ {
+				d, ok, err := client.FetchTask(worker)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !ok {
+					return
+				}
+				if err := client.SubmitAnswer(AnswerDTO{Task: d.ID, Worker: worker, Option: i % 2}); err != nil {
+					errCh <- err
+					return
+				}
+				// Duplicate: must be rejected and must refund its unit.
+				if err := client.SubmitAnswer(AnswerDTO{Task: d.ID, Worker: worker, Option: 0}); err == nil {
+					errCh <- fmt.Errorf("duplicate answer accepted for task %d", d.ID)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers: poll stats and results while the writes are in flight.
+	done := make(chan struct{})
+	for _, poll := range []func() error{
+		func() error { _, err := client.Stats(); return err },
+		func() error { _, err := client.Results("mv"); return err },
+	} {
+		wg.Add(1)
+		go func(poll func() error) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					if err := poll(); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(poll)
+	}
+
+	// Wait for the writers, then stop the pollers.
+	writersDone := make(chan struct{})
+	go func() {
+		defer close(writersDone)
+		wg.Wait()
+	}()
+	// Closing done only after writers finish requires splitting the wait;
+	// simplest is a second WaitGroup pass: signal once all answers landed.
+	<-awaitAnswers(client, workers*perWorker, errCh)
+	close(done)
+	<-writersDone
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := workers * perWorker
+	if st.TotalAnswers != want {
+		t.Fatalf("answers = %d, want %d", st.TotalAnswers, want)
+	}
+	// Every accepted answer cost exactly one unit; every rejected
+	// duplicate was refunded.
+	if st.BudgetSpent != float64(want) {
+		t.Fatalf("budget spent = %v, want %v (refund leak under load)", st.BudgetSpent, want)
+	}
+	// One answer per worker per task survived the concurrency.
+	for _, id := range pool.TaskIDs() {
+		seen := map[string]bool{}
+		for _, a := range pool.Answers(id) {
+			if seen[a.Worker] {
+				t.Fatalf("task %d has duplicate answers from %s", id, a.Worker)
+			}
+			seen[a.Worker] = true
+		}
+	}
+}
+
+// awaitAnswers closes the returned channel once the server reports the
+// target answer count (or reports an error).
+func awaitAnswers(client *Client, target int, errCh chan<- error) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		for {
+			st, err := client.Stats()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if st.TotalAnswers >= target {
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// serialHandler reproduces the pre-concurrency design for benchmarking:
+// one global mutex around the whole request, the way the server behaved
+// when core.Pool and core.Budget were single-threaded.
+type serialHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (sh *serialHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.h.ServeHTTP(w, r)
+}
+
+// benchIteration is one simulated platform interaction: a fresh worker
+// fetches its assignment and submits an answer; every 16th interaction
+// polls stats, and every 8th runs a short requester-dashboard burst of
+// result polls (auto-refresh reads between answer arrivals).
+func benchIteration(tb testing.TB, h http.Handler, seq int64) {
+	worker := fmt.Sprintf("bw-%d", seq)
+	req := httptest.NewRequest("GET", "/api/task?worker="+worker, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code == http.StatusOK {
+		var dto TaskDTO
+		if err := json.NewDecoder(rec.Body).Decode(&dto); err != nil {
+			tb.Fatal(err)
+		}
+		body, _ := json.Marshal(AnswerDTO{Task: dto.ID, Worker: worker, Option: int(seq % 2)})
+		req = httptest.NewRequest("POST", "/api/answer", bytes.NewReader(body))
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			tb.Fatalf("answer rejected: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	if seq%16 == 0 {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/stats", nil))
+		if rec.Code != http.StatusOK {
+			tb.Fatalf("stats failed: %d", rec.Code)
+		}
+	}
+	if seq%8 == 0 {
+		for i := 0; i < 3; i++ {
+			rec = httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/results?method=onecoin", nil))
+			if rec.Code != http.StatusOK {
+				tb.Fatalf("results failed: %d %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+}
+
+// benchServer drives the mixed load from `workers` goroutines. legacy
+// selects the pre-concurrency server behavior: every request behind one
+// global mutex and no results memoization (EM re-runs on every poll).
+func benchServer(b *testing.B, legacy bool, workers int) {
+	rng := stats.NewRNG(12)
+	pool := testPool(rng, 256)
+	srv, err := New(pool, assign.FewestAnswers{}, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var h http.Handler = srv
+	if legacy {
+		srv.cache = nil
+		h = &serialHandler{h: srv}
+	}
+	var seq atomic.Int64
+	per := b.N/workers + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				benchIteration(b, h, seq.Add(1))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkServerConcurrent quantifies the serving-layer rework at
+// increasing worker parallelism. The "globalmutex" runs reproduce the old
+// design (requests serialized by one mutex, results recomputed per poll);
+// the "finegrained" runs are the shipped server (RWMutex pool, atomic
+// budget, version-keyed results cache). The cache win shows at any core
+// count; the lock-granularity win additionally scales with GOMAXPROCS.
+func BenchmarkServerConcurrent(b *testing.B) {
+	for _, workers := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("globalmutex/workers=%d", workers), func(b *testing.B) {
+			benchServer(b, true, workers)
+		})
+		b.Run(fmt.Sprintf("finegrained/workers=%d", workers), func(b *testing.B) {
+			benchServer(b, false, workers)
+		})
+	}
+}
+
+// BenchmarkResultsPoll measures the /api/results fast path: "cached"
+// polls an unchanged pool (version-keyed memoization, no EM), while
+// "invalidated" records a fresh answer before every poll, forcing a full
+// re-inference each time.
+func BenchmarkResultsPoll(b *testing.B) {
+	setup := func(b *testing.B) *Server {
+		rng := stats.NewRNG(13)
+		pool := testPool(rng, 100)
+		srv, err := New(pool, assign.FewestAnswers{}, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for w := 0; w < 7; w++ {
+			for _, id := range pool.TaskIDs() {
+				a := core.Answer{Task: id, Worker: fmt.Sprintf("w%d", w), Option: rng.Intn(2)}
+				body, _ := json.Marshal(AnswerDTO{Task: a.Task, Worker: a.Worker, Option: a.Option})
+				rec := httptest.NewRecorder()
+				srv.ServeHTTP(rec, httptest.NewRequest("POST", "/api/answer", bytes.NewReader(body)))
+				if rec.Code != http.StatusOK {
+					b.Fatalf("seed answer rejected: %d", rec.Code)
+				}
+			}
+		}
+		return srv
+	}
+	poll := func(b *testing.B, srv *Server) {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/api/results?method=ds", nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("results failed: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	b.Run("cached", func(b *testing.B) {
+		srv := setup(b)
+		poll(b, srv) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			poll(b, srv)
+		}
+	})
+	b.Run("invalidated", func(b *testing.B) {
+		srv := setup(b)
+		ids := srv.cpool.TaskIDs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := fmt.Sprintf("inv-%d", i)
+			body, _ := json.Marshal(AnswerDTO{Task: ids[i%len(ids)], Worker: w, Option: i % 2})
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("POST", "/api/answer", bytes.NewReader(body)))
+			if rec.Code != http.StatusOK {
+				b.Fatalf("answer rejected: %d", rec.Code)
+			}
+			poll(b, srv)
+		}
+	})
+}

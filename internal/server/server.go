@@ -8,17 +8,24 @@
 //	GET  /api/stats            -> pool statistics
 //	GET  /api/results?method=mv|onecoin|ds|glad -> inferred labels
 //
-// The server serializes access to the pool (core.Pool is not safe for
-// concurrent use); handlers are safe to call from many workers at once.
+// Concurrency model: there is no global server lock. The pool is wrapped
+// in a core.ConcurrentPool (RWMutex: parallel reads/assignments, exclusive
+// writes), the budget is atomic, and the worker screen locks internally,
+// so handlers run in parallel across as many goroutines as net/http
+// spawns. Answer accounting uses a reservation protocol: the handler
+// reserves one budget unit with TryCharge, records the answer, and refunds
+// the unit if the pool rejects the submission — rejected answers never
+// consume budget. /api/results memoizes inference per (method, option
+// count) keyed by the pool's mutation version, so repeated polls between
+// new answers skip EM entirely.
 package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/truth"
@@ -26,16 +33,19 @@ import (
 
 // Server is an http.Handler exposing one crowdsourcing pool.
 type Server struct {
-	mu       sync.Mutex
-	pool     *core.Pool
+	cpool    *core.ConcurrentPool
 	assigner core.Assigner
 	budget   *core.Budget
 	screen   *core.WorkerScreen
+	cache    *truth.ResultCache
 	mux      *http.ServeMux
 }
 
-// New wires a server. assigner must not be nil; budget nil means
-// unlimited; screen nil disables golden-task elimination.
+// New wires a server around pool. assigner must not be nil; budget nil
+// means unlimited; screen nil disables golden-task elimination. The
+// server takes ownership of pool for writes: after New, other goroutines
+// must not mutate pool directly (read-only access stays safe — tasks are
+// immutable once added).
 func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *core.WorkerScreen) (*Server, error) {
 	if pool == nil || assigner == nil {
 		return nil, fmt.Errorf("server: pool and assigner are required")
@@ -43,7 +53,13 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 	if budget == nil {
 		budget = core.Unlimited()
 	}
-	s := &Server{pool: pool, assigner: assigner, budget: budget, screen: screen}
+	s := &Server{
+		cpool:    core.NewConcurrentPool(pool),
+		assigner: assigner,
+		budget:   budget,
+		screen:   screen,
+		cache:    truth.NewResultCache(),
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /api/task", s.handleTask)
 	s.mux.HandleFunc("POST /api/answer", s.handleAnswer)
@@ -97,22 +113,23 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing worker parameter")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.screen != nil && s.screen.Eliminated(worker) {
 		httpError(w, http.StatusForbidden, "worker eliminated by quality screening")
 		return
 	}
+	// Advisory check: the authoritative reservation happens on the answer
+	// path, but refusing assignments once the budget is gone keeps workers
+	// from doing work that can no longer be paid for.
 	if !s.budget.CanAfford(1) {
 		httpError(w, http.StatusConflict, "budget exhausted")
 		return
 	}
-	id, ok := s.assigner.Assign(s.pool, worker)
+	id, ok := s.cpool.Assign(s.assigner, worker)
 	if !ok {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
-	t := s.pool.Task(id)
+	t := s.cpool.Task(id)
 	writeJSON(w, TaskDTO{
 		ID:       t.ID,
 		Kind:     t.Kind.String(),
@@ -131,26 +148,24 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "missing worker")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t := s.pool.Task(dto.Task)
+	t := s.cpool.Task(dto.Task)
 	if t == nil {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown task %d", dto.Task))
 		return
 	}
-	if err := s.budget.Charge(1); err != nil {
-		if errors.Is(err, core.ErrBudgetExhausted) {
-			httpError(w, http.StatusConflict, "budget exhausted")
-			return
-		}
-		httpError(w, http.StatusInternalServerError, err.Error())
+	// Reserve one budget unit, then record; a rejected submission
+	// (duplicate worker, task closed or removed in a race) refunds the
+	// reservation so only accepted answers spend budget.
+	if !s.budget.TryCharge(1) {
+		httpError(w, http.StatusConflict, "budget exhausted")
 		return
 	}
 	a := core.Answer{
 		Task: dto.Task, Worker: dto.Worker,
 		Option: dto.Option, Text: dto.Text, Score: dto.Score,
 	}
-	if err := s.pool.Record(a); err != nil {
+	if err := s.cpool.Record(a); err != nil {
+		s.budget.Refund(1)
 		httpError(w, http.StatusConflict, err.Error())
 		return
 	}
@@ -168,20 +183,27 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	eliminated := 0
-	if s.screen != nil {
-		eliminated = len(s.screen.EliminatedWorkers())
-	}
-	writeJSON(w, StatsDTO{
-		Tasks:        s.pool.Len(),
-		OpenTasks:    len(s.pool.OpenTasks()),
-		TotalAnswers: s.pool.TotalAnswers(),
-		Workers:      len(s.pool.Workers()),
-		BudgetSpent:  s.budget.Spent(),
-		Eliminated:   eliminated,
+	var st StatsDTO
+	s.cpool.View(func(p *core.Pool) {
+		st.Tasks = p.Len()
+		st.OpenTasks = len(p.OpenTasks())
+		st.TotalAnswers = p.TotalAnswers()
+		st.Workers = len(p.Workers())
 	})
+	st.BudgetSpent = s.budget.Spent()
+	if s.screen != nil {
+		st.Eliminated = len(s.screen.EliminatedWorkers())
+	}
+	writeJSON(w, st)
+}
+
+// resultGroup is one homogeneous (same option count) inference unit of the
+// results endpoint.
+type resultGroup struct {
+	k   int
+	ids []core.TaskID
+	res *truth.Result
+	ds  *truth.Dataset // nil when res came from the cache
 }
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
@@ -189,6 +211,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	var inf truth.Inferrer
 	switch method {
 	case "", "mv":
+		method = "mv"
 		inf = truth.MajorityVote{}
 	case "onecoin":
 		inf = truth.OneCoinEM{}
@@ -200,43 +223,89 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown method "+method)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Infer over the choice-type tasks (grouped by option count).
-	byK := map[int][]core.TaskID{}
-	for _, id := range s.pool.TaskIDs() {
-		t := s.pool.Task(id)
-		switch t.Kind {
-		case core.SingleChoice, core.MultiChoice, core.PairwiseComparison:
-			byK[len(t.Options)] = append(byK[len(t.Options)], id)
+
+	// Snapshot phase, under the read lock: group choice tasks by option
+	// count, and for every group whose inference is not cached at the
+	// current pool version, copy its answers into a Dataset. The version
+	// cannot advance while the lock is held, so version and datasets are
+	// mutually consistent.
+	var (
+		groups  []*resultGroup
+		version uint64
+		snapErr error
+	)
+	s.cpool.View(func(p *core.Pool) {
+		version = s.cpool.Version()
+		byK := map[int][]core.TaskID{}
+		for _, id := range p.TaskIDs() {
+			t := p.Task(id)
+			switch t.Kind {
+			case core.SingleChoice, core.MultiChoice, core.PairwiseComparison:
+				byK[len(t.Options)] = append(byK[len(t.Options)], id)
+			}
 		}
+		ks := make([]int, 0, len(byK))
+		for k := range byK {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
+			g := &resultGroup{k: k, ids: byK[k]}
+			// A nil cache disables memoization (legacy recompute-per-poll
+			// behavior, kept for benchmarking the cache's contribution).
+			if res, ok := s.cache.Get(resultsCacheKey(method, k), version); ok {
+				g.res = res
+			} else {
+				ds, err := truth.FromPool(p, g.ids)
+				if err != nil {
+					snapErr = err
+					return
+				}
+				g.ds = ds
+			}
+			groups = append(groups, g)
+		}
+	})
+	if snapErr != nil {
+		httpError(w, http.StatusInternalServerError, snapErr.Error())
+		return
 	}
-	var out []ResultDTO
-	for _, ids := range byK {
-		ds, err := truth.FromPool(s.pool, ids)
+
+	// Inference phase, outside any pool lock: EM runs do not block
+	// answer recording or task assignment.
+	for _, g := range groups {
+		if g.res != nil {
+			continue
+		}
+		res, err := inf.Infer(g.ds)
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		res, err := inf.Infer(ds)
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		for _, id := range ids {
-			t := s.pool.Task(id)
-			lbl := res.Labels[id]
+		g.res = res
+		s.cache.Put(resultsCacheKey(method, g.k), version, res)
+	}
+
+	out := []ResultDTO{}
+	for _, g := range groups {
+		for _, id := range g.ids {
+			t := s.cpool.Task(id)
+			lbl := g.res.Labels[id]
 			opt := ""
 			if lbl >= 0 && lbl < len(t.Options) {
 				opt = t.Options[lbl]
 			}
 			out = append(out, ResultDTO{
 				Task: id, Label: lbl, Option: opt,
-				Confidence: res.Confidence(id),
+				Confidence: g.res.Confidence(id),
 			})
 		}
 	}
 	writeJSON(w, out)
+}
+
+func resultsCacheKey(method string, k int) string {
+	return fmt.Sprintf("%s/k=%d", method, k)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -298,5 +299,125 @@ func TestConcurrentDriveTransport(t *testing.T) {
 			}
 			seen[a.Worker] = true
 		}
+	}
+}
+
+// TestDuplicateAnswerDoesNotSpendBudget is the regression test for the
+// charge-before-record leak: a submission the pool rejects (duplicate
+// worker, unknown task) must not consume budget.
+func TestDuplicateAnswerDoesNotSpendBudget(t *testing.T) {
+	rng := stats.NewRNG(10)
+	pool := testPool(rng, 3)
+	budget := core.NewBudget(10)
+	_, client := newTestServer(t, pool, budget, nil)
+
+	d, ok, err := client.FetchTask("w1")
+	if err != nil || !ok {
+		t.Fatalf("FetchTask: %v %v", ok, err)
+	}
+	if err := client.SubmitAnswer(AnswerDTO{Task: d.ID, Worker: "w1", Option: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := budget.Spent(); got != 1 {
+		t.Fatalf("accepted answer spent %v, want 1", got)
+	}
+	// Duplicate submission: rejected, and the reserved unit is refunded.
+	if err := client.SubmitAnswer(AnswerDTO{Task: d.ID, Worker: "w1", Option: 0}); err == nil {
+		t.Fatal("duplicate answer should be rejected")
+	}
+	if got := budget.Spent(); got != 1 {
+		t.Fatalf("rejected duplicate leaked budget: spent = %v, want 1", got)
+	}
+	// Unknown task: rejected before any charge.
+	if err := client.SubmitAnswer(AnswerDTO{Task: 999, Worker: "w1", Option: 0}); err == nil {
+		t.Fatal("unknown task should be rejected")
+	}
+	if got := budget.Spent(); got != 1 {
+		t.Fatalf("unknown-task answer leaked budget: spent = %v, want 1", got)
+	}
+	st, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BudgetSpent != 1 {
+		t.Fatalf("stats budget = %v, want 1", st.BudgetSpent)
+	}
+}
+
+// TestResultsEmptyIsArray pins the wire format: with no choice-type tasks
+// the results endpoint returns the JSON array [], never null.
+func TestResultsEmptyIsArray(t *testing.T) {
+	pool := core.NewPool()
+	pool.MustAdd(&core.Task{Kind: core.FillIn, Question: "free text only"})
+	ts, _ := newTestServer(t, pool, nil, nil)
+
+	resp, err := http.Get(ts.URL + "/api/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(body)); got != "[]" {
+		t.Fatalf("empty results body = %q, want []", got)
+	}
+}
+
+// TestResultsCacheInvalidation checks both halves of the caching
+// contract: identical polls reuse the memoized inference, and a new
+// answer invalidates it so results never go stale.
+func TestResultsCacheInvalidation(t *testing.T) {
+	pool := core.NewPool()
+	id := pool.MustAdd(&core.Task{
+		ID: 1, Kind: core.SingleChoice,
+		Question: "?", Options: []string{"no", "yes"}, GroundTruth: 1,
+	})
+	srv, err := New(pool, assign.FewestAnswers{}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL)
+
+	if err := client.SubmitAnswer(AnswerDTO{Task: id, Worker: "w1", Option: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := client.Results("mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != 1 || r1[0].Label != 1 {
+		t.Fatalf("results = %+v", r1)
+	}
+	if srv.cache.Len() != 1 {
+		t.Fatalf("cache entries = %d, want 1", srv.cache.Len())
+	}
+	// Second poll without new answers: served from cache, same payload.
+	r2, err := client.Results("mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2) != 1 || r2[0].Label != r1[0].Label || r2[0].Confidence != r1[0].Confidence {
+		t.Fatalf("cached poll diverged: %+v vs %+v", r1, r2)
+	}
+	// Two fresh dissenters flip the majority; the poll after them must
+	// reflect the new answers, not the cached inference.
+	for _, w := range []string{"w2", "w3"} {
+		if err := client.SubmitAnswer(AnswerDTO{Task: id, Worker: w, Option: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r3, err := client.Results("mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r3) != 1 || r3[0].Label != 0 {
+		t.Fatalf("stale results after invalidation: %+v", r3)
 	}
 }

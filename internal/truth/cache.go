@@ -1,0 +1,65 @@
+package truth
+
+import "sync"
+
+// ResultCache memoizes inference Results keyed by an arbitrary string key
+// (typically "method/k") and a pool version number. EM-style inference is
+// the expensive step of a results endpoint — O(iterations × answers) per
+// call — while the answer set often does not change between polls. A
+// caller that tracks a mutation counter (core.ConcurrentPool.Version)
+// can reuse the previous Result whenever the version is unchanged, and
+// recompute only after new answers arrive.
+//
+// ResultCache is safe for concurrent use. Cached Results are shared, so
+// callers must treat them as immutable.
+type ResultCache struct {
+	mu      sync.Mutex
+	entries map[string]cachedResult
+}
+
+type cachedResult struct {
+	version uint64
+	res     *Result
+}
+
+// NewResultCache returns an empty cache.
+func NewResultCache() *ResultCache {
+	return &ResultCache{entries: make(map[string]cachedResult)}
+}
+
+// Get returns the cached Result for key if it was stored at exactly the
+// given version. A nil cache never hits (memoization disabled).
+func (c *ResultCache) Get(key string, version uint64) (*Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || e.version != version {
+		return nil, false
+	}
+	return e.res, true
+}
+
+// Put stores the Result for key at the given version, replacing any older
+// entry for the same key. A nil cache drops the entry.
+func (c *ResultCache) Put(key string, version uint64, r *Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = cachedResult{version: version, res: r}
+}
+
+// Len returns the number of cached entries (one per key); 0 for a nil
+// cache.
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,70 @@
+package truth
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestResultCacheVersionKeying(t *testing.T) {
+	c := NewResultCache()
+	r1 := &Result{Method: "mv", Labels: map[core.TaskID]int{1: 0}}
+	c.Put("mv/k=2", 7, r1)
+	if got, ok := c.Get("mv/k=2", 7); !ok || got != r1 {
+		t.Fatal("exact-version lookup missed")
+	}
+	if _, ok := c.Get("mv/k=2", 8); ok {
+		t.Fatal("stale version served")
+	}
+	if _, ok := c.Get("ds/k=2", 7); ok {
+		t.Fatal("wrong key served")
+	}
+	// A newer Put replaces the entry for the same key.
+	r2 := &Result{Method: "mv", Labels: map[core.TaskID]int{1: 1}}
+	c.Put("mv/k=2", 8, r2)
+	if _, ok := c.Get("mv/k=2", 7); ok {
+		t.Fatal("replaced entry still served at old version")
+	}
+	if got, ok := c.Get("mv/k=2", 8); !ok || got != r2 {
+		t.Fatal("replacement entry missed")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestResultCacheNilDisablesMemoization(t *testing.T) {
+	var c *ResultCache
+	c.Put("mv/k=2", 1, &Result{})
+	if _, ok := c.Get("mv/k=2", 1); ok {
+		t.Fatal("nil cache served an entry")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("nil cache Len = %d", c.Len())
+	}
+}
+
+func TestResultCacheConcurrentAccess(t *testing.T) {
+	c := NewResultCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := fmt.Sprintf("mv/k=%d", g%4)
+			for i := 0; i < 200; i++ {
+				c.Put(key, uint64(i), &Result{Method: "mv"})
+				if res, ok := c.Get(key, uint64(i)); ok && res == nil {
+					t.Error("cache returned nil result on hit")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+}
