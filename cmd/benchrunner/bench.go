@@ -1,0 +1,84 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/cost"
+	"repro/internal/truth"
+)
+
+// The -benchjson mode times the headline kernels on the exact workloads
+// the `go test -bench` suite uses (internal/benchdata) and writes a
+// machine-readable report, so the perf trajectory is diffable across PRs
+// (BENCH_pr2.json, BENCH_pr3.json, ...).
+
+type benchResult struct {
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	Metric    string  `json:"metric"`
+}
+
+type benchReport struct {
+	Schema     string                 `json:"schema"`
+	GoMaxProcs int                    `json:"gomaxprocs"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+func runBenchJSON(path string) error {
+	_, ds := benchdata.ChoiceWorkload(4242, 2000, 50, 5, 0.3)
+	recs := benchdata.Records(7, 1500)
+	report := benchReport{
+		Schema:     "crowdkit-bench/v1",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]benchResult{},
+	}
+	add := func(name, metric string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		report.Benchmarks[name] = benchResult{
+			NsPerOp:   ns,
+			OpsPerSec: 1e9 / ns,
+			Metric:    metric,
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %14.0f ns/op\t(%s)\n", name, ns, metric)
+	}
+	add("DSLarge", "tasks=2000 workers=50 k=5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (truth.DawidSkene{}).Infer(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("GLADLarge", "tasks=2000 workers=50 k=5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (truth.GLAD{}).Infer(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("OneCoinEMLarge", "tasks=2000 workers=50 k=5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (truth.OneCoinEM{}).Infer(ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("PruneAllPairs", "records=1500 pairs=1124250", func(b *testing.B) {
+		p := &cost.Pruner{Low: 0.3, High: 0.9}
+		for i := 0; i < b.N; i++ {
+			if _, err := p.SelfPairs(recs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -118,6 +118,22 @@ type QASCA struct {
 	Candidates int
 }
 
+// qascaScratch holds the per-Assign-call buffers the scoring loops
+// reuse, so scoring E eligible tasks costs O(1) allocations instead of
+// O(E·K). It lives on the caller's stack frame rather than on QASCA
+// itself because one QASCA is shared by concurrent server requests.
+type qascaScratch struct {
+	post, np []float64
+}
+
+func (s *qascaScratch) sized(buf *[]float64, k int) []float64 {
+	if cap(*buf) < k {
+		*buf = make([]float64, k)
+	}
+	*buf = (*buf)[:k]
+	return *buf
+}
+
 // Assign implements core.Assigner.
 func (q *QASCA) Assign(p *core.Pool, worker string) (core.TaskID, bool) {
 	el := p.EligibleFor(worker)
@@ -129,6 +145,7 @@ func (q *QASCA) Assign(p *core.Pool, worker string) (core.TaskID, bool) {
 		quality = ConstantQuality(0.7)
 	}
 	wq := clamp01(quality(worker))
+	var sc qascaScratch
 
 	cand := el
 	if q.Candidates > 0 && len(el) > q.Candidates {
@@ -139,7 +156,7 @@ func (q *QASCA) Assign(p *core.Pool, worker string) (core.TaskID, bool) {
 		}
 		ss := make([]scored, len(el))
 		for i, id := range el {
-			post := q.posterior(p, id, quality)
+			post := q.posterior(p, id, quality, &sc)
 			ss[i] = scored{id, maxOf(post)}
 		}
 		// Partial selection of the lowest-confidence Candidates tasks.
@@ -161,7 +178,7 @@ func (q *QASCA) Assign(p *core.Pool, worker string) (core.TaskID, bool) {
 	best := cand[0]
 	bestGain := math.Inf(-1)
 	for _, id := range cand {
-		gain := q.expectedGain(p, id, wq, quality)
+		gain := q.expectedGain(p, id, wq, quality, &sc)
 		if gain > bestGain {
 			best, bestGain = id, gain
 		}
@@ -170,46 +187,53 @@ func (q *QASCA) Assign(p *core.Pool, worker string) (core.TaskID, bool) {
 }
 
 // posterior computes the one-coin posterior over options for a task given
-// the answers so far and the quality source.
-func (q *QASCA) posterior(p *core.Pool, id core.TaskID, quality QualitySource) []float64 {
+// the answers so far and the quality source, into sc's reused buffer. The
+// returned slice is valid until the next posterior call on sc.
+func (q *QASCA) posterior(p *core.Pool, id core.TaskID, quality QualitySource, sc *qascaScratch) []float64 {
 	t := p.Task(id)
 	k := len(t.Options)
 	if k == 0 {
 		return nil
 	}
-	logp := make([]float64, k)
+	logp := sc.sized(&sc.post, k)
+	for c := range logp {
+		logp[c] = 0
+	}
 	for _, a := range p.Answers(id) {
 		if a.Option < 0 || a.Option >= k {
 			continue
 		}
 		wq := clamp01(quality(a.Worker))
-		wrong := (1 - wq) / float64(k-1)
+		lRight := math.Log(wq + 1e-9)
+		lWrong := math.Log((1-wq)/float64(k-1) + 1e-9)
 		for c := 0; c < k; c++ {
 			if c == a.Option {
-				logp[c] += math.Log(wq + 1e-9)
+				logp[c] += lRight
 			} else {
-				logp[c] += math.Log(wrong + 1e-9)
+				logp[c] += lWrong
 			}
 		}
 	}
-	return softmax(logp)
+	softmaxInPlace(logp)
+	return logp
 }
 
 // expectedGain returns the expected increase in the task's posterior max
 // (confidence) if the worker with quality wq answers it. The expectation
 // is over the worker's answer under the current posterior.
-func (q *QASCA) expectedGain(p *core.Pool, id core.TaskID, wq float64, quality QualitySource) float64 {
+func (q *QASCA) expectedGain(p *core.Pool, id core.TaskID, wq float64, quality QualitySource, sc *qascaScratch) float64 {
 	t := p.Task(id)
 	k := len(t.Options)
 	if k < 2 {
 		return 0
 	}
-	post := q.posterior(p, id, quality)
+	post := q.posterior(p, id, quality, sc)
 	before := maxOf(post)
 	wrong := (1 - wq) / float64(k-1)
 
 	// P(worker answers l) = sum_c post[c] * P(answer=l | truth=c).
 	expected := 0.0
+	np := sc.sized(&sc.np, k)
 	for l := 0; l < k; l++ {
 		pl := 0.0
 		for c := 0; c < k; c++ {
@@ -223,7 +247,6 @@ func (q *QASCA) expectedGain(p *core.Pool, id core.TaskID, wq float64, quality Q
 			continue
 		}
 		// Posterior after observing answer l.
-		np := make([]float64, k)
 		for c := 0; c < k; c++ {
 			if c == l {
 				np[c] = post[c] * wq
@@ -259,9 +282,11 @@ func clamp01(v float64) float64 {
 	return v
 }
 
-func softmax(logp []float64) []float64 {
+// softmaxInPlace exponentiates and normalizes log-probabilities stably,
+// overwriting the input.
+func softmaxInPlace(logp []float64) {
 	if len(logp) == 0 {
-		return nil
+		return
 	}
 	max := logp[0]
 	for _, v := range logp[1:] {
@@ -269,16 +294,14 @@ func softmax(logp []float64) []float64 {
 			max = v
 		}
 	}
-	out := make([]float64, len(logp))
 	sum := 0.0
 	for i, v := range logp {
-		out[i] = math.Exp(v - max)
-		sum += out[i]
+		logp[i] = math.Exp(v - max)
+		sum += logp[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range logp {
+		logp[i] /= sum
 	}
-	return out
 }
 
 // ConfidenceStopper closes tasks whose one-coin posterior confidence
@@ -297,12 +320,13 @@ func (s *ConfidenceStopper) Sweep(p *core.Pool) int {
 		quality = ConstantQuality(0.7)
 	}
 	q := &QASCA{Quality: quality}
+	var sc qascaScratch
 	closed := 0
 	for _, id := range p.OpenTasks() {
 		if p.AnswerCount(id) < s.MinAnswers {
 			continue
 		}
-		post := q.posterior(p, id, quality)
+		post := q.posterior(p, id, quality, &sc)
 		if len(post) == 0 {
 			continue
 		}

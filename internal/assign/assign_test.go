@@ -119,12 +119,13 @@ func TestQASCAPosteriorConsistency(t *testing.T) {
 	rng := stats.NewRNG(6)
 	p := binaryPool(1, rng, 0.2)
 	q := &QASCA{}
-	post := q.posterior(p, 1, ConstantQuality(0.8))
+	var sc qascaScratch
+	post := q.posterior(p, 1, ConstantQuality(0.8), &sc)
 	if math.Abs(post[0]-0.5) > 1e-9 {
 		t.Fatalf("empty posterior %v, want uniform", post)
 	}
 	p.Record(core.Answer{Task: 1, Worker: "a", Option: 1})
-	post = q.posterior(p, 1, ConstantQuality(0.8))
+	post = q.posterior(p, 1, ConstantQuality(0.8), &sc)
 	if post[1] < 0.75 || post[1] > 0.85 {
 		t.Fatalf("one 0.8-quality answer should give ~0.8 posterior, got %v", post)
 	}
@@ -134,7 +135,8 @@ func TestExpectedGainPositiveForUncertain(t *testing.T) {
 	rng := stats.NewRNG(7)
 	p := binaryPool(1, rng, 0.2)
 	q := &QASCA{}
-	gain := q.expectedGain(p, 1, 0.9, ConstantQuality(0.9))
+	var sc qascaScratch
+	gain := q.expectedGain(p, 1, 0.9, ConstantQuality(0.9), &sc)
 	if gain <= 0 {
 		t.Fatalf("gain on fresh task = %v, want > 0", gain)
 	}
@@ -142,7 +144,7 @@ func TestExpectedGainPositiveForUncertain(t *testing.T) {
 	for _, w := range []string{"a", "b", "c", "d", "e", "f"} {
 		p.Record(core.Answer{Task: 1, Worker: w, Option: 0})
 	}
-	gain2 := q.expectedGain(p, 1, 0.9, ConstantQuality(0.9))
+	gain2 := q.expectedGain(p, 1, 0.9, ConstantQuality(0.9), &sc)
 	if gain2 >= gain {
 		t.Fatalf("confident-task gain %v should be below fresh-task gain %v", gain2, gain)
 	}

@@ -1,0 +1,24 @@
+package cost_test
+
+// External test package so the record generator is shared with
+// cmd/benchrunner through internal/benchdata.
+
+import (
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/cost"
+)
+
+// BenchmarkPruneAllPairs scores every unordered pair of 1500 records
+// (~1.12M pairs), the acceptance-scale similarity-join workload.
+func BenchmarkPruneAllPairs(b *testing.B) {
+	recs := benchdata.Records(7, 1500)
+	p := &cost.Pruner{Low: 0.3, High: 0.9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SelfPairs(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package cost
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/benchdata"
+)
+
+// forcePruneWorkers pins pair scoring to exactly w goroutines (w == 1
+// with a huge threshold is the pure serial path) and returns a restore
+// func.
+func forcePruneWorkers(w int) func() {
+	oldPar, oldThr := pruneParallelism, serialPairThreshold
+	pruneParallelism = w
+	if w == 1 {
+		serialPairThreshold = math.MaxInt
+	} else {
+		serialPairThreshold = 0
+	}
+	return func() {
+		pruneParallelism, serialPairThreshold = oldPar, oldThr
+	}
+}
+
+// TestParallelPruneMatchesSerial: sharded pair scoring must reproduce the
+// serial scan exactly — same candidate order, same scores, same
+// auto-match and pruned partitions — at 1, 2, 4, and 8 goroutines, on
+// both the default fast path (with its prefilter) and a custom Sim.
+func TestParallelPruneMatchesSerial(t *testing.T) {
+	recs := benchdata.Records(99, 400)
+	pruners := map[string]*Pruner{
+		"default":   {Low: 0.3, High: 0.85},
+		"customSim": {Low: 0.4, High: 2, Sim: CombinedSimilarity},
+	}
+	for name, p := range pruners {
+		restore := forcePruneWorkers(1)
+		ref, err := p.SelfPairs(recs)
+		restore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refCross, err := func() (*PruneResult, error) {
+			defer forcePruneWorkers(1)()
+			return p.CrossPairs(recs[:150], recs[150:])
+		}()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4, 8} {
+			restore := forcePruneWorkers(w)
+			got, err := p.SelfPairs(recs)
+			if err != nil {
+				restore()
+				t.Fatal(err)
+			}
+			gotCross, err := p.CrossPairs(recs[:150], recs[150:])
+			restore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("%s workers=%d: SelfPairs diverged from serial scan "+
+					"(cands %d/%d, auto %d/%d, pruned %d/%d)",
+					name, w, len(got.Candidates), len(ref.Candidates),
+					len(got.AutoMatch), len(ref.AutoMatch),
+					got.PrunedCount, ref.PrunedCount)
+			}
+			if !reflect.DeepEqual(refCross, gotCross) {
+				t.Fatalf("%s workers=%d: CrossPairs diverged from serial scan", name, w)
+			}
+		}
+	}
+}
+
+// TestPrefilterOnlySkipsPrunedPairs verifies the size-ratio prefilter is
+// conservative: disabling it (Low = 0 scores everything) must yield the
+// same candidate and auto-match sets as any Low, and the bound must
+// dominate the true similarity on random features.
+func TestPrefilterOnlySkipsPrunedPairs(t *testing.T) {
+	recs := benchdata.Records(123, 200)
+	feats := make([]recordFeatures, len(recs))
+	for i, r := range recs {
+		feats[i] = featurize(r)
+	}
+	for i := 0; i < len(recs); i++ {
+		for j := i + 1; j < len(recs); j += 17 {
+			bound := simUpperBound(feats[i], feats[j])
+			sim := fastCombined(feats[i], feats[j])
+			if sim > bound+1e-12 {
+				t.Fatalf("bound %v below actual similarity %v for pair (%d,%d)",
+					bound, sim, i, j)
+			}
+		}
+	}
+
+	withPrefilter := &Pruner{Low: 0.45, High: 0.8}
+	scoreAll := &Pruner{Low: 0, High: 0.8}
+	a, err := withPrefilter.SelfPairs(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scoreAll.SelfPairs(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept []ScoredPair
+	for _, sp := range b.Candidates {
+		if sp.Sim >= withPrefilter.Low {
+			kept = append(kept, sp)
+		}
+	}
+	if !reflect.DeepEqual(a.Candidates, kept) {
+		t.Fatalf("prefilter dropped scorable candidates: %d vs %d",
+			len(a.Candidates), len(kept))
+	}
+	if !reflect.DeepEqual(a.AutoMatch, b.AutoMatch) {
+		t.Fatal("prefilter changed auto-match set")
+	}
+	if a.TotalPairs != b.TotalPairs {
+		t.Fatalf("TotalPairs mismatch: %d vs %d", a.TotalPairs, b.TotalPairs)
+	}
+}

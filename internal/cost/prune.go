@@ -2,8 +2,11 @@ package cost
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Pair identifies a candidate record pair by indices into two collections
@@ -35,8 +38,15 @@ type PruneResult struct {
 
 // Pruner configures similarity-based candidate generation for a
 // crowdsourced join (CrowdER-style machine pass).
+//
+// Pair scoring is sharded across GOMAXPROCS goroutines over contiguous
+// pair ranges; shard outputs are concatenated in shard order, so results
+// are identical to a serial scan at any parallelism. Small inputs stay on
+// the calling goroutine.
 type Pruner struct {
 	// Sim scores a pair of record strings; defaults to CombinedSimilarity.
+	// A custom Sim must be safe for concurrent use: it is called from
+	// multiple goroutines on large inputs.
 	Sim Similarity
 	// Low is the pruning threshold: pairs below it never reach the crowd.
 	Low float64
@@ -45,37 +55,110 @@ type Pruner struct {
 	High float64
 }
 
-// recordFeatures caches the token and 2-gram sets of one record so the
-// O(n²) pair loop does not re-tokenize strings per pair.
+// Parallelism knobs; package-level so tests can pin the worker count and
+// force either path.
+var (
+	// pruneParallelism overrides the scoring goroutine count; 0 means
+	// runtime.GOMAXPROCS(0).
+	pruneParallelism = 0
+	// serialPairThreshold is the pair count below which scoring stays
+	// serial: fork/join overhead beats the scan itself on small joins.
+	serialPairThreshold = 1 << 14
+)
+
+func pruneWorkers(totalPairs int) int {
+	if totalPairs < serialPairThreshold {
+		return 1
+	}
+	w := pruneParallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// recordFeatures caches one record's token and 2-gram sets as sorted,
+// deduplicated 64-bit hashes. Sorted-slice merge intersection is several
+// times faster than Go map iteration in the O(n²) pair loop, and the set
+// sizes feed the cheap Jaccard upper bound used for prefiltering.
 type recordFeatures struct {
-	tokens map[string]bool
-	grams  map[string]bool
+	tokens []uint64
+	grams  []uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// sortedSet sorts hs and removes duplicates in place.
+func sortedSet(hs []uint64) []uint64 {
+	slices.Sort(hs)
+	return slices.Compact(hs)
 }
 
 func featurize(s string) recordFeatures {
-	f := recordFeatures{tokens: make(map[string]bool), grams: ngrams(strings.ToLower(s), 2)}
-	for _, t := range Tokenize(s) {
-		f.tokens[t] = true
+	toks := Tokenize(s)
+	th := make([]uint64, len(toks))
+	for i, t := range toks {
+		th[i] = hashString(t)
 	}
-	return f
+	r := []rune(strings.ToLower(s))
+	var gh []uint64
+	switch {
+	case len(r) == 0:
+	case len(r) < 2:
+		gh = []uint64{hashRunes(r)}
+	default:
+		gh = make([]uint64, len(r)-1)
+		for i := 0; i+2 <= len(r); i++ {
+			gh[i] = hashRunes(r[i : i+2])
+		}
+	}
+	return recordFeatures{tokens: sortedSet(th), grams: sortedSet(gh)}
 }
 
-// setJaccard computes |a∩b| / |a∪b| with both-empty defined as 1.
-func setJaccard(a, b map[string]bool) float64 {
+func hashRunes(rs []rune) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range rs {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// sortedJaccard computes |a∩b| / |a∪b| over sorted hash sets with
+// both-empty defined as 1.
+func sortedJaccard(a, b []uint64) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	small, large := a, b
-	if len(small) > len(large) {
-		small, large = large, small
-	}
-	inter := 0
-	for k := range small {
-		if large[k] {
+	i, j, inter := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
 			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
 		}
 	}
 	return float64(inter) / float64(len(a)+len(b)-inter)
@@ -83,7 +166,146 @@ func setJaccard(a, b map[string]bool) float64 {
 
 // fastCombined mirrors CombinedSimilarity over precomputed features.
 func fastCombined(a, b recordFeatures) float64 {
-	return 0.5*setJaccard(a.tokens, b.tokens) + 0.5*setJaccard(a.grams, b.grams)
+	return 0.5*sortedJaccard(a.tokens, b.tokens) + 0.5*sortedJaccard(a.grams, b.grams)
+}
+
+// sizeRatio bounds the Jaccard of two sets from their cardinalities
+// alone: |A∩B|/|A∪B| <= min/max.
+func sizeRatio(la, lb int) float64 {
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	if la > lb {
+		la, lb = lb, la
+	}
+	return float64(la) / float64(lb)
+}
+
+// simUpperBound is a prefilter: the largest similarity fastCombined could
+// possibly return for these features. Pairs bounded below Low are counted
+// as pruned without scoring.
+func simUpperBound(a, b recordFeatures) float64 {
+	return 0.5*sizeRatio(len(a.tokens), len(b.tokens)) +
+		0.5*sizeRatio(len(a.grams), len(b.grams))
+}
+
+func featurizeAll(records []string, workers int) []recordFeatures {
+	feats := make([]recordFeatures, len(records))
+	parallelChunks(workers, len(records), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			feats[i] = featurize(records[i])
+		}
+	})
+	return feats
+}
+
+// pairShard accumulates one shard's partition of the pair space.
+type pairShard struct {
+	cands  []ScoredPair
+	autos  []ScoredPair
+	pruned int
+}
+
+func (p *Pruner) route(sh *pairShard, sp ScoredPair) {
+	switch {
+	case sp.Sim >= p.High:
+		sh.autos = append(sh.autos, sp)
+	case sp.Sim >= p.Low:
+		sh.cands = append(sh.cands, sp)
+	default:
+		sh.pruned++
+	}
+}
+
+// mergeShards concatenates shard partitions in shard order. Within a
+// shard pairs are visited in global enumeration order, so the merged
+// slices match what a serial scan would produce.
+func mergeShards(res *PruneResult, shards []pairShard) {
+	nc, na := 0, 0
+	for _, sh := range shards {
+		nc += len(sh.cands)
+		na += len(sh.autos)
+	}
+	res.Candidates = make([]ScoredPair, 0, nc)
+	res.AutoMatch = make([]ScoredPair, 0, na)
+	for _, sh := range shards {
+		res.Candidates = append(res.Candidates, sh.cands...)
+		res.AutoMatch = append(res.AutoMatch, sh.autos...)
+		res.PrunedCount += sh.pruned
+	}
+}
+
+// parallelChunks splits [0, n) into one contiguous range per worker and
+// runs fn on each concurrently (inline when workers <= 1).
+func parallelChunks(workers, n int, fn func(lo, hi int)) {
+	if workers <= 1 || n <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo, hi := s*n/workers, (s+1)*n/workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// runSharded partitions row space [0, rows) into pair-count-balanced
+// contiguous ranges (weight(i) = pairs contributed by row i), scores each
+// range on its own goroutine into a private shard, and merges in order.
+func runSharded(workers, rows int, weight func(i int) int, res *PruneResult,
+	score func(sh *pairShard, lo, hi int)) {
+	if workers <= 1 || rows <= 1 {
+		var sh pairShard
+		if rows > 0 {
+			score(&sh, 0, rows)
+		}
+		mergeShards(res, []pairShard{sh})
+		return
+	}
+	total := 0
+	for i := 0; i < rows; i++ {
+		total += weight(i)
+	}
+	target := (total + workers - 1) / workers
+	var ranges [][2]int
+	lo, acc := 0, 0
+	for i := 0; i < rows; i++ {
+		acc += weight(i)
+		if acc >= target && len(ranges) < workers-1 {
+			ranges = append(ranges, [2]int{lo, i + 1})
+			lo, acc = i+1, 0
+		}
+	}
+	if lo < rows {
+		ranges = append(ranges, [2]int{lo, rows})
+	}
+	shards := make([]pairShard, len(ranges))
+	var wg sync.WaitGroup
+	for s := range ranges {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			score(&shards[s], ranges[s][0], ranges[s][1])
+		}(s)
+	}
+	wg.Wait()
+	mergeShards(res, shards)
 }
 
 // CrossPairs scores every pair (a_i, b_j) between two record lists and
@@ -93,27 +315,32 @@ func (p *Pruner) CrossPairs(a, b []string) (*PruneResult, error) {
 		return nil, err
 	}
 	res := &PruneResult{TotalPairs: len(a) * len(b)}
+	workers := pruneWorkers(res.TotalPairs)
+	rowWeight := func(int) int { return len(b) }
 	if p.Sim == nil {
 		// Default similarity: amortize feature extraction to O(n).
-		fa := make([]recordFeatures, len(a))
-		for i := range a {
-			fa[i] = featurize(a[i])
-		}
-		fb := make([]recordFeatures, len(b))
-		for j := range b {
-			fb[j] = featurize(b[j])
-		}
-		for i := range a {
-			for j := range b {
-				p.route(res, ScoredPair{Pair{i, j}, fastCombined(fa[i], fb[j])})
+		fa := featurizeAll(a, workers)
+		fb := featurizeAll(b, workers)
+		runSharded(workers, len(a), rowWeight, res, func(sh *pairShard, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fi := fa[i]
+				for j := range b {
+					if simUpperBound(fi, fb[j]) < p.Low {
+						sh.pruned++
+						continue
+					}
+					p.route(sh, ScoredPair{Pair{i, j}, fastCombined(fi, fb[j])})
+				}
 			}
-		}
+		})
 	} else {
-		for i := range a {
-			for j := range b {
-				p.route(res, ScoredPair{Pair{i, j}, p.Sim(a[i], b[j])})
+		runSharded(workers, len(a), rowWeight, res, func(sh *pairShard, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := range b {
+					p.route(sh, ScoredPair{Pair{i, j}, p.Sim(a[i], b[j])})
+				}
 			}
-		}
+		})
 	}
 	p.sortCandidates(res)
 	return res, nil
@@ -126,22 +353,30 @@ func (p *Pruner) SelfPairs(records []string) (*PruneResult, error) {
 	}
 	n := len(records)
 	res := &PruneResult{TotalPairs: n * (n - 1) / 2}
+	workers := pruneWorkers(res.TotalPairs)
+	rowWeight := func(i int) int { return n - 1 - i }
 	if p.Sim == nil {
-		feats := make([]recordFeatures, n)
-		for i := range records {
-			feats[i] = featurize(records[i])
-		}
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				p.route(res, ScoredPair{Pair{i, j}, fastCombined(feats[i], feats[j])})
+		feats := featurizeAll(records, workers)
+		runSharded(workers, n, rowWeight, res, func(sh *pairShard, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fi := feats[i]
+				for j := i + 1; j < n; j++ {
+					if simUpperBound(fi, feats[j]) < p.Low {
+						sh.pruned++
+						continue
+					}
+					p.route(sh, ScoredPair{Pair{i, j}, fastCombined(fi, feats[j])})
+				}
 			}
-		}
+		})
 	} else {
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				p.route(res, ScoredPair{Pair{i, j}, p.Sim(records[i], records[j])})
+		runSharded(workers, n, rowWeight, res, func(sh *pairShard, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := i + 1; j < n; j++ {
+					p.route(sh, ScoredPair{Pair{i, j}, p.Sim(records[i], records[j])})
+				}
 			}
-		}
+		})
 	}
 	p.sortCandidates(res)
 	return res, nil
@@ -156,17 +391,6 @@ func (p *Pruner) validate() error {
 			p.High, p.Low)
 	}
 	return nil
-}
-
-func (p *Pruner) route(res *PruneResult, sp ScoredPair) {
-	switch {
-	case sp.Sim >= p.High:
-		res.AutoMatch = append(res.AutoMatch, sp)
-	case sp.Sim >= p.Low:
-		res.Candidates = append(res.Candidates, sp)
-	default:
-		res.PrunedCount++
-	}
 }
 
 func (p *Pruner) sortCandidates(res *PruneResult) {

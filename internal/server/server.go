@@ -286,7 +286,11 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		s.cache.Put(resultsCacheKey(method, g.k), version, res)
 	}
 
-	out := []ResultDTO{}
+	nTasks := 0
+	for _, g := range groups {
+		nTasks += len(g.ids)
+	}
+	out := make([]ResultDTO, 0, nTasks)
 	for _, g := range groups {
 		for _, id := range g.ids {
 			t := s.cpool.Task(id)

@@ -1,0 +1,49 @@
+package truth_test
+
+// Large-kernel benchmarks live in an external test package so they can
+// share seeded workload construction with cmd/benchrunner via
+// internal/benchdata (an in-package test would create an import cycle).
+// These are the headline perf numbers tracked across PRs in BENCH_pr*.json.
+
+import (
+	"testing"
+
+	"repro/internal/benchdata"
+	"repro/internal/truth"
+)
+
+// largeDataset is the acceptance-scale workload: 2000 tasks, 50 workers,
+// redundancy 5 (10k answers).
+func largeDataset(b *testing.B) *truth.Dataset {
+	b.Helper()
+	_, ds := benchdata.ChoiceWorkload(4242, 2000, 50, 5, 0.3)
+	b.ResetTimer()
+	return ds
+}
+
+func BenchmarkDSLarge(b *testing.B) {
+	ds := largeDataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := (truth.DawidSkene{}).Infer(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGLADLarge(b *testing.B) {
+	ds := largeDataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := (truth.GLAD{}).Infer(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOneCoinEMLarge(b *testing.B) {
+	ds := largeDataset(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := (truth.OneCoinEM{}).Infer(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -39,6 +39,32 @@ type Dataset struct {
 
 	taskIndex   map[core.TaskID]int
 	workerIndex map[string]int
+
+	// Dense CSR-style answer layout, built once by FromPool. The EM
+	// kernels iterate these flat slices instead of resolving map lookups
+	// per answer per iteration.
+	//
+	// refs holds every usable answer in task-major order: all answers of
+	// task 0 (in recorded order), then task 1, and so on.
+	// taskOff[ti]..taskOff[ti+1] delimit task ti's answers within refs.
+	//
+	// wAns/wOff are the worker-major view: wAns[wOff[wi]..wOff[wi+1]]
+	// lists the flat refs positions of worker wi's answers in ascending
+	// position (= task) order. Per-worker statistics computed over this
+	// view accumulate in exactly the task order a serial task-major sweep
+	// would use, which is what makes the sharded M-steps bit-identical to
+	// the serial path.
+	refs    []answerRef
+	taskOff []int32
+	wAns    []int32
+	wOff    []int32
+}
+
+// answerRef is one answer in the dense layout: indices instead of IDs.
+type answerRef struct {
+	task   int32
+	worker int32
+	option int32
 }
 
 // FromPool builds a Dataset from the choice-type tasks of a pool. Tasks
@@ -89,7 +115,63 @@ func FromPool(p *core.Pool, ids []core.TaskID) (*Dataset, error) {
 	for i, w := range ds.WorkerIDs {
 		ds.workerIndex[w] = i
 	}
+	ds.buildDense()
 	return ds, nil
+}
+
+// buildDense populates the flat task-major and worker-major answer
+// layouts from Answers. FromPool calls it once; dense() rebuilds lazily
+// for datasets assembled by hand in tests.
+func (ds *Dataset) buildDense() {
+	total := 0
+	for _, as := range ds.Answers {
+		total += len(as)
+	}
+	ds.refs = make([]answerRef, 0, total)
+	ds.taskOff = make([]int32, len(ds.TaskIDs)+1)
+	for ti, id := range ds.TaskIDs {
+		ds.taskOff[ti] = int32(len(ds.refs))
+		for _, a := range ds.Answers[id] {
+			ds.refs = append(ds.refs, answerRef{
+				task:   int32(ti),
+				worker: int32(ds.workerIndex[a.Worker]),
+				option: int32(a.Option),
+			})
+		}
+	}
+	ds.taskOff[len(ds.TaskIDs)] = int32(len(ds.refs))
+
+	// Worker-major view via a counting sort over worker indices: stable,
+	// so each worker's positions stay in ascending (task-major) order.
+	ds.wOff = make([]int32, len(ds.WorkerIDs)+1)
+	for _, r := range ds.refs {
+		ds.wOff[r.worker+1]++
+	}
+	for wi := 0; wi < len(ds.WorkerIDs); wi++ {
+		ds.wOff[wi+1] += ds.wOff[wi]
+	}
+	ds.wAns = make([]int32, len(ds.refs))
+	next := make([]int32, len(ds.WorkerIDs))
+	copy(next, ds.wOff[:len(ds.WorkerIDs)])
+	for p, r := range ds.refs {
+		ds.wAns[next[r.worker]] = int32(p)
+		next[r.worker]++
+	}
+}
+
+// dense ensures the flat layout exists (it always does for FromPool
+// datasets). The lazy rebuild is not safe for concurrent first use.
+func (ds *Dataset) dense() {
+	if ds.taskOff != nil {
+		return
+	}
+	if ds.workerIndex == nil {
+		ds.workerIndex = make(map[string]int, len(ds.WorkerIDs))
+		for i, w := range ds.WorkerIDs {
+			ds.workerIndex[w] = i
+		}
+	}
+	ds.buildDense()
 }
 
 // TaskIndex returns the dense index of a task id, or -1.

@@ -17,6 +17,9 @@ const (
 // has a single reliability parameter p; a worker answers the true label
 // with probability p and any specific wrong label with probability
 // (1-p)/(K-1). Parameters and posteriors are estimated jointly with EM.
+//
+// The E-step is sharded over task ranges and the M-step over worker
+// ranges (see parallel.go); results are bit-identical at any GOMAXPROCS.
 type OneCoinEM struct {
 	MaxIter int
 	Tol     float64
@@ -34,87 +37,87 @@ func (m OneCoinEM) Infer(ds *Dataset) (*Result, error) {
 	if tol <= 0 {
 		tol = defaultTol
 	}
-	k := float64(ds.K)
+	ds.dense()
+	n, nw, K := len(ds.TaskIDs), len(ds.WorkerIDs), ds.K
+	k := float64(K)
+	workers := kernelWorkers(len(ds.refs))
 
-	// Initialize posteriors from vote fractions (soft majority vote).
-	post := initPosteriors(ds)
-	reliability := make([]float64, len(ds.WorkerIDs))
+	post := make([]float64, n*K)
+	initPosteriorsInto(ds, post)
+	reliability := make([]float64, nw)
 	for i := range reliability {
 		reliability[i] = 0.8
 	}
-	prior := make([]float64, ds.K)
-	for c := range prior {
-		prior[c] = 1 / k
-	}
+	// Per-worker log-likelihood terms, refreshed each M-step so the
+	// E-step does zero math.Log calls per answer.
+	logP := make([]float64, nw)
+	logWrong := make([]float64, nw)
+	prior := make([]float64, K)
+	logPrior := make([]float64, K)
+	deltas := make([]float64, n)
+	scratch := make([]float64, workers*2*K)
 
 	iters := 0
 	for ; iters < maxIter; iters++ {
 		// M-step: worker reliability = expected fraction of answers that
-		// match the (soft) truth; class prior from posteriors.
-		correct := make([]float64, len(ds.WorkerIDs))
-		total := make([]float64, len(ds.WorkerIDs))
-		for ti, id := range ds.TaskIDs {
-			for _, a := range ds.Answers[id] {
-				wi := ds.workerIndex[a.Worker]
-				correct[wi] += post[ti][a.Option]
-				total[wi]++
+		// match the (soft) truth. Each worker's sum runs over their
+		// answers in task order inside one shard.
+		parallelFor(workers, nw, func(_, lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				sum := 0.0
+				for _, p := range ds.wAns[ds.wOff[wi]:ds.wOff[wi+1]] {
+					r := &ds.refs[p]
+					sum += post[int(r.task)*K+int(r.option)]
+				}
+				total := float64(ds.wOff[wi+1] - ds.wOff[wi])
+				rel := 1 / k
+				if total > 0 {
+					// Clamp away from 0/1 to keep likelihoods finite.
+					rel = clamp((sum+smoothing)/(total+2*smoothing), 0.01, 0.99)
+				}
+				reliability[wi] = rel
+				logP[wi] = math.Log(rel)
+				logWrong[wi] = math.Log((1 - rel) / (k - 1))
 			}
-		}
-		for wi := range reliability {
-			if total[wi] == 0 {
-				reliability[wi] = 1 / k
-				continue
-			}
-			reliability[wi] = (correct[wi] + smoothing) / (total[wi] + 2*smoothing)
-			// Clamp away from 0/1 to keep likelihoods finite.
-			reliability[wi] = clamp(reliability[wi], 0.01, 0.99)
-		}
-		newPrior := make([]float64, ds.K)
-		for ti := range ds.TaskIDs {
-			for c := 0; c < ds.K; c++ {
-				newPrior[c] += post[ti][c]
-			}
-		}
-		stats.Normalize(newPrior)
-		prior = newPrior
+		})
+		// Class prior from posteriors: serial O(n·K) reduction.
+		priorInto(prior, logPrior, post, n, K)
 
-		// E-step: posterior over true labels.
-		delta := 0.0
-		for ti, id := range ds.TaskIDs {
-			logp := make([]float64, ds.K)
-			for c := 0; c < ds.K; c++ {
-				logp[c] = math.Log(prior[c] + 1e-300)
-			}
-			for _, a := range ds.Answers[id] {
-				wi := ds.workerIndex[a.Worker]
-				p := reliability[wi]
-				wrong := (1 - p) / (k - 1)
-				for c := 0; c < ds.K; c++ {
-					if a.Option == c {
-						logp[c] += math.Log(p)
-					} else {
-						logp[c] += math.Log(wrong)
+		// E-step: posterior over true labels, sharded by task range.
+		parallelFor(workers, n, func(slot, lo, hi int) {
+			buf := scratch[slot*2*K:]
+			logp, np := buf[:K], buf[K:2*K]
+			for ti := lo; ti < hi; ti++ {
+				copy(logp, logPrior)
+				for p := ds.taskOff[ti]; p < ds.taskOff[ti+1]; p++ {
+					r := &ds.refs[p]
+					opt := int(r.option)
+					for c := 0; c < K; c++ {
+						if c == opt {
+							logp[c] += logP[r.worker]
+						} else {
+							logp[c] += logWrong[r.worker]
+						}
 					}
 				}
+				softmaxInto(np, logp)
+				deltas[ti] = replaceRow(post[ti*K:ti*K+K], np)
 			}
-			np := softmax(logp)
-			for c := 0; c < ds.K; c++ {
-				delta += math.Abs(np[c] - post[ti][c])
-			}
-			post[ti] = np
-		}
-		if delta < tol*float64(len(ds.TaskIDs)) {
+		})
+		if sumSerial(deltas) < tol*float64(n) {
 			iters++
 			break
 		}
 	}
-	return packResult("OneCoinEM", ds, post, func(w string) float64 {
-		return reliability[ds.workerIndex[w]]
-	}, iters), nil
+	return packResult("OneCoinEM", ds, post, reliability, iters), nil
 }
 
 // DawidSkene is the classic confusion-matrix EM estimator: each worker w
 // has a K×K matrix T_w where T_w[c][l] = P(worker answers l | truth c).
+//
+// Confusion matrices live in one flat [nw·K·K] slab with a parallel slab
+// of their logs, so the E-step reads precomputed log-probabilities by
+// integer index. Sharding follows the same model as OneCoinEM.
 type DawidSkene struct {
 	MaxIter int
 	Tol     float64
@@ -132,105 +135,189 @@ func (m DawidSkene) Infer(ds *Dataset) (*Result, error) {
 	if tol <= 0 {
 		tol = defaultTol
 	}
-	post := initPosteriors(ds)
-	conf := make([]stats.Confusion, len(ds.WorkerIDs))
-	prior := make([]float64, ds.K)
-	for c := range prior {
-		prior[c] = 1 / float64(ds.K)
-	}
+	ds.dense()
+	n, nw, K := len(ds.TaskIDs), len(ds.WorkerIDs), ds.K
+	kk := K * K
+	workers := kernelWorkers(len(ds.refs))
+
+	post := make([]float64, n*K)
+	initPosteriorsInto(ds, post)
+	conf := make([]float64, nw*kk)    // row-major per worker: [c][l]
+	logConf := make([]float64, nw*kk) // log(conf + 1e-300)
+	prior := make([]float64, K)
+	logPrior := make([]float64, K)
+	deltas := make([]float64, n)
+	scratch := make([]float64, workers*2*K)
 
 	iters := 0
 	for ; iters < maxIter; iters++ {
-		// M-step: confusion matrices from soft counts.
-		for wi := range conf {
-			conf[wi] = stats.NewConfusion(ds.K)
-		}
-		for ti, id := range ds.TaskIDs {
-			for _, a := range ds.Answers[id] {
-				wi := ds.workerIndex[a.Worker]
-				for c := 0; c < ds.K; c++ {
-					conf[wi].Add(c, a.Option, post[ti][c])
+		// M-step: confusion matrices from soft counts, one worker per
+		// shard slot — each matrix is zeroed, filled in task order,
+		// row-normalized, and logged without leaving its shard.
+		parallelFor(workers, nw, func(_, lo, hi int) {
+			for wi := lo; wi < hi; wi++ {
+				cm := conf[wi*kk : wi*kk+kk]
+				for i := range cm {
+					cm[i] = 0
 				}
+				for _, p := range ds.wAns[ds.wOff[wi]:ds.wOff[wi+1]] {
+					r := &ds.refs[p]
+					row := post[int(r.task)*K:]
+					opt := int(r.option)
+					for c := 0; c < K; c++ {
+						cm[c*K+opt] += row[c]
+					}
+				}
+				rowNormalizeLog(cm, logConf[wi*kk:wi*kk+kk], K, smoothing)
 			}
-		}
-		for wi := range conf {
-			conf[wi].RowNormalize(smoothing)
-		}
-		newPrior := make([]float64, ds.K)
-		for ti := range ds.TaskIDs {
-			for c := 0; c < ds.K; c++ {
-				newPrior[c] += post[ti][c]
-			}
-		}
-		stats.Normalize(newPrior)
-		prior = newPrior
+		})
+		priorInto(prior, logPrior, post, n, K)
 
 		// E-step.
-		delta := 0.0
-		for ti, id := range ds.TaskIDs {
-			logp := make([]float64, ds.K)
-			for c := 0; c < ds.K; c++ {
-				logp[c] = math.Log(prior[c] + 1e-300)
-			}
-			for _, a := range ds.Answers[id] {
-				wi := ds.workerIndex[a.Worker]
-				for c := 0; c < ds.K; c++ {
-					logp[c] += math.Log(conf[wi][c][a.Option] + 1e-300)
+		parallelFor(workers, n, func(slot, lo, hi int) {
+			buf := scratch[slot*2*K:]
+			logp, np := buf[:K], buf[K:2*K]
+			for ti := lo; ti < hi; ti++ {
+				copy(logp, logPrior)
+				for p := ds.taskOff[ti]; p < ds.taskOff[ti+1]; p++ {
+					r := &ds.refs[p]
+					lw := logConf[int(r.worker)*kk+int(r.option):]
+					for c := 0; c < K; c++ {
+						logp[c] += lw[c*K]
+					}
 				}
+				softmaxInto(np, logp)
+				deltas[ti] = replaceRow(post[ti*K:ti*K+K], np)
 			}
-			np := softmax(logp)
-			for c := 0; c < ds.K; c++ {
-				delta += math.Abs(np[c] - post[ti][c])
-			}
-			post[ti] = np
-		}
-		if delta < tol*float64(len(ds.TaskIDs)) {
+		})
+		if sumSerial(deltas) < tol*float64(n) {
 			iters++
 			break
 		}
 	}
-	return packResult("DS", ds, post, func(w string) float64 {
-		wi := ds.workerIndex[w]
-		if conf[wi] == nil {
-			return 0.5
-		}
-		return conf[wi].Accuracy()
-	}, iters), nil
-}
 
-// initPosteriors seeds EM with normalized vote fractions; tasks without
-// answers start uniform.
-func initPosteriors(ds *Dataset) [][]float64 {
-	post := make([][]float64, len(ds.TaskIDs))
-	for ti, id := range ds.TaskIDs {
-		p := make([]float64, ds.K)
-		for _, a := range ds.Answers[id] {
-			p[a.Option]++
+	// Worker quality: trace-weighted accuracy of the probability-form
+	// confusion matrix under uniform class priors.
+	quality := make([]float64, nw)
+	for wi := range quality {
+		s := 0.0
+		for c := 0; c < K; c++ {
+			s += conf[wi*kk+c*K+c]
 		}
-		stats.Normalize(p)
-		post[ti] = p
+		quality[wi] = s / float64(K)
 	}
-	return post
+	return packResult("DS", ds, post, quality, iters), nil
 }
 
-// softmax exponentiates and normalizes log-probabilities stably.
-func softmax(logp []float64) []float64 {
+// rowNormalizeLog converts one worker's K×K soft-count matrix into
+// per-true-class probabilities with Laplace smoothing (mirroring
+// stats.Confusion.RowNormalize) and writes log(v+1e-300) into dst.
+func rowNormalizeLog(cm, dst []float64, K int, alpha float64) {
+	for c := 0; c < K; c++ {
+		row := cm[c*K : c*K+K]
+		total := 0.0
+		for l := range row {
+			row[l] += alpha
+			total += row[l]
+		}
+		if total == 0 {
+			u := 1 / float64(K)
+			for l := range row {
+				row[l] = u
+			}
+		} else {
+			for l := range row {
+				row[l] /= total
+			}
+		}
+		for l := range row {
+			dst[c*K+l] = math.Log(row[l] + 1e-300)
+		}
+	}
+}
+
+// priorInto recomputes the class prior (and its logs) from the flat
+// posterior matrix: a cheap serial reduction in task order.
+func priorInto(prior, logPrior, post []float64, n, K int) {
+	for c := range prior {
+		prior[c] = 0
+	}
+	for ti := 0; ti < n; ti++ {
+		row := post[ti*K : ti*K+K]
+		for c := 0; c < K; c++ {
+			prior[c] += row[c]
+		}
+	}
+	stats.Normalize(prior)
+	for c := range prior {
+		logPrior[c] = math.Log(prior[c] + 1e-300)
+	}
+}
+
+// replaceRow copies np over row and returns the L1 change.
+func replaceRow(row, np []float64) float64 {
+	d := 0.0
+	for c := range row {
+		d += math.Abs(np[c] - row[c])
+		row[c] = np[c]
+	}
+	return d
+}
+
+// sumSerial reduces per-task scratch values in task order, keeping the
+// convergence test independent of shard boundaries.
+func sumSerial(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// initPosteriorsInto seeds EM with normalized vote fractions; tasks with
+// no answers explicitly start uniform.
+func initPosteriorsInto(ds *Dataset, post []float64) {
+	K := ds.K
+	u := 1 / float64(K)
+	for ti := range ds.TaskIDs {
+		row := post[ti*K : ti*K+K]
+		lo, hi := ds.taskOff[ti], ds.taskOff[ti+1]
+		if lo == hi {
+			for c := range row {
+				row[c] = u
+			}
+			continue
+		}
+		for c := range row {
+			row[c] = 0
+		}
+		for p := lo; p < hi; p++ {
+			row[ds.refs[p].option]++
+		}
+		total := float64(hi - lo)
+		for c := range row {
+			row[c] /= total
+		}
+	}
+}
+
+// softmaxInto exponentiates and normalizes log-probabilities stably,
+// writing the distribution into dst without allocating.
+func softmaxInto(dst, logp []float64) {
 	max := logp[0]
 	for _, v := range logp[1:] {
 		if v > max {
 			max = v
 		}
 	}
-	out := make([]float64, len(logp))
 	sum := 0.0
 	for i, v := range logp {
-		out[i] = math.Exp(v - max)
-		sum += out[i]
+		dst[i] = math.Exp(v - max)
+		sum += dst[i]
 	}
-	for i := range out {
-		out[i] /= sum
+	for i := range dst {
+		dst[i] /= sum
 	}
-	return out
 }
 
 func clamp(v, lo, hi float64) float64 {
@@ -243,20 +330,25 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
-// packResult converts posteriors into a Result with hard labels.
-func packResult(method string, ds *Dataset, post [][]float64, quality func(string) float64, iters int) *Result {
+// packResult converts the flat posterior slab and dense worker-quality
+// vector into a Result. Posterior rows alias the slab (one allocation for
+// the whole matrix instead of one per task); callers treat Results as
+// immutable, matching the ResultCache contract.
+func packResult(method string, ds *Dataset, post []float64, quality []float64, iters int) *Result {
 	res := newResult(method, ds)
 	res.Iterations = iters
+	K := ds.K
 	for ti, id := range ds.TaskIDs {
-		res.Posterior[id] = post[ti]
-		lbl := stats.ArgMax(post[ti])
+		row := post[ti*K : ti*K+K : ti*K+K]
+		res.Posterior[id] = row
+		lbl := stats.ArgMax(row)
 		if lbl < 0 {
 			lbl = 0
 		}
 		res.Labels[id] = lbl
 	}
-	for _, w := range ds.WorkerIDs {
-		res.WorkerQuality[w] = quality(w)
+	for wi, w := range ds.WorkerIDs {
+		res.WorkerQuality[w] = quality[wi]
 	}
 	return res
 }

@@ -8,6 +8,14 @@ import "math"
 // exp(b) for unconstrained optimization). Wrong answers spread uniformly
 // over the remaining K-1 options. Estimation is EM with a gradient-ascent
 // M-step and Gaussian priors alpha ~ N(1,1), b ~ N(0,1).
+//
+// The gradient M-step runs in two sharded passes: a task-major pass that
+// stores each answer's gradient contribution in a flat per-answer scratch
+// slab and accumulates the per-task easiness gradients, then a
+// worker-major pass that folds the per-answer contributions into each
+// worker's ability gradient in task order. No floating-point accumulator
+// crosses a shard boundary, so results are bit-identical to the serial
+// path at any GOMAXPROCS.
 type GLAD struct {
 	MaxIter   int
 	Tol       float64
@@ -35,22 +43,32 @@ func (m GLAD) Infer(ds *Dataset) (*Result, error) {
 	if lr <= 0 {
 		lr = 0.3
 	}
-	km1 := float64(ds.K - 1)
+	ds.dense()
+	n, nw, K := len(ds.TaskIDs), len(ds.WorkerIDs), ds.K
+	km1 := float64(K - 1)
+	workers := kernelWorkers(len(ds.refs))
 
-	post := initPosteriors(ds)
-	alpha := make([]float64, len(ds.WorkerIDs)) // worker abilities
+	post := make([]float64, n*K)
+	initPosteriorsInto(ds, post)
+	alpha := make([]float64, nw) // worker abilities
 	for i := range alpha {
 		alpha[i] = 1
 	}
-	logBeta := make([]float64, len(ds.TaskIDs)) // task log-easiness
+	logBeta := make([]float64, n) // task log-easiness
 	// The class prior stays fixed and uniform, as in the original GLAD
 	// model. Re-estimating it is unidentifiable at low redundancy: a
 	// slight imbalance feeds back through the E-step and collapses every
 	// label onto one class.
-	prior := make([]float64, ds.K)
-	for c := range prior {
-		prior[c] = 1 / float64(ds.K)
+	logPrior := make([]float64, K)
+	for c := range logPrior {
+		logPrior[c] = math.Log(1/float64(K) + 1e-300)
 	}
+
+	// Scratch reused across every gradient step and iteration.
+	aContrib := make([]float64, len(ds.refs)) // per-answer gradX·beta
+	gBeta := make([]float64, n)
+	deltas := make([]float64, n)
+	scratch := make([]float64, workers*2*K)
 
 	iters := 0
 	for ; iters < maxIter; iters++ {
@@ -59,106 +77,116 @@ func (m GLAD) Infer(ds *Dataset) (*Result, error) {
 		// per parameter (each worker/task sees a mean over its answers) so
 		// step sizes stay bounded regardless of answer counts.
 		for step := 0; step < gradSteps; step++ {
-			gAlpha := make([]float64, len(alpha))
-			gBeta := make([]float64, len(logBeta))
-			nAlpha := make([]float64, len(alpha))
-			nBeta := make([]float64, len(logBeta))
-			for ti, id := range ds.TaskIDs {
-				beta := math.Exp(logBeta[ti])
-				for _, a := range ds.Answers[id] {
-					wi := ds.workerIndex[a.Worker]
-					x := alpha[wi] * beta
-					s := sigmoid(x)
-					// d/dx of expected log-likelihood contribution.
-					gradX := 0.0
-					for c := 0; c < ds.K; c++ {
-						q := post[ti][c]
-						if q == 0 {
-							continue
+			// Pass 1 (task-major): per-answer gradient contributions and
+			// per-task easiness gradients.
+			parallelFor(workers, n, func(_, lo, hi int) {
+				for ti := lo; ti < hi; ti++ {
+					beta := math.Exp(logBeta[ti])
+					row := post[ti*K : ti*K+K]
+					gB := 0.0
+					for p := ds.taskOff[ti]; p < ds.taskOff[ti+1]; p++ {
+						r := &ds.refs[p]
+						a := alpha[r.worker]
+						s := sigmoid(a * beta)
+						// d/dx of expected log-likelihood contribution.
+						gradX := 0.0
+						opt := int(r.option)
+						for c := 0; c < K; c++ {
+							q := row[c]
+							if q == 0 {
+								continue
+							}
+							if opt == c {
+								gradX += q * (1 - s)
+							} else {
+								gradX -= q * s
+							}
 						}
-						if a.Option == c {
-							gradX += q * (1 - s)
-						} else {
-							gradX -= q * s
-						}
+						aContrib[p] = gradX * beta
+						gB += gradX * a * beta
 					}
-					gAlpha[wi] += gradX * beta
-					gBeta[ti] += gradX * alpha[wi] * beta
-					nAlpha[wi]++
-					nBeta[ti]++
+					gBeta[ti] = gB
 				}
-			}
-			for wi := range alpha {
-				g := -(alpha[wi] - 1) * 0.1 // weak Gaussian prior toward 1
-				if nAlpha[wi] > 0 {
-					g += gAlpha[wi] / nAlpha[wi]
+			})
+			// Pass 2 (worker-major): ability gradients and updates.
+			parallelFor(workers, nw, func(_, lo, hi int) {
+				for wi := lo; wi < hi; wi++ {
+					g := -(alpha[wi] - 1) * 0.1 // weak Gaussian prior toward 1
+					if cnt := ds.wOff[wi+1] - ds.wOff[wi]; cnt > 0 {
+						sum := 0.0
+						for _, p := range ds.wAns[ds.wOff[wi]:ds.wOff[wi+1]] {
+							sum += aContrib[p]
+						}
+						g += sum / float64(cnt)
+					}
+					alpha[wi] = clamp(alpha[wi]+lr*g, -6, 6)
 				}
-				alpha[wi] = clamp(alpha[wi]+lr*g, -6, 6)
-			}
-			for ti := range logBeta {
+			})
+			// Easiness updates: per task, O(n) serial.
+			for ti := 0; ti < n; ti++ {
 				g := -logBeta[ti] * 0.1 // weak Gaussian prior toward 0
-				if nBeta[ti] > 0 {
-					g += gBeta[ti] / nBeta[ti]
+				if cnt := ds.taskOff[ti+1] - ds.taskOff[ti]; cnt > 0 {
+					g += gBeta[ti] / float64(cnt)
 				}
 				logBeta[ti] = clamp(logBeta[ti]+lr*g, -3, 3)
 			}
 		}
 
 		// E-step.
-		delta := 0.0
-		for ti, id := range ds.TaskIDs {
-			beta := math.Exp(logBeta[ti])
-			logp := make([]float64, ds.K)
-			for c := 0; c < ds.K; c++ {
-				logp[c] = math.Log(prior[c] + 1e-300)
-			}
-			for _, a := range ds.Answers[id] {
-				wi := ds.workerIndex[a.Worker]
-				s := clamp(sigmoid(alpha[wi]*beta), 1e-9, 1-1e-9)
-				for c := 0; c < ds.K; c++ {
-					if a.Option == c {
-						logp[c] += math.Log(s)
-					} else {
-						logp[c] += math.Log((1 - s) / km1)
+		parallelFor(workers, n, func(slot, lo, hi int) {
+			buf := scratch[slot*2*K:]
+			logp, np := buf[:K], buf[K:2*K]
+			for ti := lo; ti < hi; ti++ {
+				beta := math.Exp(logBeta[ti])
+				copy(logp, logPrior)
+				for p := ds.taskOff[ti]; p < ds.taskOff[ti+1]; p++ {
+					r := &ds.refs[p]
+					s := clamp(sigmoid(alpha[r.worker]*beta), 1e-9, 1-1e-9)
+					ls, lw := math.Log(s), math.Log((1-s)/km1)
+					opt := int(r.option)
+					for c := 0; c < K; c++ {
+						if c == opt {
+							logp[c] += ls
+						} else {
+							logp[c] += lw
+						}
 					}
 				}
+				softmaxInto(np, logp)
+				deltas[ti] = replaceRow(post[ti*K:ti*K+K], np)
 			}
-			np := softmax(logp)
-			for c := 0; c < ds.K; c++ {
-				delta += math.Abs(np[c] - post[ti][c])
-			}
-			post[ti] = np
-		}
-		if delta < tol*float64(len(ds.TaskIDs)) {
+		})
+		if sumSerial(deltas) < tol*float64(n) {
 			iters++
 			break
 		}
 	}
 
 	// Worker quality: average modeled correctness over the tasks each
-	// worker actually answered.
-	res := packResult("GLAD", ds, post, func(w string) float64 { return 0 }, iters)
-	qualitySum := make(map[string]float64, len(ds.WorkerIDs))
-	qualityN := make(map[string]int, len(ds.WorkerIDs))
-	for ti, id := range ds.TaskIDs {
-		beta := math.Exp(logBeta[ti])
-		for _, a := range ds.Answers[id] {
-			wi := ds.workerIndex[a.Worker]
-			qualitySum[a.Worker] += sigmoid(alpha[wi] * beta)
-			qualityN[a.Worker]++
-		}
+	// worker actually answered. Iterations reports EM rounds, consistent
+	// with the other EM methods (gradient steps are internal).
+	quality := make([]float64, nw)
+	betas := make([]float64, n)
+	for ti := range betas {
+		betas[ti] = math.Exp(logBeta[ti])
 	}
-	for _, w := range ds.WorkerIDs {
-		if qualityN[w] == 0 {
-			res.WorkerQuality[w] = 0.5
+	for wi := range quality {
+		lo, hi := ds.wOff[wi], ds.wOff[wi+1]
+		if lo == hi {
+			quality[wi] = 0.5
 			continue
 		}
-		res.WorkerQuality[w] = qualitySum[w] / float64(qualityN[w])
+		sum := 0.0
+		for _, p := range ds.wAns[lo:hi] {
+			sum += sigmoid(alpha[wi] * betas[ds.refs[p].task])
+		}
+		quality[wi] = sum / float64(hi-lo)
 	}
+	res := packResult("GLAD", ds, post, quality, iters)
 	// Expose inferred difficulty for diagnostics via TaskEasiness.
-	res.taskEasiness = make(map[int]float64, len(logBeta))
-	for ti := range logBeta {
-		res.taskEasiness[ti] = math.Exp(logBeta[ti])
+	res.taskEasiness = make(map[int]float64, n)
+	for ti, b := range betas {
+		res.taskEasiness[ti] = b
 	}
 	return res, nil
 }

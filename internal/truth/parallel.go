@@ -1,0 +1,81 @@
+package truth
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallelism model of the EM kernels
+//
+// Every loop the kernels run falls into one of three shapes, all of which
+// stay bit-identical to a single-goroutine run at any worker count:
+//
+//   - task-major sweeps (E-steps, per-task gradients): each task's output
+//     depends only on the previous iteration's global state, so tasks are
+//     split into contiguous ranges with disjoint writes.
+//   - worker-major sweeps (reliability, confusion matrices, ability
+//     gradients): each crowd worker's statistic is accumulated entirely
+//     inside one shard, over that worker's answers in task order — no
+//     floating-point accumulator ever crosses a shard boundary, so there
+//     is no merge step whose association order could change the result.
+//   - global reductions (class prior, convergence delta): per-task values
+//     are written to a scratch slot and reduced serially in task order.
+//
+// Because shard boundaries never influence any floating-point association
+// order, the boundaries are free to depend on GOMAXPROCS.
+
+// inferParallelism overrides the number of goroutines the EM kernels use;
+// 0 means runtime.GOMAXPROCS(0). Tests pin it to sweep a worker-count
+// matrix without touching the global GOMAXPROCS.
+var inferParallelism = 0
+
+// serialAnswerThreshold is the dataset size (total answers) below which
+// the kernels stay on the calling goroutine: under a few thousand answers
+// the fork/join handoff costs more than the sweep itself.
+var serialAnswerThreshold = 4096
+
+// kernelWorkers picks the goroutine count for a dataset with nAnswers
+// usable answers.
+func kernelWorkers(nAnswers int) int {
+	if nAnswers < serialAnswerThreshold {
+		return 1
+	}
+	w := inferParallelism
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelFor splits [0, n) into one contiguous range per worker slot and
+// runs fn(slot, lo, hi) on each concurrently; with workers <= 1 it runs
+// inline on the calling goroutine. Slots are in [0, workers) and can
+// index preallocated per-slot scratch. Writes by different slots must be
+// disjoint.
+func parallelFor(workers, n int, fn func(slot, lo, hi int)) {
+	if workers <= 1 || n <= 1 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < workers; s++ {
+		lo, hi := s*n/workers, (s+1)*n/workers
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			fn(slot, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}
