@@ -6,9 +6,16 @@
 //	crowdserve -addr :8080 -tasks 100            # serve; workers poll /api/task
 //	crowdserve -drive -workers 20 -regime mixed  # also simulate the crowd, then print results
 //	crowdserve -budget 300                       # cap accepted answers at 300 units
+//	crowdserve -lease 2m                         # reclaim assignments abandoned for 2m
+//	crowdserve -drive -dropout 0.3 -lease 200ms  # 30% of workers vanish mid-task
+//	crowdserve -timeout 10s                      # server read/write + client deadlines
 //
 // The server handles concurrent workers without a global lock; see the
-// server package docs for the concurrency model.
+// server package docs for the concurrency model. With -lease set, every
+// assignment carries a lease: a worker that claims a task and vanishes
+// forfeits it after the TTL and the slot is re-issued, so the run still
+// reaches its redundancy target under worker churn. /healthz serves a
+// liveness probe.
 package main
 
 import (
@@ -16,9 +23,9 @@ import (
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/assign"
 	"repro/internal/core"
@@ -35,6 +42,9 @@ func main() {
 		workers = flag.Int("workers", 20, "simulated workers (with -drive)")
 		regime  = flag.String("regime", "mixed", "crowd regime (with -drive)")
 		budgetF = flag.Float64("budget", 0, "answer budget in units (0 = unlimited)")
+		lease   = flag.Duration("lease", 0, "assignment lease TTL; abandoned tasks are re-issued after this (0 = leases off)")
+		timeout = flag.Duration("timeout", 30*time.Second, "HTTP server read/write deadline and client per-attempt timeout")
+		dropout = flag.Float64("dropout", 0, "fraction of simulated workers that claim a task and vanish (with -drive)")
 		seed    = flag.Uint64("seed", 42, "random seed")
 	)
 	flag.Parse()
@@ -53,30 +63,37 @@ func main() {
 	if *budgetF > 0 {
 		budget = core.NewBudget(*budgetF)
 	}
-	srv, err := server.New(pool, assign.FewestAnswers{}, budget, nil)
+	var opts []server.Option
+	if *lease > 0 {
+		opts = append(opts, server.WithLeaseTTL(*lease))
+	}
+	srv, err := server.New(pool, assign.FewestAnswers{}, budget, nil, opts...)
 	if err != nil {
 		fatal(err)
 	}
+	defer srv.Close()
 
 	if !*drive {
-		log.Printf("crowdserve: %d tasks on http://%s (GET /api/task?worker=you)", *nTasks, *addr)
-		fatal(http.ListenAndServe(*addr, srv))
+		log.Printf("crowdserve: %d tasks on http://%s (GET /api/task?worker=you, lease=%v)",
+			*nTasks, *addr, *lease)
+		fatal(server.HTTPServer(*addr, srv, *timeout).ListenAndServe())
 	}
 
-	// Self-driving demo: serve on an ephemeral goroutine-local listener
-	// via httptest-like pattern, drive workers, print results.
+	// Self-driving demo: serve on a local listener with handler deadlines,
+	// drive workers, print results.
 	ln := mustListen(*addr)
-	go func() { fatal(http.Serve(ln, srv)) }()
+	hs := server.HTTPServer(*addr, srv, *timeout)
+	go func() { fatal(hs.Serve(ln)) }()
 	base := "http://" + ln.Addr().String()
-	log.Printf("crowdserve: serving %d tasks on %s, driving %d %s workers",
-		*nTasks, base, *workers, *regime)
+	log.Printf("crowdserve: serving %d tasks on %s, driving %d %s workers (dropout %.0f%%, lease %v)",
+		*nTasks, base, *workers, *regime, 100**dropout, *lease)
 
 	mix, err := crowd.RegimeByName(*regime)
 	if err != nil {
 		fatal(err)
 	}
-	ws := crowd.NewPopulation(rng, *workers, mix)
-	client := server.NewClient(base)
+	ws := crowd.WithDropout(rng, crowd.NewPopulation(rng, *workers, mix), *dropout, 1)
+	client := server.NewClient(base, server.WithTimeout(*timeout))
 	var wg sync.WaitGroup
 	for _, w := range ws {
 		wg.Add(1)
@@ -93,8 +110,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("collected %d answers from %d workers (budget spent: %v)\n",
-		st.TotalAnswers, st.Workers, st.BudgetSpent)
+	fmt.Printf("collected %d answers from %d workers (budget spent: %v, active leases: %d, reclaimed: %d)\n",
+		st.TotalAnswers, st.Workers, st.BudgetSpent, st.ActiveLeases, st.ExpiredLeases)
 	results, err := client.Results("onecoin")
 	if err != nil {
 		fatal(err)

@@ -47,9 +47,14 @@ func (r *Random) Assign(p *core.Pool, worker string) (core.TaskID, bool) {
 	return el[r.RNG.Intn(len(el))], true
 }
 
-// FewestAnswers assigns the eligible task with the fewest answers so far,
-// breaking ties by insertion order. This realizes classic redundancy-k
-// collection with balanced progress.
+// FewestAnswers assigns the eligible task with the fewest in-flight
+// answers (committed answers plus outstanding leases), breaking ties by
+// insertion order. This realizes classic redundancy-k collection with
+// balanced progress. Counting leases steers assignments away from tasks
+// already handed to another worker, and an expired lease drops the task
+// back to the front of the queue, so reclaimed work is re-issued first.
+// On a pool without leases InFlight equals AnswerCount, so behavior is
+// identical to the pre-lease policy.
 type FewestAnswers struct{}
 
 // Assign implements core.Assigner.
@@ -59,9 +64,9 @@ func (FewestAnswers) Assign(p *core.Pool, worker string) (core.TaskID, bool) {
 		return 0, false
 	}
 	best := el[0]
-	bestN := p.AnswerCount(best)
+	bestN := p.InFlight(best)
 	for _, id := range el[1:] {
-		if n := p.AnswerCount(id); n < bestN {
+		if n := p.InFlight(id); n < bestN {
 			best, bestN = id, n
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/crowd"
@@ -250,5 +251,84 @@ func TestConstantQuality(t *testing.T) {
 	q := ConstantQuality(0.66)
 	if q("anyone") != 0.66 {
 		t.Fatal("ConstantQuality broken")
+	}
+}
+
+// TestFewestAnswersLeaseAware: outstanding leases count as in-flight, so
+// a leased task is not handed out again while unleased tasks need
+// answers, and an expired lease drops the task back to the front.
+func TestFewestAnswersLeaseAware(t *testing.T) {
+	rng := stats.NewRNG(21)
+	p := binaryPool(3, rng, 0.2)
+	deadline := time.Unix(1000, 0)
+
+	// Lease task 1 and task 2; the only un-covered task is 3.
+	if err := p.Lease(1, "gone1", deadline); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Lease(2, "gone2", deadline); err != nil {
+		t.Fatal(err)
+	}
+	id, ok := FewestAnswers{}.Assign(p, "fresh")
+	if !ok || id != 3 {
+		t.Fatalf("assigned %d, want the unleased task 3", id)
+	}
+
+	// After the sweep reclaims both leases, insertion order wins again.
+	if exp := p.ExpireLeases(deadline.Add(time.Second)); len(exp) != 2 {
+		t.Fatalf("expired %d leases, want 2", len(exp))
+	}
+	id, ok = FewestAnswers{}.Assign(p, "fresh")
+	if !ok || id != 1 {
+		t.Fatalf("assigned %d after reclamation, want 1", id)
+	}
+}
+
+// TestFewestAnswersUnchangedWithoutLeases is the determinism guard for
+// the lease-aware rewrite: on a pool that never leases, InFlight equals
+// AnswerCount, so assignments (and therefore CollectRedundant cost and
+// makespan) are identical to the pre-lease policy.
+func TestFewestAnswersUnchangedWithoutLeases(t *testing.T) {
+	// Reference implementation: the pre-lease AnswerCount-balanced policy.
+	legacy := core.AssignerFunc(func(p *core.Pool, worker string) (core.TaskID, bool) {
+		el := p.EligibleFor(worker)
+		if len(el) == 0 {
+			return 0, false
+		}
+		best := el[0]
+		bestN := p.AnswerCount(best)
+		for _, id := range el[1:] {
+			if n := p.AnswerCount(id); n < bestN {
+				best, bestN = id, n
+			}
+		}
+		return best, true
+	})
+
+	run := func(assigner core.Assigner) (core.RunResult, []int) {
+		rng := stats.NewRNG(77)
+		p := binaryPool(30, rng, 0.3)
+		ws := crowd.AsCoreWorkers(crowd.NewPopulation(rng, 9, crowd.RegimeMixed))
+		pl := core.NewPlatform(p, ws, core.NewBudget(30*5+50))
+		res, err := pl.CollectRedundant(assigner, 5)
+		if err != nil && !errors.Is(err, core.ErrBudgetExhausted) {
+			t.Fatal(err)
+		}
+		counts := make([]int, 0, 30)
+		for _, id := range p.TaskIDs() {
+			counts = append(counts, p.AnswerCount(id))
+		}
+		return res, counts
+	}
+
+	gotRes, gotCounts := run(FewestAnswers{})
+	wantRes, wantCounts := run(legacy)
+	if gotRes != wantRes {
+		t.Fatalf("lease-aware run diverged without leases:\n got %+v\nwant %+v", gotRes, wantRes)
+	}
+	for i := range gotCounts {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("task %d answer count %d != legacy %d", i+1, gotCounts[i], wantCounts[i])
+		}
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ConcurrentPool makes a Pool safe for concurrent use by guarding it with
@@ -75,6 +76,66 @@ func (cp *ConcurrentPool) Assign(a Assigner, worker string) (TaskID, bool) {
 	cp.mu.RLock()
 	defer cp.mu.RUnlock()
 	return a.Assign(cp.pool, worker)
+}
+
+// AssignLease atomically runs the assignment policy and records a lease on
+// the chosen task until deadline. It takes the write lock (the lease is a
+// mutation, and choosing + leasing must be one atomic step so two workers
+// cannot race past each other's in-flight counts).
+//
+// Lease bookkeeping deliberately does NOT bump the version counter: leases
+// never change the answer set, and bumping on every assignment would
+// invalidate the /api/results inference cache on each /api/task poll.
+func (cp *ConcurrentPool) AssignLease(a Assigner, worker string, deadline time.Time) (TaskID, bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	id, ok := a.Assign(cp.pool, worker)
+	if !ok {
+		return 0, false
+	}
+	if err := cp.pool.Lease(id, worker, deadline); err != nil {
+		// The assigner returned an unknown or closed task; treat it as no
+		// assignment rather than handing out an untracked slot.
+		return 0, false
+	}
+	return id, true
+}
+
+// ExpireLeases sweeps leases past their deadline under the write lock and
+// returns the reclaimed assignments. Like AssignLease, it does not bump
+// the version counter.
+func (cp *ConcurrentPool) ExpireLeases(now time.Time) []Lease {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.pool.ExpireLeases(now)
+}
+
+// ActiveLeases returns the total number of outstanding leases.
+func (cp *ConcurrentPool) ActiveLeases() int {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.ActiveLeases()
+}
+
+// LeaseCount returns the number of outstanding leases on a task.
+func (cp *ConcurrentPool) LeaseCount(id TaskID) int {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.LeaseCount(id)
+}
+
+// HasLease reports whether the worker holds a lease on the task.
+func (cp *ConcurrentPool) HasLease(worker string, id TaskID) bool {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.HasLease(worker, id)
+}
+
+// InFlight returns committed answers plus outstanding leases for a task.
+func (cp *ConcurrentPool) InFlight(id TaskID) int {
+	cp.mu.RLock()
+	defer cp.mu.RUnlock()
+	return cp.pool.InFlight(id)
 }
 
 // View runs fn with the read lock held, giving it a consistent snapshot of

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Lease records that a task has been handed to a worker who has not yet
+// submitted an answer for it. Leases are the unit of fault tolerance on
+// the serving path: an assignment without a lease is lost forever if the
+// worker vanishes, while a leased assignment is reclaimed after Deadline
+// and re-issued to somebody else.
+//
+// The lease state machine is:
+//
+//	issued ──(Record by the same worker)──▶ submitted (lease consumed)
+//	issued ──(ExpireLeases past Deadline)─▶ expired   (slot re-issuable)
+//
+// A worker re-fetching a task it already holds simply extends the lease
+// (same state, later deadline). Closing a task drops all of its leases.
+type Lease struct {
+	Task     TaskID
+	Worker   string
+	Deadline time.Time
+}
+
+// Lease records (or extends) a lease on the task for the worker until
+// deadline. The task must exist and be open.
+func (p *Pool) Lease(id TaskID, worker string, deadline time.Time) error {
+	if worker == "" {
+		return fmt.Errorf("core: lease needs a worker id")
+	}
+	if _, ok := p.tasks[id]; !ok {
+		return fmt.Errorf("core: lease for unknown task %d", id)
+	}
+	if p.closed[id] {
+		return fmt.Errorf("core: lease for closed task %d", id)
+	}
+	m := p.leases[id]
+	if m == nil {
+		m = make(map[string]time.Time)
+		p.leases[id] = m
+	}
+	m[worker] = deadline
+	return nil
+}
+
+// releaseLease drops the (task, worker) lease if one exists, reporting
+// whether it did. Called when a submission consumes the lease, when a
+// sweep expires it, and when the task closes.
+func (p *Pool) releaseLease(id TaskID, worker string) bool {
+	m := p.leases[id]
+	if m == nil {
+		return false
+	}
+	if _, ok := m[worker]; !ok {
+		return false
+	}
+	delete(m, worker)
+	if len(m) == 0 {
+		delete(p.leases, id)
+	}
+	return true
+}
+
+// HasLease reports whether the worker currently holds a lease on the task
+// (expired-but-not-yet-swept leases still count: only ExpireLeases
+// transitions them out).
+func (p *Pool) HasLease(worker string, id TaskID) bool {
+	_, ok := p.leases[id][worker]
+	return ok
+}
+
+// LeaseCount returns the number of outstanding leases on a task.
+func (p *Pool) LeaseCount(id TaskID) int { return len(p.leases[id]) }
+
+// ActiveLeases returns the total number of outstanding leases.
+func (p *Pool) ActiveLeases() int {
+	n := 0
+	for _, m := range p.leases {
+		n += len(m)
+	}
+	return n
+}
+
+// InFlight returns committed answers plus outstanding leases for a task —
+// the count assigners balance on, so that a task already handed out is not
+// handed out again while other tasks need answers. Redundancy targets must
+// keep using AnswerCount: only committed answers satisfy them.
+func (p *Pool) InFlight(id TaskID) int {
+	return len(p.answers[id]) + len(p.leases[id])
+}
+
+// ExpireLeases removes every lease whose deadline is at or before now and
+// returns them sorted by (task, worker) for deterministic processing. The
+// freed slots immediately lower InFlight, so assigners re-issue the tasks.
+func (p *Pool) ExpireLeases(now time.Time) []Lease {
+	if len(p.leases) == 0 {
+		return nil
+	}
+	var out []Lease
+	for id, m := range p.leases {
+		for w, d := range m {
+			if !d.After(now) {
+				out = append(out, Lease{Task: id, Worker: w, Deadline: d})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	for _, l := range out {
+		p.releaseLease(l.Task, l.Worker)
+	}
+	return out
+}

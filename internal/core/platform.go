@@ -62,6 +62,11 @@ func NewPlatform(pool *Pool, workers []Worker, budget *Budget) *Platform {
 // most one assignment from the assigner and submits an answer. It returns
 // the number of answers collected this round. Budget exhaustion stops the
 // round early and is reported via the error (errors.Is ErrBudgetExhausted).
+//
+// Budget accounting follows the TryCharge/Refund reservation protocol: a
+// unit is reserved before the worker works, and refunded when the worker
+// abandons the assignment or the pool rejects the answer — a failed record
+// never burns budget.
 func (pl *Platform) Step(assigner Assigner) (int, error) {
 	collected := 0
 	roundLatency := 0.0
@@ -82,6 +87,12 @@ func (pl *Platform) Step(assigner Assigner) (int, error) {
 			return collected, err
 		}
 		resp := w.Work(t)
+		if resp.Abandon {
+			// The worker dropped out mid-task: nothing to record, and the
+			// reserved unit goes back. The round does not wait for them.
+			pl.Budget.Refund(pl.CostPerAnswer)
+			continue
+		}
 		a := Answer{
 			Task:      id,
 			Worker:    w.ID(),
@@ -92,6 +103,7 @@ func (pl *Platform) Step(assigner Assigner) (int, error) {
 			Latency:   resp.Latency,
 		}
 		if err := pl.Pool.Record(a); err != nil {
+			pl.Budget.Refund(pl.CostPerAnswer)
 			return collected, fmt.Errorf("core: recording answer: %w", err)
 		}
 		if resp.Latency > roundLatency {

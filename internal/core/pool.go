@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Pool holds the open tasks of a crowdsourcing run together with the
@@ -20,7 +21,10 @@ type Pool struct {
 	// enforce the one-answer-per-worker-per-task platform rule.
 	perWorker map[string]map[TaskID]bool
 	closed    map[TaskID]bool
-	nextID    TaskID
+	// leases tracks outstanding assignments per task: worker -> deadline.
+	// See lease.go for the lease state machine.
+	leases map[TaskID]map[string]time.Time
+	nextID TaskID
 }
 
 // NewPool returns an empty pool.
@@ -30,6 +34,7 @@ func NewPool() *Pool {
 		answers:   make(map[TaskID][]Answer),
 		perWorker: make(map[string]map[TaskID]bool),
 		closed:    make(map[TaskID]bool),
+		leases:    make(map[TaskID]map[string]time.Time),
 	}
 }
 
@@ -92,6 +97,8 @@ func (p *Pool) Record(a Answer) error {
 	}
 	wt[a.Task] = true
 	p.answers[a.Task] = append(p.answers[a.Task], a)
+	// The submission consumes any outstanding lease for this assignment.
+	p.releaseLease(a.Task, a.Worker)
 	return nil
 }
 
@@ -127,8 +134,12 @@ func (p *Pool) HasAnswered(worker string, id TaskID) bool {
 }
 
 // Close marks a task as finished: no further answers are accepted and
-// assigners skip it.
-func (p *Pool) Close(id TaskID) { p.closed[id] = true }
+// assigners skip it. Outstanding leases on the task are dropped — a late
+// submission would be rejected anyway.
+func (p *Pool) Close(id TaskID) {
+	p.closed[id] = true
+	delete(p.leases, id)
+}
 
 // Closed reports whether the task has been closed.
 func (p *Pool) Closed(id TaskID) bool { return p.closed[id] }

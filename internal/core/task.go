@@ -149,6 +149,11 @@ type Response struct {
 	Text    string
 	Score   float64
 	Latency float64
+	// Abandon reports that the worker walked away without producing an
+	// answer (crowd dropout). The platform must not record anything or
+	// charge budget for an abandoned assignment; drivers treat it as the
+	// worker leaving the session.
+	Abandon bool
 }
 
 // Worker is anything that can answer tasks. The crowd package provides

@@ -1,0 +1,110 @@
+package crowd
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// This file holds fault-injection decorators: wrappers around any
+// core.Worker that reproduce the failure modes of real crowd platforms —
+// workers who claim a task and silently vanish, and stragglers with
+// heavy-tailed completion times. They exist to exercise the lease /
+// reclamation machinery of the serving path and the dropout model of the
+// latency simulator under controlled, seeded churn.
+
+// DropoutWorker wraps a worker and, with probability P per assignment,
+// abandons the task instead of answering: Work returns a Response with
+// Abandon set, which platforms must treat as "no answer, release the
+// slot". With P = 1 the worker claims exactly one assignment and walks
+// away — the worst case for a leaseless platform, where that assignment
+// would be lost forever.
+type DropoutWorker struct {
+	Inner core.Worker
+	// P is the per-assignment dropout probability in [0, 1].
+	P   float64
+	rng *stats.RNG
+}
+
+// NewDropoutWorker decorates inner with a dropout probability p, drawing
+// from a decorrelated split of rng.
+func NewDropoutWorker(inner core.Worker, p float64, rng *stats.RNG) *DropoutWorker {
+	return &DropoutWorker{Inner: inner, P: p, rng: rng.Split()}
+}
+
+// ID implements core.Worker by delegating to the wrapped worker.
+func (d *DropoutWorker) ID() string { return d.Inner.ID() }
+
+// Work implements core.Worker: with probability P the assignment is
+// abandoned, otherwise the wrapped worker answers normally.
+func (d *DropoutWorker) Work(t *core.Task) core.Response {
+	if d.P >= 1 || (d.P > 0 && d.rng.Bool(d.P)) {
+		return core.Response{Option: -1, Abandon: true}
+	}
+	return d.Inner.Work(t)
+}
+
+// SlowWorker wraps a worker and inflates its simulated latency with a
+// Pareto-distributed (heavy-tailed) straggler delay: most answers arrive
+// roughly on time, but a small fraction take far longer — the empirical
+// straggler regime that motivates lease timeouts and re-issue policies.
+type SlowWorker struct {
+	Inner core.Worker
+	// Scale is the minimum extra delay in seconds (the Pareto x_m).
+	Scale float64
+	// Alpha is the Pareto tail index; smaller means heavier tails. Values
+	// at or below 1 have infinite mean — 1.5 is a reasonable straggler
+	// model. Non-positive Alpha defaults to 1.5.
+	Alpha float64
+	rng   *stats.RNG
+}
+
+// NewSlowWorker decorates inner with a Pareto(scale, alpha) straggler
+// delay, drawing from a decorrelated split of rng.
+func NewSlowWorker(inner core.Worker, scale, alpha float64, rng *stats.RNG) *SlowWorker {
+	return &SlowWorker{Inner: inner, Scale: scale, Alpha: alpha, rng: rng.Split()}
+}
+
+// ID implements core.Worker by delegating to the wrapped worker.
+func (s *SlowWorker) ID() string { return s.Inner.ID() }
+
+// Work implements core.Worker: the wrapped worker's answer, delayed by a
+// Pareto straggler draw.
+func (s *SlowWorker) Work(t *core.Task) core.Response {
+	resp := s.Inner.Work(t)
+	resp.Latency += s.paretoDelay()
+	return resp
+}
+
+// paretoDelay draws from Pareto(Scale, Alpha) via inverse transform:
+// x = x_m * u^(-1/alpha) for u ~ U(0,1].
+func (s *SlowWorker) paretoDelay() float64 {
+	alpha := s.Alpha
+	if alpha <= 0 {
+		alpha = 1.5
+	}
+	scale := s.Scale
+	if scale <= 0 {
+		return 0
+	}
+	u := 1 - s.rng.Float64() // in (0, 1]
+	return scale * math.Pow(u, -1/alpha)
+}
+
+// WithDropout wraps the first ceil(frac*len(ws)) workers of a population
+// in DropoutWorkers with per-assignment dropout probability p, returning
+// the decorated population as core.Workers. It is the standard way tests
+// and demos build a churning crowd: e.g. WithDropout(rng, ws, 0.3, 1)
+// makes 30% of the population claim one task each and vanish.
+func WithDropout(rng *stats.RNG, ws []*Worker, frac, p float64) []core.Worker {
+	out := AsCoreWorkers(ws)
+	n := int(math.Ceil(frac * float64(len(ws))))
+	if n > len(out) {
+		n = len(out)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = NewDropoutWorker(out[i], p, rng)
+	}
+	return out
+}

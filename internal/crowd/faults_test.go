@@ -1,0 +1,115 @@
+package crowd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestDropoutWorkerAlwaysAbandons(t *testing.T) {
+	rng := stats.NewRNG(7)
+	w := NewDropoutWorker(NewWorker("w1", 3, Honest, rng), 1, rng)
+	if w.ID() != "w1" {
+		t.Fatalf("ID = %q, want delegation to the wrapped worker", w.ID())
+	}
+	task := binaryTask(1, 0.3)
+	for i := 0; i < 50; i++ {
+		resp := w.Work(task)
+		if !resp.Abandon {
+			t.Fatalf("P=1 dropout answered on attempt %d: %+v", i, resp)
+		}
+	}
+}
+
+func TestDropoutWorkerZeroProbNeverAbandons(t *testing.T) {
+	rng := stats.NewRNG(8)
+	w := NewDropoutWorker(NewWorker("w2", 3, Honest, rng), 0, rng)
+	task := binaryTask(1, 0.3)
+	for i := 0; i < 200; i++ {
+		if w.Work(task).Abandon {
+			t.Fatalf("P=0 dropout abandoned on attempt %d", i)
+		}
+	}
+}
+
+func TestDropoutWorkerRate(t *testing.T) {
+	rng := stats.NewRNG(9)
+	w := NewDropoutWorker(NewWorker("w3", 3, Honest, rng), 0.3, rng)
+	task := binaryTask(1, 0.3)
+	const n = 5000
+	dropped := 0
+	for i := 0; i < n; i++ {
+		if w.Work(task).Abandon {
+			dropped++
+		}
+	}
+	rate := float64(dropped) / n
+	if math.Abs(rate-0.3) > 0.03 {
+		t.Fatalf("empirical dropout rate %.3f, want ~0.30", rate)
+	}
+}
+
+func TestSlowWorkerAddsHeavyTailDelay(t *testing.T) {
+	rng := stats.NewRNG(10)
+	inner := NewWorker("w4", 3, Honest, rng)
+	slow := NewSlowWorker(inner, 2, 1.5, rng)
+	if slow.ID() != "w4" {
+		t.Fatalf("ID = %q, want delegation", slow.ID())
+	}
+	task := binaryTask(1, 0.3)
+	const n = 2000
+	var exceed10 int
+	for i := 0; i < n; i++ {
+		resp := slow.Work(task)
+		// Pareto delay is at least Scale, on top of the inner latency.
+		if resp.Latency < 2 {
+			t.Fatalf("latency %.3f below the Pareto scale floor", resp.Latency)
+		}
+		if resp.Latency > 50 {
+			exceed10++
+		}
+	}
+	// Heavy tail: Pareto(2, 1.5) has P(X > 50) ~ (2/50)^1.5 ~ 0.8%, and the
+	// lognormal inner latency only raises that. A thin-tailed delay of the
+	// same scale would essentially never get there.
+	if exceed10 == 0 {
+		t.Fatal("no stragglers past 50s in 2000 draws; tail looks thin")
+	}
+}
+
+func TestSlowWorkerZeroScaleIsNoop(t *testing.T) {
+	rng := stats.NewRNG(11)
+	slow := NewSlowWorker(NewWorker("w5", 3, Honest, rng), 0, 1.5, rng)
+	task := binaryTask(1, 0.3)
+	for i := 0; i < 100; i++ {
+		if l := slow.Work(task).Latency; l <= 0 || l > 1000 {
+			t.Fatalf("zero-scale SlowWorker produced latency %.3f", l)
+		}
+	}
+}
+
+func TestWithDropoutWrapsFraction(t *testing.T) {
+	rng := stats.NewRNG(12)
+	ws := NewPopulation(rng, 10, RegimeMixed)
+	out := WithDropout(rng, ws, 0.3, 1)
+	if len(out) != 10 {
+		t.Fatalf("population size changed: %d", len(out))
+	}
+	wrapped := 0
+	for _, w := range out {
+		if _, ok := w.(*DropoutWorker); ok {
+			wrapped++
+		}
+	}
+	if wrapped != 3 {
+		t.Fatalf("wrapped %d workers, want ceil(0.3*10) = 3", wrapped)
+	}
+	// Fraction above 1 must clamp, not panic or over-index.
+	all := WithDropout(rng, ws, 2, 1)
+	for i, w := range all {
+		if _, ok := w.(*DropoutWorker); !ok {
+			t.Fatalf("worker %d not wrapped with frac > 1", i)
+		}
+	}
+}

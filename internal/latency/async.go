@@ -22,6 +22,13 @@ type AsyncConfig struct {
 	Latency LatencyModel
 	// MaxSimTime bounds the simulation (seconds); 0 means 30 days.
 	MaxSimTime float64
+	// DropoutProb is the probability that a claimed task is abandoned:
+	// the worker walks away mid-task and their session ends (crowd
+	// churn). The reserved slot is released at the moment the answer
+	// would have arrived, so the task is claimable again — without the
+	// release, every abandoned claim would permanently block a slot and
+	// the run could never complete.
+	DropoutProb float64
 }
 
 // AsyncResult reports the asynchronous schedule.
@@ -38,12 +45,23 @@ type AsyncResult struct {
 	// CompletionTimes holds, for each milestone decile (10%, 20%, ... of
 	// total needed answers), the simulated time it was reached.
 	CompletionTimes []float64
+	// Abandoned counts claims that were dropped without an answer.
+	Abandoned int
 }
+
+// event kinds in the simulation queue.
+const (
+	evArrival  = iota // a new worker arrives
+	evComplete        // a claimed answer is submitted
+	evAbandon         // a claimed answer is dropped; the slot is released
+)
 
 // event is an entry in the simulation's time-ordered queue.
 type event struct {
 	at   float64
-	kind int // 0 = worker arrival, 1 = answer completion
+	kind int
+	// task is the claimed task index for completion/abandon events.
+	task int
 	// worker session state for completions:
 	remaining int
 }
@@ -84,9 +102,13 @@ func SimulateAsync(rng *stats.RNG, cfg AsyncConfig) (*AsyncResult, error) {
 	}
 
 	needTotal := cfg.Tasks * cfg.Redundancy
-	// answers[i] counts answers for task i; we always hand out the task
-	// with the fewest answers that still needs more.
+	// answers[i] counts committed answers for task i; pending[i] counts
+	// in-flight claims. Claims reserve a pending slot so two workers do
+	// not pile onto the same slot; the reservation is released either by
+	// the completion (pending -> answers) or by an abandon event (crowd
+	// dropout). Only committed answers satisfy the redundancy target.
 	answers := make([]int, cfg.Tasks)
+	pending := make([]int, cfg.Tasks)
 	collected := 0
 	res := &AsyncResult{}
 	deciles := make([]float64, 0, 10)
@@ -97,12 +119,12 @@ func SimulateAsync(rng *stats.RNG, cfg AsyncConfig) (*AsyncResult, error) {
 	milestone := nextMilestone
 
 	var q eventHeap
-	q.push(event{at: rng.Exp(cfg.ArrivalRate), kind: 0})
+	q.push(event{at: rng.Exp(cfg.ArrivalRate), kind: evArrival})
 
 	claim := func() (int, bool) {
 		best, bestN := -1, 1<<31-1
-		for i, n := range answers {
-			if n < cfg.Redundancy && n < bestN {
+		for i := range answers {
+			if n := answers[i] + pending[i]; n < cfg.Redundancy && n < bestN {
 				best, bestN = i, n
 			}
 		}
@@ -110,6 +132,25 @@ func SimulateAsync(rng *stats.RNG, cfg AsyncConfig) (*AsyncResult, error) {
 			return 0, false
 		}
 		return best, true
+	}
+
+	// claimNext reserves the neediest slot for a worker at time now with
+	// `remaining` further session tasks after this one, and schedules the
+	// completion — or, under dropout, the abandonment — of the claim. The
+	// dropout draw is guarded so zero-dropout runs consume the identical
+	// random stream as the pre-dropout model (determinism guard).
+	claimNext := func(now float64, remaining int) {
+		ti, ok := claim()
+		if !ok {
+			return
+		}
+		pending[ti]++
+		at := now + cfg.Latency(rng)
+		if cfg.DropoutProb > 0 && rng.Bool(cfg.DropoutProb) {
+			q.push(event{at: at, kind: evAbandon, task: ti})
+			return
+		}
+		q.push(event{at: at, kind: evComplete, task: ti, remaining: remaining})
 	}
 
 	for {
@@ -123,20 +164,15 @@ func SimulateAsync(rng *stats.RNG, cfg AsyncConfig) (*AsyncResult, error) {
 			return res, nil
 		}
 		switch e.kind {
-		case 0: // arrival
+		case evArrival:
 			res.WorkersArrived++
 			// Schedule the next arrival.
-			q.push(event{at: e.at + rng.Exp(cfg.ArrivalRate), kind: 0})
+			q.push(event{at: e.at + rng.Exp(cfg.ArrivalRate), kind: evArrival})
 			// The new worker claims a task if any remain.
-			if ti, ok := claim(); ok {
-				answers[ti]++ // reserve the slot
-				q.push(event{
-					at:        e.at + cfg.Latency(rng),
-					kind:      1,
-					remaining: cfg.SessionTasks - 1,
-				})
-			}
-		case 1: // answer completion
+			claimNext(e.at, cfg.SessionTasks-1)
+		case evComplete:
+			pending[e.task]--
+			answers[e.task]++
 			collected++
 			res.AnswersCollected++
 			if collected >= milestone && len(deciles) < 10 {
@@ -150,15 +186,14 @@ func SimulateAsync(rng *stats.RNG, cfg AsyncConfig) (*AsyncResult, error) {
 				return res, nil
 			}
 			if e.remaining > 0 {
-				if ti, ok := claim(); ok {
-					answers[ti]++
-					q.push(event{
-						at:        e.at + cfg.Latency(rng),
-						kind:      1,
-						remaining: e.remaining - 1,
-					})
-				}
+				claimNext(e.at, e.remaining-1)
 			}
+		case evAbandon:
+			// The worker walked away mid-task: release the reserved slot so
+			// the task is claimable again, and end their session (a dropped
+			// worker does not come back).
+			pending[e.task]--
+			res.Abandoned++
 		}
 	}
 }

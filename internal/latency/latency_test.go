@@ -1,6 +1,7 @@
 package latency
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -313,5 +314,85 @@ func TestPriceSweepValidation(t *testing.T) {
 	}
 	if _, err := PriceSweep(rng, PricingModel{}, cfg, []float64{0.05}); err == nil {
 		t.Fatal("invalid model should fail")
+	}
+}
+
+// TestSimulateAsyncZeroDropoutGolden is the determinism guard for the
+// pending-reservation rework: with DropoutProb 0, the simulation must
+// consume the identical random stream and produce bit-identical results
+// to the pre-dropout model (values pinned from the original code).
+func TestSimulateAsyncZeroDropoutGolden(t *testing.T) {
+	res, err := SimulateAsync(stats.NewRNG(424242), AsyncConfig{
+		Tasks: 40, Redundancy: 3, ArrivalRate: 0.5, SessionTasks: 6,
+		Latency: LogNormalLatency(8, 0.6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.AnswersCollected != 120 || res.WorkersArrived != 33 {
+		t.Fatalf("run shape changed: %+v", res)
+	}
+	if got := fmt.Sprintf("%.10f", res.Makespan); got != "86.7513348007" {
+		t.Fatalf("makespan = %s, want 86.7513348007 (zero-dropout stream diverged)", got)
+	}
+	if got := fmt.Sprintf("%.10f", res.CompletionTimes[0]); got != "26.0752549370" {
+		t.Fatalf("first decile = %s, want 26.0752549370", got)
+	}
+	if res.Abandoned != 0 {
+		t.Fatalf("zero-dropout run abandoned %d claims", res.Abandoned)
+	}
+}
+
+// TestSimulateAsyncDropoutReleasesSlots: abandoned claims must release
+// their reserved slots, so the run still completes — just later and with
+// more worker arrivals than a churn-free crowd.
+func TestSimulateAsyncDropoutReleasesSlots(t *testing.T) {
+	cfg := AsyncConfig{
+		Tasks: 30, Redundancy: 3, ArrivalRate: 1, SessionTasks: 8,
+		Latency: LogNormalLatency(5, 0.5),
+	}
+	base, err := SimulateAsync(stats.NewRNG(31), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DropoutProb = 0.3
+	churn, err := SimulateAsync(stats.NewRNG(31), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !churn.Completed {
+		t.Fatalf("dropout run never completed: stranded reservations block claims (%+v)", churn)
+	}
+	if churn.Abandoned == 0 {
+		t.Fatal("30% dropout produced zero abandoned claims")
+	}
+	// Every task still got its k committed answers.
+	if churn.AnswersCollected != cfg.Tasks*cfg.Redundancy {
+		t.Fatalf("answers = %d, want %d", churn.AnswersCollected, cfg.Tasks*cfg.Redundancy)
+	}
+	if churn.Makespan < base.Makespan {
+		t.Fatalf("churn makespan %v faster than churn-free %v", churn.Makespan, base.Makespan)
+	}
+}
+
+// TestSimulateAsyncFullDropoutTimesOut: if every claim is abandoned, no
+// answer ever lands; the run must hit MaxSimTime with zero collected
+// answers instead of hanging or miscounting reservations as progress.
+func TestSimulateAsyncFullDropoutTimesOut(t *testing.T) {
+	res, err := SimulateAsync(stats.NewRNG(32), AsyncConfig{
+		Tasks: 5, Redundancy: 2, ArrivalRate: 2, SessionTasks: 4,
+		Latency: LogNormalLatency(1, 0.3), MaxSimTime: 50, DropoutProb: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed || res.AnswersCollected != 0 {
+		t.Fatalf("full-dropout run claims progress: %+v", res)
+	}
+	if res.Abandoned == 0 {
+		t.Fatal("no abandonments counted")
+	}
+	if res.Makespan != 50 {
+		t.Fatalf("makespan = %v, want the 50s cutoff", res.Makespan)
 	}
 }

@@ -3,45 +3,224 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 )
 
+// maxBodyBytes bounds how much of any response body the client reads: API
+// payloads are small, and an unbounded read would let a misbehaving server
+// pin client memory. Decoders read through io.LimitReader and the
+// remainder is drained so keep-alive connections are reused.
+const maxBodyBytes = 4 << 20
+
+// defaultTimeout bounds one HTTP attempt end to end. A client pointed at
+// a stalled server returns within this deadline instead of hanging.
+const defaultTimeout = 30 * time.Second
+
+// APIError is a non-2xx platform response. Status codes in the 5xx range
+// are retryable (the server had a transient problem); 4xx codes are the
+// client's fault and are never retried.
+type APIError struct {
+	StatusCode int
+	Msg        string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	if e.Msg != "" {
+		return fmt.Sprintf("server: %s (HTTP %d)", e.Msg, e.StatusCode)
+	}
+	return fmt.Sprintf("server: HTTP %d", e.StatusCode)
+}
+
+// Retryable reports whether the request may be retried (server-side
+// failure, not a rejection of the request itself).
+func (e *APIError) Retryable() bool { return e.StatusCode >= 500 }
+
 // Client is the worker-side API wrapper: it polls for assignments and
 // submits answers over HTTP. The simulated crowd drives it in tests and
 // demos; real deployments would put a task UI behind the same calls.
+//
+// The client survives a flaky platform: every request has a hard timeout,
+// and connection errors and 5xx responses are retried with capped
+// exponential backoff plus jitter. 4xx responses (duplicate answer,
+// budget exhausted, eliminated worker) are returned immediately — they
+// will not succeed on retry. The zero configuration retries 3 times from
+// a 50ms base; set MaxRetries to -1 to disable retries entirely.
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// MaxRetries is how many times a failed attempt is retried (so up to
+	// 1+MaxRetries requests go out). 0 means the default of 3; negative
+	// disables retries.
+	MaxRetries int
+	// BackoffBase is the first retry delay (default 50ms); each retry
+	// doubles it up to BackoffMax (default 2s). Actual sleeps are jittered
+	// uniformly over [d/2, d) to avoid retry stampedes.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	// jitterMu guards jitterState: one client is shared by many worker
+	// goroutines.
+	jitterMu    sync.Mutex
+	jitterState uint64
 }
 
-// NewClient wires a client for the given base URL (no trailing slash).
-func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-attempt HTTP timeout (connection + request +
+// response body).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.HTTP.Timeout = d }
+}
+
+// WithRetry sets the retry policy: maxRetries retries (negative disables)
+// with exponential backoff from base capped at max.
+func WithRetry(maxRetries int, base, max time.Duration) ClientOption {
+	return func(c *Client) {
+		if maxRetries < 0 {
+			c.MaxRetries = -1
+		} else {
+			c.MaxRetries = maxRetries
+		}
+		c.BackoffBase = base
+		c.BackoffMax = max
+	}
+}
+
+// NewClient wires a client for the given base URL (no trailing slash)
+// with the default timeout and retry policy.
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{
+		BaseURL:     baseURL,
+		HTTP:        &http.Client{Timeout: defaultTimeout},
+		jitterState: uint64(time.Now().UnixNano()) | 1,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// retries resolves the configured retry count.
+func (c *Client) retries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return 3
+	default:
+		return c.MaxRetries
+	}
+}
+
+// backoff returns the jittered sleep before retry attempt i (0-based):
+// uniform over [d/2, d) where d = min(BackoffMax, BackoffBase<<i).
+func (c *Client) backoff(i int) time.Duration {
+	base := c.BackoffBase
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := c.BackoffMax
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(i)
+	if d <= 0 || d > max {
+		d = max
+	}
+	// xorshift64* for cheap lock-guarded jitter; crypto quality is not
+	// needed, decorrelation across clients is.
+	c.jitterMu.Lock()
+	x := c.jitterState
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	c.jitterState = x
+	c.jitterMu.Unlock()
+	frac := float64(x>>11) / float64(1<<53)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// do issues one request with the retry policy: transport errors and 5xx
+// responses are retried with backoff, anything else is returned as-is.
+// A non-nil body is replayed on every attempt.
+func (c *Client) do(method, url string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		var rdr io.Reader
+		if body != nil {
+			rdr = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rdr)
+		if err != nil {
+			return nil, fmt.Errorf("server: building request: %w", err)
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.HTTP.Do(req)
+		if err == nil && resp.StatusCode < 500 {
+			return resp, nil
+		}
+		if err != nil {
+			lastErr = fmt.Errorf("server: %s %s: %w", method, url, err)
+		} else {
+			// 5xx: capture the platform error, drain and close so the
+			// connection is reusable, then retry.
+			lastErr = apiError(resp)
+			drainClose(resp)
+		}
+		if attempt >= c.retries() {
+			return nil, lastErr
+		}
+		time.Sleep(c.backoff(attempt))
+	}
+}
+
+// drainClose reads the remaining (bounded) body and closes it, so the
+// underlying keep-alive connection goes back into the pool instead of
+// being torn down.
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxBodyBytes))
+	resp.Body.Close()
+}
+
+// decodeJSON decodes a bounded response body into v and drains the rest.
+func decodeJSON(resp *http.Response, v any) error {
+	err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(v)
+	drainClose(resp)
+	return err
 }
 
 // FetchTask asks for an assignment for the worker. ok=false means no
 // eligible task right now.
 func (c *Client) FetchTask(worker string) (*TaskDTO, bool, error) {
-	resp, err := c.HTTP.Get(fmt.Sprintf("%s/api/task?worker=%s", c.BaseURL, worker))
+	resp, err := c.do(http.MethodGet, fmt.Sprintf("%s/api/task?worker=%s", c.BaseURL, worker), nil)
 	if err != nil {
 		return nil, false, fmt.Errorf("server: fetching task: %w", err)
 	}
-	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusNoContent:
+		drainClose(resp)
 		return nil, false, nil
 	case http.StatusOK:
 		var t TaskDTO
-		if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		if err := decodeJSON(resp, &t); err != nil {
 			return nil, false, fmt.Errorf("server: decoding task: %w", err)
 		}
 		return &t, true, nil
 	default:
-		return nil, false, apiError(resp)
+		err := apiError(resp)
+		drainClose(resp)
+		return nil, false, err
 	}
 }
 
@@ -51,33 +230,50 @@ func (c *Client) SubmitAnswer(a AnswerDTO) error {
 	if err != nil {
 		return fmt.Errorf("server: encoding answer: %w", err)
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+"/api/answer", "application/json", bytes.NewReader(body))
+	resp, err := c.do(http.MethodPost, c.BaseURL+"/api/answer", body)
 	if err != nil {
 		return fmt.Errorf("server: submitting answer: %w", err)
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
+		err := apiError(resp)
+		drainClose(resp)
+		return err
 	}
-	io.Copy(io.Discard, resp.Body)
+	drainClose(resp)
 	return nil
 }
 
 // Stats fetches pool statistics.
 func (c *Client) Stats() (*StatsDTO, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/api/stats")
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/api/stats", nil)
 	if err != nil {
 		return nil, fmt.Errorf("server: fetching stats: %w", err)
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+		err := apiError(resp)
+		drainClose(resp)
+		return nil, err
 	}
 	var s StatsDTO
-	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+	if err := decodeJSON(resp, &s); err != nil {
 		return nil, fmt.Errorf("server: decoding stats: %w", err)
 	}
 	return &s, nil
+}
+
+// Health checks the /healthz endpoint; nil means the server is serving.
+func (c *Client) Health() error {
+	resp, err := c.do(http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("server: health check: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := apiError(resp)
+		drainClose(resp)
+		return err
+	}
+	drainClose(resp)
+	return nil
 }
 
 // Results fetches inferred labels aggregated with the given method
@@ -87,20 +283,28 @@ func (c *Client) Results(method string) ([]ResultDTO, error) {
 	if method != "" {
 		url += "?method=" + method
 	}
-	resp, err := c.HTTP.Get(url)
+	resp, err := c.do(http.MethodGet, url, nil)
 	if err != nil {
 		return nil, fmt.Errorf("server: fetching results: %w", err)
 	}
-	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+		err := apiError(resp)
+		drainClose(resp)
+		return nil, err
 	}
 	var out []ResultDTO
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := decodeJSON(resp, &out); err != nil {
 		return nil, fmt.Errorf("server: decoding results: %w", err)
 	}
 	return out, nil
 }
+
+// maxConsecutiveConflicts bounds how many times in a row DriveWorker will
+// shrug off a 4xx submission rejection before treating the conflict as
+// fatal: lost races (duplicate, task closed meanwhile) resolve within a
+// couple of fetches, while an endless conflict stream means the platform
+// and the driver disagree about state.
+const maxConsecutiveConflicts = 16
 
 // DriveWorker runs one simulated worker against the platform until no
 // more assignments are available (or maxTasks is reached). The worker's
@@ -109,8 +313,17 @@ func (c *Client) Results(method string) ([]ResultDTO, error) {
 // provide a truthful task source via lookup for simulation (nil lookup
 // makes workers answer from the DTO alone — random for honest workers,
 // since they cannot know the planted truth over the wire).
+//
+// Error handling distinguishes retryable from fatal conditions: transport
+// errors and 5xx responses are retried inside each call per the client's
+// retry policy and only surface after retries are exhausted (fatal); a
+// 4xx rejection of a submission (lost race: somebody closed the task, a
+// duplicate slipped in) skips that task and keeps driving; a worker whose
+// Work response has Abandon set has dropped out, and the drive ends
+// cleanly — the platform's lease machinery reclaims whatever they held.
 func (c *Client) DriveWorker(w core.Worker, lookup func(core.TaskID) *core.Task, maxTasks int) (int, error) {
 	done := 0
+	conflicts := 0
 	for maxTasks <= 0 || done < maxTasks {
 		dto, ok, err := c.FetchTask(w.ID())
 		if err != nil {
@@ -131,24 +344,44 @@ func (c *Client) DriveWorker(w core.Worker, lookup func(core.TaskID) *core.Task,
 			}
 		}
 		resp := w.Work(task)
+		if resp.Abandon {
+			// The worker walked away mid-task without submitting; their
+			// lease (if the server issues leases) expires and is re-issued.
+			return done, nil
+		}
 		err = c.SubmitAnswer(AnswerDTO{
 			Task: dto.ID, Worker: w.ID(),
 			Option: resp.Option, Text: resp.Text, Score: resp.Score,
 		})
 		if err != nil {
+			var ae *APIError
+			if errors.As(err, &ae) && !ae.Retryable() && ae.StatusCode != http.StatusForbidden {
+				// Rejected submission (duplicate, closed task, budget race):
+				// this assignment is lost, but the worker can keep going.
+				conflicts++
+				if conflicts >= maxConsecutiveConflicts {
+					return done, fmt.Errorf("server: %d consecutive rejected submissions: %w", conflicts, err)
+				}
+				continue
+			}
 			return done, err
 		}
+		conflicts = 0
 		done++
 	}
 	return done, nil
 }
 
+// apiError turns a non-2xx response into an *APIError, reading at most
+// maxBodyBytes of the error payload. It does not close the body; callers
+// drain and close via drainClose.
 func apiError(resp *http.Response) error {
 	var e struct {
 		Error string `json:"error"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&e); err == nil && e.Error != "" {
-		return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+	msg := ""
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&e); err == nil {
+		msg = e.Error
 	}
-	return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	return &APIError{StatusCode: resp.StatusCode, Msg: msg}
 }

@@ -7,6 +7,7 @@
 //	POST /api/answer           -> 200 {recorded} | 4xx
 //	GET  /api/stats            -> pool statistics
 //	GET  /api/results?method=mv|onecoin|ds|glad -> inferred labels
+//	GET  /healthz              -> 200 {"status":"ok"} liveness probe
 //
 // Concurrency model: there is no global server lock. The pool is wrapped
 // in a core.ConcurrentPool (RWMutex: parallel reads/assignments, exclusive
@@ -18,6 +19,13 @@
 // consume budget. /api/results memoizes inference per (method, option
 // count) keyed by the pool's mutation version, so repeated polls between
 // new answers skip EM entirely.
+//
+// Fault tolerance: with WithLeaseTTL set, every assignment from /api/task
+// carries a lease. A submission consumes the lease; a worker that vanishes
+// forfeits it after the TTL, and the slot is reclaimed (lazily on the next
+// assignment, and by a background reaper goroutine) so assigners re-issue
+// the task. Without leases an abandoned assignment is simply never counted
+// — the legacy behavior — so lease-free servers behave exactly as before.
 package server
 
 import (
@@ -26,6 +34,9 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/truth"
@@ -39,6 +50,31 @@ type Server struct {
 	screen   *core.WorkerScreen
 	cache    *truth.ResultCache
 	mux      *http.ServeMux
+
+	// leaseTTL > 0 enables assignment leases; reaperEvery is the sweep
+	// interval of the background reaper (defaults to leaseTTL/4).
+	leaseTTL    time.Duration
+	reaperEvery time.Duration
+	expired     atomic.Int64 // leases reclaimed so far
+	stopReaper  chan struct{}
+	closeOnce   sync.Once
+}
+
+// Option configures optional server behavior.
+type Option func(*Server)
+
+// WithLeaseTTL enables assignment leases: every task handed out by
+// /api/task must be answered within ttl or the slot is reclaimed and
+// re-issued. ttl <= 0 leaves leases disabled.
+func WithLeaseTTL(ttl time.Duration) Option {
+	return func(s *Server) { s.leaseTTL = ttl }
+}
+
+// WithReaperInterval overrides how often the background reaper sweeps
+// expired leases (default: leaseTTL/4, at least 10ms). Only meaningful
+// together with WithLeaseTTL.
+func WithReaperInterval(d time.Duration) Option {
+	return func(s *Server) { s.reaperEvery = d }
 }
 
 // New wires a server around pool. assigner must not be nil; budget nil
@@ -46,7 +82,10 @@ type Server struct {
 // server takes ownership of pool for writes: after New, other goroutines
 // must not mutate pool directly (read-only access stays safe — tasks are
 // immutable once added).
-func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *core.WorkerScreen) (*Server, error) {
+//
+// When leases are enabled (WithLeaseTTL) a background reaper goroutine is
+// started; call Close to stop it.
+func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *core.WorkerScreen, opts ...Option) (*Server, error) {
 	if pool == nil || assigner == nil {
 		return nil, fmt.Errorf("server: pool and assigner are required")
 	}
@@ -60,16 +99,84 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 		screen:   screen,
 		cache:    truth.NewResultCache(),
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /api/task", s.handleTask)
 	s.mux.HandleFunc("POST /api/answer", s.handleAnswer)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
 	s.mux.HandleFunc("GET /api/results", s.handleResults)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.leaseTTL > 0 {
+		if s.reaperEvery <= 0 {
+			s.reaperEvery = s.leaseTTL / 4
+		}
+		if s.reaperEvery < 10*time.Millisecond {
+			s.reaperEvery = 10 * time.Millisecond
+		}
+		s.stopReaper = make(chan struct{})
+		go s.reap()
+	}
 	return s, nil
 }
 
+// Close stops the background reaper (if any). It is safe to call more
+// than once and on servers without leases.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.stopReaper != nil {
+			close(s.stopReaper)
+		}
+	})
+}
+
+// reap periodically sweeps expired leases so reclamation does not depend
+// on traffic: even with no /api/task polls in flight, abandoned slots
+// return to the pool within one reaper interval of their deadline.
+func (s *Server) reap() {
+	t := time.NewTicker(s.reaperEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopReaper:
+			return
+		case <-t.C:
+			s.expireLeases()
+		}
+	}
+}
+
+// expireLeases sweeps expired leases now and accounts them.
+func (s *Server) expireLeases() {
+	if exp := s.cpool.ExpireLeases(time.Now()); len(exp) > 0 {
+		s.expired.Add(int64(len(exp)))
+	}
+}
+
+// ExpiredLeases returns how many leases the server has reclaimed.
+func (s *Server) ExpiredLeases() int64 { return s.expired.Load() }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// HTTPServer wraps handler in an *http.Server with read/write/idle
+// deadlines derived from timeout (default 30s when non-positive), so a
+// stalled or malicious client cannot pin a handler goroutine forever.
+// Callers run it with ListenAndServe or Serve as usual.
+func HTTPServer(addr string, handler http.Handler, timeout time.Duration) *http.Server {
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: timeout,
+		ReadTimeout:       timeout,
+		WriteTimeout:      timeout,
+		IdleTimeout:       4 * timeout,
+	}
+}
 
 // TaskDTO is the wire form of an assignment. Ground truth never leaves
 // the server.
@@ -97,6 +204,12 @@ type StatsDTO struct {
 	Workers      int     `json:"workers"`
 	BudgetSpent  float64 `json:"budget_spent"`
 	Eliminated   int     `json:"eliminated_workers"`
+	// ActiveLeases is the number of outstanding (issued, not yet
+	// submitted or expired) assignment leases; ExpiredLeases counts the
+	// slots reclaimed from vanished workers so far. Both are zero on a
+	// server without leases.
+	ActiveLeases  int   `json:"active_leases"`
+	ExpiredLeases int64 `json:"expired_leases"`
 }
 
 // ResultDTO is one inferred label.
@@ -124,7 +237,18 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, "budget exhausted")
 		return
 	}
-	id, ok := s.cpool.Assign(s.assigner, worker)
+	var (
+		id core.TaskID
+		ok bool
+	)
+	if s.leaseTTL > 0 {
+		// Lazy expiry first, so an assignment never waits a reaper tick to
+		// see reclaimed slots; then assign + lease atomically.
+		s.expireLeases()
+		id, ok = s.cpool.AssignLease(s.assigner, worker, time.Now().Add(s.leaseTTL))
+	} else {
+		id, ok = s.cpool.Assign(s.assigner, worker)
+	}
 	if !ok {
 		w.WriteHeader(http.StatusNoContent)
 		return
@@ -189,12 +313,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.OpenTasks = len(p.OpenTasks())
 		st.TotalAnswers = p.TotalAnswers()
 		st.Workers = len(p.Workers())
+		st.ActiveLeases = p.ActiveLeases()
 	})
 	st.BudgetSpent = s.budget.Spent()
+	st.ExpiredLeases = s.expired.Load()
 	if s.screen != nil {
 		st.Eliminated = len(s.screen.EliminatedWorkers())
 	}
 	writeJSON(w, st)
+}
+
+// handleHealthz is the liveness probe: a cheap 200 proving the handler
+// goroutines and the pool lock are responsive (it takes the read lock via
+// Len, so a deadlocked pool fails the probe by hanging into the server's
+// write deadline instead of lying).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok", "tasks": s.cpool.Len()})
 }
 
 // resultGroup is one homogeneous (same option count) inference unit of the
