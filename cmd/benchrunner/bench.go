@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/benchdata"
 	"repro/internal/cost"
+	"repro/internal/obs"
 	"repro/internal/truth"
 )
 
@@ -16,6 +17,11 @@ import (
 // the `go test -bench` suite uses (internal/benchdata) and writes a
 // machine-readable report, so the perf trajectory is diffable across PRs
 // (BENCH_pr2.json, BENCH_pr3.json, ...).
+//
+// Since crowdkit-bench/v2, the report also embeds an obs.Registry
+// snapshot taken after the timed runs: EM iteration counts, convergence
+// flags, and wall-time quantiles per method, so a perf diff distinguishes
+// "the kernel got slower" from "the workload now takes more iterations".
 
 type benchResult struct {
 	NsPerOp   float64 `json:"ns_per_op"`
@@ -27,13 +33,19 @@ type benchReport struct {
 	Schema     string                 `json:"schema"`
 	GoMaxProcs int                    `json:"gomaxprocs"`
 	Benchmarks map[string]benchResult `json:"benchmarks"`
+	// Metrics is the registry snapshot: flat series-name -> value, e.g.
+	// crowdkit_em_last_iterations{method="DS"} or
+	// crowdkit_em_run_seconds_p95{method="GLAD"}.
+	Metrics map[string]float64 `json:"metrics"`
 }
 
 func runBenchJSON(path string) error {
 	_, ds := benchdata.ChoiceWorkload(4242, 2000, 50, 5, 0.3)
 	recs := benchdata.Records(7, 1500)
+	reg := obs.NewRegistry()
+	em := obs.NewEMMetrics(reg)
 	report := benchReport{
-		Schema:     "crowdkit-bench/v1",
+		Schema:     "crowdkit-bench/v2",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Benchmarks: map[string]benchResult{},
 	}
@@ -47,23 +59,26 @@ func runBenchJSON(path string) error {
 		}
 		fmt.Fprintf(os.Stderr, "%-16s %14.0f ns/op\t(%s)\n", name, ns, metric)
 	}
+	// The EM observer rides inside the timed loop; its cost is one
+	// callback per EM iteration (tens per run against millisecond-scale
+	// iterations), far below run-to-run noise.
 	add("DSLarge", "tasks=2000 workers=50 k=5", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := (truth.DawidSkene{}).Infer(ds); err != nil {
+			if _, err := (truth.DawidSkene{Obs: em}).Infer(ds); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	add("GLADLarge", "tasks=2000 workers=50 k=5", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := (truth.GLAD{}).Infer(ds); err != nil {
+			if _, err := (truth.GLAD{Obs: em}).Infer(ds); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	add("OneCoinEMLarge", "tasks=2000 workers=50 k=5", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := (truth.OneCoinEM{}).Infer(ds); err != nil {
+			if _, err := (truth.OneCoinEM{Obs: em}).Infer(ds); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -76,6 +91,7 @@ func runBenchJSON(path string) error {
 			}
 		}
 	})
+	report.Metrics = reg.Snapshot()
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

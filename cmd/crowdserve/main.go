@@ -9,6 +9,8 @@
 //	crowdserve -lease 2m                         # reclaim assignments abandoned for 2m
 //	crowdserve -drive -dropout 0.3 -lease 200ms  # 30% of workers vanish mid-task
 //	crowdserve -timeout 10s                      # server read/write + client deadlines
+//	crowdserve -metrics                          # Prometheus exposition on /metrics + request logs
+//	crowdserve -metrics -pprof                   # also mount /debug/pprof for profiling
 //
 // The server handles concurrent workers without a global lock; see the
 // server package docs for the concurrency model. With -lease set, every
@@ -16,12 +18,18 @@
 // forfeits it after the TTL and the slot is re-issued, so the run still
 // reaches its redundancy target under worker churn. /healthz serves a
 // liveness probe.
+//
+// With -metrics, the server exposes per-endpoint latency histograms,
+// budget/pool/lease gauges, assignment-policy counters, and EM
+// convergence telemetry on /metrics, and logs one structured line per
+// request (trace ID, method, path, status, duration) to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"os"
 	"sync"
@@ -30,6 +38,7 @@ import (
 	"repro/internal/assign"
 	"repro/internal/core"
 	"repro/internal/crowd"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/stats"
 )
@@ -46,6 +55,8 @@ func main() {
 		timeout = flag.Duration("timeout", 30*time.Second, "HTTP server read/write deadline and client per-attempt timeout")
 		dropout = flag.Float64("dropout", 0, "fraction of simulated workers that claim a task and vanish (with -drive)")
 		seed    = flag.Uint64("seed", 42, "random seed")
+		metrics = flag.Bool("metrics", false, "expose Prometheus metrics on /metrics and log requests")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof (requires explicit opt-in)")
 	)
 	flag.Parse()
 
@@ -67,15 +78,26 @@ func main() {
 	if *lease > 0 {
 		opts = append(opts, server.WithLeaseTTL(*lease))
 	}
-	srv, err := server.New(pool, assign.FewestAnswers{}, budget, nil, opts...)
+	var assigner core.Assigner = assign.FewestAnswers{}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		assigner = assign.Instrument(assigner, reg, "fewest-answers")
+		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		opts = append(opts, server.WithMetrics(reg), server.WithRequestLog(logger))
+	}
+	if *pprofOn {
+		opts = append(opts, server.WithPprof())
+	}
+	srv, err := server.New(pool, assigner, budget, nil, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	defer srv.Close()
 
 	if !*drive {
-		log.Printf("crowdserve: %d tasks on http://%s (GET /api/task?worker=you, lease=%v)",
-			*nTasks, *addr, *lease)
+		log.Printf("crowdserve: %d tasks on http://%s (GET /api/task?worker=you, lease=%v, metrics=%v, pprof=%v)",
+			*nTasks, *addr, *lease, *metrics, *pprofOn)
 		fatal(server.HTTPServer(*addr, srv, *timeout).ListenAndServe())
 	}
 
@@ -94,6 +116,9 @@ func main() {
 	}
 	ws := crowd.WithDropout(rng, crowd.NewPopulation(rng, *workers, mix), *dropout, 1)
 	client := server.NewClient(base, server.WithTimeout(*timeout))
+	if reg != nil {
+		client.RegisterMetrics(reg)
+	}
 	var wg sync.WaitGroup
 	for _, w := range ws {
 		wg.Add(1)

@@ -1,0 +1,34 @@
+package latency
+
+import "repro/internal/obs"
+
+// RecordAsync publishes one asynchronous-crowd simulation outcome to reg:
+//
+//	crowdkit_sim_runs_total                   simulations recorded
+//	crowdkit_sim_completed_total              runs that met the redundancy target in time
+//	crowdkit_sim_answers_total                answers collected across runs
+//	crowdkit_sim_abandons_total               claims dropped without an answer
+//	crowdkit_sim_workers_arrived_total        worker arrivals across runs
+//	crowdkit_sim_makespan_sim_seconds         gauge: last run's makespan (simulated clock)
+//	crowdkit_sim_milestone_sim_seconds        histogram over decile completion times
+//
+// Times are simulated-clock seconds, so the histogram uses the sim-time
+// bucket ladder, not the request-latency one. No-op on a nil registry or
+// nil result.
+func RecordAsync(reg *obs.Registry, res *AsyncResult) {
+	if reg == nil || res == nil {
+		return
+	}
+	reg.Counter("crowdkit_sim_runs_total").Inc()
+	if res.Completed {
+		reg.Counter("crowdkit_sim_completed_total").Inc()
+	}
+	reg.Counter("crowdkit_sim_answers_total").Add(int64(res.AnswersCollected))
+	reg.Counter("crowdkit_sim_abandons_total").Add(int64(res.Abandoned))
+	reg.Counter("crowdkit_sim_workers_arrived_total").Add(int64(res.WorkersArrived))
+	reg.Gauge("crowdkit_sim_makespan_sim_seconds").Set(res.Makespan)
+	h := reg.Histogram("crowdkit_sim_milestone_sim_seconds", obs.DefSimTimeBuckets)
+	for _, t := range res.CompletionTimes {
+		h.Observe(t)
+	}
+}

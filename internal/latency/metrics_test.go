@@ -1,0 +1,52 @@
+package latency
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// TestRecordAsync publishes a simulation result and checks the snapshot:
+// counters match the result's accounting, the makespan gauge holds the
+// last run, and the milestone histogram saw one observation per decile.
+func TestRecordAsync(t *testing.T) {
+	res, err := SimulateAsync(stats.NewRNG(31), AsyncConfig{
+		Tasks: 50, Redundancy: 3, ArrivalRate: 0.5,
+		SessionTasks: 20, Latency: LogNormalLatency(5, 0.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	RecordAsync(reg, res)
+
+	snap := reg.Snapshot()
+	if got := snap["crowdkit_sim_runs_total"]; got != 1 {
+		t.Fatalf("runs = %v, want 1", got)
+	}
+	if got := snap["crowdkit_sim_answers_total"]; got != float64(res.AnswersCollected) {
+		t.Fatalf("answers = %v, want %d", got, res.AnswersCollected)
+	}
+	if got := snap["crowdkit_sim_abandons_total"]; got != float64(res.Abandoned) {
+		t.Fatalf("abandons = %v, want %d", got, res.Abandoned)
+	}
+	if got := snap["crowdkit_sim_makespan_sim_seconds"]; got != res.Makespan {
+		t.Fatalf("makespan gauge = %v, want %v", got, res.Makespan)
+	}
+	if got := snap["crowdkit_sim_milestone_sim_seconds_count"]; got != float64(len(res.CompletionTimes)) {
+		t.Fatalf("milestone observations = %v, want %d", got, len(res.CompletionTimes))
+	}
+	if res.Completed {
+		if got := snap["crowdkit_sim_completed_total"]; got != 1 {
+			t.Fatalf("completed = %v, want 1", got)
+		}
+	}
+
+	// Nil registry and nil result are both no-ops, not panics.
+	RecordAsync(nil, res)
+	RecordAsync(reg, nil)
+	if got := reg.Snapshot()["crowdkit_sim_runs_total"]; got != 1 {
+		t.Fatalf("nil-result record mutated the registry: runs = %v", got)
+	}
+}

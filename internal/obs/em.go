@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EMObserver receives convergence telemetry from the iterative
+// truth-inference kernels (OneCoinEM, DawidSkene, GLAD, ...). The
+// contract, which instrumented kernels must honor:
+//
+//   - A nil observer costs nothing: kernels guard every hook behind a
+//     single nil check and take no timestamps when the observer is nil.
+//   - ObserveEMIteration is called once per completed EM iteration, from
+//     the kernel's main goroutine (never from inside a sharded sweep),
+//     with the iteration's convergence statistic — the summed L1 change
+//     of the posterior matrix, the quantity the stopping rule tests.
+//   - ObserveEMRun is called exactly once per Infer, after the last
+//     iteration, with the method name, total iterations, whether the
+//     tolerance was reached (vs. hitting the iteration cap), and the
+//     wall-clock time of the whole run.
+//
+// Implementations must be safe for concurrent use: one observer may be
+// shared by every inference run a server performs.
+type EMObserver interface {
+	ObserveEMIteration(method string, iter int, delta float64)
+	ObserveEMRun(method string, iterations int, converged bool, wall time.Duration)
+}
+
+// EMMetrics is the standard EMObserver: it folds convergence telemetry
+// into registry series labeled by method —
+//
+//	crowdkit_em_runs_total{method}        runs started and finished
+//	crowdkit_em_converged_total{method}   runs that met tolerance
+//	crowdkit_em_iterations_total{method}  iterations across all runs
+//	crowdkit_em_last_iterations{method}   iteration count of the last run
+//	crowdkit_em_last_delta{method}        last convergence delta seen
+//	crowdkit_em_run_seconds{method}       wall-time histogram per run
+type EMMetrics struct {
+	reg *Registry
+
+	mu     sync.RWMutex
+	series map[string]*emSeries
+}
+
+type emSeries struct {
+	runs, converged, iterations *Counter
+	lastIters, lastDelta        *Gauge
+	wall                        *Histogram
+}
+
+// NewEMMetrics returns an EMMetrics writing into reg. A nil registry
+// yields a valid observer whose recordings all no-op (nil metrics), so
+// callers can wire it unconditionally.
+func NewEMMetrics(reg *Registry) *EMMetrics {
+	return &EMMetrics{reg: reg, series: make(map[string]*emSeries)}
+}
+
+func (m *EMMetrics) forMethod(method string) *emSeries {
+	m.mu.RLock()
+	s := m.series[method]
+	m.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if s = m.series[method]; s != nil {
+		return s
+	}
+	l := L("method", method)
+	s = &emSeries{
+		runs:       m.reg.Counter("crowdkit_em_runs_total", l),
+		converged:  m.reg.Counter("crowdkit_em_converged_total", l),
+		iterations: m.reg.Counter("crowdkit_em_iterations_total", l),
+		lastIters:  m.reg.Gauge("crowdkit_em_last_iterations", l),
+		lastDelta:  m.reg.Gauge("crowdkit_em_last_delta", l),
+		wall:       m.reg.Histogram("crowdkit_em_run_seconds", DefLatencyBuckets, l),
+	}
+	m.series[method] = s
+	return s
+}
+
+// ObserveEMIteration implements EMObserver.
+func (m *EMMetrics) ObserveEMIteration(method string, iter int, delta float64) {
+	s := m.forMethod(method)
+	s.iterations.Inc()
+	s.lastDelta.Set(delta)
+}
+
+// ObserveEMRun implements EMObserver.
+func (m *EMMetrics) ObserveEMRun(method string, iterations int, converged bool, wall time.Duration) {
+	s := m.forMethod(method)
+	s.runs.Inc()
+	if converged {
+		s.converged.Inc()
+	}
+	s.lastIters.Set(float64(iterations))
+	s.wall.ObserveDuration(wall)
+}

@@ -1,0 +1,336 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one key="value" dimension of a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry holds named metric series and renders them in the Prometheus
+// text exposition format. Series are identified by (family name, sorted
+// label set); the constructors are get-or-create, so two callers asking
+// for the same series share one underlying metric.
+//
+// All constructors on a nil *Registry return nil metrics, which are valid
+// no-op receivers — code instrumented against an optional registry needs
+// no further guards.
+//
+// Registering the same family name under two different metric kinds is a
+// programming error and panics (names are compile-time constants in this
+// codebase, mirroring prometheus.MustRegister semantics).
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+type family struct {
+	kind   string // "counter" | "gauge" | "histogram"
+	series map[string]*series
+}
+
+type series struct {
+	labels  string // rendered `{k="v",...}` or ""
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// Counter returns the counter series for (name, labels), creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.getOrCreate(name, "counter", labels, func() *series {
+		return &series{counter: NewCounter()}
+	})
+	return s.counter
+}
+
+// Gauge returns the gauge series for (name, labels), creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.getOrCreate(name, "gauge", labels, func() *series {
+		return &series{gauge: NewGauge()}
+	})
+	return s.gauge
+}
+
+// GaugeFunc registers a callback gauge: fn is evaluated at exposition
+// time, so pull-style state (pool sizes, budget remaining) costs nothing
+// on the request path. Re-registering the same series replaces the
+// callback. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	s := r.getOrCreate(name, "gauge", labels, func() *series {
+		return &series{}
+	})
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram series for (name, labels), creating it
+// with the given bucket bounds on first use (nil bounds means
+// DefLatencyBuckets; bounds are ignored for an existing series). Returns
+// nil on a nil registry.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.getOrCreate(name, "histogram", labels, func() *series {
+		return &series{hist: NewHistogram(bounds...)}
+	})
+	return s.hist
+}
+
+// RegisterCounter exposes an externally owned counter (for example a
+// counter embedded in a struct that must also work with observability
+// off). Replaces any existing series with the same identity. No-op on a
+// nil registry or nil counter.
+func (r *Registry) RegisterCounter(name string, c *Counter, labels ...Label) {
+	if r == nil || c == nil {
+		return
+	}
+	s := r.getOrCreate(name, "counter", labels, func() *series {
+		return &series{}
+	})
+	r.mu.Lock()
+	s.counter = c
+	r.mu.Unlock()
+}
+
+func (r *Registry) getOrCreate(name, kind string, labels []Label, mk func() *series) *series {
+	ls := renderLabels(labels)
+	// Fast path under the read lock: callers that look series up per
+	// event (rather than holding the returned metric) must not serialize
+	// against each other or against scrapes.
+	r.mu.RLock()
+	f := r.fams[name]
+	if f != nil {
+		if f.kind != kind {
+			r.mu.RUnlock()
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+		}
+		if s, ok := f.series[ls]; ok {
+			r.mu.RUnlock()
+			return s
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f = r.fams[name] // re-check: another goroutine may have won the race
+	if f == nil {
+		f = &family{kind: kind, series: make(map[string]*series)}
+		r.fams[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	if s, ok := f.series[ls]; ok {
+		return s
+	}
+	s := mk()
+	s.labels = ls
+	f.series[ls] = s
+	return s
+}
+
+// renderLabels sorts labels by key and renders them as `{k="v",...}`
+// (empty string for no labels), escaping backslash, quote, and newline in
+// values per the exposition format.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// withLabel merges one more label into an already-rendered label string
+// (used for the histogram "le" label).
+func withLabel(rendered, key, value string) string {
+	extra := key + `="` + escapeLabelValue(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name and series
+// sorted by label string for a stable, diffable output. Values read
+// while writers are active form a per-series-atomic (not cross-series
+// consistent) snapshot, which is what scrapes expect.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.kind); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(f.series))
+		for ls := range f.series {
+			keys = append(keys, ls)
+		}
+		sort.Strings(keys)
+		for _, ls := range keys {
+			s := f.series[ls]
+			if err := writeSeries(w, name, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, name string, s *series) error {
+	switch {
+	case s.hist != nil:
+		cum := int64(0)
+		counts := s.hist.BucketCounts()
+		bounds := s.hist.Bounds()
+		for i, b := range bounds {
+			cum += counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				name, withLabel(s.labels, "le", formatFloat(b)), cum); err != nil {
+				return err
+			}
+		}
+		cum += counts[len(bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, withLabel(s.labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, formatFloat(s.hist.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, s.hist.Count())
+		return err
+	case s.fn != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatFloat(s.fn()))
+		return err
+	case s.gauge != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatFloat(s.gauge.Value()))
+		return err
+	case s.counter != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, s.labels, s.counter.Value())
+		return err
+	}
+	// A placeholder series (RegisterCounter/GaugeFunc raced creation) with
+	// nothing attached yet: skip.
+	return nil
+}
+
+// Handler returns an http.Handler serving the exposition — mount it on
+// /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Snapshot returns every series as a flat name{labels} -> value map:
+// counters and gauges map directly; each histogram contributes _count and
+// _sum entries plus p50/p95/p99 quantile estimates as _p50/_p95/_p99.
+// Benchmark tooling embeds this in its JSON reports.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for name, f := range r.fams {
+		for _, s := range f.series {
+			switch {
+			case s.hist != nil:
+				out[name+"_count"+s.labels] = float64(s.hist.Count())
+				out[name+"_sum"+s.labels] = s.hist.Sum()
+				out[name+"_p50"+s.labels] = s.hist.Quantile(0.50)
+				out[name+"_p95"+s.labels] = s.hist.Quantile(0.95)
+				out[name+"_p99"+s.labels] = s.hist.Quantile(0.99)
+			case s.fn != nil:
+				out[name+s.labels] = s.fn()
+			case s.gauge != nil:
+				out[name+s.labels] = s.gauge.Value()
+			case s.counter != nil:
+				out[name+s.labels] = float64(s.counter.Value())
+			}
+		}
+	}
+	return out
+}

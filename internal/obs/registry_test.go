@@ -1,0 +1,230 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPrometheusExpositionGolden pins the exact exposition output: family
+// ordering, series ordering, label rendering, histogram bucket/sum/count
+// lines. Scrapers and the CI smoke step depend on this shape.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("crowdkit_http_requests_total", L("endpoint", "/api/task"), L("code", "2xx")).Add(3)
+	reg.Counter("crowdkit_http_requests_total", L("endpoint", "/api/task"), L("code", "4xx")).Add(1)
+	reg.Gauge("crowdkit_budget_remaining_units").Set(17.5)
+	reg.GaugeFunc("crowdkit_pool_tasks", func() float64 { return 42 })
+	h := reg.Histogram("crowdkit_request_seconds", []float64{0.01, 0.1, 1}, L("endpoint", "/api/task"))
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // overflow bucket
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE crowdkit_budget_remaining_units gauge
+crowdkit_budget_remaining_units 17.5
+# TYPE crowdkit_http_requests_total counter
+crowdkit_http_requests_total{code="2xx",endpoint="/api/task"} 3
+crowdkit_http_requests_total{code="4xx",endpoint="/api/task"} 1
+# TYPE crowdkit_pool_tasks gauge
+crowdkit_pool_tasks 42
+# TYPE crowdkit_request_seconds histogram
+crowdkit_request_seconds_bucket{endpoint="/api/task",le="0.01"} 1
+crowdkit_request_seconds_bucket{endpoint="/api/task",le="0.1"} 2
+crowdkit_request_seconds_bucket{endpoint="/api/task",le="1"} 3
+crowdkit_request_seconds_bucket{endpoint="/api/task",le="+Inf"} 4
+crowdkit_request_seconds_sum{endpoint="/api/task"} 5.555
+crowdkit_request_seconds_count{endpoint="/api/task"} 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries asserts the "le" semantics: upper bounds
+// are inclusive, values above the last bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 3, 4, 4.5, 100} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 2, 2} // (≤1)=={0.5,1}, (≤2)=={1.0000001,2}, (≤4)=={3,4}, +Inf=={4.5,100}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Fatalf("count = %d, want 8", h.Count())
+	}
+	if math.Abs(h.Sum()-116.0000001) > 1e-6 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+// TestHistogramQuantiles checks the interpolated estimates against a
+// known uniform fill: 100 observations spread evenly over (0, 10].
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10) // 0.1 .. 10.0
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.50, 5.0, 0.11},
+		{0.95, 9.5, 0.11},
+		{0.99, 9.9, 0.11},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Fatalf("p%v = %v, want %v ± %v", tc.q*100, got, tc.want, tc.tol)
+		}
+	}
+	// Empty histogram reports 0, not NaN.
+	if got := NewHistogram(1).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v", got)
+	}
+}
+
+// TestNilMetricsAreFree locks in the "free when off" contract: every
+// operation through nil receivers and a nil registry is a no-op, not a
+// panic.
+func TestNilMetricsAreFree(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x")
+	g := reg.Gauge("y")
+	h := reg.Histogram("z", nil)
+	reg.GaugeFunc("f", func() float64 { return 1 })
+	reg.RegisterCounter("r", NewCounter())
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metrics must read as zero")
+	}
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	em := NewEMMetrics(nil)
+	em.ObserveEMIteration("DS", 1, 0.5)
+	em.ObserveEMRun("DS", 1, true, time.Millisecond)
+}
+
+// TestRegistryGetOrCreate asserts series identity: same (name, labels) in
+// any label order shares one metric; different labels are distinct.
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c", L("x", "1"), L("y", "2"))
+	b := reg.Counter("c", L("y", "2"), L("x", "1"))
+	if a != b {
+		t.Fatal("label order must not change series identity")
+	}
+	if c := reg.Counter("c", L("x", "1")); c == a {
+		t.Fatal("different label sets must be distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	reg.Gauge("c")
+}
+
+// TestRegistryConcurrentAccess hammers get-or-create, recording, and
+// scraping from many goroutines at once; run under -race it proves the
+// registry's concurrency contract. Counts are asserted exactly.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Scrapers run concurrently with writers.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					var b strings.Builder
+					if err := reg.WritePrometheus(&b); err != nil {
+						t.Error(err)
+						return
+					}
+					_ = reg.Snapshot()
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				reg.Counter("cc_total", L("shard", fmt.Sprint(g%4))).Inc()
+				reg.Gauge("gg").Set(float64(i))
+				reg.Histogram("hh_seconds", nil).Observe(float64(i%10) / 1000)
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	total := int64(0)
+	for s := 0; s < 4; s++ {
+		total += reg.Counter("cc_total", L("shard", fmt.Sprint(s))).Value()
+	}
+	if want := int64(goroutines * perG); total != want {
+		t.Fatalf("counter total = %d, want %d", total, want)
+	}
+	if n := reg.Histogram("hh_seconds", nil).Count(); n != goroutines*perG {
+		t.Fatalf("histogram count = %d, want %d", n, goroutines*perG)
+	}
+}
+
+// TestEMMetrics drives the standard observer and checks the series it
+// produces.
+func TestEMMetrics(t *testing.T) {
+	reg := NewRegistry()
+	em := NewEMMetrics(reg)
+	for i := 1; i <= 3; i++ {
+		em.ObserveEMIteration("DS", i, 1/float64(i))
+	}
+	em.ObserveEMRun("DS", 3, true, 2*time.Millisecond)
+	em.ObserveEMRun("GLAD", 50, false, 10*time.Millisecond)
+
+	snap := reg.Snapshot()
+	for k, want := range map[string]float64{
+		`crowdkit_em_runs_total{method="DS"}`:        1,
+		`crowdkit_em_converged_total{method="DS"}`:   1,
+		`crowdkit_em_iterations_total{method="DS"}`:  3,
+		`crowdkit_em_last_iterations{method="DS"}`:   3,
+		`crowdkit_em_runs_total{method="GLAD"}`:      1,
+		`crowdkit_em_converged_total{method="GLAD"}`: 0,
+		`crowdkit_em_run_seconds_count{method="DS"}`: 1,
+	} {
+		if got, ok := snap[k]; !ok || got != want {
+			t.Fatalf("%s = %v (present=%v), want %v\nsnapshot: %v", k, got, ok, want, snap)
+		}
+	}
+	if d := snap[`crowdkit_em_last_delta{method="DS"}`]; math.Abs(d-1.0/3) > 1e-12 {
+		t.Fatalf("last delta = %v", d)
+	}
+}

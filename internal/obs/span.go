@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Trace IDs identify one request end to end: the serving middleware mints
+// (or adopts, via the X-Trace-Id header) an ID per request, stores it in
+// the context, echoes it in the response, and stamps it on every request
+// log line — so a worker-reported failure can be joined against server
+// logs with one grep.
+
+type ctxKey int
+
+const traceIDKey ctxKey = iota
+
+// traceState seeds the lock-free trace-ID generator. IDs need to be
+// unique and well-mixed, not cryptographic: a splitmix64 stream over an
+// atomic counter gives both without locks. The process start time
+// decorrelates IDs across restarts.
+var traceState atomic.Uint64
+
+func init() {
+	traceState.Store(uint64(time.Now().UnixNano()))
+}
+
+// NewTraceID returns a fresh 16-hex-character trace ID.
+func NewTraceID() string {
+	x := traceState.Add(0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return fmt.Sprintf("%016x", x)
+}
+
+// WithTraceID returns a context carrying the given trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey, id)
+}
+
+// TraceID returns the context's trace ID, or "" if none is set.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey).(string)
+	return id
+}
+
+// EnsureTraceID returns a context that carries a trace ID, minting one if
+// the context has none, plus the ID itself.
+func EnsureTraceID(ctx context.Context) (context.Context, string) {
+	if id := TraceID(ctx); id != "" {
+		return ctx, id
+	}
+	id := NewTraceID()
+	return WithTraceID(ctx, id), id
+}
+
+// Span is one timed operation within a trace. Timings use time.Now's
+// monotonic clock reading, so wall-clock adjustments cannot produce
+// negative or skewed durations. Spans are values handed to exactly one
+// goroutine; they carry no locks.
+type Span struct {
+	// TraceID ties the span to its request.
+	TraceID string
+	// Name identifies the operation (endpoint route, kernel name, ...).
+	Name  string
+	start time.Time
+}
+
+// StartSpan begins a span named name under the context's trace (minting a
+// trace ID if the context has none) and returns the enriched context.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	ctx, id := EnsureTraceID(ctx)
+	return ctx, &Span{TraceID: id, Name: name, start: time.Now()}
+}
+
+// Duration returns the time elapsed since the span started.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Since(s.start)
+}
+
+// End finishes the span and returns its duration.
+func (s *Span) End() time.Duration { return s.Duration() }
+
+// EndTo finishes the span, records its duration in seconds into h (a nil
+// histogram ignores the observation), and returns the duration.
+func (s *Span) EndTo(h *Histogram) time.Duration {
+	d := s.Duration()
+	h.ObserveDuration(d)
+	return d
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"context"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+func TestTraceIDPropagation(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Fatal("fresh context should have no trace ID")
+	}
+	ctx, id := EnsureTraceID(ctx)
+	if id == "" || TraceID(ctx) != id {
+		t.Fatalf("EnsureTraceID: id=%q ctx=%q", id, TraceID(ctx))
+	}
+	// Idempotent: an existing ID is kept, not replaced.
+	ctx2, id2 := EnsureTraceID(ctx)
+	if id2 != id || TraceID(ctx2) != id {
+		t.Fatalf("EnsureTraceID replaced existing id: %q -> %q", id, id2)
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(id) {
+		t.Fatalf("trace ID %q is not 16 hex chars", id)
+	}
+}
+
+func TestTraceIDUniqueness(t *testing.T) {
+	const n = 10000
+	seen := make(map[string]bool, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]string, 0, n/8)
+			for i := 0; i < n/8; i++ {
+				local = append(local, NewTraceID())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate trace ID %s", id)
+					return
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSpanTiming(t *testing.T) {
+	h := NewHistogram(0.001, 1, 10)
+	ctx, sp := StartSpan(context.Background(), "work")
+	if sp.TraceID == "" || sp.TraceID != TraceID(ctx) {
+		t.Fatalf("span trace = %q, ctx trace = %q", sp.TraceID, TraceID(ctx))
+	}
+	// A child span started from the same context joins the same trace.
+	_, child := StartSpan(ctx, "child")
+	if child.TraceID != sp.TraceID {
+		t.Fatalf("child trace %q != parent trace %q", child.TraceID, sp.TraceID)
+	}
+	d := sp.EndTo(h)
+	if d < 0 {
+		t.Fatalf("negative duration %v", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+	// Nil span and nil histogram are safe.
+	var nilSpan *Span
+	if nilSpan.End() != 0 {
+		t.Fatal("nil span must report zero duration")
+	}
+	sp2 := &Span{}
+	sp2.EndTo(nil)
+}

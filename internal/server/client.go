@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // maxBodyBytes bounds how much of any response body the client reads: API
@@ -66,10 +67,47 @@ type Client struct {
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 
+	// Metrics counts this client's retry and termination events. The
+	// counters are always on (atomic increments, no registry needed), so a
+	// DriveWorker exit is always classifiable after the fact: a clean
+	// abandon bumps Abandons, retry exhaustion bumps RetryExhausted, and a
+	// consecutive-rejection failure bumps ConflictExhausted. Register them
+	// on a registry with RegisterMetrics for /metrics exposure.
+	Metrics ClientMetrics
+
 	// jitterMu guards jitterState: one client is shared by many worker
 	// goroutines.
 	jitterMu    sync.Mutex
 	jitterState uint64
+}
+
+// ClientMetrics holds the client-side counters. The zero value is ready;
+// all counters are safe for concurrent use by the worker goroutines
+// sharing the client.
+type ClientMetrics struct {
+	// Retries counts individual retry attempts (sleep + resend) in do.
+	Retries obs.Counter
+	// RetryExhausted counts requests that failed even after the full retry
+	// budget — the error DriveWorker surfaces as fatal.
+	RetryExhausted obs.Counter
+	// Conflicts counts 4xx submission rejections DriveWorker absorbed
+	// (lost races: duplicate answer, task closed, budget race).
+	Conflicts obs.Counter
+	// ConflictExhausted counts DriveWorker terminations caused by
+	// maxConsecutiveConflicts rejections in a row.
+	ConflictExhausted obs.Counter
+	// Abandons counts clean worker-walked-away drive terminations.
+	Abandons obs.Counter
+}
+
+// RegisterMetrics exposes the client counters on reg under
+// crowdkit_client_*. No-op on a nil registry.
+func (c *Client) RegisterMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("crowdkit_client_retries_total", &c.Metrics.Retries)
+	reg.RegisterCounter("crowdkit_client_retry_exhausted_total", &c.Metrics.RetryExhausted)
+	reg.RegisterCounter("crowdkit_client_submit_conflicts_total", &c.Metrics.Conflicts)
+	reg.RegisterCounter("crowdkit_client_conflict_exhausted_total", &c.Metrics.ConflictExhausted)
+	reg.RegisterCounter("crowdkit_client_abandons_total", &c.Metrics.Abandons)
 }
 
 // ClientOption configures a Client.
@@ -179,8 +217,10 @@ func (c *Client) do(method, url string, body []byte) (*http.Response, error) {
 			drainClose(resp)
 		}
 		if attempt >= c.retries() {
+			c.Metrics.RetryExhausted.Inc()
 			return nil, lastErr
 		}
+		c.Metrics.Retries.Inc()
 		time.Sleep(c.backoff(attempt))
 	}
 }
@@ -347,6 +387,7 @@ func (c *Client) DriveWorker(w core.Worker, lookup func(core.TaskID) *core.Task,
 		if resp.Abandon {
 			// The worker walked away mid-task without submitting; their
 			// lease (if the server issues leases) expires and is re-issued.
+			c.Metrics.Abandons.Inc()
 			return done, nil
 		}
 		err = c.SubmitAnswer(AnswerDTO{
@@ -358,8 +399,10 @@ func (c *Client) DriveWorker(w core.Worker, lookup func(core.TaskID) *core.Task,
 			if errors.As(err, &ae) && !ae.Retryable() && ae.StatusCode != http.StatusForbidden {
 				// Rejected submission (duplicate, closed task, budget race):
 				// this assignment is lost, but the worker can keep going.
+				c.Metrics.Conflicts.Inc()
 				conflicts++
 				if conflicts >= maxConsecutiveConflicts {
+					c.Metrics.ConflictExhausted.Inc()
 					return done, fmt.Errorf("server: %d consecutive rejected submissions: %w", conflicts, err)
 				}
 				continue

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/assign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -200,10 +201,11 @@ func benchIteration(tb testing.TB, h http.Handler, seq int64) {
 // benchServer drives the mixed load from `workers` goroutines. legacy
 // selects the pre-concurrency server behavior: every request behind one
 // global mutex and no results memoization (EM re-runs on every poll).
-func benchServer(b *testing.B, legacy bool, workers int) {
+// Extra options (e.g. WithMetrics) are applied to the server under test.
+func benchServer(b *testing.B, legacy bool, workers int, opts ...Option) {
 	rng := stats.NewRNG(12)
 	pool := testPool(rng, 256)
-	srv, err := New(pool, assign.FewestAnswers{}, nil, nil)
+	srv, err := New(pool, assign.FewestAnswers{}, nil, nil, opts...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -241,6 +243,13 @@ func BenchmarkServerConcurrent(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("finegrained/workers=%d", workers), func(b *testing.B) {
 			benchServer(b, false, workers)
+		})
+		// Same server with the full observability layer on: per-request
+		// tracing, status counters, and latency histograms. The acceptance
+		// bar for the instrumentation is staying within a few percent of
+		// the uninstrumented finegrained runs.
+		b.Run(fmt.Sprintf("metrics/workers=%d", workers), func(b *testing.B) {
+			benchServer(b, false, workers, WithMetrics(obs.NewRegistry()))
 		})
 	}
 }

@@ -26,19 +26,27 @@
 // assignment, and by a background reaper goroutine) so assigners re-issue
 // the task. Without leases an abandoned assignment is simply never counted
 // — the legacy behavior — so lease-free servers behave exactly as before.
+//
+// Observability (all opt-in, see metrics.go): WithMetrics installs
+// per-endpoint request/latency instrumentation, budget/pool/lease gauges,
+// EM convergence telemetry, and a /metrics exposition endpoint;
+// WithRequestLog adds structured per-request logging with trace IDs;
+// WithPprof mounts net/http/pprof. A server built without these options
+// runs the exact pre-observability handler chain.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/truth"
 )
 
@@ -55,9 +63,15 @@ type Server struct {
 	// interval of the background reaper (defaults to leaseTTL/4).
 	leaseTTL    time.Duration
 	reaperEvery time.Duration
-	expired     atomic.Int64 // leases reclaimed so far
+	expired     obs.Counter // leases reclaimed so far; the single source for /api/stats and /metrics
 	stopReaper  chan struct{}
 	closeOnce   sync.Once
+
+	// Observability (nil/false = off; see metrics.go).
+	metricsReg *obs.Registry
+	pprofOn    bool
+	reqLog     *slog.Logger
+	obsv       *serverObs
 }
 
 // Option configures optional server behavior.
@@ -102,12 +116,14 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.wireObservability()
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("GET /api/task", s.handleTask)
-	s.mux.HandleFunc("POST /api/answer", s.handleAnswer)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/results", s.handleResults)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /api/task", s.instrument("/api/task", s.handleTask))
+	s.mux.HandleFunc("POST /api/answer", s.instrument("/api/answer", s.handleAnswer))
+	s.mux.HandleFunc("GET /api/stats", s.instrument("/api/stats", s.handleStats))
+	s.mux.HandleFunc("GET /api/results", s.instrument("/api/results", s.handleResults))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mountDebug()
 	if s.leaseTTL > 0 {
 		if s.reaperEvery <= 0 {
 			s.reaperEvery = s.leaseTTL / 4
@@ -155,7 +171,7 @@ func (s *Server) expireLeases() {
 }
 
 // ExpiredLeases returns how many leases the server has reclaimed.
-func (s *Server) ExpiredLeases() int64 { return s.expired.Load() }
+func (s *Server) ExpiredLeases() int64 { return s.expired.Value() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -210,6 +226,18 @@ type StatsDTO struct {
 	// server without leases.
 	ActiveLeases  int   `json:"active_leases"`
 	ExpiredLeases int64 `json:"expired_leases"`
+}
+
+// AnswerAckDTO acknowledges an accepted submission.
+type AnswerAckDTO struct {
+	Status string `json:"status"`
+}
+
+// HealthDTO is the liveness-probe response. Struct (not map) so the JSON
+// key order is stable — probes and golden tests can compare bytes.
+type HealthDTO struct {
+	Status string `json:"status"`
+	Tasks  int    `json:"tasks"`
 }
 
 // ResultDTO is one inferred label.
@@ -303,7 +331,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		}
 		s.screen.Observe(dto.Worker, correct)
 	}
-	writeJSON(w, map[string]string{"status": "recorded"})
+	writeJSON(w, AnswerAckDTO{Status: "recorded"})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -316,7 +344,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.ActiveLeases = p.ActiveLeases()
 	})
 	st.BudgetSpent = s.budget.Spent()
-	st.ExpiredLeases = s.expired.Load()
+	st.ExpiredLeases = s.expired.Value()
 	if s.screen != nil {
 		st.Eliminated = len(s.screen.EliminatedWorkers())
 	}
@@ -328,7 +356,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // Len, so a deadlocked pool fails the probe by hanging into the server's
 // write deadline instead of lying).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{"status": "ok", "tasks": s.cpool.Len()})
+	writeJSON(w, HealthDTO{Status: "ok", Tasks: s.cpool.Len()})
 }
 
 // resultGroup is one homogeneous (same option count) inference unit of the
@@ -342,17 +370,20 @@ type resultGroup struct {
 
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	method := strings.ToLower(r.URL.Query().Get("method"))
+	// With metrics on, iterative inferrers report convergence through the
+	// registry's EMObserver; a nil observer (metrics off) costs nothing.
+	emObs := s.emObserver()
 	var inf truth.Inferrer
 	switch method {
 	case "", "mv":
 		method = "mv"
 		inf = truth.MajorityVote{}
 	case "onecoin":
-		inf = truth.OneCoinEM{}
+		inf = truth.OneCoinEM{Obs: emObs}
 	case "ds":
-		inf = truth.DawidSkene{}
+		inf = truth.DawidSkene{Obs: emObs}
 	case "glad":
-		inf = truth.GLAD{}
+		inf = truth.GLAD{Obs: emObs}
 	default:
 		httpError(w, http.StatusBadRequest, "unknown method "+method)
 		return

@@ -2,7 +2,9 @@ package truth
 
 import (
 	"math"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -23,6 +25,11 @@ const (
 type OneCoinEM struct {
 	MaxIter int
 	Tol     float64
+	// Obs, when non-nil, receives one ObserveEMIteration per iteration
+	// (with the summed L1 posterior change the stopping rule tests) and
+	// one ObserveEMRun per Infer. A nil observer costs nothing: no
+	// timestamps are taken and no calls are made.
+	Obs obs.EMObserver
 }
 
 // Name implements Inferrer.
@@ -57,6 +64,11 @@ func (m OneCoinEM) Infer(ds *Dataset) (*Result, error) {
 	deltas := make([]float64, n)
 	scratch := make([]float64, workers*2*K)
 
+	var start time.Time
+	if m.Obs != nil {
+		start = time.Now()
+	}
+	converged := false
 	iters := 0
 	for ; iters < maxIter; iters++ {
 		// M-step: worker reliability = expected fraction of answers that
@@ -104,10 +116,18 @@ func (m OneCoinEM) Infer(ds *Dataset) (*Result, error) {
 				deltas[ti] = replaceRow(post[ti*K:ti*K+K], np)
 			}
 		})
-		if sumSerial(deltas) < tol*float64(n) {
+		delta := sumSerial(deltas)
+		if m.Obs != nil {
+			m.Obs.ObserveEMIteration("OneCoinEM", iters+1, delta)
+		}
+		if delta < tol*float64(n) {
 			iters++
+			converged = true
 			break
 		}
+	}
+	if m.Obs != nil {
+		m.Obs.ObserveEMRun("OneCoinEM", iters, converged, time.Since(start))
 	}
 	return packResult("OneCoinEM", ds, post, reliability, iters), nil
 }
@@ -121,6 +141,8 @@ func (m OneCoinEM) Infer(ds *Dataset) (*Result, error) {
 type DawidSkene struct {
 	MaxIter int
 	Tol     float64
+	// Obs follows the same contract as OneCoinEM.Obs (nil = free).
+	Obs obs.EMObserver
 }
 
 // Name implements Inferrer.
@@ -149,6 +171,11 @@ func (m DawidSkene) Infer(ds *Dataset) (*Result, error) {
 	deltas := make([]float64, n)
 	scratch := make([]float64, workers*2*K)
 
+	var start time.Time
+	if m.Obs != nil {
+		start = time.Now()
+	}
+	converged := false
 	iters := 0
 	for ; iters < maxIter; iters++ {
 		// M-step: confusion matrices from soft counts, one worker per
@@ -190,10 +217,18 @@ func (m DawidSkene) Infer(ds *Dataset) (*Result, error) {
 				deltas[ti] = replaceRow(post[ti*K:ti*K+K], np)
 			}
 		})
-		if sumSerial(deltas) < tol*float64(n) {
+		delta := sumSerial(deltas)
+		if m.Obs != nil {
+			m.Obs.ObserveEMIteration("DS", iters+1, delta)
+		}
+		if delta < tol*float64(n) {
 			iters++
+			converged = true
 			break
 		}
+	}
+	if m.Obs != nil {
+		m.Obs.ObserveEMRun("DS", iters, converged, time.Since(start))
 	}
 
 	// Worker quality: trace-weighted accuracy of the probability-form

@@ -1,6 +1,11 @@
 package truth
 
-import "math"
+import (
+	"math"
+	"time"
+
+	"repro/internal/obs"
+)
 
 // GLAD implements the Whitehill et al. model: the probability that worker
 // w answers a task t correctly is sigmoid(alpha_w * beta_t), where alpha
@@ -21,6 +26,8 @@ type GLAD struct {
 	Tol       float64
 	GradSteps int     // gradient steps per M-step (default 10)
 	LearnRate float64 // default 0.05
+	// Obs follows the same contract as OneCoinEM.Obs (nil = free).
+	Obs obs.EMObserver
 }
 
 // Name implements Inferrer.
@@ -70,6 +77,11 @@ func (m GLAD) Infer(ds *Dataset) (*Result, error) {
 	deltas := make([]float64, n)
 	scratch := make([]float64, workers*2*K)
 
+	var start time.Time
+	if m.Obs != nil {
+		start = time.Now()
+	}
+	converged := false
 	iters := 0
 	for ; iters < maxIter; iters++ {
 		// M-step: gradient ascent on the expected complete log-likelihood
@@ -156,10 +168,18 @@ func (m GLAD) Infer(ds *Dataset) (*Result, error) {
 				deltas[ti] = replaceRow(post[ti*K:ti*K+K], np)
 			}
 		})
-		if sumSerial(deltas) < tol*float64(n) {
+		delta := sumSerial(deltas)
+		if m.Obs != nil {
+			m.Obs.ObserveEMIteration("GLAD", iters+1, delta)
+		}
+		if delta < tol*float64(n) {
 			iters++
+			converged = true
 			break
 		}
+	}
+	if m.Obs != nil {
+		m.Obs.ObserveEMRun("GLAD", iters, converged, time.Since(start))
 	}
 
 	// Worker quality: average modeled correctness over the tasks each
