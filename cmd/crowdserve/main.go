@@ -26,18 +26,22 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"log/slog"
 	"net"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/assign"
 	"repro/internal/core"
 	"repro/internal/crowd"
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -57,24 +61,67 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "random seed")
 		metrics = flag.Bool("metrics", false, "expose Prometheus metrics on /metrics and log requests")
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof (requires explicit opt-in)")
+		dataDir = flag.String("data-dir", "", "directory for the write-ahead log and snapshots; answers survive a crash or restart (empty = in-memory only)")
+		fsyncF  = flag.String("fsync", "always", `WAL fsync policy: "always" (ack = on disk), a duration like "100ms" (batched flushes), or "off"`)
+		snapEv  = flag.Duration("snapshot-every", 30*time.Second, "how often to compact the WAL into a snapshot (with -data-dir; 0 = only on shutdown)")
 	)
 	flag.Parse()
 
 	rng := stats.NewRNG(*seed)
-	pool := core.NewPool()
-	for i := 0; i < *nTasks; i++ {
-		pool.MustAdd(&core.Task{
-			ID: core.TaskID(i + 1), Kind: core.SingleChoice,
-			Question:    fmt.Sprintf("Demo question %d: yes or no?", i+1),
-			Options:     []string{"no", "yes"},
-			GroundTruth: rng.Intn(2), Difficulty: rng.Beta(2, 5),
-		})
-	}
 	var budget *core.Budget
 	if *budgetF > 0 {
 		budget = core.NewBudget(*budgetF)
+	} else if *dataDir != "" {
+		// Durable deployments track spend even without a cap, so the
+		// recovered budget_spent matches the recovered answer count.
+		budget = core.Unlimited()
+	}
+
+	var store *durable.Store
+	pool := core.NewPool()
+	seedDemo := true
+	if *dataDir != "" {
+		policy, every, err := durable.ParseFsync(*fsyncF)
+		if err != nil {
+			fatal(err)
+		}
+		var info *durable.RecoveryInfo
+		store, info, err = durable.Open(*dataDir, durable.Options{
+			Fsync: policy, FsyncEvery: every, SnapshotEvery: *snapEv,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if !info.Empty() {
+			// Adopt the recovered state instead of reseeding: the demo
+			// workload continues where the previous process stopped.
+			pool = server.AdoptRecovered(store, budget, nil)
+			seedDemo = false
+			log.Printf("crowdserve: recovered %d tasks, %d answers (spent %v) from %s: snapshot=%v replayed=%d skipped=%d torn=%dB in %v",
+				info.Tasks, info.Answers, info.BudgetSpent, *dataDir,
+				info.SnapshotLoaded, info.Replayed, info.Skipped, info.TornBytes,
+				info.ReplayDuration.Round(time.Microsecond))
+		}
+	}
+	if seedDemo {
+		for i := 0; i < *nTasks; i++ {
+			pool.MustAdd(&core.Task{
+				ID: core.TaskID(i + 1), Kind: core.SingleChoice,
+				Question:    fmt.Sprintf("Demo question %d: yes or no?", i+1),
+				Options:     []string{"no", "yes"},
+				GroundTruth: rng.Intn(2), Difficulty: rng.Beta(2, 5),
+			})
+		}
+		if store != nil {
+			if err := server.SeedJournal(store, pool); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	var opts []server.Option
+	if store != nil {
+		opts = append(opts, server.WithDurability(store))
+	}
 	if *lease > 0 {
 		opts = append(opts, server.WithLeaseTTL(*lease))
 	}
@@ -96,9 +143,27 @@ func main() {
 	defer srv.Close()
 
 	if !*drive {
-		log.Printf("crowdserve: %d tasks on http://%s (GET /api/task?worker=you, lease=%v, metrics=%v, pprof=%v)",
-			*nTasks, *addr, *lease, *metrics, *pprofOn)
-		fatal(server.HTTPServer(*addr, srv, *timeout).ListenAndServe())
+		log.Printf("crowdserve: %d tasks on http://%s (GET /api/task?worker=you, lease=%v, metrics=%v, pprof=%v, data-dir=%q)",
+			pool.Len(), *addr, *lease, *metrics, *pprofOn, *dataDir)
+		hs := server.HTTPServer(*addr, srv, *timeout)
+		errCh := make(chan error, 1)
+		go func() { errCh <- hs.ListenAndServe() }()
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		select {
+		case err := <-errCh:
+			fatal(err)
+		case sig := <-sigCh:
+			// Graceful shutdown: drain in-flight requests, then flush and
+			// snapshot the durable store via srv.Close so the next boot
+			// recovers from the snapshot alone.
+			log.Printf("crowdserve: %v: shutting down", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = hs.Shutdown(ctx)
+			cancel()
+			srv.Close()
+		}
+		return
 	}
 
 	// Self-driving demo: serve on a local listener with handler deadlines,

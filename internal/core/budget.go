@@ -93,6 +93,17 @@ func (b *Budget) Refund(amount float64) {
 // Spent returns the units spent so far.
 func (b *Budget) Spent() float64 { return math.Float64frombits(b.spent.Load()) }
 
+// RestoreSpent overwrites the spent counter with a recovered value,
+// clamped at zero. It exists for crash recovery only — a durability layer
+// replays the journal, computes the durable spend, and seeds a fresh
+// budget with it before the budget is shared between goroutines.
+func (b *Budget) RestoreSpent(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	b.spent.Store(math.Float64bits(v))
+}
+
 // Remaining returns the units left, or -1 when the budget is unlimited.
 func (b *Budget) Remaining() float64 {
 	if b.total <= 0 {

@@ -21,6 +21,9 @@ type ConcurrentPool struct {
 	mu      sync.RWMutex
 	pool    *Pool
 	version atomic.Uint64
+	// journal, when set, observes mutations under the write lock so a
+	// durability layer sees them in application order. See Journal.
+	journal Journal
 }
 
 // NewConcurrentPool wraps p (a fresh empty pool when nil). The wrapped
@@ -38,6 +41,12 @@ func NewConcurrentPool(p *Pool) *ConcurrentPool {
 // bracket a window in which the pool's tasks and answers did not change.
 func (cp *ConcurrentPool) Version() uint64 { return cp.version.Load() }
 
+// SetJournal attaches a mutation journal. It must be called before the
+// pool is shared between goroutines (journal installation itself is not
+// synchronized); pass nil to detach. Answer recording is not journaled
+// here — see the Journal docs.
+func (cp *ConcurrentPool) SetJournal(j Journal) { cp.journal = j }
+
 // Add registers a task under the write lock.
 func (cp *ConcurrentPool) Add(t *Task) (TaskID, error) {
 	cp.mu.Lock()
@@ -45,6 +54,9 @@ func (cp *ConcurrentPool) Add(t *Task) (TaskID, error) {
 	id, err := cp.pool.Add(t)
 	if err == nil {
 		cp.version.Add(1)
+		if cp.journal != nil {
+			cp.journal.TaskAdded(t)
+		}
 	}
 	return id, err
 }
@@ -67,6 +79,9 @@ func (cp *ConcurrentPool) Close(id TaskID) {
 	defer cp.mu.Unlock()
 	cp.pool.Close(id)
 	cp.version.Add(1)
+	if cp.journal != nil {
+		cp.journal.TaskClosed(id)
+	}
 }
 
 // Assign runs an assignment policy against the pool under the read lock.
@@ -98,6 +113,9 @@ func (cp *ConcurrentPool) AssignLease(a Assigner, worker string, deadline time.T
 		// assignment rather than handing out an untracked slot.
 		return 0, false
 	}
+	if cp.journal != nil {
+		cp.journal.LeaseIssued(Lease{Task: id, Worker: worker, Deadline: deadline})
+	}
 	return id, true
 }
 
@@ -107,7 +125,11 @@ func (cp *ConcurrentPool) AssignLease(a Assigner, worker string, deadline time.T
 func (cp *ConcurrentPool) ExpireLeases(now time.Time) []Lease {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
-	return cp.pool.ExpireLeases(now)
+	exp := cp.pool.ExpireLeases(now)
+	if len(exp) > 0 && cp.journal != nil {
+		cp.journal.LeasesExpired(exp)
+	}
+	return exp
 }
 
 // ActiveLeases returns the total number of outstanding leases.

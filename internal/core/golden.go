@@ -45,13 +45,52 @@ func NewWorkerScreen(minObs int, minAcc float64) *WorkerScreen {
 	}
 }
 
-// Observe records the outcome of one golden task for the worker.
-func (s *WorkerScreen) Observe(worker string, correct bool) {
+// Observe records the outcome of one golden task for the worker. It
+// reports whether this observation newly eliminated the worker (false when
+// the worker was already eliminated or is still in good standing), so
+// callers can journal or log the elimination transition.
+func (s *WorkerScreen) Observe(worker string, correct bool) (newlyEliminated bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	before := s.eliminatedLocked(worker)
 	s.total[worker]++
 	if correct {
 		s.correct[worker]++
+	}
+	return !before && s.eliminatedLocked(worker)
+}
+
+// ScreenTally is one worker's golden-task record, exported for snapshots.
+type ScreenTally struct {
+	Correct int `json:"correct"`
+	Total   int `json:"total"`
+}
+
+// Export returns a copy of every observed worker's tally, for durability
+// snapshots. Eliminations are derived state and are not part of the
+// export: restoring the tallies restores them exactly.
+func (s *WorkerScreen) Export() map[string]ScreenTally {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]ScreenTally, len(s.total))
+	for w, n := range s.total {
+		out[w] = ScreenTally{Correct: s.correct[w], Total: n}
+	}
+	return out
+}
+
+// Restore overwrites the screen's tallies with a recovered export. The
+// elimination policy (MinObservations, MinAccuracy) is configuration, not
+// state, and is left untouched. Recovery only — call before the screen is
+// shared between goroutines.
+func (s *WorkerScreen) Restore(tallies map[string]ScreenTally) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.correct = make(map[string]int, len(tallies))
+	s.total = make(map[string]int, len(tallies))
+	for w, t := range tallies {
+		s.correct[w] = t.Correct
+		s.total[w] = t.Total
 	}
 }
 

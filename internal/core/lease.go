@@ -43,6 +43,10 @@ func (p *Pool) Lease(id TaskID, worker string, deadline time.Time) error {
 		p.leases[id] = m
 	}
 	m[worker] = deadline
+	// Mirror every (deadline, task, worker) into the expiry heap. Released
+	// or re-leased entries go stale in the heap and are discarded lazily
+	// when their deadline pops — see ExpireLeases.
+	p.pushLeaseEntry(leaseEntry{deadline: deadline, task: id, worker: worker})
 	return nil
 }
 
@@ -95,16 +99,23 @@ func (p *Pool) InFlight(id TaskID) int {
 // ExpireLeases removes every lease whose deadline is at or before now and
 // returns them sorted by (task, worker) for deterministic processing. The
 // freed slots immediately lower InFlight, so assigners re-issue the tasks.
+//
+// The sweep is driven by a deadline min-heap, so a call that finds nothing
+// to expire — the overwhelmingly common case when the serving layer sweeps
+// on every assignment — costs one heap peek instead of a scan over every
+// outstanding lease. Consumed and extended leases leave lazily-deleted
+// entries behind; each is discarded the first time its (now stale)
+// deadline reaches the top of the heap.
 func (p *Pool) ExpireLeases(now time.Time) []Lease {
-	if len(p.leases) == 0 {
-		return nil
-	}
 	var out []Lease
-	for id, m := range p.leases {
-		for w, d := range m {
-			if !d.After(now) {
-				out = append(out, Lease{Task: id, Worker: w, Deadline: d})
-			}
+	for len(p.leaseHeap) > 0 && !p.leaseHeap[0].deadline.After(now) {
+		e := p.popLeaseEntry()
+		// The entry is live only if the lease map still holds this exact
+		// deadline: a submission or Close dropped it, or a re-lease moved
+		// it, otherwise.
+		if d, ok := p.leases[e.task][e.worker]; ok && d.Equal(e.deadline) {
+			p.releaseLease(e.task, e.worker)
+			out = append(out, Lease{Task: e.task, Worker: e.worker, Deadline: e.deadline})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -113,8 +124,83 @@ func (p *Pool) ExpireLeases(now time.Time) []Lease {
 		}
 		return out[i].Worker < out[j].Worker
 	})
-	for _, l := range out {
-		p.releaseLease(l.Task, l.Worker)
-	}
 	return out
+}
+
+// Leases returns every outstanding lease sorted by (task, worker), for
+// snapshots and diagnostics.
+func (p *Pool) Leases() []Lease {
+	out := make([]Lease, 0, p.ActiveLeases())
+	for id, m := range p.leases {
+		for w, d := range m {
+			out = append(out, Lease{Task: id, Worker: w, Deadline: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}
+
+// ReleaseLease drops the (task, worker) lease if one exists, reporting
+// whether it did. Exported for journal replay, which must re-apply
+// recorded expiries exactly; live code paths release leases through
+// Record, Close, and ExpireLeases.
+func (p *Pool) ReleaseLease(id TaskID, worker string) bool {
+	return p.releaseLease(id, worker)
+}
+
+// leaseEntry is one element of the expiry min-heap: the deadline a lease
+// carried when it was (re-)issued. Entries are never removed eagerly; a
+// popped entry whose deadline no longer matches the lease map is stale.
+type leaseEntry struct {
+	deadline time.Time
+	task     TaskID
+	worker   string
+}
+
+// pushLeaseEntry sifts a new entry up the deadline min-heap.
+func (p *Pool) pushLeaseEntry(e leaseEntry) {
+	h := append(p.leaseHeap, e)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].deadline.Before(h[parent].deadline) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	p.leaseHeap = h
+}
+
+// popLeaseEntry removes and returns the earliest-deadline entry.
+func (p *Pool) popLeaseEntry() leaseEntry {
+	h := p.leaseHeap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = leaseEntry{} // release the worker string
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h[l].deadline.Before(h[min].deadline) {
+			min = l
+		}
+		if r < n && h[r].deadline.Before(h[min].deadline) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	p.leaseHeap = h
+	return top
 }

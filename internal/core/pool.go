@@ -24,7 +24,11 @@ type Pool struct {
 	// leases tracks outstanding assignments per task: worker -> deadline.
 	// See lease.go for the lease state machine.
 	leases map[TaskID]map[string]time.Time
-	nextID TaskID
+	// leaseHeap orders outstanding lease deadlines so expiry sweeps pay
+	// O(expired · log n) instead of scanning every lease. Entries for
+	// consumed or extended leases are deleted lazily; see ExpireLeases.
+	leaseHeap []leaseEntry
+	nextID    TaskID
 }
 
 // NewPool returns an empty pool.
@@ -36,6 +40,48 @@ func NewPool() *Pool {
 		closed:    make(map[TaskID]bool),
 		leases:    make(map[TaskID]map[string]time.Time),
 	}
+}
+
+// Clone returns a deep copy of the pool's bookkeeping. Task pointers are
+// shared (tasks are immutable once added); answers, per-worker sets,
+// closed flags, and leases are copied, so mutations of the clone and the
+// original never interfere. Used by the durability layer, whose journal
+// replica and the live serving pool start from the same recovered state.
+func (p *Pool) Clone() *Pool {
+	c := &Pool{
+		tasks:     make(map[TaskID]*Task, len(p.tasks)),
+		order:     append([]TaskID(nil), p.order...),
+		answers:   make(map[TaskID][]Answer, len(p.answers)),
+		perWorker: make(map[string]map[TaskID]bool, len(p.perWorker)),
+		closed:    make(map[TaskID]bool, len(p.closed)),
+		leases:    make(map[TaskID]map[string]time.Time, len(p.leases)),
+		leaseHeap: append([]leaseEntry(nil), p.leaseHeap...),
+		nextID:    p.nextID,
+	}
+	for id, t := range p.tasks {
+		c.tasks[id] = t
+	}
+	for id, as := range p.answers {
+		c.answers[id] = append([]Answer(nil), as...)
+	}
+	for w, m := range p.perWorker {
+		cm := make(map[TaskID]bool, len(m))
+		for id, v := range m {
+			cm[id] = v
+		}
+		c.perWorker[w] = cm
+	}
+	for id, v := range p.closed {
+		c.closed[id] = v
+	}
+	for id, m := range p.leases {
+		cm := make(map[string]time.Time, len(m))
+		for w, d := range m {
+			cm[w] = d
+		}
+		c.leases[id] = cm
+	}
+	return c
 }
 
 // Add validates t, assigns it a fresh ID if it has none (ID 0 with an

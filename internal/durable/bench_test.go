@@ -1,0 +1,43 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// BenchmarkAnswerDurable measures the cost of journaling one accepted
+// answer under each fsync policy — the per-ack durability tax the serving
+// layer pays on top of the in-memory Record. "off" is the upper bound on
+// WAL framing + replica-apply cost; "always" adds an fsync per answer;
+// "interval" amortizes the fsyncs onto a background flusher.
+func BenchmarkAnswerDurable(b *testing.B) {
+	policies := []struct {
+		name string
+		opts Options
+	}{
+		{"off", Options{Fsync: FsyncNever}},
+		{"interval-100ms", Options{Fsync: FsyncInterval, FsyncEvery: 100 * time.Millisecond}},
+		{"always", Options{Fsync: FsyncAlways}},
+	}
+	for _, p := range policies {
+		b.Run(p.name, func(b *testing.B) {
+			s, _, err := Open(b.TempDir(), p.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			s.TaskAdded(&core.Task{ID: 0, Kind: core.Collection, Question: "q"})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a := core.Answer{Task: 0, Worker: "w", Text: fmt.Sprintf("item-%d", i)}
+				if err := s.AnswerDurable(a, 1, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,147 @@
+// Package durable persists the serving pool's state so a crash or
+// redeploy of the platform does not throw away answers the requester paid
+// the crowd for. It follows the classic log-structured recipe:
+//
+//   - every committed mutation is appended to a write-ahead log (an
+//     append-only file of length-prefixed, CRC32-checksummed JSON events),
+//   - the log is periodically compacted into a snapshot (pool.snap,
+//     written atomically via temp file + rename, after which the WAL is
+//     truncated), and
+//   - Open loads the latest snapshot, replays the WAL tail, and truncates
+//     at the first torn or corrupt record instead of failing — a crash
+//     mid-append loses at most the unacknowledged suffix.
+//
+// The central invariant is ack-implies-durable: the serving layer journals
+// an accepted answer after the pool records it and does not acknowledge
+// the client until the append (and, under FsyncAlways, the fsync)
+// succeeds. See DESIGN.md § Durability for the full protocol, including
+// the fsync policy matrix and recovery semantics.
+package durable
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Event types, one per kind of journaled mutation.
+const (
+	// EvTaskAdded registers a task (carries the full task definition).
+	EvTaskAdded = "task_added"
+	// EvAnswerRecorded commits one accepted answer together with the
+	// budget units it was charged and, for golden tasks, whether the
+	// worker got it right. This is the record the ack-implies-durable
+	// invariant protects.
+	EvAnswerRecorded = "answer_recorded"
+	// EvTaskClosed marks a task as no longer accepting answers.
+	EvTaskClosed = "task_closed"
+	// EvWorkerEliminated is an audit marker written when a golden-task
+	// observation tips a worker over the elimination threshold. Replay
+	// derives eliminations from the tallies, so the marker carries no
+	// state of its own.
+	EvWorkerEliminated = "worker_eliminated"
+	// EvBudgetCharged / EvBudgetRefunded adjust the durable spend for
+	// charges that do not ride an answer record (bulk pricing, manual
+	// adjustments). The serving path itself never emits them: an accepted
+	// answer's cost travels on its EvAnswerRecorded event, so a charge
+	// whose Record fails (and is refunded) never touches the log.
+	EvBudgetCharged  = "budget_charged"
+	EvBudgetRefunded = "budget_refunded"
+	// EvLeaseIssued / EvLeaseExpired track assignment leases so recovery
+	// restores in-flight claims. Lease consumption is implicit in
+	// EvAnswerRecorded (Record consumes the matching lease), exactly as
+	// in the live pool.
+	EvLeaseIssued  = "lease_issued"
+	EvLeaseExpired = "lease_expired"
+)
+
+// TaskRecord is the wire form of a core.Task. Payload (operator-specific
+// context) is not persisted: the kernel never inspects it and it may not
+// be serializable.
+type TaskRecord struct {
+	ID               core.TaskID `json:"id"`
+	Kind             int         `json:"kind"`
+	Question         string      `json:"q,omitempty"`
+	Options          []string    `json:"opts,omitempty"`
+	Difficulty       float64     `json:"diff,omitempty"`
+	Golden           bool        `json:"golden,omitempty"`
+	GroundTruth      int         `json:"gt"`
+	GroundTruthText  string      `json:"gtt,omitempty"`
+	GroundTruthScore float64     `json:"gts,omitempty"`
+}
+
+func taskRecord(t *core.Task) *TaskRecord {
+	return &TaskRecord{
+		ID: t.ID, Kind: int(t.Kind), Question: t.Question, Options: t.Options,
+		Difficulty: t.Difficulty, Golden: t.Golden,
+		GroundTruth: t.GroundTruth, GroundTruthText: t.GroundTruthText,
+		GroundTruthScore: t.GroundTruthScore,
+	}
+}
+
+func (r *TaskRecord) task() *core.Task {
+	return &core.Task{
+		ID: r.ID, Kind: core.TaskKind(r.Kind), Question: r.Question, Options: r.Options,
+		Difficulty: r.Difficulty, Golden: r.Golden,
+		GroundTruth: r.GroundTruth, GroundTruthText: r.GroundTruthText,
+		GroundTruthScore: r.GroundTruthScore,
+	}
+}
+
+// AnswerRecord is the wire form of a core.Answer.
+type AnswerRecord struct {
+	Task      core.TaskID `json:"task"`
+	Worker    string      `json:"worker"`
+	Option    int         `json:"option"`
+	Text      string      `json:"text,omitempty"`
+	Score     float64     `json:"score,omitempty"`
+	Submitted float64     `json:"sub,omitempty"`
+	Latency   float64     `json:"lat,omitempty"`
+}
+
+func answerRecord(a core.Answer) *AnswerRecord {
+	return &AnswerRecord{
+		Task: a.Task, Worker: a.Worker, Option: a.Option,
+		Text: a.Text, Score: a.Score, Submitted: a.Submitted, Latency: a.Latency,
+	}
+}
+
+func (r *AnswerRecord) answer() core.Answer {
+	return core.Answer{
+		Task: r.Task, Worker: r.Worker, Option: r.Option,
+		Text: r.Text, Score: r.Score, Submitted: r.Submitted, Latency: r.Latency,
+	}
+}
+
+// LeaseRecord is the wire form of a core.Lease; the deadline is absolute
+// wall-clock nanoseconds, so leases recovered after downtime longer than
+// their TTL are already expired and the first sweep reclaims them.
+type LeaseRecord struct {
+	Task     core.TaskID `json:"task"`
+	Worker   string      `json:"worker"`
+	Deadline int64       `json:"deadline"`
+}
+
+func leaseRecord(l core.Lease) *LeaseRecord {
+	return &LeaseRecord{Task: l.Task, Worker: l.Worker, Deadline: l.Deadline.UnixNano()}
+}
+
+func (r *LeaseRecord) deadline() time.Time { return time.Unix(0, r.Deadline) }
+
+// Event is one WAL record. Seq is assigned by the store and strictly
+// increases across snapshots and restarts; recovery replays only events
+// with Seq greater than the snapshot's LastSeq, which makes a crash
+// between snapshot publication and WAL truncation harmless.
+type Event struct {
+	Seq    uint64        `json:"seq"`
+	Type   string        `json:"type"`
+	Task   *TaskRecord   `json:"task,omitempty"`
+	TaskID core.TaskID   `json:"task_id,omitempty"`
+	Worker string        `json:"worker,omitempty"`
+	Answer *AnswerRecord `json:"answer,omitempty"`
+	Cost   float64       `json:"cost,omitempty"`
+	Golden *bool         `json:"golden,omitempty"`
+	Amount float64       `json:"amount,omitempty"`
+	Lease  *LeaseRecord  `json:"lease,omitempty"`
+	Leases []LeaseRecord `json:"leases,omitempty"`
+}

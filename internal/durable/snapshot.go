@@ -1,0 +1,155 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+)
+
+// snapName is the snapshot file inside the data directory. There is only
+// ever one: writeSnapshot replaces it atomically (temp file + fsync +
+// rename + directory fsync), so at every instant the directory holds
+// either the previous complete snapshot or the new complete snapshot,
+// never a partial one.
+const snapName = "pool.snap"
+
+// Snapshot is the durable image of the replicated state as of LastSeq.
+// Recovery loads it and replays only WAL events with Seq > LastSeq, which
+// makes a crash between snapshot publication and WAL truncation harmless
+// (the overlapping records are skipped, not double-applied).
+type Snapshot struct {
+	Format      int                         `json:"format"`
+	LastSeq     uint64                      `json:"last_seq"`
+	Tasks       []TaskRecord                `json:"tasks"`
+	Closed      []core.TaskID               `json:"closed,omitempty"`
+	Answers     []AnswerRecord              `json:"answers,omitempty"`
+	Leases      []LeaseRecord               `json:"leases,omitempty"`
+	BudgetSpent float64                     `json:"budget_spent"`
+	Screen      map[string]core.ScreenTally `json:"screen,omitempty"`
+}
+
+// snapshotFormat is the current layout version; Open rejects snapshots
+// from a future format instead of misreading them.
+const snapshotFormat = 1
+
+// buildSnapshot serializes the replica state. Answers keep task insertion
+// order then arrival order, so a pool rebuilt from the snapshot iterates
+// identically to the original.
+func buildSnapshot(p *core.Pool, spent float64, screen map[string]core.ScreenTally, lastSeq uint64) *Snapshot {
+	s := &Snapshot{
+		Format:      snapshotFormat,
+		LastSeq:     lastSeq,
+		BudgetSpent: spent,
+	}
+	for _, id := range p.TaskIDs() {
+		s.Tasks = append(s.Tasks, *taskRecord(p.Task(id)))
+		if p.Closed(id) {
+			s.Closed = append(s.Closed, id)
+		}
+	}
+	for _, a := range p.AllAnswers() {
+		s.Answers = append(s.Answers, *answerRecord(a))
+	}
+	for _, l := range p.Leases() {
+		s.Leases = append(s.Leases, *leaseRecord(l))
+	}
+	if len(screen) > 0 {
+		s.Screen = make(map[string]core.ScreenTally, len(screen))
+		for w, t := range screen {
+			s.Screen[w] = t
+		}
+	}
+	return s
+}
+
+// restore rebuilds the replica state from the snapshot. Closed tasks are
+// closed only after their answers are recorded, matching the original
+// event order well enough for replay (answers for closed tasks were
+// recorded before the close).
+func (s *Snapshot) restore() (*core.Pool, float64, map[string]core.ScreenTally, error) {
+	p := core.NewPool()
+	for i := range s.Tasks {
+		t := s.Tasks[i].task()
+		if _, err := p.Add(t); err != nil {
+			return nil, 0, nil, fmt.Errorf("durable: snapshot task %d: %w", t.ID, err)
+		}
+	}
+	for i := range s.Answers {
+		if err := p.Record(s.Answers[i].answer()); err != nil {
+			return nil, 0, nil, fmt.Errorf("durable: snapshot answer: %w", err)
+		}
+	}
+	for i := range s.Leases {
+		l := &s.Leases[i]
+		if err := p.Lease(l.Task, l.Worker, l.deadline()); err != nil {
+			return nil, 0, nil, fmt.Errorf("durable: snapshot lease: %w", err)
+		}
+	}
+	for _, id := range s.Closed {
+		p.Close(id)
+	}
+	screen := make(map[string]core.ScreenTally, len(s.Screen))
+	for w, t := range s.Screen {
+		screen[w] = t
+	}
+	return p, s.BudgetSpent, screen, nil
+}
+
+// writeSnapshot atomically replaces dir/pool.snap.
+func writeSnapshot(dir string, s *Snapshot) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return fmt.Errorf("durable: encoding snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, snapName+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("durable: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(fmt.Errorf("durable: writing snapshot: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("durable: syncing snapshot: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(fmt.Errorf("durable: closing snapshot: %w", err))
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, snapName)); err != nil {
+		return cleanup(fmt.Errorf("durable: publishing snapshot: %w", err))
+	}
+	// Sync the directory so the rename itself survives a power loss.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// loadSnapshot reads dir/pool.snap; a missing file means no snapshot has
+// been published yet (nil, nil).
+func loadSnapshot(dir string) (*Snapshot, error) {
+	data, err := os.ReadFile(filepath.Join(dir, snapName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("durable: reading snapshot: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("durable: snapshot corrupt: %w", err)
+	}
+	if s.Format > snapshotFormat {
+		return nil, fmt.Errorf("durable: snapshot format %d is newer than this binary supports (%d)", s.Format, snapshotFormat)
+	}
+	return &s, nil
+}

@@ -1,0 +1,500 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Options configures a Store.
+type Options struct {
+	// Fsync selects when WAL appends reach stable storage; see FsyncPolicy.
+	Fsync FsyncPolicy
+	// FsyncEvery is the background flush interval under FsyncInterval
+	// (defaults to 100ms when unset).
+	FsyncEvery time.Duration
+	// SnapshotEvery, when positive, snapshots (and truncates the WAL) on a
+	// background ticker whenever records accumulated since the last
+	// snapshot. Zero disables automatic snapshots; Close still writes one.
+	SnapshotEvery time.Duration
+}
+
+// RecoveryInfo reports what Open found in the data directory.
+type RecoveryInfo struct {
+	// SnapshotLoaded is true when a pool.snap was loaded.
+	SnapshotLoaded bool
+	// SnapshotSeq is the loaded snapshot's LastSeq (0 without a snapshot).
+	SnapshotSeq uint64
+	// Replayed counts WAL events applied on top of the snapshot.
+	Replayed int
+	// Skipped counts WAL events at or below SnapshotSeq (a crash landed
+	// between snapshot publication and WAL truncation) that were not
+	// re-applied.
+	Skipped int
+	// TornBytes is the size of the invalid tail truncated off the WAL
+	// (0 when the log ended cleanly).
+	TornBytes int64
+	// ReplayDuration is the wall time spent loading and replaying.
+	ReplayDuration time.Duration
+	// Tasks, Answers, and BudgetSpent describe the recovered state.
+	Tasks       int
+	Answers     int
+	BudgetSpent float64
+}
+
+// Empty reports whether recovery found any durable state at all.
+func (ri *RecoveryInfo) Empty() bool {
+	return !ri.SnapshotLoaded && ri.Replayed == 0 && ri.Skipped == 0
+}
+
+// Store journals pool mutations to a WAL, maintains a replica of the pool
+// state the journal describes, and compacts the journal into snapshots.
+//
+// The replica is the store's own single-threaded core.Pool (plus the
+// durable budget spend and golden-screen tallies), updated under the
+// store's mutex atomically with each append. Snapshots serialize the
+// replica, so a snapshot is consistent with its LastSeq by construction —
+// the store never has to freeze the live serving pool, and lock ordering
+// stays one-way (callers hold their own locks, then the store's; the store
+// holds no lock while calling out).
+//
+// All methods are safe for concurrent use. After a write error the store
+// is sticky-failed: every subsequent append returns the original error, so
+// the serving layer stops acknowledging work the log cannot hold.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	w         *wal
+	rep       *core.Pool
+	repSpent  float64
+	repScreen map[string]core.ScreenTally
+	seq       uint64 // last assigned event sequence number
+	snapSeq   uint64 // seq covered by the last published snapshot
+	err       error  // sticky write error; nil while healthy
+	closed    bool
+
+	stop     chan struct{}
+	bg       sync.WaitGroup
+	replayed obs.Counter
+	skipped  obs.Counter
+	snaps    obs.Counter
+	snapErrs obs.Counter
+	replayS  float64 // replay duration in seconds, fixed at Open
+}
+
+// Open recovers state from dir (creating it if needed) and returns a store
+// ready to journal new mutations, plus a report of what was recovered.
+// A torn or corrupt WAL tail is truncated, not an error: the discarded
+// suffix was never acknowledged.
+func Open(dir string, opts Options) (*Store, *RecoveryInfo, error) {
+	if opts.Fsync == FsyncInterval && opts.FsyncEvery <= 0 {
+		opts.FsyncEvery = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("durable: creating data dir: %w", err)
+	}
+	start := time.Now()
+	info := &RecoveryInfo{}
+
+	rep := core.NewPool()
+	var spent float64
+	screen := make(map[string]core.ScreenTally)
+	var seq uint64
+
+	snap, err := loadSnapshot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if snap != nil {
+		rep, spent, screen, err = snap.restore()
+		if err != nil {
+			return nil, nil, err
+		}
+		seq = snap.LastSeq
+		info.SnapshotLoaded = true
+		info.SnapshotSeq = snap.LastSeq
+	}
+
+	walPath := filepath.Join(dir, walName)
+	payloads, validBytes, torn, err := readWAL(walPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		rep:       rep,
+		repSpent:  spent,
+		repScreen: screen,
+		seq:       seq,
+		snapSeq:   seq,
+		stop:      make(chan struct{}),
+	}
+	off := int64(0)
+	for _, payload := range payloads {
+		var ev Event
+		if jerr := json.Unmarshal(payload, &ev); jerr != nil {
+			// The frame checksum verified but the payload does not decode:
+			// treat it like a torn tail and cut the log here. Everything
+			// after an undecodable record is unreachable anyway — replay
+			// could not order it.
+			torn = validBytes - off + torn
+			validBytes = off
+			break
+		}
+		off += frameHeader + int64(len(payload))
+		if ev.Seq <= s.snapSeq {
+			info.Skipped++
+			continue
+		}
+		s.apply(&ev)
+		s.seq = ev.Seq
+		info.Replayed++
+	}
+	if torn > 0 {
+		if err := os.Truncate(walPath, validBytes); err != nil {
+			return nil, nil, fmt.Errorf("durable: truncating torn WAL tail: %w", err)
+		}
+	}
+	info.TornBytes = torn
+
+	w, err := openWAL(walPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.w = w
+	s.replayed.Add(int64(info.Replayed))
+	s.skipped.Add(int64(info.Skipped))
+
+	info.ReplayDuration = time.Since(start)
+	info.Tasks = rep.Len()
+	info.Answers = rep.TotalAnswers()
+	info.BudgetSpent = s.repSpent
+	s.replayS = info.ReplayDuration.Seconds()
+
+	if opts.Fsync == FsyncInterval {
+		s.bg.Add(1)
+		go s.flusher()
+	}
+	if opts.SnapshotEvery > 0 {
+		s.bg.Add(1)
+		go s.snapshotter()
+	}
+	return s, info, nil
+}
+
+// State returns a deep copy of the recovered pool plus the durable budget
+// spend and golden-screen tallies. The serving layer adopts the copy as
+// its live pool; the store keeps the original as its replica, so the two
+// evolve independently (the replica only through journaled events).
+func (s *Store) State() (*core.Pool, float64, map[string]core.ScreenTally) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	screen := make(map[string]core.ScreenTally, len(s.repScreen))
+	for w, t := range s.repScreen {
+		screen[w] = t
+	}
+	return s.rep.Clone(), s.repSpent, screen
+}
+
+// Err returns the sticky write error, or nil while the store is healthy.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// apply folds one event into the replica. Events were validated by the
+// live pool before they were journaled, so replica errors indicate either
+// corruption replay already cut off or a duplicate delivery; both are
+// skipped rather than fatal.
+func (s *Store) apply(ev *Event) {
+	switch ev.Type {
+	case EvTaskAdded:
+		if ev.Task != nil {
+			_, _ = s.rep.Add(ev.Task.task())
+		}
+	case EvAnswerRecorded:
+		if ev.Answer != nil {
+			_ = s.rep.Record(ev.Answer.answer())
+		}
+		s.repSpent += ev.Cost
+		if ev.Golden != nil {
+			t := s.repScreen[ev.Worker]
+			t.Total++
+			if *ev.Golden {
+				t.Correct++
+			}
+			s.repScreen[ev.Worker] = t
+		}
+	case EvTaskClosed:
+		s.rep.Close(ev.TaskID)
+	case EvWorkerEliminated:
+		// Audit marker only: eliminations are derived from the tallies.
+	case EvBudgetCharged:
+		s.repSpent += ev.Amount
+	case EvBudgetRefunded:
+		s.repSpent -= ev.Amount
+		if s.repSpent < 0 {
+			s.repSpent = 0
+		}
+	case EvLeaseIssued:
+		if ev.Lease != nil {
+			_ = s.rep.Lease(ev.Lease.Task, ev.Lease.Worker, ev.Lease.deadline())
+		}
+	case EvLeaseExpired:
+		for i := range ev.Leases {
+			s.rep.ReleaseLease(ev.Leases[i].Task, ev.Leases[i].Worker)
+		}
+	}
+}
+
+// append journals one event: assign the next sequence number, write the
+// framed record, and fold the event into the replica — all under the
+// store's mutex, so replica state and log contents never diverge. sync
+// selects whether the record must reach stable storage before returning
+// (the ack path passes true under FsyncAlways).
+func (s *Store) append(ev *Event, sync bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return fmt.Errorf("durable: store is closed")
+	}
+	s.seq++
+	ev.Seq = s.seq
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		s.seq--
+		return fmt.Errorf("durable: encoding %s event: %w", ev.Type, err)
+	}
+	if err := s.w.append(payload); err != nil {
+		s.err = err
+		return err
+	}
+	s.apply(ev)
+	if sync {
+		if err := s.w.sync(); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// AnswerDurable journals an accepted answer together with the budget units
+// it was charged and, for golden tasks, whether the worker got it right.
+// Under FsyncAlways it returns only after the record is on stable storage.
+// The serving layer calls this after Pool.Record succeeds and must not
+// acknowledge the client unless it returns nil — that is the
+// ack-implies-durable invariant.
+func (s *Store) AnswerDurable(a core.Answer, cost float64, golden *bool) error {
+	return s.append(&Event{
+		Type:   EvAnswerRecorded,
+		Answer: answerRecord(a),
+		Worker: a.Worker,
+		Cost:   cost,
+		Golden: golden,
+	}, s.opts.Fsync == FsyncAlways)
+}
+
+// WorkerEliminated journals the audit marker for a worker crossing the
+// elimination threshold. Best-effort: the tallies that imply the
+// elimination ride the answer records, so losing the marker loses nothing.
+func (s *Store) WorkerEliminated(worker string) {
+	_ = s.append(&Event{Type: EvWorkerEliminated, Worker: worker}, false)
+}
+
+// BudgetCharged journals a budget charge that does not ride an answer
+// record (bulk pricing, manual adjustment).
+func (s *Store) BudgetCharged(amount float64) error {
+	return s.append(&Event{Type: EvBudgetCharged, Amount: amount}, s.opts.Fsync == FsyncAlways)
+}
+
+// BudgetRefunded journals the reversal of such a charge.
+func (s *Store) BudgetRefunded(amount float64) error {
+	return s.append(&Event{Type: EvBudgetRefunded, Amount: amount}, s.opts.Fsync == FsyncAlways)
+}
+
+// TaskAdded, TaskClosed, LeaseIssued, and LeasesExpired implement
+// core.Journal, so the store can be attached to a ConcurrentPool with
+// SetJournal. They run under the pool's write lock and therefore must not
+// block on fsync; the records reach disk with the next answer ack or
+// background flush. Write failures go sticky (visible through Err and the
+// answer path) since the interface cannot surface them.
+func (s *Store) TaskAdded(t *core.Task) {
+	_ = s.append(&Event{Type: EvTaskAdded, Task: taskRecord(t)}, false)
+}
+
+// TaskClosed implements core.Journal.
+func (s *Store) TaskClosed(id core.TaskID) {
+	_ = s.append(&Event{Type: EvTaskClosed, TaskID: id}, false)
+}
+
+// LeaseIssued implements core.Journal.
+func (s *Store) LeaseIssued(l core.Lease) {
+	_ = s.append(&Event{Type: EvLeaseIssued, Lease: leaseRecord(l)}, false)
+}
+
+// LeasesExpired implements core.Journal.
+func (s *Store) LeasesExpired(ls []core.Lease) {
+	recs := make([]LeaseRecord, len(ls))
+	for i := range ls {
+		recs[i] = *leaseRecord(ls[i])
+	}
+	_ = s.append(&Event{Type: EvLeaseExpired, Leases: recs}, false)
+}
+
+// Snapshot publishes the replica as pool.snap and truncates the WAL. It
+// holds the store mutex for the duration, so concurrent appends stall
+// briefly rather than racing the truncation (a record appended after the
+// snapshot image was taken must not be discarded with the pre-snapshot
+// log). No-op when nothing was journaled since the last snapshot.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.seq == s.snapSeq {
+		return nil
+	}
+	snap := buildSnapshot(s.rep, s.repSpent, s.repScreen, s.seq)
+	if err := writeSnapshot(s.dir, snap); err != nil {
+		s.snapErrs.Inc()
+		return err
+	}
+	if err := s.w.truncate(); err != nil {
+		// The snapshot covers every truncated record, so a failed truncate
+		// only leaves redundant records behind (replay skips them by Seq);
+		// the log keeps growing though, so surface the error.
+		s.snapErrs.Inc()
+		return err
+	}
+	s.snapSeq = s.seq
+	s.snaps.Inc()
+	return nil
+}
+
+// flusher batches fsyncs under FsyncInterval.
+func (s *Store) flusher() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.opts.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if s.err == nil && !s.closed {
+				if err := s.w.sync(); err != nil {
+					s.err = err
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// snapshotter compacts the WAL on a timer.
+func (s *Store) snapshotter() {
+	defer s.bg.Done()
+	t := time.NewTicker(s.opts.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			_ = s.Snapshot()
+		}
+	}
+}
+
+// Close stops the background goroutines, writes a final snapshot, flushes,
+// and closes the WAL. The store refuses appends afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	s.mu.Unlock()
+	s.bg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.snapshotLocked()
+	if cerr := s.w.close(false); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash simulates kill -9 at the durability boundary, for tests: the WAL
+// file descriptor is closed with no flush and no snapshot, and the store
+// goes sticky-failed so every later append errors. On-disk state is left
+// exactly as a real crash would — whatever write() already reached the
+// kernel survives, nothing else does.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.err = fmt.Errorf("durable: store crashed")
+	close(s.stop)
+	_ = s.w.close(true)
+	s.mu.Unlock()
+	s.bg.Wait()
+}
+
+// Dir returns the data directory the store persists into.
+func (s *Store) Dir() string { return s.dir }
+
+// Fsync returns the store's fsync policy.
+func (s *Store) Fsync() FsyncPolicy { return s.opts.Fsync }
+
+// RegisterMetrics exposes the store's always-on instruments on a registry:
+// WAL append and fsync latency histograms, record/byte/fsync/snapshot
+// counters, and the recovery statistics from Open.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterHistogram("crowdkit_wal_append_seconds", s.w.appendLat)
+	reg.RegisterHistogram("crowdkit_wal_fsync_seconds", s.w.fsyncLat)
+	reg.RegisterCounter("crowdkit_wal_records_total", &s.w.records)
+	reg.RegisterCounter("crowdkit_wal_bytes_total", &s.w.bytes)
+	reg.RegisterCounter("crowdkit_wal_fsyncs_total", &s.w.fsyncs)
+	reg.RegisterCounter("crowdkit_wal_snapshots_total", &s.snaps)
+	reg.RegisterCounter("crowdkit_wal_snapshot_errors_total", &s.snapErrs)
+	reg.RegisterCounter("crowdkit_recovery_replayed_records_total", &s.replayed)
+	reg.RegisterCounter("crowdkit_recovery_skipped_records_total", &s.skipped)
+	reg.GaugeFunc("crowdkit_recovery_replay_seconds", func() float64 { return s.replayS })
+	reg.GaugeFunc("crowdkit_wal_size_bytes", func() float64 {
+		fi, err := os.Stat(filepath.Join(s.dir, walName))
+		if err != nil {
+			return 0
+		}
+		return float64(fi.Size())
+	})
+}

@@ -1,0 +1,229 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// WAL record framing, fixed-size header then payload:
+//
+//	[4-byte little-endian payload length][4-byte CRC32 (IEEE) of payload][payload]
+//
+// Appends are sequential under a mutex, so a torn write — the process
+// died mid-append, or the OS persisted a prefix — can only sit at the
+// tail of the file. readWAL stops at the first record whose header,
+// length, or checksum does not verify and reports how many trailing bytes
+// to discard; Open then truncates the file there, so the log ends on a
+// record boundary again and new appends cannot be corrupted by a stale
+// partial suffix.
+const (
+	walName        = "wal.log"
+	frameHeader    = 8
+	maxRecordBytes = 16 << 20 // sanity bound: no event comes close
+)
+
+// FsyncPolicy selects when appended records reach stable storage. Every
+// policy writes the record to the file (page cache) before the append
+// returns, so an acknowledged answer survives a process crash (kill -9)
+// regardless of policy; the policies differ in what survives an operating
+// system crash or power loss. See DESIGN.md § Durability for the matrix.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs after every appended record: an ack implies the
+	// record is on stable storage. The strongest and slowest policy.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval batches fsyncs on a background flusher (every
+	// Options.FsyncEvery): at most one flush interval of acked records is
+	// exposed to a power loss.
+	FsyncInterval
+	// FsyncNever leaves flushing entirely to the operating system.
+	FsyncNever
+)
+
+// String returns the flag-style name of the policy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "off"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsync parses a -fsync flag value: "always", "off" (or "none"), or
+// a Go duration such as "100ms" selecting interval-batched flushing.
+func ParseFsync(s string) (FsyncPolicy, time.Duration, error) {
+	switch s {
+	case "", "always":
+		return FsyncAlways, 0, nil
+	case "off", "none", "never":
+		return FsyncNever, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("durable: fsync policy %q is not \"always\", \"off\", or a positive duration", s)
+	}
+	return FsyncInterval, d, nil
+}
+
+// wal is the append side of the log. Callers (the Store) serialize record
+// ordering; the internal mutex only keeps the file operations themselves
+// coherent so Sync may run concurrently with new appends.
+type wal struct {
+	mu    sync.Mutex
+	f     *os.File
+	buf   []byte // scratch frame assembly, reused across appends
+	dirty bool   // bytes written since the last fsync
+
+	// Always-on instruments (obs types are lock-free atomics); exposed on
+	// a registry via Store.RegisterMetrics.
+	appendLat *obs.Histogram
+	fsyncLat  *obs.Histogram
+	records   obs.Counter
+	bytes     obs.Counter
+	fsyncs    obs.Counter
+}
+
+// openWAL opens (creating if needed) the log file for appending.
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("durable: opening WAL: %w", err)
+	}
+	return &wal{
+		f:         f,
+		appendLat: obs.NewHistogram(obs.DefIOBuckets...),
+		fsyncLat:  obs.NewHistogram(obs.DefIOBuckets...),
+	}, nil
+}
+
+// append frames payload and writes it in a single write call, so a crash
+// tears at most the final record.
+func (w *wal) append(payload []byte) error {
+	if len(payload) == 0 || len(payload) > maxRecordBytes {
+		return fmt.Errorf("durable: record of %d bytes outside (0, %d]", len(payload), maxRecordBytes)
+	}
+	start := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	need := frameHeader + len(payload)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, 0, need*2)
+	}
+	frame := w.buf[:frameHeader]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("durable: WAL append: %w", err)
+	}
+	w.dirty = true
+	w.records.Inc()
+	w.bytes.Add(int64(len(frame)))
+	w.appendLat.ObserveDuration(time.Since(start))
+	return nil
+}
+
+// sync flushes outstanding appends to stable storage (no-op when clean).
+func (w *wal) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *wal) syncLocked() error {
+	if !w.dirty {
+		return nil
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: WAL fsync: %w", err)
+	}
+	w.dirty = false
+	w.fsyncs.Inc()
+	w.fsyncLat.ObserveDuration(time.Since(start))
+	return nil
+}
+
+// truncate discards the log's contents after its records were folded into
+// a published snapshot. The store guarantees no append races this call.
+func (w *wal) truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("durable: WAL truncate: %w", err)
+	}
+	// O_APPEND writes position themselves at the (now zero) end of file;
+	// make the truncation itself durable so a crash cannot resurrect
+	// pre-snapshot records behind the snapshot's back.
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durable: WAL truncate sync: %w", err)
+	}
+	w.dirty = false
+	return nil
+}
+
+// close syncs (unless skipSync) and closes the file.
+func (w *wal) close(skipSync bool) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	var err error
+	if !skipSync {
+		err = w.syncLocked()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// readWAL reads every valid record from path. It returns the decoded
+// payloads, the byte offset at which valid data ends, and the number of
+// trailing bytes that belong to a torn or corrupt record (0 when the file
+// ends cleanly). A missing file is an empty log.
+func readWAL(path string) (payloads [][]byte, validBytes int64, torn int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, 0, nil
+		}
+		return nil, 0, 0, fmt.Errorf("durable: reading WAL: %w", err)
+	}
+	off := 0
+	for {
+		rest := len(data) - off
+		if rest == 0 {
+			return payloads, int64(off), 0, nil
+		}
+		if rest < frameHeader {
+			break // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if n == 0 || n > maxRecordBytes || rest < frameHeader+n {
+			break // absurd length or torn payload
+		}
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != want {
+			break // corrupt payload
+		}
+		payloads = append(payloads, payload)
+		off += frameHeader + n
+	}
+	return payloads, int64(off), int64(len(data) - off), nil
+}

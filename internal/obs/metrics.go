@@ -124,6 +124,16 @@ var DefSimTimeBuckets = []float64{
 	1, 10, 60, 300, 900, 3600, 4 * 3600, 24 * 3600, 7 * 24 * 3600,
 }
 
+// DefIOBuckets covers storage-path latencies (WAL appends, fsyncs) from
+// 1µs — a buffered write into the page cache — up to 1s for a stalled
+// disk. DefLatencyBuckets starts at 100µs and would fold every append
+// into its first bucket.
+var DefIOBuckets = []float64{
+	0.000001, 0.0000025, 0.000005, 0.00001, 0.000025, 0.00005,
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1,
+}
+
 // NewHistogram returns a standalone histogram over the given ascending
 // upper bounds. With no bounds, DefLatencyBuckets is used.
 func NewHistogram(bounds ...float64) *Histogram {

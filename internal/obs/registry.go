@@ -123,6 +123,22 @@ func (r *Registry) RegisterCounter(name string, c *Counter, labels ...Label) {
 	r.mu.Unlock()
 }
 
+// RegisterHistogram exposes an externally owned histogram (for example an
+// always-on latency histogram embedded in a subsystem that must also work
+// with observability off). Replaces any existing series with the same
+// identity. No-op on a nil registry or nil histogram.
+func (r *Registry) RegisterHistogram(name string, h *Histogram, labels ...Label) {
+	if r == nil || h == nil {
+		return
+	}
+	s := r.getOrCreate(name, "histogram", labels, func() *series {
+		return &series{}
+	})
+	r.mu.Lock()
+	s.hist = h
+	r.mu.Unlock()
+}
+
 func (r *Registry) getOrCreate(name, kind string, labels []Label, mk func() *series) *series {
 	ls := renderLabels(labels)
 	// Fast path under the read lock: callers that look series up per

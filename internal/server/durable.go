@@ -1,0 +1,50 @@
+package server
+
+import (
+	"repro/internal/core"
+	"repro/internal/durable"
+)
+
+// WithDurability attaches a durable.Store: every pool mutation is
+// journaled to its write-ahead log, and /api/answer acknowledges a
+// submission only after the answer record is journaled (ack-implies-
+// durable; under FsyncAlways, only after it is fsynced). The server takes
+// ownership of the store — Close flushes, snapshots, and closes it.
+//
+// The store only journals what flows through the server. The boot
+// sequence is therefore: open the store, and either adopt its recovered
+// state (see AdoptRecovered) or, on an empty data directory, seed the
+// pool and journal the seeds with SeedJournal before calling New.
+//
+// A server built without this option runs the exact in-memory handler
+// chain: the only durability cost on that path is one nil check.
+func WithDurability(store *durable.Store) Option {
+	return func(s *Server) { s.store = store }
+}
+
+// AdoptRecovered applies a store's recovered state to the serving
+// collaborators: the returned pool becomes the live pool (hand it to New),
+// budget gets the durable spend, and screen gets the golden tallies.
+// budget and screen may be nil when the deployment does not use them.
+func AdoptRecovered(store *durable.Store, budget *core.Budget, screen *core.WorkerScreen) *core.Pool {
+	pool, spent, tallies := store.State()
+	if budget != nil {
+		budget.RestoreSpent(spent)
+	}
+	if screen != nil {
+		screen.Restore(tallies)
+	}
+	return pool
+}
+
+// SeedJournal journals every task already present in pool — the bootstrap
+// for a fresh data directory, where tasks were seeded directly into the
+// pool before the journal existed. Tasks added after New flow through the
+// pool's journal hook automatically. Returns the store's sticky error, if
+// journaling failed.
+func SeedJournal(store *durable.Store, pool *core.Pool) error {
+	for _, id := range pool.TaskIDs() {
+		store.TaskAdded(pool.Task(id))
+	}
+	return store.Err()
+}

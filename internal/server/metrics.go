@@ -144,6 +144,9 @@ func (s *Server) wireObservability() {
 		s.budget.RegisterMetrics(s.metricsReg)
 		s.cpool.RegisterMetrics(s.metricsReg)
 		s.metricsReg.RegisterCounter("crowdkit_leases_expired_total", &s.expired)
+		if s.store != nil {
+			s.store.RegisterMetrics(s.metricsReg)
+		}
 	}
 }
 

@@ -37,6 +37,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -46,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/truth"
 )
@@ -72,6 +74,10 @@ type Server struct {
 	pprofOn    bool
 	reqLog     *slog.Logger
 	obsv       *serverObs
+
+	// store, when set, journals every pool mutation and gates answer acks
+	// on durability (nil = the pure in-memory server; see durable.go).
+	store *durable.Store
 }
 
 // Option configures optional server behavior.
@@ -116,6 +122,13 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.store != nil {
+		// Attach before any handler runs: task adds, closes, and lease
+		// traffic flow into the journal under the pool's write lock, in
+		// application order. Answers are journaled by handleAnswer itself,
+		// where the charge and golden outcome are known.
+		s.cpool.SetJournal(s.store)
+	}
 	s.wireObservability()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /api/task", s.instrument("/api/task", s.handleTask))
@@ -137,12 +150,16 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 	return s, nil
 }
 
-// Close stops the background reaper (if any). It is safe to call more
-// than once and on servers without leases.
+// Close stops the background reaper (if any) and, when durability is on,
+// flushes and snapshots the store (see durable.Store.Close). It is safe
+// to call more than once and on servers without leases or durability.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		if s.stopReaper != nil {
 			close(s.stopReaper)
+		}
+		if s.store != nil {
+			_ = s.store.Close()
 		}
 	})
 }
@@ -290,14 +307,34 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// maxAnswerBody bounds the /api/answer request body. A legitimate
+// submission is a few hundred bytes; 1 MiB leaves generous headroom for
+// collection-task text while keeping a hostile client from making the
+// decoder buffer arbitrarily much per in-flight request.
+const maxAnswerBody = 1 << 20
+
 func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxAnswerBody)
 	var dto AnswerDTO
 	if err := json.NewDecoder(r.Body).Decode(&dto); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 		return
 	}
 	if dto.Worker == "" {
 		httpError(w, http.StatusBadRequest, "missing worker")
+		return
+	}
+	// Same gate as /api/task: elimination must also stop workers that skip
+	// the assignment endpoint and POST answers directly, or screening only
+	// screens the polite ones.
+	if s.screen != nil && s.screen.Eliminated(dto.Worker) {
+		httpError(w, http.StatusForbidden, "worker eliminated by quality screening")
 		return
 	}
 	t := s.cpool.Task(dto.Task)
@@ -321,6 +358,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, err.Error())
 		return
 	}
+	var golden *bool
 	if s.screen != nil && t.Golden {
 		correct := false
 		switch t.Kind {
@@ -329,7 +367,21 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		case core.FillIn:
 			correct = dto.Text == t.GroundTruthText
 		}
-		s.screen.Observe(dto.Worker, correct)
+		golden = &correct
+		if s.screen.Observe(dto.Worker, correct) && s.store != nil {
+			s.store.WorkerEliminated(dto.Worker)
+		}
+	}
+	// Ack-implies-durable: the answer (with its budget charge and golden
+	// outcome) must be journaled before the client hears "recorded". On a
+	// journal failure the answer exists in memory but not on disk, so the
+	// client gets a 500 — and the store is sticky-failed, so no later
+	// answer can be acknowledged against a log that stopped accepting.
+	if s.store != nil {
+		if err := s.store.AnswerDurable(a, 1, golden); err != nil {
+			httpError(w, http.StatusInternalServerError, "answer not persisted: "+err.Error())
+			return
+		}
 	}
 	writeJSON(w, AnswerAckDTO{Status: "recorded"})
 }
