@@ -1,15 +1,23 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/assign"
 	"repro/internal/benchdata"
+	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/obs"
+	"repro/internal/server"
 	"repro/internal/truth"
 )
 
@@ -91,10 +99,91 @@ func runBenchJSON(path string) error {
 			}
 		}
 	})
+	// Serving-core throughput, sharded vs unsharded: the in-process
+	// equivalent of BenchmarkServerConcurrent (fetch + answer from fresh
+	// workers, a stats poll every 16th interaction) driven from 32
+	// goroutines. The sharded run partitions the pool into one task-hash
+	// shard per core; the unsharded run is the single-RWMutex server.
+	nshards := runtime.GOMAXPROCS(0)
+	add("ServerConcurrentUnsharded",
+		"tasks=256 goroutines=32 shards=1", serveBench(1, 32))
+	add(fmt.Sprintf("ServerConcurrentSharded%d", nshards),
+		fmt.Sprintf("tasks=256 goroutines=32 shards=%d", nshards), serveBench(nshards, 32))
 	report.Metrics = reg.Snapshot()
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// serveBench drives the serving core through its HTTP handlers from 32
+// goroutines without a network in the way: each interaction is a fresh
+// worker fetching its assignment and submitting an answer, with a stats
+// poll every 16th. With shards=1 the server is byte-for-byte the
+// unsharded one; with shards=N the answer path fans out across N locks
+// and the assignment path scans the worker's home shard first.
+func serveBench(shards, goroutines int) func(b *testing.B) {
+	return func(b *testing.B) {
+		pool := core.NewPool()
+		for i := 0; i < 256; i++ {
+			pool.MustAdd(&core.Task{
+				ID: core.TaskID(i + 1), Kind: core.SingleChoice,
+				Question:    fmt.Sprintf("bench question %d", i+1),
+				Options:     []string{"no", "yes"},
+				GroundTruth: i % 2,
+			})
+		}
+		srv, err := server.New(pool, assign.FewestAnswers{}, nil, nil, server.WithShards(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var seq atomic.Int64
+		var firstErr atomic.Value
+		per := b.N/goroutines + 1
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if err := serveIteration(srv, seq.Add(1)); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err, _ := firstErr.Load().(error); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func serveIteration(h http.Handler, seq int64) error {
+	worker := fmt.Sprintf("bw-%d", seq)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/task?worker="+worker, nil))
+	if rec.Code == http.StatusOK {
+		var dto server.TaskDTO
+		if err := json.NewDecoder(rec.Body).Decode(&dto); err != nil {
+			return err
+		}
+		body, _ := json.Marshal(server.AnswerDTO{Task: dto.ID, Worker: worker, Option: int(seq % 2)})
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/api/answer", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("answer rejected: %d %s", rec.Code, rec.Body.String())
+		}
+	}
+	if seq%16 == 0 {
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/api/stats", nil))
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("stats failed: %d", rec.Code)
+		}
+	}
+	return nil
 }

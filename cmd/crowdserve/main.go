@@ -11,6 +11,7 @@
 //	crowdserve -timeout 10s                      # server read/write + client deadlines
 //	crowdserve -metrics                          # Prometheus exposition on /metrics + request logs
 //	crowdserve -metrics -pprof                   # also mount /debug/pprof for profiling
+//	crowdserve -shards 8                         # partition the pool into 8 task-hash shards
 //
 // The server handles concurrent workers without a global lock; see the
 // server package docs for the concurrency model. With -lease set, every
@@ -34,6 +35,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"sync"
 	"syscall"
 	"time"
@@ -61,6 +63,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "random seed")
 		metrics = flag.Bool("metrics", false, "expose Prometheus metrics on /metrics and log requests")
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof (requires explicit opt-in)")
+		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "task-hash shards for the serving pool (and WAL segments with -data-dir); 1 = the unsharded server")
 		dataDir = flag.String("data-dir", "", "directory for the write-ahead log and snapshots; answers survive a crash or restart (empty = in-memory only)")
 		fsyncF  = flag.String("fsync", "always", `WAL fsync policy: "always" (ack = on disk), a duration like "100ms" (batched flushes), or "off"`)
 		snapEv  = flag.Duration("snapshot-every", 30*time.Second, "how often to compact the WAL into a snapshot (with -data-dir; 0 = only on shutdown)")
@@ -86,8 +89,11 @@ func main() {
 			fatal(err)
 		}
 		var info *durable.RecoveryInfo
+		// One WAL segment per pool shard: a shard's group commit then never
+		// contends with another shard's appends.
 		store, info, err = durable.Open(*dataDir, durable.Options{
 			Fsync: policy, FsyncEvery: every, SnapshotEvery: *snapEv,
+			Segments: *shards,
 		})
 		if err != nil {
 			fatal(err)
@@ -118,7 +124,7 @@ func main() {
 			}
 		}
 	}
-	var opts []server.Option
+	opts := []server.Option{server.WithShards(*shards)}
 	if store != nil {
 		opts = append(opts, server.WithDurability(store))
 	}
@@ -143,8 +149,8 @@ func main() {
 	defer srv.Close()
 
 	if !*drive {
-		log.Printf("crowdserve: %d tasks on http://%s (GET /api/task?worker=you, lease=%v, metrics=%v, pprof=%v, data-dir=%q)",
-			pool.Len(), *addr, *lease, *metrics, *pprofOn, *dataDir)
+		log.Printf("crowdserve: %d tasks on http://%s (GET /api/task?worker=you, shards=%d, lease=%v, metrics=%v, pprof=%v, data-dir=%q)",
+			pool.Len(), *addr, srv.Shards(), *lease, *metrics, *pprofOn, *dataDir)
 		hs := server.HTTPServer(*addr, srv, *timeout)
 		errCh := make(chan error, 1)
 		go func() { errCh <- hs.ListenAndServe() }()

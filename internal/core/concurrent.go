@@ -73,6 +73,44 @@ func (cp *ConcurrentPool) Record(a Answer) error {
 	return nil
 }
 
+// RecordAll stores a batch of answers under one write-lock acquisition,
+// applying the same platform rules as Record to each. The returned slice
+// is index-aligned with as: nil for accepted answers, the rejection
+// otherwise. The version is bumped once when at least one answer was
+// accepted — the point of batching is to pay the lock and the cache
+// invalidation once per batch instead of once per answer.
+func (cp *ConcurrentPool) RecordAll(as []Answer) []error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	errs := make([]error, len(as))
+	accepted := 0
+	for i := range as {
+		if err := cp.pool.Record(as[i]); err != nil {
+			errs[i] = err
+		} else {
+			accepted++
+		}
+	}
+	if accepted > 0 {
+		cp.version.Add(1)
+	}
+	return errs
+}
+
+// Unrecord removes the most recent answer equal to a under the write
+// lock, reporting whether one was found. The version is bumped on
+// success: consumers may have cached state derived from the answer set
+// that included a, and that set just changed again.
+func (cp *ConcurrentPool) Unrecord(a Answer) bool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	ok := cp.pool.Unrecord(a)
+	if ok {
+		cp.version.Add(1)
+	}
+	return ok
+}
+
 // Close marks a task as finished under the write lock.
 func (cp *ConcurrentPool) Close(id TaskID) {
 	cp.mu.Lock()
@@ -111,6 +149,27 @@ func (cp *ConcurrentPool) AssignLease(a Assigner, worker string, deadline time.T
 	if err := cp.pool.Lease(id, worker, deadline); err != nil {
 		// The assigner returned an unknown or closed task; treat it as no
 		// assignment rather than handing out an untracked slot.
+		return 0, false
+	}
+	if cp.journal != nil {
+		cp.journal.LeaseIssued(Lease{Task: id, Worker: worker, Deadline: deadline})
+	}
+	return id, true
+}
+
+// assignLeaseFresh is AssignLease that refuses an assignment merely
+// extending a lease the worker already holds. The sharded facade uses it
+// for its first scan: a shard whose only offer for this worker is a
+// re-extension should not stop the scan while another shard still has
+// fresh work.
+func (cp *ConcurrentPool) assignLeaseFresh(a Assigner, worker string, deadline time.Time) (TaskID, bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	id, ok := a.Assign(cp.pool, worker)
+	if !ok || cp.pool.HasLease(worker, id) {
+		return 0, false
+	}
+	if err := cp.pool.Lease(id, worker, deadline); err != nil {
 		return 0, false
 	}
 	if cp.journal != nil {

@@ -17,9 +17,10 @@ type Pool struct {
 	tasks   map[TaskID]*Task
 	order   []TaskID // insertion order, for deterministic iteration
 	answers map[TaskID][]Answer
-	// perWorker tracks which tasks each worker has already answered, to
-	// enforce the one-answer-per-worker-per-task platform rule.
-	perWorker map[string]map[TaskID]bool
+	// perWorker counts how many answers each worker has submitted per
+	// task, to enforce the one-answer-per-worker-per-task platform rule
+	// (and, for the repeatable kinds, the MaxRepeatAnswers cap).
+	perWorker map[string]map[TaskID]int
 	closed    map[TaskID]bool
 	// leases tracks outstanding assignments per task: worker -> deadline.
 	// See lease.go for the lease state machine.
@@ -36,7 +37,7 @@ func NewPool() *Pool {
 	return &Pool{
 		tasks:     make(map[TaskID]*Task),
 		answers:   make(map[TaskID][]Answer),
-		perWorker: make(map[string]map[TaskID]bool),
+		perWorker: make(map[string]map[TaskID]int),
 		closed:    make(map[TaskID]bool),
 		leases:    make(map[TaskID]map[string]time.Time),
 	}
@@ -52,7 +53,7 @@ func (p *Pool) Clone() *Pool {
 		tasks:     make(map[TaskID]*Task, len(p.tasks)),
 		order:     append([]TaskID(nil), p.order...),
 		answers:   make(map[TaskID][]Answer, len(p.answers)),
-		perWorker: make(map[string]map[TaskID]bool, len(p.perWorker)),
+		perWorker: make(map[string]map[TaskID]int, len(p.perWorker)),
 		closed:    make(map[TaskID]bool, len(p.closed)),
 		leases:    make(map[TaskID]map[string]time.Time, len(p.leases)),
 		leaseHeap: append([]leaseEntry(nil), p.leaseHeap...),
@@ -65,7 +66,7 @@ func (p *Pool) Clone() *Pool {
 		c.answers[id] = append([]Answer(nil), as...)
 	}
 	for w, m := range p.perWorker {
-		cm := make(map[TaskID]bool, len(m))
+		cm := make(map[TaskID]int, len(m))
 		for id, v := range m {
 			cm[id] = v
 		}
@@ -124,8 +125,16 @@ func (p *Pool) Len() int { return len(p.tasks) }
 // mutate the returned slice.
 func (p *Pool) TaskIDs() []TaskID { return p.order }
 
+// MaxRepeatAnswers caps how many answers one worker may submit for one
+// repeatable (MultiChoice, Collection) task. Legitimate uses stay small —
+// one answer per selected option, a handful of collected items — while an
+// uncapped task lets a retrying or hostile client charge the budget
+// arbitrarily many times for the same assignment.
+const MaxRepeatAnswers = 8
+
 // Record stores an answer after checking the platform rules: the task must
-// exist, must be open, and the worker must not have answered it before.
+// exist, must be open, and the worker must not have answered it before
+// (repeatable kinds allow up to MaxRepeatAnswers submissions).
 func (p *Pool) Record(a Answer) error {
 	if _, ok := p.tasks[a.Task]; !ok {
 		return fmt.Errorf("core: answer for unknown task %d", a.Task)
@@ -135,17 +144,56 @@ func (p *Pool) Record(a Answer) error {
 	}
 	wt := p.perWorker[a.Worker]
 	if wt == nil {
-		wt = make(map[TaskID]bool)
+		wt = make(map[TaskID]int)
 		p.perWorker[a.Worker] = wt
 	}
-	if wt[a.Task] && p.tasks[a.Task].Kind != MultiChoice && p.tasks[a.Task].Kind != Collection {
+	n := wt[a.Task]
+	kind := p.tasks[a.Task].Kind
+	if kind == MultiChoice || kind == Collection {
+		if n >= MaxRepeatAnswers {
+			return fmt.Errorf("core: worker %s hit the %d-answer resubmission cap on task %d",
+				a.Worker, MaxRepeatAnswers, a.Task)
+		}
+	} else if n > 0 {
 		return fmt.Errorf("core: worker %s already answered task %d", a.Worker, a.Task)
 	}
-	wt[a.Task] = true
+	wt[a.Task] = n + 1
 	p.answers[a.Task] = append(p.answers[a.Task], a)
 	// The submission consumes any outstanding lease for this assignment.
 	p.releaseLease(a.Task, a.Worker)
 	return nil
+}
+
+// Unrecord removes the most recently recorded answer equal to a,
+// reversing the bookkeeping Record applied (answer list, per-worker
+// count). It exists for the serving layer's durability rollback: an
+// answer whose journal append failed must leave memory again, or the live
+// state diverges from what recovery will rebuild. The consumed lease (if
+// any) is not resurrected — the worker resubmits or the slot is
+// re-assigned. Reports whether a matching answer was found.
+func (p *Pool) Unrecord(a Answer) bool {
+	as := p.answers[a.Task]
+	for i := len(as) - 1; i >= 0; i-- {
+		if as[i] != a {
+			continue
+		}
+		p.answers[a.Task] = append(as[:i], as[i+1:]...)
+		if len(p.answers[a.Task]) == 0 {
+			delete(p.answers, a.Task)
+		}
+		if wt := p.perWorker[a.Worker]; wt != nil {
+			if wt[a.Task] > 1 {
+				wt[a.Task]--
+			} else {
+				delete(wt, a.Task)
+				if len(wt) == 0 {
+					delete(p.perWorker, a.Worker)
+				}
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // Answers returns the answers recorded for a task (possibly nil). The
@@ -176,7 +224,7 @@ func (p *Pool) TotalAnswers() int {
 
 // HasAnswered reports whether the worker already answered the task.
 func (p *Pool) HasAnswered(worker string, id TaskID) bool {
-	return p.perWorker[worker][id]
+	return p.perWorker[worker][id] > 0
 }
 
 // Close marks a task as finished: no further answers are accepted and
@@ -207,7 +255,7 @@ func (p *Pool) OpenTasks() []TaskID {
 func (p *Pool) EligibleFor(worker string) []TaskID {
 	out := make([]TaskID, 0, len(p.order))
 	for _, id := range p.order {
-		if !p.closed[id] && !p.perWorker[worker][id] {
+		if !p.closed[id] && p.perWorker[worker][id] == 0 {
 			out = append(out, id)
 		}
 	}

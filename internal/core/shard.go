@@ -1,0 +1,466 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardIndex maps a task to one of n shards by hashing its ID (splitmix64
+// finalizer, so dense sequential IDs spread evenly instead of clustering).
+// Every layer that partitions by task — the sharded serving pool, the
+// segmented WAL — must use this same function, so a task's answers, its
+// lock, and its journal segment always agree.
+func ShardIndex(id TaskID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	x := uint64(id)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(n))
+}
+
+// SplitPool partitions p into n pools by ShardIndex of each task, deep-
+// copying the bookkeeping (answers, per-worker counts, closed flags,
+// leases) so the shards and the source never alias mutable state. Task
+// pointers are shared — tasks are immutable once added. Relative insertion
+// order is preserved within each shard.
+func SplitPool(p *Pool, n int) []*Pool {
+	out := make([]*Pool, n)
+	for i := range out {
+		out[i] = NewPool()
+		out[i].nextID = p.nextID
+	}
+	for _, id := range p.order {
+		sp := out[ShardIndex(id, n)]
+		sp.tasks[id] = p.tasks[id]
+		sp.order = append(sp.order, id)
+		if as := p.answers[id]; len(as) > 0 {
+			sp.answers[id] = append([]Answer(nil), as...)
+		}
+		if p.closed[id] {
+			sp.closed[id] = true
+		}
+		if m := p.leases[id]; len(m) > 0 {
+			cm := make(map[string]time.Time, len(m))
+			for w, d := range m {
+				cm[w] = d
+				sp.pushLeaseEntry(leaseEntry{deadline: d, task: id, worker: w})
+			}
+			sp.leases[id] = cm
+		}
+	}
+	for w, m := range p.perWorker {
+		for id, c := range m {
+			sp := out[ShardIndex(id, n)]
+			wt := sp.perWorker[w]
+			if wt == nil {
+				wt = make(map[TaskID]int)
+				sp.perWorker[w] = wt
+			}
+			wt[id] = c
+		}
+	}
+	return out
+}
+
+// MergePools combines disjoint pools (e.g. the shards of a SplitPool, or
+// the per-segment replicas of a segmented WAL) into one pool ordered by
+// ascending task ID — the deterministic order a sharded deployment
+// presents regardless of how adds interleaved across shards. A single
+// input is deep-copied with its insertion order intact, so the unsharded
+// path round-trips byte-identically.
+func MergePools(pools []*Pool) *Pool {
+	if len(pools) == 1 {
+		return pools[0].Clone()
+	}
+	out := NewPool()
+	owner := make(map[TaskID]*Pool)
+	ids := make([]TaskID, 0)
+	for _, p := range pools {
+		for _, id := range p.order {
+			owner[id] = p
+			ids = append(ids, id)
+		}
+		if p.nextID > out.nextID {
+			out.nextID = p.nextID
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := owner[id]
+		out.tasks[id] = p.tasks[id]
+		out.order = append(out.order, id)
+		if as := p.answers[id]; len(as) > 0 {
+			out.answers[id] = append([]Answer(nil), as...)
+		}
+		if p.closed[id] {
+			out.closed[id] = true
+		}
+		if m := p.leases[id]; len(m) > 0 {
+			cm := make(map[string]time.Time, len(m))
+			for w, d := range m {
+				cm[w] = d
+				out.pushLeaseEntry(leaseEntry{deadline: d, task: id, worker: w})
+			}
+			out.leases[id] = cm
+		}
+	}
+	for _, p := range pools {
+		for w, m := range p.perWorker {
+			wt := out.perWorker[w]
+			if wt == nil {
+				wt = make(map[TaskID]int, len(m))
+				out.perWorker[w] = wt
+			}
+			for id, c := range m {
+				wt[id] = c
+			}
+		}
+	}
+	return out
+}
+
+// ShardedPool partitions the serving pool into task-hash shards, each its
+// own ConcurrentPool with its own RWMutex, version counter, lease heap,
+// and journal hook — so writes to different shards never contend on one
+// lock and throughput scales with cores. The facade preserves the
+// ConcurrentPool API and its contracts: per-task calls route by
+// ShardIndex, aggregate calls combine the shards, and Version is the sum
+// of the shard versions (any mutation bumps exactly one shard, so an
+// unchanged sum still proves an unchanged answer set — the /api/results
+// cache invariant).
+//
+// A ShardedPool of one shard delegates every call unchanged, making
+// -shards=1 behaviorally identical to the unsharded server.
+type ShardedPool struct {
+	shards []*ConcurrentPool
+
+	// addMu serializes global task-ID allocation across shards (n > 1
+	// only); count tracks total tasks for the ID-0 reassignment quirk.
+	addMu  sync.Mutex
+	nextID TaskID
+	count  atomic.Int64
+}
+
+// NewShardedPool wraps p (a fresh empty pool when nil) into n shards.
+// n <= 1 wraps p directly in a single shard; n > 1 splits the pool's
+// current contents by task hash. As with NewConcurrentPool, the wrapped
+// pool must not be mutated directly afterwards.
+func NewShardedPool(p *Pool, n int) *ShardedPool {
+	if p == nil {
+		p = NewPool()
+	}
+	if n <= 1 {
+		return &ShardedPool{shards: []*ConcurrentPool{NewConcurrentPool(p)}}
+	}
+	parts := SplitPool(p, n)
+	sp := &ShardedPool{shards: make([]*ConcurrentPool, n), nextID: p.nextID}
+	for i, part := range parts {
+		sp.shards[i] = NewConcurrentPool(part)
+	}
+	sp.count.Store(int64(p.Len()))
+	return sp
+}
+
+// NumShards returns the shard count.
+func (sp *ShardedPool) NumShards() int { return len(sp.shards) }
+
+// ShardFor returns the shard index owning the task. Pure function of the
+// ID — callers may use it without any lock.
+func (sp *ShardedPool) ShardFor(id TaskID) int { return ShardIndex(id, len(sp.shards)) }
+
+// shardOf returns the ConcurrentPool owning the task.
+func (sp *ShardedPool) shardOf(id TaskID) *ConcurrentPool {
+	return sp.shards[ShardIndex(id, len(sp.shards))]
+}
+
+// workerShard picks the shard an assignment scan starts from: FNV-1a of
+// the worker ID, so concurrent workers fan out across shards instead of
+// convoying on shard 0.
+func (sp *ShardedPool) workerShard(worker string) int {
+	if len(sp.shards) == 1 {
+		return 0
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(worker); i++ {
+		h ^= uint64(worker[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(len(sp.shards)))
+}
+
+// Version returns the sum of the shard mutation counters. Monotonically
+// non-decreasing; two equal observations bracket a window with no task or
+// answer mutations on any shard.
+func (sp *ShardedPool) Version() uint64 {
+	var v uint64
+	for _, s := range sp.shards {
+		v += s.Version()
+	}
+	return v
+}
+
+// SetJournal attaches the mutation journal to every shard. As with
+// ConcurrentPool.SetJournal, call before the pool is shared between
+// goroutines. The journal's hooks run under the mutating shard's write
+// lock; a shard-aware journal (the segmented WAL) routes by task hash and
+// therefore never serializes two shards on one journal lock.
+func (sp *ShardedPool) SetJournal(j Journal) {
+	for _, s := range sp.shards {
+		s.SetJournal(j)
+	}
+}
+
+// Add registers a task: the facade allocates a globally unique ID
+// (mirroring Pool.Add's assignment rules), then routes the task to its
+// shard.
+func (sp *ShardedPool) Add(t *Task) (TaskID, error) {
+	if len(sp.shards) == 1 {
+		id, err := sp.shards[0].Add(t)
+		if err == nil {
+			sp.count.Add(1)
+		}
+		return id, err
+	}
+	sp.addMu.Lock()
+	if sp.shardOf(t.ID).Task(t.ID) != nil || t.ID == 0 && sp.count.Load() > 0 {
+		t.ID = sp.nextID
+	}
+	if t.ID >= sp.nextID {
+		sp.nextID = t.ID + 1
+	} else if t.ID == 0 {
+		t.ID = sp.nextID
+		sp.nextID++
+	}
+	sp.addMu.Unlock()
+	id, err := sp.shardOf(t.ID).Add(t)
+	if err == nil {
+		sp.count.Add(1)
+	}
+	return id, err
+}
+
+// Record stores an answer on the owning shard.
+func (sp *ShardedPool) Record(a Answer) error { return sp.shardOf(a.Task).Record(a) }
+
+// RecordBatch stores a batch of answers that all belong to the given
+// shard under one write-lock acquisition; see ConcurrentPool.RecordAll.
+// Callers group answers with ShardFor first — that is what makes batch
+// ingestion pay one lock and one journal append per touched shard.
+func (sp *ShardedPool) RecordBatch(shard int, as []Answer) []error {
+	return sp.shards[shard].RecordAll(as)
+}
+
+// Unrecord removes the most recent answer equal to a from its shard.
+func (sp *ShardedPool) Unrecord(a Answer) bool { return sp.shardOf(a.Task).Unrecord(a) }
+
+// Close marks a task as finished on its shard.
+func (sp *ShardedPool) Close(id TaskID) { sp.shardOf(id).Close(id) }
+
+// Assign runs the assignment policy shard by shard, starting from the
+// worker's home shard, until one yields a task. Each attempt holds only
+// that shard's read lock, so assignments for different workers proceed in
+// parallel even across mutating shards.
+func (sp *ShardedPool) Assign(a Assigner, worker string) (TaskID, bool) {
+	start := sp.workerShard(worker)
+	for i := 0; i < len(sp.shards); i++ {
+		if id, ok := sp.shards[(start+i)%len(sp.shards)].Assign(a, worker); ok {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// AssignLease atomically assigns and leases on the first shard that
+// yields a task, holding only that shard's write lock. The scan runs in
+// two passes: first it only accepts tasks the worker does not already
+// hold a lease on — otherwise a worker's home shard would keep extending
+// the same few leases and fresh tasks on later shards would never be
+// reached — and only when every shard is out of fresh work does it fall
+// back to a plain pass, so a worker polling past the pool size still
+// extends its leases exactly as on the unsharded pool.
+func (sp *ShardedPool) AssignLease(a Assigner, worker string, deadline time.Time) (TaskID, bool) {
+	if len(sp.shards) == 1 {
+		return sp.shards[0].AssignLease(a, worker, deadline)
+	}
+	start := sp.workerShard(worker)
+	for i := 0; i < len(sp.shards); i++ {
+		if id, ok := sp.shards[(start+i)%len(sp.shards)].assignLeaseFresh(a, worker, deadline); ok {
+			return id, true
+		}
+	}
+	for i := 0; i < len(sp.shards); i++ {
+		if id, ok := sp.shards[(start+i)%len(sp.shards)].AssignLease(a, worker, deadline); ok {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// ExpireLeases sweeps every shard and returns the reclaimed assignments
+// in deterministic (task, worker) order across shards.
+func (sp *ShardedPool) ExpireLeases(now time.Time) []Lease {
+	if len(sp.shards) == 1 {
+		return sp.shards[0].ExpireLeases(now)
+	}
+	var out []Lease
+	for _, s := range sp.shards {
+		out = append(out, s.ExpireLeases(now)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}
+
+// ActiveLeases returns the total outstanding leases across shards.
+func (sp *ShardedPool) ActiveLeases() int {
+	n := 0
+	for _, s := range sp.shards {
+		n += s.ActiveLeases()
+	}
+	return n
+}
+
+// LeaseCount returns the number of outstanding leases on a task.
+func (sp *ShardedPool) LeaseCount(id TaskID) int { return sp.shardOf(id).LeaseCount(id) }
+
+// HasLease reports whether the worker holds a lease on the task.
+func (sp *ShardedPool) HasLease(worker string, id TaskID) bool {
+	return sp.shardOf(id).HasLease(worker, id)
+}
+
+// InFlight returns committed answers plus outstanding leases for a task.
+func (sp *ShardedPool) InFlight(id TaskID) int { return sp.shardOf(id).InFlight(id) }
+
+// ViewAll runs fn with every shard's read lock held (acquired in shard
+// order), giving it a consistent cross-shard snapshot: no mutation can
+// land on any shard while fn runs, so Version observed inside fn is exact
+// for the whole view. fn receives the shard pools indexed by shard; it
+// must not mutate them or retain references past the call. This is the
+// sharded replacement for ConcurrentPool.View on paths (stats, results)
+// that need global consistency.
+func (sp *ShardedPool) ViewAll(fn func(pools []*Pool)) {
+	for _, s := range sp.shards {
+		s.mu.RLock()
+	}
+	defer func() {
+		for i := len(sp.shards) - 1; i >= 0; i-- {
+			sp.shards[i].mu.RUnlock()
+		}
+	}()
+	pools := make([]*Pool, len(sp.shards))
+	for i, s := range sp.shards {
+		pools[i] = s.pool
+	}
+	fn(pools)
+}
+
+// Task returns the task with the given id, or nil.
+func (sp *ShardedPool) Task(id TaskID) *Task { return sp.shardOf(id).Task(id) }
+
+// Len returns the number of tasks across shards.
+func (sp *ShardedPool) Len() int {
+	n := 0
+	for _, s := range sp.shards {
+		n += s.Len()
+	}
+	return n
+}
+
+// TaskIDs returns every task id: insertion order for a single shard
+// (matching ConcurrentPool), ascending ID order across multiple shards.
+func (sp *ShardedPool) TaskIDs() []TaskID {
+	if len(sp.shards) == 1 {
+		return sp.shards[0].TaskIDs()
+	}
+	var out []TaskID
+	for _, s := range sp.shards {
+		out = append(out, s.TaskIDs()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Answers returns a copy of the answers recorded for a task.
+func (sp *ShardedPool) Answers(id TaskID) []Answer { return sp.shardOf(id).Answers(id) }
+
+// AnswerCount returns the number of answers for a task.
+func (sp *ShardedPool) AnswerCount(id TaskID) int { return sp.shardOf(id).AnswerCount(id) }
+
+// TotalAnswers returns the number of answers across all shards.
+func (sp *ShardedPool) TotalAnswers() int {
+	n := 0
+	for _, s := range sp.shards {
+		n += s.TotalAnswers()
+	}
+	return n
+}
+
+// HasAnswered reports whether the worker already answered the task.
+func (sp *ShardedPool) HasAnswered(worker string, id TaskID) bool {
+	return sp.shardOf(id).HasAnswered(worker, id)
+}
+
+// Closed reports whether the task has been closed.
+func (sp *ShardedPool) Closed(id TaskID) bool { return sp.shardOf(id).Closed(id) }
+
+// OpenTasks returns the ids of open tasks: insertion order for a single
+// shard, ascending ID order across multiple shards.
+func (sp *ShardedPool) OpenTasks() []TaskID {
+	if len(sp.shards) == 1 {
+		return sp.shards[0].OpenTasks()
+	}
+	var out []TaskID
+	for _, s := range sp.shards {
+		out = append(out, s.OpenTasks()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EligibleFor returns open tasks the worker has not answered yet, in the
+// same order contract as OpenTasks.
+func (sp *ShardedPool) EligibleFor(worker string) []TaskID {
+	if len(sp.shards) == 1 {
+		return sp.shards[0].EligibleFor(worker)
+	}
+	var out []TaskID
+	for _, s := range sp.shards {
+		out = append(out, s.EligibleFor(worker)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Workers returns the sorted ids of all workers that answered on any
+// shard.
+func (sp *ShardedPool) Workers() []string {
+	if len(sp.shards) == 1 {
+		return sp.shards[0].Workers()
+	}
+	seen := make(map[string]bool)
+	for _, s := range sp.shards {
+		for _, w := range s.Workers() {
+			seen[w] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for w := range seen {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OptionVotes tallies option votes for a choice-type task.
+func (sp *ShardedPool) OptionVotes(id TaskID) []int { return sp.shardOf(id).OptionVotes(id) }

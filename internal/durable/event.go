@@ -33,6 +33,13 @@ const (
 	// worker got it right. This is the record the ack-implies-durable
 	// invariant protects.
 	EvAnswerRecorded = "answer_recorded"
+	// EvAnswerBatch commits several accepted answers in one record: the
+	// batch-ingestion endpoint journals all answers that landed on one WAL
+	// segment with a single append (and a single fsync under FsyncAlways),
+	// which is the durability half of amortizing per-answer overhead. Cost
+	// is the total charged for the batch; Goldens is index-aligned with
+	// Answers (nil entries for non-golden tasks).
+	EvAnswerBatch = "answer_batch"
 	// EvTaskClosed marks a task as no longer accepting answers.
 	EvTaskClosed = "task_closed"
 	// EvWorkerEliminated is an audit marker written when a golden-task
@@ -133,15 +140,17 @@ func (r *LeaseRecord) deadline() time.Time { return time.Unix(0, r.Deadline) }
 // with Seq greater than the snapshot's LastSeq, which makes a crash
 // between snapshot publication and WAL truncation harmless.
 type Event struct {
-	Seq    uint64        `json:"seq"`
-	Type   string        `json:"type"`
-	Task   *TaskRecord   `json:"task,omitempty"`
-	TaskID core.TaskID   `json:"task_id,omitempty"`
-	Worker string        `json:"worker,omitempty"`
-	Answer *AnswerRecord `json:"answer,omitempty"`
-	Cost   float64       `json:"cost,omitempty"`
-	Golden *bool         `json:"golden,omitempty"`
-	Amount float64       `json:"amount,omitempty"`
-	Lease  *LeaseRecord  `json:"lease,omitempty"`
-	Leases []LeaseRecord `json:"leases,omitempty"`
+	Seq     uint64         `json:"seq"`
+	Type    string         `json:"type"`
+	Task    *TaskRecord    `json:"task,omitempty"`
+	TaskID  core.TaskID    `json:"task_id,omitempty"`
+	Worker  string         `json:"worker,omitempty"`
+	Answer  *AnswerRecord  `json:"answer,omitempty"`
+	Answers []AnswerRecord `json:"answers,omitempty"`
+	Cost    float64        `json:"cost,omitempty"`
+	Golden  *bool          `json:"golden,omitempty"`
+	Goldens []*bool        `json:"goldens,omitempty"`
+	Amount  float64        `json:"amount,omitempty"`
+	Lease   *LeaseRecord   `json:"lease,omitempty"`
+	Leases  []LeaseRecord  `json:"leases,omitempty"`
 }

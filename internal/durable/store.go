@@ -3,9 +3,12 @@ package durable
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -23,6 +26,15 @@ type Options struct {
 	// background ticker whenever records accumulated since the last
 	// snapshot. Zero disables automatic snapshots; Close still writes one.
 	SnapshotEvery time.Duration
+	// Segments splits the WAL into this many task-hash segments, each with
+	// its own file, append mutex, and fsync pipeline, partitioned by the
+	// same core.ShardIndex the sharded serving pool uses — so two answers
+	// on different shards never serialize on one log lock or share an
+	// fsync queue. Zero or one keeps the single historical wal.log.
+	// Recovery merge-replays whatever segment files the directory holds
+	// (ordered by the global sequence number), so a data dir written with
+	// one segment count opens correctly under another.
+	Segments int
 }
 
 // RecoveryInfo reports what Open found in the data directory.
@@ -37,11 +49,13 @@ type RecoveryInfo struct {
 	// between snapshot publication and WAL truncation) that were not
 	// re-applied.
 	Skipped int
-	// TornBytes is the size of the invalid tail truncated off the WAL
-	// (0 when the log ended cleanly).
+	// TornBytes is the total size of invalid tails truncated off the WAL
+	// segments (0 when every log ended cleanly).
 	TornBytes int64
 	// ReplayDuration is the wall time spent loading and replaying.
 	ReplayDuration time.Duration
+	// Segments is the number of WAL segments the store operates with.
+	Segments int
 	// Tasks, Answers, and BudgetSpent describe the recovered state.
 	Tasks       int
 	Answers     int
@@ -53,27 +67,75 @@ func (ri *RecoveryInfo) Empty() bool {
 	return !ri.SnapshotLoaded && ri.Replayed == 0 && ri.Skipped == 0
 }
 
-// Store journals pool mutations to a WAL, maintains a replica of the pool
-// state the journal describes, and compacts the journal into snapshots.
+// segment is one WAL shard: a log file plus the replica of the pool slice
+// whose events it holds. mu serializes sequence assignment, the framed
+// write, and the replica fold for this segment only — appends to
+// different segments run fully in parallel.
+type segment struct {
+	mu  sync.Mutex
+	w   *wal
+	rep *core.Pool
+
+	// Group-commit bookkeeping. appended is the highest sequence number
+	// written to this segment's file (stored under mu); synced is the
+	// highest known flushed (stored under syncMu). An ack path needing
+	// seq ≤ synced returns without touching the file: some other caller's
+	// fsync — the group-commit leader — already covered it.
+	appended atomic.Uint64
+	synced   atomic.Uint64
+	syncMu   sync.Mutex
+}
+
+// syncUpTo ensures every record of this segment with sequence number ≤
+// seq is on stable storage. Concurrent callers elect a leader via syncMu:
+// the leader fsyncs once for everything appended so far, and followers
+// whose seq is already covered return immediately — one fsync
+// acknowledges a whole burst of answers.
+func (seg *segment) syncUpTo(seq uint64) error {
+	if seg.synced.Load() >= seq {
+		return nil
+	}
+	seg.syncMu.Lock()
+	defer seg.syncMu.Unlock()
+	if seg.synced.Load() >= seq {
+		return nil
+	}
+	upTo := seg.appended.Load()
+	if err := seg.w.sync(); err != nil {
+		return err
+	}
+	seg.synced.Store(upTo)
+	return nil
+}
+
+// Store journals pool mutations to a segmented WAL, maintains a replica
+// of the pool state the journal describes, and compacts the journal into
+// snapshots.
 //
-// The replica is the store's own single-threaded core.Pool (plus the
-// durable budget spend and golden-screen tallies), updated under the
-// store's mutex atomically with each append. Snapshots serialize the
-// replica, so a snapshot is consistent with its LastSeq by construction —
-// the store never has to freeze the live serving pool, and lock ordering
-// stays one-way (callers hold their own locks, then the store's; the store
-// holds no lock while calling out).
+// Events are routed to segments by task hash (core.ShardIndex — the same
+// function the sharded serving pool uses, so a pool shard and its WAL
+// segment always agree). Each segment folds its events into its own
+// single-threaded core.Pool replica under the segment mutex; cross-task
+// state (budget spend, golden-screen tallies) lives under the store
+// mutex. A global atomic sequence number is drawn while the owning
+// segment's mutex is held, so sequence numbers are unique across segments
+// and monotonically increasing within each file — recovery k-way merges
+// the segment files by sequence number and replays a valid global order.
 //
 // All methods are safe for concurrent use. After a write error the store
-// is sticky-failed: every subsequent append returns the original error, so
-// the serving layer stops acknowledging work the log cannot hold.
+// is sticky-failed: every subsequent append returns the original error,
+// so the serving layer stops acknowledging work the log cannot hold.
 type Store struct {
 	dir  string
 	opts Options
+	segs []*segment
+	ins  *walInstruments
 
+	// mu guards the store-global state: the sequence counter, snapshot
+	// bookkeeping, sticky error, and the cross-task replica (budget spend,
+	// screen tallies). Lock order is segment mutexes (ascending) before
+	// mu; mu is only ever held briefly and never across I/O.
 	mu        sync.Mutex
-	w         *wal
-	rep       *core.Pool
 	repSpent  float64
 	repScreen map[string]core.ScreenTally
 	seq       uint64 // last assigned event sequence number
@@ -94,15 +156,25 @@ type Store struct {
 // ready to journal new mutations, plus a report of what was recovered.
 // A torn or corrupt WAL tail is truncated, not an error: the discarded
 // suffix was never acknowledged.
+//
+// Recovery reads the snapshot, splits it into per-segment replicas, then
+// merge-replays every WAL segment file found in the directory — including
+// files from a previous layout with a different segment count, whose
+// events are re-routed to their current owners. Leftover files from a
+// larger previous layout are folded into a fresh snapshot and deleted, so
+// the directory converges to the configured layout.
 func Open(dir string, opts Options) (*Store, *RecoveryInfo, error) {
 	if opts.Fsync == FsyncInterval && opts.FsyncEvery <= 0 {
 		opts.FsyncEvery = 100 * time.Millisecond
+	}
+	if opts.Segments < 1 {
+		opts.Segments = 1
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("durable: creating data dir: %w", err)
 	}
 	start := time.Now()
-	info := &RecoveryInfo{}
+	info := &RecoveryInfo{Segments: opts.Segments}
 
 	rep := core.NewPool()
 	var spent float64
@@ -123,60 +195,123 @@ func Open(dir string, opts Options) (*Store, *RecoveryInfo, error) {
 		info.SnapshotSeq = snap.LastSeq
 	}
 
-	walPath := filepath.Join(dir, walName)
-	payloads, validBytes, torn, err := readWAL(walPath)
-	if err != nil {
-		return nil, nil, err
-	}
 	s := &Store{
 		dir:       dir,
 		opts:      opts,
-		rep:       rep,
+		segs:      make([]*segment, opts.Segments),
+		ins:       newWALInstruments(),
 		repSpent:  spent,
 		repScreen: screen,
 		seq:       seq,
 		snapSeq:   seq,
 		stop:      make(chan struct{}),
 	}
-	off := int64(0)
-	for _, payload := range payloads {
-		var ev Event
-		if jerr := json.Unmarshal(payload, &ev); jerr != nil {
-			// The frame checksum verified but the payload does not decode:
-			// treat it like a torn tail and cut the log here. Everything
-			// after an undecodable record is unreachable anyway — replay
-			// could not order it.
-			torn = validBytes - off + torn
-			validBytes = off
-			break
+	for i, segRep := range core.SplitPool(rep, opts.Segments) {
+		s.segs[i] = &segment{rep: segRep}
+	}
+
+	// Discover every WAL segment file present, current layout or not.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("durable: scanning data dir: %w", err)
+	}
+	type walFile struct {
+		idx  int
+		path string
+	}
+	var files, stale []walFile
+	for _, e := range entries {
+		idx, ok := parseSegWALName(e.Name())
+		if !ok {
+			continue
 		}
-		off += frameHeader + int64(len(payload))
+		f := walFile{idx: idx, path: filepath.Join(dir, e.Name())}
+		files = append(files, f)
+		if idx >= opts.Segments {
+			stale = append(stale, f)
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].idx < files[j].idx })
+
+	// Decode each file, truncating torn or undecodable tails, then merge
+	// every surviving event into one sequence-ordered replay.
+	var events []Event
+	for _, f := range files {
+		payloads, validBytes, torn, err := readWAL(f.path)
+		if err != nil {
+			return nil, nil, err
+		}
+		off := int64(0)
+		for _, payload := range payloads {
+			var ev Event
+			if jerr := json.Unmarshal(payload, &ev); jerr != nil {
+				// The frame checksum verified but the payload does not
+				// decode: treat it like a torn tail and cut this file here.
+				// Everything after an undecodable record in the same file is
+				// unreachable anyway — replay could not order it.
+				torn = validBytes - off + torn
+				validBytes = off
+				break
+			}
+			off += frameHeader + int64(len(payload))
+			events = append(events, ev)
+		}
+		if torn > 0 {
+			if err := os.Truncate(f.path, validBytes); err != nil {
+				return nil, nil, fmt.Errorf("durable: truncating torn WAL tail: %w", err)
+			}
+		}
+		info.TornBytes += torn
+	}
+	// Sequence numbers are unique globally and monotonic within each file,
+	// so sorting by Seq reconstructs a valid interleaving of the original
+	// mutation order.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	for i := range events {
+		ev := &events[i]
 		if ev.Seq <= s.snapSeq {
 			info.Skipped++
 			continue
 		}
-		s.apply(&ev)
-		s.seq = ev.Seq
+		s.applyEvent(ev)
+		if ev.Seq > s.seq {
+			s.seq = ev.Seq
+		}
 		info.Replayed++
 	}
-	if torn > 0 {
-		if err := os.Truncate(walPath, validBytes); err != nil {
-			return nil, nil, fmt.Errorf("durable: truncating torn WAL tail: %w", err)
+
+	for i := range s.segs {
+		w, err := openWALShared(filepath.Join(dir, segWALName(i)), s.ins)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.segs[i].w = w
+	}
+	if len(stale) > 0 {
+		// Files from a larger previous layout: their events are now in the
+		// replicas (and covered by the snapshot we are about to force), so
+		// the files can go — otherwise nothing would ever truncate them.
+		s.lockAll()
+		err := s.snapshotLocked()
+		s.unlockAll()
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, f := range stale {
+			if err := os.Remove(f.path); err != nil {
+				return nil, nil, fmt.Errorf("durable: removing stale WAL segment: %w", err)
+			}
 		}
 	}
-	info.TornBytes = torn
-
-	w, err := openWAL(walPath)
-	if err != nil {
-		return nil, nil, err
-	}
-	s.w = w
 	s.replayed.Add(int64(info.Replayed))
 	s.skipped.Add(int64(info.Skipped))
 
 	info.ReplayDuration = time.Since(start)
-	info.Tasks = rep.Len()
-	info.Answers = rep.TotalAnswers()
+	info.Tasks, info.Answers = 0, 0
+	for _, seg := range s.segs {
+		info.Tasks += seg.rep.Len()
+		info.Answers += seg.rep.TotalAnswers()
+	}
 	info.BudgetSpent = s.repSpent
 	s.replayS = info.ReplayDuration.Seconds()
 
@@ -191,18 +326,58 @@ func Open(dir string, opts Options) (*Store, *RecoveryInfo, error) {
 	return s, info, nil
 }
 
-// State returns a deep copy of the recovered pool plus the durable budget
-// spend and golden-screen tallies. The serving layer adopts the copy as
-// its live pool; the store keeps the original as its replica, so the two
-// evolve independently (the replica only through journaled events).
-func (s *Store) State() (*core.Pool, float64, map[string]core.ScreenTally) {
+// segFor returns the index of the segment owning a task's events.
+func (s *Store) segFor(id core.TaskID) int { return core.ShardIndex(id, len(s.segs)) }
+
+// segRep returns the replica of the segment owning the task.
+func (s *Store) segRep(id core.TaskID) *core.Pool { return s.segs[s.segFor(id)].rep }
+
+// segForWorker routes worker-keyed events (elimination markers) that have
+// no task affinity.
+func (s *Store) segForWorker(worker string) int {
+	if len(s.segs) == 1 {
+		return 0
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(worker))
+	return int(h.Sum64() % uint64(len(s.segs)))
+}
+
+// lockAll acquires every segment mutex in ascending order, then the store
+// mutex — the global lock order. Used by snapshots and State, which need
+// a consistent cross-segment cut.
+func (s *Store) lockAll() {
+	for _, seg := range s.segs {
+		seg.mu.Lock()
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
+}
+
+func (s *Store) unlockAll() {
+	s.mu.Unlock()
+	for i := len(s.segs) - 1; i >= 0; i-- {
+		s.segs[i].mu.Unlock()
+	}
+}
+
+// State returns a deep copy of the recovered pool (per-segment replicas
+// merged into one pool, in ascending task-ID order for multi-segment
+// stores) plus the durable budget spend and golden-screen tallies. The
+// serving layer adopts the copy as its live pool; the store keeps the
+// replicas, so the two evolve independently (the replicas only through
+// journaled events).
+func (s *Store) State() (*core.Pool, float64, map[string]core.ScreenTally) {
+	s.lockAll()
+	defer s.unlockAll()
+	reps := make([]*core.Pool, len(s.segs))
+	for i, seg := range s.segs {
+		reps[i] = seg.rep
+	}
 	screen := make(map[string]core.ScreenTally, len(s.repScreen))
 	for w, t := range s.repScreen {
 		screen[w] = t
 	}
-	return s.rep.Clone(), s.repSpent, screen
+	return core.MergePools(reps), s.repSpent, screen
 }
 
 // Err returns the sticky write error, or nil while the store is healthy.
@@ -212,80 +387,133 @@ func (s *Store) Err() error {
 	return s.err
 }
 
-// apply folds one event into the replica. Events were validated by the
-// live pool before they were journaled, so replica errors indicate either
+// fail records the first write error; later errors keep the original.
+func (s *Store) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// applyEvent folds one event into the replica state, routing each piece
+// to the segment that owns its task. Events were validated by the live
+// pool before they were journaled, so replica errors indicate either
 // corruption replay already cut off or a duplicate delivery; both are
 // skipped rather than fatal.
-func (s *Store) apply(ev *Event) {
+//
+// On the live append path the caller holds the owning segment's mutex and
+// the event touches only that segment by construction (appends are routed
+// and batches are grouped before journaling). During recovery nothing is
+// concurrent, so cross-segment events from an older layout may fan out
+// freely.
+func (s *Store) applyEvent(ev *Event) {
 	switch ev.Type {
 	case EvTaskAdded:
 		if ev.Task != nil {
-			_, _ = s.rep.Add(ev.Task.task())
+			_, _ = s.segRep(ev.Task.ID).Add(ev.Task.task())
 		}
 	case EvAnswerRecorded:
 		if ev.Answer != nil {
-			_ = s.rep.Record(ev.Answer.answer())
+			_ = s.segRep(ev.Answer.Task).Record(ev.Answer.answer())
 		}
+		s.mu.Lock()
 		s.repSpent += ev.Cost
 		if ev.Golden != nil {
-			t := s.repScreen[ev.Worker]
-			t.Total++
-			if *ev.Golden {
-				t.Correct++
-			}
-			s.repScreen[ev.Worker] = t
+			s.tallyLocked(ev.Worker, *ev.Golden)
 		}
+		s.mu.Unlock()
+	case EvAnswerBatch:
+		for i := range ev.Answers {
+			_ = s.segRep(ev.Answers[i].Task).Record(ev.Answers[i].answer())
+		}
+		s.mu.Lock()
+		s.repSpent += ev.Cost
+		for i := range ev.Goldens {
+			if ev.Goldens[i] != nil && i < len(ev.Answers) {
+				s.tallyLocked(ev.Answers[i].Worker, *ev.Goldens[i])
+			}
+		}
+		s.mu.Unlock()
 	case EvTaskClosed:
-		s.rep.Close(ev.TaskID)
+		s.segRep(ev.TaskID).Close(ev.TaskID)
 	case EvWorkerEliminated:
 		// Audit marker only: eliminations are derived from the tallies.
 	case EvBudgetCharged:
+		s.mu.Lock()
 		s.repSpent += ev.Amount
+		s.mu.Unlock()
 	case EvBudgetRefunded:
+		s.mu.Lock()
 		s.repSpent -= ev.Amount
 		if s.repSpent < 0 {
 			s.repSpent = 0
 		}
+		s.mu.Unlock()
 	case EvLeaseIssued:
 		if ev.Lease != nil {
-			_ = s.rep.Lease(ev.Lease.Task, ev.Lease.Worker, ev.Lease.deadline())
+			_ = s.segRep(ev.Lease.Task).Lease(ev.Lease.Task, ev.Lease.Worker, ev.Lease.deadline())
 		}
 	case EvLeaseExpired:
 		for i := range ev.Leases {
-			s.rep.ReleaseLease(ev.Leases[i].Task, ev.Leases[i].Worker)
+			s.segRep(ev.Leases[i].Task).ReleaseLease(ev.Leases[i].Task, ev.Leases[i].Worker)
 		}
 	}
 }
 
-// append journals one event: assign the next sequence number, write the
-// framed record, and fold the event into the replica — all under the
-// store's mutex, so replica state and log contents never diverge. sync
-// selects whether the record must reach stable storage before returning
-// (the ack path passes true under FsyncAlways).
-func (s *Store) append(ev *Event, sync bool) error {
+// tallyLocked folds one golden observation; caller holds s.mu.
+func (s *Store) tallyLocked(worker string, correct bool) {
+	t := s.repScreen[worker]
+	t.Total++
+	if correct {
+		t.Correct++
+	}
+	s.repScreen[worker] = t
+}
+
+// appendSeg journals one event on segment si: assign the next global
+// sequence number, write the framed record, and fold the event into the
+// segment replica — all under the segment's mutex, so that segment's
+// replica state and log contents never diverge and its file stays in
+// sequence order. sync selects whether the record must reach stable
+// storage before returning (the ack path passes true under FsyncAlways);
+// the fsync itself runs after the segment mutex is released, through the
+// group-commit path, so appends keep flowing while a flush is in flight.
+func (s *Store) appendSeg(si int, ev *Event, sync bool) error {
+	seg := s.segs[si]
+	seg.mu.Lock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		return s.err
+	if err := s.err; err != nil {
+		s.mu.Unlock()
+		seg.mu.Unlock()
+		return err
 	}
 	if s.closed {
+		s.mu.Unlock()
+		seg.mu.Unlock()
 		return fmt.Errorf("durable: store is closed")
 	}
 	s.seq++
 	ev.Seq = s.seq
+	s.mu.Unlock()
 	payload, err := json.Marshal(ev)
 	if err != nil {
-		s.seq--
+		// The sequence number is abandoned; gaps are harmless, replay only
+		// needs relative order.
+		seg.mu.Unlock()
 		return fmt.Errorf("durable: encoding %s event: %w", ev.Type, err)
 	}
-	if err := s.w.append(payload); err != nil {
-		s.err = err
+	if err := seg.w.append(payload); err != nil {
+		seg.mu.Unlock()
+		s.fail(err)
 		return err
 	}
-	s.apply(ev)
+	seg.appended.Store(ev.Seq)
+	s.applyEvent(ev)
+	seg.mu.Unlock()
 	if sync {
-		if err := s.w.sync(); err != nil {
-			s.err = err
+		if err := seg.syncUpTo(ev.Seq); err != nil {
+			s.fail(err)
 			return err
 		}
 	}
@@ -299,7 +527,7 @@ func (s *Store) append(ev *Event, sync bool) error {
 // acknowledge the client unless it returns nil — that is the
 // ack-implies-durable invariant.
 func (s *Store) AnswerDurable(a core.Answer, cost float64, golden *bool) error {
-	return s.append(&Event{
+	return s.appendSeg(s.segFor(a.Task), &Event{
 		Type:   EvAnswerRecorded,
 		Answer: answerRecord(a),
 		Worker: a.Worker,
@@ -308,64 +536,139 @@ func (s *Store) AnswerDurable(a core.Answer, cost float64, golden *bool) error {
 	}, s.opts.Fsync == FsyncAlways)
 }
 
+// AnswerBatchDurable journals a batch of accepted answers with one append
+// (and, under FsyncAlways, one fsync) per touched WAL segment. costs and
+// goldens are index-aligned with as; either may be nil. The same
+// ack-implies-durable contract as AnswerDurable applies to the batch as a
+// whole: callers must not acknowledge any of the batch unless this
+// returns nil. When the serving pool's shard count equals the store's
+// segment count — how crowdserve always configures them — a per-shard
+// batch maps to exactly one segment, so the batch commits atomically; a
+// failed append leaves the store sticky-failed either way, and the caller
+// rolls the batch back.
+func (s *Store) AnswerBatchDurable(as []core.Answer, costs []float64, goldens []*bool) error {
+	if len(as) == 0 {
+		return nil
+	}
+	groups := make(map[int]*Event)
+	var order []int
+	anyGolden := false
+	for i := range as {
+		si := s.segFor(as[i].Task)
+		ev := groups[si]
+		if ev == nil {
+			ev = &Event{Type: EvAnswerBatch}
+			groups[si] = ev
+			order = append(order, si)
+		}
+		ev.Answers = append(ev.Answers, *answerRecord(as[i]))
+		if costs != nil {
+			ev.Cost += costs[i]
+		}
+		var g *bool
+		if goldens != nil {
+			g = goldens[i]
+		}
+		if g != nil {
+			anyGolden = true
+		}
+		ev.Goldens = append(ev.Goldens, g)
+	}
+	if !anyGolden {
+		for _, ev := range groups {
+			ev.Goldens = nil
+		}
+	}
+	sort.Ints(order)
+	for _, si := range order {
+		if err := s.appendSeg(si, groups[si], false); err != nil {
+			return err
+		}
+	}
+	if s.opts.Fsync == FsyncAlways {
+		for _, si := range order {
+			if err := s.segs[si].syncUpTo(groups[si].Seq); err != nil {
+				s.fail(err)
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // WorkerEliminated journals the audit marker for a worker crossing the
 // elimination threshold. Best-effort: the tallies that imply the
 // elimination ride the answer records, so losing the marker loses nothing.
 func (s *Store) WorkerEliminated(worker string) {
-	_ = s.append(&Event{Type: EvWorkerEliminated, Worker: worker}, false)
+	_ = s.appendSeg(s.segForWorker(worker), &Event{Type: EvWorkerEliminated, Worker: worker}, false)
 }
 
 // BudgetCharged journals a budget charge that does not ride an answer
-// record (bulk pricing, manual adjustment).
+// record (bulk pricing, manual adjustment). Budget events have no task
+// affinity and always land on segment 0.
 func (s *Store) BudgetCharged(amount float64) error {
-	return s.append(&Event{Type: EvBudgetCharged, Amount: amount}, s.opts.Fsync == FsyncAlways)
+	return s.appendSeg(0, &Event{Type: EvBudgetCharged, Amount: amount}, s.opts.Fsync == FsyncAlways)
 }
 
 // BudgetRefunded journals the reversal of such a charge.
 func (s *Store) BudgetRefunded(amount float64) error {
-	return s.append(&Event{Type: EvBudgetRefunded, Amount: amount}, s.opts.Fsync == FsyncAlways)
+	return s.appendSeg(0, &Event{Type: EvBudgetRefunded, Amount: amount}, s.opts.Fsync == FsyncAlways)
 }
 
 // TaskAdded, TaskClosed, LeaseIssued, and LeasesExpired implement
-// core.Journal, so the store can be attached to a ConcurrentPool with
-// SetJournal. They run under the pool's write lock and therefore must not
-// block on fsync; the records reach disk with the next answer ack or
-// background flush. Write failures go sticky (visible through Err and the
-// answer path) since the interface cannot surface them.
+// core.Journal, so the store can be attached to a ConcurrentPool (or each
+// shard of a ShardedPool) with SetJournal. They run under the pool's
+// write lock and therefore must not block on fsync; the records reach
+// disk with the next answer ack or background flush. Write failures go
+// sticky (visible through Err and the answer path) since the interface
+// cannot surface them.
 func (s *Store) TaskAdded(t *core.Task) {
-	_ = s.append(&Event{Type: EvTaskAdded, Task: taskRecord(t)}, false)
+	_ = s.appendSeg(s.segFor(t.ID), &Event{Type: EvTaskAdded, Task: taskRecord(t)}, false)
 }
 
 // TaskClosed implements core.Journal.
 func (s *Store) TaskClosed(id core.TaskID) {
-	_ = s.append(&Event{Type: EvTaskClosed, TaskID: id}, false)
+	_ = s.appendSeg(s.segFor(id), &Event{Type: EvTaskClosed, TaskID: id}, false)
 }
 
 // LeaseIssued implements core.Journal.
 func (s *Store) LeaseIssued(l core.Lease) {
-	_ = s.append(&Event{Type: EvLeaseIssued, Lease: leaseRecord(l)}, false)
+	_ = s.appendSeg(s.segFor(l.Task), &Event{Type: EvLeaseIssued, Lease: leaseRecord(l)}, false)
 }
 
-// LeasesExpired implements core.Journal.
+// LeasesExpired implements core.Journal. A sweep may reclaim leases on
+// several segments; each segment gets its own event so every record stays
+// on the log of the shard that owns its task.
 func (s *Store) LeasesExpired(ls []core.Lease) {
-	recs := make([]LeaseRecord, len(ls))
-	for i := range ls {
-		recs[i] = *leaseRecord(ls[i])
+	groups := make(map[int][]LeaseRecord)
+	var order []int
+	for _, l := range ls {
+		si := s.segFor(l.Task)
+		if _, ok := groups[si]; !ok {
+			order = append(order, si)
+		}
+		groups[si] = append(groups[si], *leaseRecord(l))
 	}
-	_ = s.append(&Event{Type: EvLeaseExpired, Leases: recs}, false)
+	sort.Ints(order)
+	for _, si := range order {
+		_ = s.appendSeg(si, &Event{Type: EvLeaseExpired, Leases: groups[si]}, false)
+	}
 }
 
-// Snapshot publishes the replica as pool.snap and truncates the WAL. It
-// holds the store mutex for the duration, so concurrent appends stall
-// briefly rather than racing the truncation (a record appended after the
-// snapshot image was taken must not be discarded with the pre-snapshot
-// log). No-op when nothing was journaled since the last snapshot.
+// Snapshot publishes the merged replicas as pool.snap and truncates every
+// WAL segment. It holds all segment mutexes for the duration, so
+// concurrent appends stall briefly rather than racing the truncation (a
+// record appended after the snapshot image was taken must not be
+// discarded with the pre-snapshot log). No-op when nothing was journaled
+// since the last snapshot.
 func (s *Store) Snapshot() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	return s.snapshotLocked()
 }
 
+// snapshotLocked requires every segment mutex and the store mutex
+// (lockAll).
 func (s *Store) snapshotLocked() error {
 	if s.err != nil {
 		return s.err
@@ -373,24 +676,47 @@ func (s *Store) snapshotLocked() error {
 	if s.seq == s.snapSeq {
 		return nil
 	}
-	snap := buildSnapshot(s.rep, s.repSpent, s.repScreen, s.seq)
+	reps := make([]*core.Pool, len(s.segs))
+	for i, seg := range s.segs {
+		reps[i] = seg.rep
+	}
+	snap := buildSnapshot(core.MergePools(reps), s.repSpent, s.repScreen, s.seq)
 	if err := writeSnapshot(s.dir, snap); err != nil {
 		s.snapErrs.Inc()
 		return err
 	}
-	if err := s.w.truncate(); err != nil {
-		// The snapshot covers every truncated record, so a failed truncate
-		// only leaves redundant records behind (replay skips them by Seq);
-		// the log keeps growing though, so surface the error.
-		s.snapErrs.Inc()
-		return err
+	for _, seg := range s.segs {
+		if err := seg.w.truncate(); err != nil {
+			// The snapshot covers every truncated record, so a failed
+			// truncate only leaves redundant records behind (replay skips
+			// them by Seq); the log keeps growing though, so surface the
+			// error.
+			s.snapErrs.Inc()
+			return err
+		}
+		// Nothing is pending after a truncate; credit the sync high-water
+		// mark so the next ack does not fsync an empty file.
+		seg.synced.Store(seg.appended.Load())
 	}
 	s.snapSeq = s.seq
 	s.snaps.Inc()
 	return nil
 }
 
-// flusher batches fsyncs under FsyncInterval.
+// currentSnapshot builds (but does not publish) a snapshot of the replica
+// state; tests use it to simulate a crash between snapshot publication
+// and WAL truncation.
+func (s *Store) currentSnapshot() *Snapshot {
+	s.lockAll()
+	defer s.unlockAll()
+	reps := make([]*core.Pool, len(s.segs))
+	for i, seg := range s.segs {
+		reps[i] = seg.rep
+	}
+	return buildSnapshot(core.MergePools(reps), s.repSpent, s.repScreen, s.seq)
+}
+
+// flusher batches fsyncs across all segments under FsyncInterval.
 func (s *Store) flusher() {
 	defer s.bg.Done()
 	t := time.NewTicker(s.opts.FsyncEvery)
@@ -401,12 +727,17 @@ func (s *Store) flusher() {
 			return
 		case <-t.C:
 			s.mu.Lock()
-			if s.err == nil && !s.closed {
-				if err := s.w.sync(); err != nil {
-					s.err = err
+			healthy := s.err == nil && !s.closed
+			s.mu.Unlock()
+			if !healthy {
+				continue
+			}
+			for _, seg := range s.segs {
+				if err := seg.syncUpTo(seg.appended.Load()); err != nil {
+					s.fail(err)
+					break
 				}
 			}
-			s.mu.Unlock()
 		}
 	}
 }
@@ -427,7 +758,7 @@ func (s *Store) snapshotter() {
 }
 
 // Close stops the background goroutines, writes a final snapshot, flushes,
-// and closes the WAL. The store refuses appends afterwards.
+// and closes every WAL segment. The store refuses appends afterwards.
 func (s *Store) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -439,20 +770,22 @@ func (s *Store) Close() error {
 	s.mu.Unlock()
 	s.bg.Wait()
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockAll()
+	defer s.unlockAll()
 	err := s.snapshotLocked()
-	if cerr := s.w.close(false); err == nil {
-		err = cerr
+	for _, seg := range s.segs {
+		if cerr := seg.w.close(false); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }
 
-// Crash simulates kill -9 at the durability boundary, for tests: the WAL
-// file descriptor is closed with no flush and no snapshot, and the store
-// goes sticky-failed so every later append errors. On-disk state is left
-// exactly as a real crash would — whatever write() already reached the
-// kernel survives, nothing else does.
+// Crash simulates kill -9 at the durability boundary, for tests: every
+// WAL file descriptor is closed with no flush and no snapshot, and the
+// store goes sticky-failed so every later append errors. On-disk state is
+// left exactly as a real crash would — whatever write() already reached
+// the kernel survives, nothing else does.
 func (s *Store) Crash() {
 	s.mu.Lock()
 	if s.closed {
@@ -462,8 +795,10 @@ func (s *Store) Crash() {
 	s.closed = true
 	s.err = fmt.Errorf("durable: store crashed")
 	close(s.stop)
-	_ = s.w.close(true)
 	s.mu.Unlock()
+	for _, seg := range s.segs {
+		_ = seg.w.close(true)
+	}
 	s.bg.Wait()
 }
 
@@ -473,28 +808,35 @@ func (s *Store) Dir() string { return s.dir }
 // Fsync returns the store's fsync policy.
 func (s *Store) Fsync() FsyncPolicy { return s.opts.Fsync }
 
+// Segments returns the number of WAL segments.
+func (s *Store) Segments() int { return len(s.segs) }
+
 // RegisterMetrics exposes the store's always-on instruments on a registry:
 // WAL append and fsync latency histograms, record/byte/fsync/snapshot
-// counters, and the recovery statistics from Open.
+// counters (aggregated across segments), the segment count, and the
+// recovery statistics from Open.
 func (s *Store) RegisterMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.RegisterHistogram("crowdkit_wal_append_seconds", s.w.appendLat)
-	reg.RegisterHistogram("crowdkit_wal_fsync_seconds", s.w.fsyncLat)
-	reg.RegisterCounter("crowdkit_wal_records_total", &s.w.records)
-	reg.RegisterCounter("crowdkit_wal_bytes_total", &s.w.bytes)
-	reg.RegisterCounter("crowdkit_wal_fsyncs_total", &s.w.fsyncs)
+	reg.RegisterHistogram("crowdkit_wal_append_seconds", s.ins.appendLat)
+	reg.RegisterHistogram("crowdkit_wal_fsync_seconds", s.ins.fsyncLat)
+	reg.RegisterCounter("crowdkit_wal_records_total", &s.ins.records)
+	reg.RegisterCounter("crowdkit_wal_bytes_total", &s.ins.bytes)
+	reg.RegisterCounter("crowdkit_wal_fsyncs_total", &s.ins.fsyncs)
 	reg.RegisterCounter("crowdkit_wal_snapshots_total", &s.snaps)
 	reg.RegisterCounter("crowdkit_wal_snapshot_errors_total", &s.snapErrs)
 	reg.RegisterCounter("crowdkit_recovery_replayed_records_total", &s.replayed)
 	reg.RegisterCounter("crowdkit_recovery_skipped_records_total", &s.skipped)
 	reg.GaugeFunc("crowdkit_recovery_replay_seconds", func() float64 { return s.replayS })
+	reg.GaugeFunc("crowdkit_wal_segments", func() float64 { return float64(len(s.segs)) })
 	reg.GaugeFunc("crowdkit_wal_size_bytes", func() float64 {
-		fi, err := os.Stat(filepath.Join(s.dir, walName))
-		if err != nil {
-			return 0
+		var total float64
+		for i := range s.segs {
+			if fi, err := os.Stat(filepath.Join(s.dir, segWALName(i))); err == nil {
+				total += float64(fi.Size())
+			}
 		}
-		return float64(fi.Size())
+		return total
 	})
 }

@@ -320,10 +320,7 @@ func TestRecoverySkipsRecordsCoveredBySnapshot(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	s.mu.Lock()
-	snap := buildSnapshot(s.rep, s.repSpent, s.repScreen, s.seq)
-	s.mu.Unlock()
-	if err := writeSnapshot(dir, snap); err != nil {
+	if err := writeSnapshot(dir, s.currentSnapshot()); err != nil {
 		t.Fatal(err)
 	}
 	s.Crash() // WAL still holds all 5 records
@@ -400,10 +397,10 @@ func TestBudgetEventsAdjustSpend(t *testing.T) {
 func TestConcurrentAppendsAllSurvive(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir, Options{Fsync: FsyncNever})
-	// Collection tasks accept repeated answers from the same worker, so
-	// every goroutine can hammer the same task.
+	// Collection tasks accept repeated answers from the same worker (up to
+	// the resubmission cap), so every goroutine can hammer the same task.
 	s.TaskAdded(&core.Task{ID: 0, Kind: core.Collection, Question: "enumerate"})
-	const workers, each = 8, 25
+	const workers, each = 8, core.MaxRepeatAnswers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)

@@ -28,6 +28,32 @@ const (
 	maxRecordBytes = 16 << 20 // sanity bound: no event comes close
 )
 
+// segWALName returns the file name of WAL segment i. Segment 0 keeps the
+// historical single-file name, so an unsegmented data directory is just a
+// 1-segment layout: old directories open unchanged, and Segments=1 writes
+// the same files previous releases did.
+func segWALName(i int) string {
+	if i == 0 {
+		return walName
+	}
+	return fmt.Sprintf("wal-%03d.log", i)
+}
+
+// parseSegWALName reports the segment index a WAL file name refers to.
+// Recovery scans the directory with this, so it finds segments from a
+// previous layout with a different segment count.
+func parseSegWALName(name string) (int, bool) {
+	if name == walName {
+		return 0, true
+	}
+	var i int
+	if n, err := fmt.Sscanf(name, "wal-%03d.log", &i); n == 1 && err == nil && i >= 0 &&
+		name == segWALName(i) {
+		return i, true
+	}
+	return 0, false
+}
+
 // FsyncPolicy selects when appended records reach stable storage. Every
 // policy writes the record to the file (page cache) before the append
 // returns, so an acknowledged answer survives a process crash (kill -9)
@@ -77,17 +103,12 @@ func ParseFsync(s string) (FsyncPolicy, time.Duration, error) {
 	return FsyncInterval, d, nil
 }
 
-// wal is the append side of the log. Callers (the Store) serialize record
-// ordering; the internal mutex only keeps the file operations themselves
-// coherent so Sync may run concurrently with new appends.
-type wal struct {
-	mu    sync.Mutex
-	f     *os.File
-	buf   []byte // scratch frame assembly, reused across appends
-	dirty bool   // bytes written since the last fsync
-
-	// Always-on instruments (obs types are lock-free atomics); exposed on
-	// a registry via Store.RegisterMetrics.
+// walInstruments are the always-on instruments for WAL I/O (obs types are
+// lock-free atomics); exposed on a registry via Store.RegisterMetrics.
+// With a segmented log, every segment shares one instrument set, so the
+// exported series aggregate the whole store exactly as they did with a
+// single file.
+type walInstruments struct {
 	appendLat *obs.Histogram
 	fsyncLat  *obs.Histogram
 	records   obs.Counter
@@ -95,17 +116,39 @@ type wal struct {
 	fsyncs    obs.Counter
 }
 
-// openWAL opens (creating if needed) the log file for appending.
+func newWALInstruments() *walInstruments {
+	return &walInstruments{
+		appendLat: obs.NewHistogram(obs.DefIOBuckets...),
+		fsyncLat:  obs.NewHistogram(obs.DefIOBuckets...),
+	}
+}
+
+// wal is the append side of one log file. Callers (the Store) serialize
+// record ordering; the internal mutex only keeps the file operations
+// themselves coherent so Sync may run concurrently with new appends.
+type wal struct {
+	mu    sync.Mutex
+	f     *os.File
+	buf   []byte // scratch frame assembly, reused across appends
+	dirty bool   // bytes written since the last fsync
+
+	ins *walInstruments
+}
+
+// openWAL opens (creating if needed) the log file for appending, with its
+// own instrument set.
 func openWAL(path string) (*wal, error) {
+	return openWALShared(path, newWALInstruments())
+}
+
+// openWALShared opens the log file with a caller-supplied instrument set,
+// so multiple segments aggregate into the same series.
+func openWALShared(path string, ins *walInstruments) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("durable: opening WAL: %w", err)
 	}
-	return &wal{
-		f:         f,
-		appendLat: obs.NewHistogram(obs.DefIOBuckets...),
-		fsyncLat:  obs.NewHistogram(obs.DefIOBuckets...),
-	}, nil
+	return &wal{f: f, ins: ins}, nil
 }
 
 // append frames payload and writes it in a single write call, so a crash
@@ -117,6 +160,9 @@ func (w *wal) append(payload []byte) error {
 	start := time.Now()
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("durable: append to closed WAL")
+	}
 	need := frameHeader + len(payload)
 	if cap(w.buf) < need {
 		w.buf = make([]byte, 0, need*2)
@@ -129,9 +175,9 @@ func (w *wal) append(payload []byte) error {
 		return fmt.Errorf("durable: WAL append: %w", err)
 	}
 	w.dirty = true
-	w.records.Inc()
-	w.bytes.Add(int64(len(frame)))
-	w.appendLat.ObserveDuration(time.Since(start))
+	w.ins.records.Inc()
+	w.ins.bytes.Add(int64(len(frame)))
+	w.ins.appendLat.ObserveDuration(time.Since(start))
 	return nil
 }
 
@@ -143,7 +189,7 @@ func (w *wal) sync() error {
 }
 
 func (w *wal) syncLocked() error {
-	if !w.dirty {
+	if !w.dirty || w.f == nil {
 		return nil
 	}
 	start := time.Now()
@@ -151,8 +197,8 @@ func (w *wal) syncLocked() error {
 		return fmt.Errorf("durable: WAL fsync: %w", err)
 	}
 	w.dirty = false
-	w.fsyncs.Inc()
-	w.fsyncLat.ObserveDuration(time.Since(start))
+	w.ins.fsyncs.Inc()
+	w.ins.fsyncLat.ObserveDuration(time.Since(start))
 	return nil
 }
 

@@ -1,0 +1,181 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Batch ingestion: POST /api/answers accepts many submissions in one
+// request. The cost model is what justifies the endpoint — the request is
+// validated in one pass, answers are grouped by pool shard so each shard's
+// write lock is taken once (RecordBatch), and durability is one journal
+// append (one group-commit fsync under FsyncAlways) per touched WAL
+// segment instead of one per answer. Items succeed or fail independently:
+// the response carries a status per item in request order, so one
+// duplicate does not reject the rest of a crowd upload.
+
+const (
+	// maxBatchBody bounds the /api/answers request body. Large enough for
+	// a few thousand collection-task answers, small enough that a hostile
+	// client cannot make the decoder buffer unbounded memory per request.
+	maxBatchBody = 8 << 20
+	// maxBatchItems caps how many answers one batch may carry; bigger
+	// uploads split into multiple requests.
+	maxBatchItems = 4096
+)
+
+// BatchItemDTO reports the outcome of one batch item, in request order.
+// Status is "recorded" (accepted and durable), "rejected" (this item was
+// refused — duplicate, unknown task, budget, elimination — others were
+// unaffected), or "failed" (accepted but the journal refused the batch;
+// the item was rolled back and may be resubmitted).
+type BatchItemDTO struct {
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// BatchResultDTO is the /api/answers response.
+type BatchResultDTO struct {
+	Recorded int            `json:"recorded"`
+	Rejected int            `json:"rejected"`
+	Results  []BatchItemDTO `json:"results"`
+}
+
+const (
+	batchRecorded = "recorded"
+	batchRejected = "rejected"
+	batchFailed   = "failed"
+)
+
+// batchItem tracks one accepted submission through the durability step so
+// it can be rolled back if the journal refuses the batch.
+type batchItem struct {
+	idx    int // position in the request
+	answer core.Answer
+	golden *bool
+}
+
+func (s *Server) handleAnswerBatch(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBatchBody)
+	var dtos []AnswerDTO
+	if err := json.NewDecoder(r.Body).Decode(&dtos); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+	if len(dtos) > maxBatchItems {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch of %d answers exceeds the %d-item limit", len(dtos), maxBatchItems))
+		return
+	}
+
+	out := BatchResultDTO{Results: make([]BatchItemDTO, len(dtos))}
+	reject := func(i int, msg string) {
+		out.Results[i] = BatchItemDTO{Status: batchRejected, Error: msg}
+	}
+
+	// Validation pass, then group the survivors by pool shard so the
+	// recording pass takes each shard's write lock exactly once.
+	byShard := make([][]int, s.cpool.NumShards())
+	for i, dto := range dtos {
+		if dto.Worker == "" {
+			reject(i, "missing worker")
+			continue
+		}
+		if s.screen != nil && s.screen.Eliminated(dto.Worker) {
+			reject(i, "worker eliminated by quality screening")
+			continue
+		}
+		if s.cpool.Task(dto.Task) == nil {
+			reject(i, fmt.Sprintf("unknown task %d", dto.Task))
+			continue
+		}
+		sh := s.cpool.ShardFor(dto.Task)
+		byShard[sh] = append(byShard[sh], i)
+	}
+
+	// Recording pass, shard by shard in ascending order (deterministic for
+	// a given request). Each item reserves budget individually, exactly as
+	// on the single-answer path, so a rejected item never spends.
+	var accepted []batchItem
+	for sh, idxs := range byShard {
+		if len(idxs) == 0 {
+			continue
+		}
+		charged := idxs[:0]
+		answers := make([]core.Answer, 0, len(idxs))
+		for _, i := range idxs {
+			// Re-check elimination: an earlier item in this batch may have
+			// tipped the worker over the golden threshold.
+			if s.screen != nil && s.screen.Eliminated(dtos[i].Worker) {
+				reject(i, "worker eliminated by quality screening")
+				continue
+			}
+			if !s.budget.TryCharge(1) {
+				reject(i, "budget exhausted")
+				continue
+			}
+			charged = append(charged, i)
+			answers = append(answers, core.Answer{
+				Task: dtos[i].Task, Worker: dtos[i].Worker,
+				Option: dtos[i].Option, Text: dtos[i].Text, Score: dtos[i].Score,
+			})
+		}
+		errs := s.cpool.RecordBatch(sh, answers)
+		for j, i := range charged {
+			if err := errs[j]; err != nil {
+				s.budget.Refund(1)
+				reject(i, err.Error())
+				continue
+			}
+			t := s.cpool.Task(answers[j].Task)
+			golden := s.observeGolden(t, answers[j].Worker, answers[j].Option, answers[j].Text)
+			accepted = append(accepted, batchItem{idx: i, answer: answers[j], golden: golden})
+			out.Results[i] = BatchItemDTO{Status: batchRecorded}
+		}
+	}
+
+	// Durability pass: one journal event per touched WAL segment. The
+	// store refusing the batch leaves nothing durable, so every accepted
+	// item is rolled back (reverse acceptance order) and reported failed —
+	// the ack-implies-durable contract of /api/answer, batch-wide.
+	code := http.StatusOK
+	if s.store != nil && len(accepted) > 0 {
+		answers := make([]core.Answer, len(accepted))
+		costs := make([]float64, len(accepted))
+		goldens := make([]*bool, len(accepted))
+		for j, it := range accepted {
+			answers[j], costs[j], goldens[j] = it.answer, 1, it.golden
+		}
+		if err := s.store.AnswerBatchDurable(answers, costs, goldens); err != nil {
+			for j := len(accepted) - 1; j >= 0; j-- {
+				it := accepted[j]
+				s.rollbackAnswer(it.answer, it.golden)
+				out.Results[it.idx] = BatchItemDTO{
+					Status: batchFailed, Error: "answer not persisted: " + err.Error(),
+				}
+			}
+			code = http.StatusInternalServerError
+		}
+	}
+
+	for _, item := range out.Results {
+		if item.Status == batchRecorded {
+			out.Recorded++
+		} else {
+			out.Rejected++
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(out)
+}

@@ -283,6 +283,31 @@ func (c *Client) SubmitAnswer(a AnswerDTO) error {
 	return nil
 }
 
+// SubmitAnswers posts a batch of answers to /api/answers in one request
+// and returns the per-item outcomes (in the same order as as). Items are
+// accepted independently: inspect the result's Results for rejected items
+// rather than treating a partial batch as an error.
+func (c *Client) SubmitAnswers(as []AnswerDTO) (*BatchResultDTO, error) {
+	body, err := json.Marshal(as)
+	if err != nil {
+		return nil, fmt.Errorf("server: encoding answer batch: %w", err)
+	}
+	resp, err := c.do(http.MethodPost, c.BaseURL+"/api/answers", body)
+	if err != nil {
+		return nil, fmt.Errorf("server: submitting answer batch: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		err := apiError(resp)
+		drainClose(resp)
+		return nil, err
+	}
+	var out BatchResultDTO
+	if err := decodeJSON(resp, &out); err != nil {
+		return nil, fmt.Errorf("server: decoding batch result: %w", err)
+	}
+	return &out, nil
+}
+
 // Stats fetches pool statistics.
 func (c *Client) Stats() (*StatsDTO, error) {
 	resp, err := c.do(http.MethodGet, c.BaseURL+"/api/stats", nil)

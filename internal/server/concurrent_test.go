@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -26,7 +27,13 @@ func TestConcurrentLoadMixed(t *testing.T) {
 	pool := testPool(rng, tasks)
 	budget := core.NewBudget(tasks * workers) // ample, but finite
 	screen := core.NewWorkerScreen(1000, 0.1) // active code path, never fires
-	_, client := newTestServer(t, pool, budget, screen)
+	srv, err := New(pool, assign.FewestAnswers{}, budget, screen, WithShards(testShards()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL)
 
 	var wg sync.WaitGroup
 	errCh := make(chan error, workers+2)
@@ -112,10 +119,12 @@ func TestConcurrentLoadMixed(t *testing.T) {
 	if st.BudgetSpent != float64(want) {
 		t.Fatalf("budget spent = %v, want %v (refund leak under load)", st.BudgetSpent, want)
 	}
-	// One answer per worker per task survived the concurrency.
-	for _, id := range pool.TaskIDs() {
+	// One answer per worker per task survived the concurrency. Read via
+	// the server's pool: the seed pool is split (and thus stale) when the
+	// suite runs sharded.
+	for _, id := range srv.cpool.TaskIDs() {
 		seen := map[string]bool{}
-		for _, a := range pool.Answers(id) {
+		for _, a := range srv.cpool.Answers(id) {
 			if seen[a.Worker] {
 				t.Fatalf("task %d has duplicate answers from %s", id, a.Worker)
 			}
@@ -250,6 +259,13 @@ func BenchmarkServerConcurrent(b *testing.B) {
 		// the uninstrumented finegrained runs.
 		b.Run(fmt.Sprintf("metrics/workers=%d", workers), func(b *testing.B) {
 			benchServer(b, false, workers, WithMetrics(obs.NewRegistry()))
+		})
+		// The sharded pool: one shard per core. At 1 worker it should sit
+		// within noise of finegrained (routing is a hash and a slice
+		// index); under parallel load it removes the single-RWMutex
+		// bottleneck from the answer path.
+		b.Run(fmt.Sprintf("sharded/workers=%d", workers), func(b *testing.B) {
+			benchServer(b, false, workers, WithShards(runtime.GOMAXPROCS(0)))
 		})
 	}
 }

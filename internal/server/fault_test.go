@@ -21,7 +21,8 @@ import (
 // registers srv.Close so the reaper goroutine dies with the test.
 func newLeaseTestServer(t *testing.T, pool *core.Pool, budget *core.Budget, opts ...Option) (*httptest.Server, *Client, *Server) {
 	t.Helper()
-	srv, err := New(pool, assign.FewestAnswers{}, budget, nil, opts...)
+	srv, err := New(pool, assign.FewestAnswers{}, budget, nil,
+		append([]Option{WithShards(testShards())}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,8 +95,8 @@ func TestLeaseReissueAfterDropout(t *testing.T) {
 		t.Fatalf("budget spent = %v, want %d (only committed answers pay)", st.BudgetSpent, tasks*k)
 	}
 	srv.Close() // stop the reaper before touching the pool directly
-	for _, id := range pool.TaskIDs() {
-		if got := pool.AnswerCount(id); got != k {
+	for _, id := range srv.cpool.TaskIDs() {
+		if got := srv.cpool.AnswerCount(id); got != k {
 			t.Fatalf("task %d has %d answers, want redundancy %d", id, got, k)
 		}
 	}
@@ -227,8 +228,8 @@ func TestConcurrentChurnReachesRedundancy(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv.Close() // stop the reaper before direct pool reads
-	for _, id := range pool.TaskIDs() {
-		if got := pool.AnswerCount(id); got != honest {
+	for _, id := range srv.cpool.TaskIDs() {
+		if got := srv.cpool.AnswerCount(id); got != honest {
 			t.Fatalf("task %d has %d answers, want %d", id, got, honest)
 		}
 	}

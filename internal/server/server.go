@@ -54,7 +54,8 @@ import (
 
 // Server is an http.Handler exposing one crowdsourcing pool.
 type Server struct {
-	cpool    *core.ConcurrentPool
+	cpool    *core.ShardedPool
+	shards   int
 	assigner core.Assigner
 	budget   *core.Budget
 	screen   *core.WorkerScreen
@@ -97,6 +98,20 @@ func WithReaperInterval(d time.Duration) Option {
 	return func(s *Server) { s.reaperEvery = d }
 }
 
+// WithShards partitions the serving pool into n task-hash shards, each
+// with its own lock, version counter, and lease heap, so answer recording
+// and assignment scale across cores instead of serializing on one RWMutex.
+// n <= 1 (the default) runs the single-shard pool, which is behaviorally
+// identical to the unsharded server. With durability enabled, configure
+// the store with the same number of WAL segments (durable.Options.Segments)
+// so a shard's group commit never contends with another shard's log.
+func WithShards(n int) Option {
+	return func(s *Server) { s.shards = n }
+}
+
+// Shards returns the number of pool shards the server runs.
+func (s *Server) Shards() int { return s.cpool.NumShards() }
+
 // New wires a server around pool. assigner must not be nil; budget nil
 // means unlimited; screen nil disables golden-task elimination. The
 // server takes ownership of pool for writes: after New, other goroutines
@@ -113,7 +128,6 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 		budget = core.Unlimited()
 	}
 	s := &Server{
-		cpool:    core.NewConcurrentPool(pool),
 		assigner: assigner,
 		budget:   budget,
 		screen:   screen,
@@ -122,6 +136,9 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 	for _, opt := range opts {
 		opt(s)
 	}
+	// The pool wrapper is built after the options so WithShards is known;
+	// one shard wraps pool directly (the exact unsharded behavior).
+	s.cpool = core.NewShardedPool(pool, s.shards)
 	if s.store != nil {
 		// Attach before any handler runs: task adds, closes, and lease
 		// traffic flow into the journal under the pool's write lock, in
@@ -133,6 +150,7 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /api/task", s.instrument("/api/task", s.handleTask))
 	s.mux.HandleFunc("POST /api/answer", s.instrument("/api/answer", s.handleAnswer))
+	s.mux.HandleFunc("POST /api/answers", s.instrument("/api/answers", s.handleAnswerBatch))
 	s.mux.HandleFunc("GET /api/stats", s.instrument("/api/stats", s.handleStats))
 	s.mux.HandleFunc("GET /api/results", s.instrument("/api/results", s.handleResults))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -299,6 +317,13 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	t := s.cpool.Task(id)
+	if t == nil {
+		// The task vanished between assignment and lookup (reconfiguration
+		// or a racing mutation). Nothing is wrong with the request; tell
+		// the worker to retry rather than panicking the handler goroutine.
+		httpError(w, http.StatusServiceUnavailable, "assigned task vanished, retry")
+		return
+	}
 	writeJSON(w, TaskDTO{
 		ID:       t.ID,
 		Kind:     t.Kind.String(),
@@ -358,27 +383,18 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, err.Error())
 		return
 	}
-	var golden *bool
-	if s.screen != nil && t.Golden {
-		correct := false
-		switch t.Kind {
-		case core.SingleChoice, core.MultiChoice, core.PairwiseComparison:
-			correct = dto.Option == t.GroundTruth
-		case core.FillIn:
-			correct = dto.Text == t.GroundTruthText
-		}
-		golden = &correct
-		if s.screen.Observe(dto.Worker, correct) && s.store != nil {
-			s.store.WorkerEliminated(dto.Worker)
-		}
-	}
+	golden := s.observeGolden(t, dto.Worker, dto.Option, dto.Text)
 	// Ack-implies-durable: the answer (with its budget charge and golden
-	// outcome) must be journaled before the client hears "recorded". On a
-	// journal failure the answer exists in memory but not on disk, so the
-	// client gets a 500 — and the store is sticky-failed, so no later
-	// answer can be acknowledged against a log that stopped accepting.
+	// outcome) must be journaled before the client hears "recorded". A
+	// journal failure must not leave the in-memory state ahead of the log
+	// (an answer the requester would see but a restart would lose), so the
+	// whole submission is rolled back — un-observe, un-record, refund — and
+	// the client's 500 means "as if it never happened, resubmit". The store
+	// is sticky-failed at that point, so no later answer can be
+	// acknowledged against a log that stopped accepting.
 	if s.store != nil {
 		if err := s.store.AnswerDurable(a, 1, golden); err != nil {
+			s.rollbackAnswer(a, golden)
 			httpError(w, http.StatusInternalServerError, "answer not persisted: "+err.Error())
 			return
 		}
@@ -386,14 +402,54 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, AnswerAckDTO{Status: "recorded"})
 }
 
+// observeGolden grades a submission against a golden task's planted truth
+// and feeds the worker screen. It returns the graded outcome (nil for
+// non-golden tasks or when screening is off) for the answer's journal
+// record.
+func (s *Server) observeGolden(t *core.Task, worker string, option int, text string) *bool {
+	if s.screen == nil || !t.Golden {
+		return nil
+	}
+	correct := false
+	switch t.Kind {
+	case core.SingleChoice, core.MultiChoice, core.PairwiseComparison:
+		correct = option == t.GroundTruth
+	case core.FillIn:
+		correct = text == t.GroundTruthText
+	}
+	if s.screen.Observe(worker, correct) && s.store != nil {
+		s.store.WorkerEliminated(worker)
+	}
+	return &correct
+}
+
+// rollbackAnswer undoes an accepted-but-not-durable submission, in reverse
+// acceptance order: the golden observation, the pool record, the budget
+// reservation. After it returns, the in-memory state is as if the answer
+// had never been submitted, matching what recovery will reconstruct from
+// the log that rejected it.
+func (s *Server) rollbackAnswer(a core.Answer, golden *bool) {
+	if golden != nil && s.screen != nil {
+		s.screen.Unobserve(a.Worker, *golden)
+	}
+	s.cpool.Unrecord(a)
+	s.budget.Refund(1)
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var st StatsDTO
-	s.cpool.View(func(p *core.Pool) {
-		st.Tasks = p.Len()
-		st.OpenTasks = len(p.OpenTasks())
-		st.TotalAnswers = p.TotalAnswers()
-		st.Workers = len(p.Workers())
-		st.ActiveLeases = p.ActiveLeases()
+	s.cpool.ViewAll(func(pools []*core.Pool) {
+		workers := make(map[string]bool)
+		for _, p := range pools {
+			st.Tasks += p.Len()
+			st.OpenTasks += len(p.OpenTasks())
+			st.TotalAnswers += p.TotalAnswers()
+			st.ActiveLeases += p.ActiveLeases()
+			for _, w := range p.Workers() {
+				workers[w] = true
+			}
+		}
+		st.Workers = len(workers)
 	})
 	st.BudgetSpent = s.budget.Spent()
 	st.ExpiredLeases = s.expired.Value()
@@ -409,6 +465,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // write deadline instead of lying).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, HealthDTO{Status: "ok", Tasks: s.cpool.Len()})
+}
+
+// shardView is a truth.Source over the per-shard pools exposed by
+// ShardedPool.ViewAll: lookups route by the same task hash the pool
+// shards by. Valid only inside the ViewAll callback that produced it.
+type shardView []*core.Pool
+
+func (v shardView) Task(id core.TaskID) *core.Task {
+	return v[core.ShardIndex(id, len(v))].Task(id)
+}
+
+func (v shardView) Answers(id core.TaskID) []core.Answer {
+	return v[core.ShardIndex(id, len(v))].Answers(id)
+}
+
+// taskIDs lists every task in the view: insertion order for a single
+// shard (the unsharded server's historical order), ascending ID order
+// across multiple shards.
+func (v shardView) taskIDs() []core.TaskID {
+	if len(v) == 1 {
+		return v[0].TaskIDs()
+	}
+	var out []core.TaskID
+	for _, p := range v {
+		out = append(out, p.TaskIDs()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // resultGroup is one homogeneous (same option count) inference unit of the
@@ -441,21 +525,22 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Snapshot phase, under the read lock: group choice tasks by option
-	// count, and for every group whose inference is not cached at the
-	// current pool version, copy its answers into a Dataset. The version
-	// cannot advance while the lock is held, so version and datasets are
-	// mutually consistent.
+	// Snapshot phase, under every shard's read lock: group choice tasks by
+	// option count, and for every group whose inference is not cached at
+	// the current pool version, copy its answers into a Dataset. No shard
+	// can mutate while the view is held, so the version (the sum of the
+	// shard versions) and the datasets are mutually consistent.
 	var (
 		groups  []*resultGroup
 		version uint64
 		snapErr error
 	)
-	s.cpool.View(func(p *core.Pool) {
+	s.cpool.ViewAll(func(pools []*core.Pool) {
 		version = s.cpool.Version()
+		view := shardView(pools)
 		byK := map[int][]core.TaskID{}
-		for _, id := range p.TaskIDs() {
-			t := p.Task(id)
+		for _, id := range view.taskIDs() {
+			t := view.Task(id)
 			switch t.Kind {
 			case core.SingleChoice, core.MultiChoice, core.PairwiseComparison:
 				byK[len(t.Options)] = append(byK[len(t.Options)], id)
@@ -473,7 +558,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 			if res, ok := s.cache.Get(resultsCacheKey(method, k), version); ok {
 				g.res = res
 			} else {
-				ds, err := truth.FromPool(p, g.ids)
+				ds, err := truth.FromPool(view, g.ids)
 				if err != nil {
 					snapErr = err
 					return

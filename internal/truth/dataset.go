@@ -67,11 +67,20 @@ type answerRef struct {
 	option int32
 }
 
+// Source is the read surface FromPool consumes: task lookup and recorded
+// answers. *core.Pool satisfies it directly; a sharded serving layer
+// satisfies it with a view that routes each id to the owning shard, so
+// inference never needs the answers merged into one pool first.
+type Source interface {
+	Task(id core.TaskID) *core.Task
+	Answers(id core.TaskID) []core.Answer
+}
+
 // FromPool builds a Dataset from the choice-type tasks of a pool. Tasks
 // with a different option count than the first task are rejected with an
 // error (callers partition heterogeneous pools by option count first).
 // Tasks with no answers are retained (their posterior will be the prior).
-func FromPool(p *core.Pool, ids []core.TaskID) (*Dataset, error) {
+func FromPool(p Source, ids []core.TaskID) (*Dataset, error) {
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("truth: empty task set")
 	}
