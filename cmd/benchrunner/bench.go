@@ -8,9 +8,12 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/assign"
 	"repro/internal/benchdata"
@@ -110,11 +113,176 @@ func runBenchJSON(path string) error {
 	add(fmt.Sprintf("ServerConcurrentSharded%d", nshards),
 		fmt.Sprintf("tasks=256 goroutines=32 shards=%d", nshards), serveBench(nshards, 32))
 	report.Metrics = reg.Snapshot()
+	if err := resultsContinuousBench(nshards, &report); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// resultsContinuousBench measures steady-state /api/results latency under
+// continuous ingest. The corpus spans six option-count groups (200 tasks
+// each at k=2..7, all pre-answered by a few seed workers); the live
+// traffic then lands on one hot group, the shape the incremental serving
+// path is built for: 60 rounds of one /api/answers batch (a fresh worker
+// answering every hot task) followed by one timed
+// /api/results?method=onecoin poll. Two configurations run the same
+// script: the incremental server (warm-start + delta maintenance, the
+// default) and the full-recompute baseline (-results-warm=off and the
+// delta log disabled — the previous release's serving path, which
+// re-extracts and re-infers all six groups on every version bump). A
+// fixed script is timed by hand instead of testing.Benchmark because the
+// state grows every round: ns/op under b.N would depend on how many
+// rounds the framework chose to run.
+//
+// The report gains two pseudo-benchmarks (NsPerOp = p50 poll latency) and
+// per-config p50/p95 latency plus EM run/iteration and build counters in
+// Metrics, so a perf diff sees both the latency gap and why (groups
+// skipped, delta vs full rebuilds, iterations saved by warm start).
+func resultsContinuousBench(nshards int, report *benchReport) error {
+	const (
+		groups    = 6   // option counts k=2..7
+		groupSize = 200 // tasks per group
+		seedCrowd = 24  // workers pre-answering the whole corpus
+		rounds    = 60
+		nTasks    = groups * groupSize
+	)
+	// Deterministic ~20% noise on top of mostly-correct answers: a
+	// consistent majority signal, so EM converges to a stable fixed point
+	// instead of oscillating on balanced votes.
+	answerFor := func(salt, i, k int) int {
+		opt := i % k
+		h := uint32(salt*2654435761) ^ uint32(i*2246822519)
+		h ^= h >> 13
+		h *= 2654435761
+		h ^= h >> 16
+		if h%5 == 0 {
+			opt = (opt + 1 + int(h>>16)%(k-1)) % k
+		}
+		return opt
+	}
+	ingest := func(srv *server.Server, batch []server.AnswerDTO) error {
+		body, err := json.Marshal(batch)
+		if err != nil {
+			return err
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("POST", "/api/answers", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("ingest failed: %d %s", rec.Code, rec.Body.String())
+		}
+		return nil
+	}
+	kOf := func(i int) int { return 2 + (i-1)/groupSize } // task IDs 1..nTasks
+
+	configs := []struct {
+		name  string
+		label string
+		opts  []server.Option
+	}{
+		{"ResultsContinuousIncremental", "incremental", nil},
+		{"ResultsContinuousBaseline", "baseline", []server.Option{
+			server.WithResultsWarm(false), server.WithResultsDelta(false),
+		}},
+	}
+	for _, cfg := range configs {
+		reg := obs.NewRegistry()
+		pool := core.NewPool()
+		for i := 1; i <= nTasks; i++ {
+			k := kOf(i)
+			options := make([]string, k)
+			for c := range options {
+				options[c] = fmt.Sprintf("option-%d", c)
+			}
+			pool.MustAdd(&core.Task{
+				ID: core.TaskID(i), Kind: core.SingleChoice,
+				Question:    fmt.Sprintf("bench question %d", i),
+				Options:     options,
+				GroundTruth: i % k,
+			})
+		}
+		opts := append([]server.Option{
+			server.WithShards(nshards), server.WithMetrics(reg),
+		}, cfg.opts...)
+		srv, err := server.New(pool, assign.FewestAnswers{}, nil, nil, opts...)
+		if err != nil {
+			return err
+		}
+		// Seed the archive: every group has answers before the clock starts.
+		for w := 0; w < seedCrowd; w++ {
+			batch := make([]server.AnswerDTO, 0, nTasks)
+			for i := 1; i <= nTasks; i++ {
+				batch = append(batch, server.AnswerDTO{
+					Task:   core.TaskID(i),
+					Worker: fmt.Sprintf("seed-%d", w),
+					Option: answerFor(w, i, kOf(i)),
+				})
+			}
+			if err := ingest(srv, batch); err != nil {
+				return fmt.Errorf("results bench %s seeding: %w", cfg.label, err)
+			}
+		}
+		// Priming poll (untimed): populates the result cache for all groups.
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, httptest.NewRequest("GET", "/api/results?method=onecoin", nil))
+		if rec.Code != http.StatusOK {
+			return fmt.Errorf("results bench %s priming poll: %d", cfg.label, rec.Code)
+		}
+
+		durs := make([]float64, 0, rounds)
+		for r := 0; r < rounds; r++ {
+			// Live traffic concentrates on the hot k=2 group.
+			batch := make([]server.AnswerDTO, 0, groupSize)
+			w := fmt.Sprintf("cw-%d", r)
+			for i := 1; i <= groupSize; i++ {
+				batch = append(batch, server.AnswerDTO{
+					Task: core.TaskID(i), Worker: w,
+					Option: answerFor(seedCrowd+r, i, 2),
+				})
+			}
+			if err := ingest(srv, batch); err != nil {
+				return fmt.Errorf("results bench %s round %d: %w", cfg.label, r, err)
+			}
+			t0 := time.Now()
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, httptest.NewRequest("GET", "/api/results?method=onecoin", nil))
+			if rec.Code != http.StatusOK {
+				return fmt.Errorf("results bench %s round %d: poll failed: %d %s",
+					cfg.label, r, rec.Code, rec.Body.String())
+			}
+			durs = append(durs, float64(time.Since(t0).Nanoseconds()))
+		}
+		sort.Float64s(durs)
+		p50 := durs[len(durs)/2]
+		p95 := durs[len(durs)*95/100]
+		report.Benchmarks[cfg.name] = benchResult{
+			NsPerOp:   p50,
+			OpsPerSec: 1e9 / p50,
+			Metric: fmt.Sprintf("tasks=%d groups=%d hot=%d rounds=%d shards=%d poll=onecoin p50",
+				nTasks, groups, groupSize, rounds, nshards),
+		}
+		snap := reg.Snapshot()
+		report.Metrics[fmt.Sprintf("results_poll_p50_ns{config=%q}", cfg.label)] = p50
+		report.Metrics[fmt.Sprintf("results_poll_p95_ns{config=%q}", cfg.label)] = p95
+		for _, m := range []string{
+			`crowdkit_em_runs_total{method="OneCoinEM"}`,
+			`crowdkit_em_iterations_total{method="OneCoinEM"}`,
+			"crowdkit_results_delta_builds_total",
+			"crowdkit_results_full_builds_total",
+			"crowdkit_results_warm_hits_total",
+		} {
+			if v, ok := snap[m]; ok {
+				report.Metrics[fmt.Sprintf("%s{config=%q}", strings.SplitN(m, "{", 2)[0], cfg.label)] = v
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %14.0f ns/op\t(p95 %.0f, em iters %.0f)\n",
+			cfg.name, p50, p95,
+			snap[`crowdkit_em_iterations_total{method="OneCoinEM"}`])
+	}
+	return nil
 }
 
 // serveBench drives the serving core through its HTTP handlers from 32

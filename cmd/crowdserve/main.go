@@ -12,6 +12,8 @@
 //	crowdserve -metrics                          # Prometheus exposition on /metrics + request logs
 //	crowdserve -metrics -pprof                   # also mount /debug/pprof for profiling
 //	crowdserve -shards 8                         # partition the pool into 8 task-hash shards
+//	crowdserve -results-warm=false               # cold-start EM on every /api/results recompute
+//	crowdserve -results-refresh 500ms            # refresh results in the background; polls never wait
 //
 // The server handles concurrent workers without a global lock; see the
 // server package docs for the concurrency model. With -lease set, every
@@ -64,6 +66,8 @@ func main() {
 		metrics = flag.Bool("metrics", false, "expose Prometheus metrics on /metrics and log requests")
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof (requires explicit opt-in)")
 		shards  = flag.Int("shards", runtime.GOMAXPROCS(0), "task-hash shards for the serving pool (and WAL segments with -data-dir); 1 = the unsharded server")
+		warm    = flag.Bool("results-warm", true, "seed /api/results EM from the previous converged state (false = cold start per recompute)")
+		refresh = flag.Duration("results-refresh", 0, "background results refresh interval; polls serve the last complete result immediately (0 = compute inline)")
 		dataDir = flag.String("data-dir", "", "directory for the write-ahead log and snapshots; answers survive a crash or restart (empty = in-memory only)")
 		fsyncF  = flag.String("fsync", "always", `WAL fsync policy: "always" (ack = on disk), a duration like "100ms" (batched flushes), or "off"`)
 		snapEv  = flag.Duration("snapshot-every", 30*time.Second, "how often to compact the WAL into a snapshot (with -data-dir; 0 = only on shutdown)")
@@ -124,7 +128,11 @@ func main() {
 			}
 		}
 	}
-	opts := []server.Option{server.WithShards(*shards)}
+	opts := []server.Option{
+		server.WithShards(*shards),
+		server.WithResultsWarm(*warm),
+		server.WithResultsRefresh(*refresh),
+	}
 	if store != nil {
 		opts = append(opts, server.WithDurability(store))
 	}

@@ -24,6 +24,96 @@ type ConcurrentPool struct {
 	// journal, when set, observes mutations under the write lock so a
 	// durability layer sees them in application order. See Journal.
 	journal Journal
+
+	// Answer-append log for incremental readers (EnableAnswerLog). Each
+	// accepted answer is recorded with the version it landed at, so a
+	// reader holding a snapshot at version v can fetch exactly the answers
+	// appended since v instead of re-copying the whole pool. alogTrim is
+	// the oldest version a delta may start from: it advances when the log
+	// is trimmed and jumps to the current version on any structural
+	// mutation (task add, answer removal) that an append log cannot
+	// express. All fields are guarded by mu; readers use the *Locked
+	// accessors under an already-held read lock.
+	alog     []answerLogEntry
+	alogCap  int
+	alogTrim uint64
+}
+
+// answerLogEntry records one accepted answer and the pool version after
+// it was applied.
+type answerLogEntry struct {
+	ver uint64
+	ans Answer
+}
+
+// EnableAnswerLog turns on the answer-append log with the given capacity
+// (answers retained; half is discarded on overflow). Deltas become
+// available from the current version onward. capacity <= 0 disables the
+// log again.
+func (cp *ConcurrentPool) EnableAnswerLog(capacity int) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.alogCap = capacity
+	cp.alog = nil
+	cp.alogTrim = cp.version.Load()
+}
+
+// logAnswerLocked appends an accepted answer at the given post-bump
+// version, trimming the oldest half when the log is full. Callers hold
+// the write lock.
+func (cp *ConcurrentPool) logAnswerLocked(ver uint64, a Answer) {
+	if cp.alogCap <= 0 {
+		return
+	}
+	if len(cp.alog) >= cp.alogCap {
+		half := len(cp.alog) / 2
+		cp.alogTrim = cp.alog[half-1].ver
+		cp.alog = append(cp.alog[:0], cp.alog[half:]...)
+	}
+	cp.alog = append(cp.alog, answerLogEntry{ver: ver, ans: a})
+}
+
+// invalidateLogLocked discards the log after a structural mutation: the
+// answer set changed in a way appends cannot express (task added, answer
+// removed), so no delta may span this version. Callers hold the write
+// lock and have already bumped the version.
+func (cp *ConcurrentPool) invalidateLogLocked() {
+	if cp.alogCap <= 0 {
+		return
+	}
+	cp.alog = cp.alog[:0]
+	cp.alogTrim = cp.version.Load()
+}
+
+// canDeltaLocked reports whether the appended answers since version
+// `since` are fully covered by the log. Callers hold at least the read
+// lock.
+func (cp *ConcurrentPool) canDeltaLocked(since uint64) bool {
+	return cp.alogCap > 0 && since >= cp.alogTrim
+}
+
+// appendedSinceLocked appends to dst every answer recorded after version
+// `since`, in application order, and reports whether the log covered the
+// whole window. Callers hold at least the read lock.
+func (cp *ConcurrentPool) appendedSinceLocked(since uint64, dst []Answer) ([]Answer, bool) {
+	if !cp.canDeltaLocked(since) {
+		return dst, false
+	}
+	// Entries are in ascending version order; skip those at or before the
+	// snapshot.
+	lo, hi := 0, len(cp.alog)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cp.alog[mid].ver <= since {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for _, e := range cp.alog[lo:] {
+		dst = append(dst, e.ans)
+	}
+	return dst, true
 }
 
 // NewConcurrentPool wraps p (a fresh empty pool when nil). The wrapped
@@ -54,6 +144,7 @@ func (cp *ConcurrentPool) Add(t *Task) (TaskID, error) {
 	id, err := cp.pool.Add(t)
 	if err == nil {
 		cp.version.Add(1)
+		cp.invalidateLogLocked()
 		if cp.journal != nil {
 			cp.journal.TaskAdded(t)
 		}
@@ -69,7 +160,7 @@ func (cp *ConcurrentPool) Record(a Answer) error {
 	if err := cp.pool.Record(a); err != nil {
 		return err
 	}
-	cp.version.Add(1)
+	cp.logAnswerLocked(cp.version.Add(1), a)
 	return nil
 }
 
@@ -92,7 +183,12 @@ func (cp *ConcurrentPool) RecordAll(as []Answer) []error {
 		}
 	}
 	if accepted > 0 {
-		cp.version.Add(1)
+		ver := cp.version.Add(1)
+		for i := range as {
+			if errs[i] == nil {
+				cp.logAnswerLocked(ver, as[i])
+			}
+		}
 	}
 	return errs
 }
@@ -107,11 +203,15 @@ func (cp *ConcurrentPool) Unrecord(a Answer) bool {
 	ok := cp.pool.Unrecord(a)
 	if ok {
 		cp.version.Add(1)
+		cp.invalidateLogLocked()
 	}
 	return ok
 }
 
-// Close marks a task as finished under the write lock.
+// Close marks a task as finished under the write lock. The answer log
+// stays valid across a Close: the version moves (closing changes what
+// assigners may hand out) but the answer set does not, so a delta
+// spanning the close is correctly empty.
 func (cp *ConcurrentPool) Close(id TaskID) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()

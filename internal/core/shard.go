@@ -365,6 +365,81 @@ func (sp *ShardedPool) ViewAll(fn func(pools []*Pool)) {
 	fn(pools)
 }
 
+// EnableDeltaLog turns on the per-shard answer-append log with the given
+// per-shard capacity, making ViewDelta's incremental accessors available
+// from each shard's current version onward. See
+// ConcurrentPool.EnableAnswerLog.
+func (sp *ShardedPool) EnableDeltaLog(capacity int) {
+	for _, s := range sp.shards {
+		s.EnableAnswerLog(capacity)
+	}
+}
+
+// DeltaView is the read surface ViewDelta hands to its callback: the
+// shard pools and versions of a consistent cross-shard snapshot, plus
+// incremental accessors over each shard's answer log. Valid only inside
+// the callback.
+type DeltaView struct {
+	// Pools holds the shard pools indexed by shard, exactly as ViewAll
+	// passes them; callers must not mutate them or retain references.
+	Pools []*Pool
+	// Versions holds each shard's version at the snapshot.
+	Versions []uint64
+	sp       *ShardedPool
+}
+
+// Version returns the aggregate pool version of the snapshot (the sum of
+// the shard versions, matching ShardedPool.Version).
+func (v *DeltaView) Version() uint64 {
+	var sum uint64
+	for _, sv := range v.Versions {
+		sum += sv
+	}
+	return sum
+}
+
+// CanDelta reports whether the shard's answer log fully covers the window
+// from version `since` to the snapshot: no trim ate the window's start
+// and no structural mutation (task add, answer removal) landed inside it.
+func (v *DeltaView) CanDelta(shard int, since uint64) bool {
+	return v.sp.shards[shard].canDeltaLocked(since)
+}
+
+// AppendedSince appends to dst the answers the shard accepted after
+// version `since`, in application order, reporting whether the log
+// covered the window (false means the caller must fall back to a full
+// snapshot).
+func (v *DeltaView) AppendedSince(shard int, since uint64, dst []Answer) ([]Answer, bool) {
+	return v.sp.shards[shard].appendedSinceLocked(since, dst)
+}
+
+// ViewDelta is ViewAll plus incremental access: fn runs with every
+// shard's read lock held and receives a DeltaView exposing the shard
+// pools, the exact per-shard versions of the snapshot, and the answers
+// appended since a caller-remembered older snapshot. An incremental
+// results pipeline snapshots {Versions, delta answers} here, then builds
+// datasets and runs inference outside the locks.
+func (sp *ShardedPool) ViewDelta(fn func(v *DeltaView)) {
+	for _, s := range sp.shards {
+		s.mu.RLock()
+	}
+	defer func() {
+		for i := len(sp.shards) - 1; i >= 0; i-- {
+			sp.shards[i].mu.RUnlock()
+		}
+	}()
+	v := &DeltaView{
+		Pools:    make([]*Pool, len(sp.shards)),
+		Versions: make([]uint64, len(sp.shards)),
+		sp:       sp,
+	}
+	for i, s := range sp.shards {
+		v.Pools[i] = s.pool
+		v.Versions[i] = s.version.Load()
+	}
+	fn(v)
+}
+
 // Task returns the task with the given id, or nil.
 func (sp *ShardedPool) Task(id TaskID) *Task { return sp.shardOf(id).Task(id) }
 

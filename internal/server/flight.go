@@ -1,0 +1,61 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/truth"
+)
+
+// flightKey identifies one inference computation: a thundering herd of
+// /api/results pollers at the same (method, option count, pool version)
+// all want the same deterministic result, so exactly one of them should
+// run EM.
+type flightKey struct {
+	method  string
+	k       int
+	version uint64
+}
+
+// flightCall is one in-progress computation; waiters block on done.
+type flightCall struct {
+	done chan struct{}
+	res  *truth.Result
+	err  error
+}
+
+// resultFlight deduplicates concurrent result computations per flightKey
+// (a hand-rolled single-flight: the first caller for a key runs fn, every
+// concurrent duplicate blocks and shares the outcome). The zero value is
+// ready to use.
+type resultFlight struct {
+	mu    sync.Mutex
+	calls map[flightKey]*flightCall
+}
+
+// do returns fn's result for key, running fn at most once across
+// concurrent callers. shared reports whether this caller piggybacked on
+// another's run. Results are not cached here — once a call completes, the
+// key is forgotten (the ResultCache is the durable memo; the flight only
+// collapses the in-progress window).
+func (f *resultFlight) do(key flightKey, fn func() (*truth.Result, error)) (res *truth.Result, err error, shared bool) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[flightKey]*flightCall)
+	}
+	if c, ok := f.calls[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.res, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.calls[key] = c
+	f.mu.Unlock()
+
+	c.res, c.err = fn()
+
+	f.mu.Lock()
+	delete(f.calls, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.res, c.err, false
+}

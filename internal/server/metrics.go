@@ -133,6 +133,19 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// resultsMetrics instruments the incremental results pipeline. The zero
+// value (metrics off) is all nil counters, which no-op — the serving path
+// increments unconditionally.
+type resultsMetrics struct {
+	warmHits     *obs.Counter // EM runs seeded from a previous result
+	warmMisses   *obs.Counter // EM runs that fell back to cold start
+	deltaBuilds  *obs.Counter // datasets extended via AppendDelta
+	fullBuilds   *obs.Counter // datasets rebuilt via FromPool
+	groupSkips   *obs.Counter // groups re-served unchanged (no build, no inference)
+	flightShared *obs.Counter // pollers that piggybacked on another's run
+	staleServes  *obs.Counter // responses served from the last complete result
+}
+
 // wireObservability mounts the exposition and profiling endpoints and
 // registers the pull-style gauges. Called by New after the options are
 // applied and the core state exists.
@@ -144,6 +157,16 @@ func (s *Server) wireObservability() {
 		s.budget.RegisterMetrics(s.metricsReg)
 		s.cpool.RegisterMetrics(s.metricsReg)
 		s.metricsReg.RegisterCounter("crowdkit_leases_expired_total", &s.expired)
+		reg := s.metricsReg
+		s.resM = resultsMetrics{
+			warmHits:     reg.Counter("crowdkit_results_warm_hits_total"),
+			warmMisses:   reg.Counter("crowdkit_results_warm_misses_total"),
+			deltaBuilds:  reg.Counter("crowdkit_results_delta_builds_total"),
+			fullBuilds:   reg.Counter("crowdkit_results_full_builds_total"),
+			groupSkips:   reg.Counter("crowdkit_results_group_skips_total"),
+			flightShared: reg.Counter("crowdkit_results_flight_shared_total"),
+			staleServes:  reg.Counter("crowdkit_results_stale_serves_total"),
+		}
 		if s.store != nil {
 			s.store.RegisterMetrics(s.metricsReg)
 		}

@@ -1,0 +1,408 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/truth"
+)
+
+// ResultsVersionHeader stamps every /api/results response with the pool
+// version the served result was computed at, so staleness-aware clients
+// (and the background-refresh mode, which serves the last complete result
+// immediately) can tell exactly how fresh their labels are: compare
+// against a version observed after your last submission, or just watch it
+// move.
+const ResultsVersionHeader = "X-Results-Version"
+
+// defaultDeltaLogCap is the per-shard answer-log capacity backing the
+// delta path. At the default 8 shards this retains the last ~64k answers;
+// a results poll cadence that falls further behind than that simply falls
+// back to a full rebuild.
+const defaultDeltaLogCap = 8192
+
+// groupSnap caches the option-count grouping of the choice tasks: which
+// tasks belong to each inference group, with their *Task pointers hoisted
+// so the DTO-rendering loop never goes back to the pool (tasks are
+// immutable once added, so the pointers stay valid outside the locks).
+//
+// The grouping only changes when the task set changes. vers remembers the
+// per-shard versions the grouping was last validated at; as long as every
+// shard's answer log covers the window since then (only answer appends
+// and closes happened), the grouping is still exact and the full
+// task-table scan is skipped.
+type groupSnap struct {
+	vers  []uint64
+	ks    []int // sorted option counts
+	ids   map[int][]core.TaskID
+	tasks map[int][]*core.Task // index-aligned with ids
+	kOf   map[core.TaskID]int  // option count per choice task
+}
+
+// resultGroup carries one (option count) inference unit from the snapshot
+// phase to the compute phase.
+type resultGroup struct {
+	k     int
+	ids   []core.TaskID
+	tasks []*core.Task
+
+	res *truth.Result // set on cache hit; else filled by compute
+
+	// Compute-phase inputs: exactly one of ds (full rebuild) or base
+	// (incremental: extend base with delta) is set when res is nil.
+	ds    *truth.Dataset
+	base  *truth.Dataset
+	delta []core.Answer
+	warm  *truth.WarmState
+
+	// refreshOnly marks a group whose answers did not change across the
+	// version bump (e.g. only other groups grew, or a task was closed):
+	// the cached result is still exact and is re-registered at the new
+	// version without touching the dataset or running inference.
+	refreshOnly bool
+	refreshDS   *truth.Dataset
+}
+
+// newInferrer builds the inference kernel for a validated method name,
+// seeded with warm (nil = cold start). Returns nil for unknown methods.
+func (s *Server) newInferrer(method string, warm *truth.WarmState) truth.Inferrer {
+	emObs := s.emObserver()
+	switch method {
+	case "mv":
+		return truth.MajorityVote{}
+	case "onecoin":
+		return truth.OneCoinEM{Obs: emObs, Warm: warm}
+	case "ds":
+		return truth.DawidSkene{Obs: emObs, Warm: warm}
+	case "glad":
+		return truth.GLAD{Obs: emObs, Warm: warm}
+	}
+	return nil
+}
+
+// emMethod reports whether the method is iterative (warm-startable).
+func emMethod(method string) bool {
+	return method == "onecoin" || method == "ds" || method == "glad"
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	method := strings.ToLower(r.URL.Query().Get("method"))
+	if method == "" {
+		method = "mv"
+	}
+	if s.newInferrer(method, nil) == nil {
+		httpError(w, http.StatusBadRequest, "unknown method "+method)
+		return
+	}
+
+	if s.refreshEvery > 0 {
+		// Background-refresh mode: register the method with the refresher
+		// and serve the last complete result immediately — pollers never
+		// wait on inference. Until the first refresh completes there is
+		// nothing to serve, so fall through to the inline path once.
+		s.noteRefreshMethod(method)
+		if s.serveStale(w, method) {
+			return
+		}
+	}
+
+	groups, version, err := s.computeResults(method)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeResults(w, groups, version)
+}
+
+// writeResults renders the DTO list from the hoisted task pointers — no
+// pool lookups, no locks — and stamps the version header.
+func writeResults(w http.ResponseWriter, groups []*resultGroup, version uint64) {
+	nTasks := 0
+	for _, g := range groups {
+		nTasks += len(g.ids)
+	}
+	out := make([]ResultDTO, 0, nTasks)
+	for _, g := range groups {
+		for i, id := range g.ids {
+			t := g.tasks[i]
+			lbl := g.res.Labels[id]
+			opt := ""
+			if lbl >= 0 && lbl < len(t.Options) {
+				opt = t.Options[lbl]
+			}
+			out = append(out, ResultDTO{
+				Task: id, Label: lbl, Option: opt,
+				Confidence: g.res.Confidence(id),
+			})
+		}
+	}
+	w.Header().Set(ResultsVersionHeader, strconv.FormatUint(version, 10))
+	writeJSON(w, out)
+}
+
+// computeResults produces up-to-date results for every option-count group
+// at a consistent pool version. The snapshot phase runs under every
+// shard's read lock and copies as little as it can get away with: nothing
+// for cache-hit groups, only the appended answers for delta-covered
+// groups, the full answer set otherwise. Dataset building and inference
+// run outside the locks, deduplicated per (method, k, version) so a
+// thundering herd of pollers triggers at most one EM run.
+func (s *Server) computeResults(method string) ([]*resultGroup, uint64, error) {
+	var (
+		groups   []*resultGroup
+		version  uint64
+		versSnap []uint64
+		snapErr  error
+	)
+	s.cpool.ViewDelta(func(v *core.DeltaView) {
+		version = v.Version()
+		versSnap = append([]uint64(nil), v.Versions...)
+		gs := s.groupsFor(v)
+		view := shardView(v.Pools)
+		for _, k := range gs.ks {
+			g := &resultGroup{k: k, ids: gs.ids[k], tasks: gs.tasks[k]}
+			groups = append(groups, g)
+			key := truth.ResultKey{Method: method, K: k}
+			e, ok := s.cache.Latest(key)
+			if ok && e.Version == version {
+				g.res = e.Res // exact hit: nothing to copy, nothing to run
+				continue
+			}
+			if ok && s.resultsWarm {
+				g.warm = e.Res.Warm // nil for non-iterative methods
+			}
+			if ok && e.DS != nil && len(e.Shards) == len(v.Versions) {
+				if delta, covered := collectDelta(v, e.Shards, gs, k); covered {
+					if len(delta) == 0 {
+						// The version moved but this group's answers did
+						// not: re-register the cached result, skip
+						// FromPool and inference entirely.
+						g.res, g.refreshOnly, g.refreshDS = e.Res, true, e.DS
+					} else {
+						g.base, g.delta = e.DS, delta
+					}
+					continue
+				}
+			}
+			ds, err := truth.FromPool(view, g.ids)
+			if err != nil {
+				snapErr = err
+				return
+			}
+			g.ds = ds
+		}
+	})
+	if snapErr != nil {
+		return nil, 0, snapErr
+	}
+
+	for _, g := range groups {
+		if g.res != nil && !g.refreshOnly {
+			continue
+		}
+		key := truth.ResultKey{Method: method, K: g.k}
+		if g.refreshOnly {
+			s.cache.Put(key, truth.CacheEntry{Version: version, Shards: versSnap, Res: g.res, DS: g.refreshDS})
+			s.resM.groupSkips.Inc()
+			continue
+		}
+		g := g
+		res, err, shared := s.flight.do(flightKey{method: method, k: g.k, version: version}, func() (*truth.Result, error) {
+			ds := g.ds
+			if ds == nil {
+				nd, err := g.base.AppendDelta(g.delta)
+				if err != nil {
+					return nil, err
+				}
+				ds = nd
+				s.resM.deltaBuilds.Inc()
+			} else {
+				s.resM.fullBuilds.Inc()
+			}
+			if emMethod(method) {
+				if g.warm != nil {
+					s.resM.warmHits.Inc()
+				} else {
+					s.resM.warmMisses.Inc()
+				}
+			}
+			res, err := s.newInferrer(method, g.warm).Infer(ds)
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Put(key, truth.CacheEntry{Version: version, Shards: versSnap, Res: res, DS: ds})
+			return res, nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		if shared {
+			s.resM.flightShared.Inc()
+		}
+		g.res = res
+	}
+	return groups, version, nil
+}
+
+// collectDelta gathers the answers appended to group k since the cached
+// per-shard versions. covered is false when any shard's log no longer
+// reaches back to the snapshot (the caller falls back to a full build).
+func collectDelta(v *core.DeltaView, since []uint64, gs *groupSnap, k int) (delta []core.Answer, covered bool) {
+	for i := range v.Versions {
+		var ok bool
+		delta, ok = v.AppendedSince(i, since[i], delta)
+		if !ok {
+			return nil, false
+		}
+	}
+	// Keep only this group's usable answers (same filter FromPool
+	// applies); answers for other groups or non-choice tasks drop out.
+	n := 0
+	for _, a := range delta {
+		if gk, ok := gs.kOf[a.Task]; ok && gk == k && a.Option >= 0 && a.Option < k {
+			delta[n] = a
+			n++
+		}
+	}
+	return delta[:n], true
+}
+
+// groupsFor returns the option-count grouping valid for the snapshot in
+// v, revalidating the cached grouping via the answer logs (appends and
+// closes cannot change group membership) and rebuilding it with a full
+// task-table scan only when a structural change forces it. Callers hold
+// the shard read locks (via ViewDelta); groupMu orders concurrent
+// revalidations.
+func (s *Server) groupsFor(v *core.DeltaView) *groupSnap {
+	s.groupMu.Lock()
+	defer s.groupMu.Unlock()
+	if gs := s.groups; gs != nil && len(gs.vers) == len(v.Versions) {
+		ok := true
+		for i := range v.Versions {
+			if v.Versions[i] != gs.vers[i] && !v.CanDelta(i, gs.vers[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			// Advance the validation point so a later log trim between two
+			// unchanged-membership polls does not force a spurious rebuild.
+			copy(gs.vers, v.Versions)
+			return gs
+		}
+	}
+	view := shardView(v.Pools)
+	gs := &groupSnap{
+		vers:  append([]uint64(nil), v.Versions...),
+		ids:   map[int][]core.TaskID{},
+		tasks: map[int][]*core.Task{},
+		kOf:   map[core.TaskID]int{},
+	}
+	for _, id := range view.taskIDs() {
+		t := view.Task(id)
+		switch t.Kind {
+		case core.SingleChoice, core.MultiChoice, core.PairwiseComparison:
+			k := len(t.Options)
+			gs.ids[k] = append(gs.ids[k], id)
+			gs.tasks[k] = append(gs.tasks[k], t)
+			gs.kOf[id] = k
+		}
+	}
+	gs.ks = make([]int, 0, len(gs.ids))
+	for k := range gs.ids {
+		gs.ks = append(gs.ks, k)
+	}
+	sort.Ints(gs.ks)
+	s.groups = gs
+	return gs
+}
+
+// --- background refresh -------------------------------------------------
+
+// noteRefreshMethod registers a method with the background refresher the
+// first time a client asks for it, so the refresher only burns cycles on
+// methods somebody actually polls.
+func (s *Server) noteRefreshMethod(method string) {
+	s.refreshMu.Lock()
+	if s.refreshMethods == nil {
+		s.refreshMethods = make(map[string]bool)
+	}
+	s.refreshMethods[method] = true
+	s.refreshMu.Unlock()
+}
+
+// serveStale renders the last complete result for method from the cache,
+// whatever version it is at, and reports whether it could. The version
+// header carries the oldest version across the groups — the conservative
+// bound on how stale the payload is.
+func (s *Server) serveStale(w http.ResponseWriter, method string) bool {
+	s.groupMu.Lock()
+	gs := s.groups
+	s.groupMu.Unlock()
+	if gs == nil || len(gs.ks) == 0 {
+		return false
+	}
+	groups := make([]*resultGroup, 0, len(gs.ks))
+	minVer := ^uint64(0)
+	for _, k := range gs.ks {
+		e, ok := s.cache.Latest(truth.ResultKey{Method: method, K: k})
+		if !ok {
+			return false
+		}
+		if e.Version < minVer {
+			minVer = e.Version
+		}
+		groups = append(groups, &resultGroup{k: k, ids: gs.ids[k], tasks: gs.tasks[k], res: e.Res})
+	}
+	s.resM.staleServes.Inc()
+	writeResults(w, groups, minVer)
+	return true
+}
+
+// refreshLoop keeps the result cache fresh so pollers in refresh mode
+// always hit serveStale. One recompute per tick per polled method, and
+// only when the pool actually moved.
+func (s *Server) refreshLoop() {
+	t := time.NewTicker(s.refreshEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopRefresher:
+			return
+		case <-t.C:
+			s.refreshAll()
+		}
+	}
+}
+
+func (s *Server) refreshAll() {
+	s.refreshMu.Lock()
+	methods := make([]string, 0, len(s.refreshMethods))
+	for m := range s.refreshMethods {
+		methods = append(methods, m)
+	}
+	s.refreshMu.Unlock()
+	sort.Strings(methods)
+	for _, m := range methods {
+		s.refreshMu.Lock()
+		last := s.refreshVer[m]
+		s.refreshMu.Unlock()
+		if s.cpool.Version() == last {
+			continue
+		}
+		_, version, err := s.computeResults(m)
+		if err != nil {
+			continue // transient (e.g. heterogeneous group mid-add); retry next tick
+		}
+		s.refreshMu.Lock()
+		if s.refreshVer == nil {
+			s.refreshVer = make(map[string]uint64)
+		}
+		s.refreshVer[m] = version
+		s.refreshMu.Unlock()
+	}
+}

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/assign"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// getResults fetches /api/results raw, returning status, body bytes, and
+// the results-version header.
+func getResults(t *testing.T, base, method string) (int, []byte, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/api/results?method=" + method)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header.Get(ResultsVersionHeader)
+}
+
+// ingestRound submits one deterministic batch of answers (round r, nw
+// workers over the first nt tasks) through the batch endpoint.
+func ingestRound(t *testing.T, client *Client, r, nw, nt int) {
+	t.Helper()
+	var batch []AnswerDTO
+	for w := 0; w < nw; w++ {
+		for i := 1; i <= nt; i++ {
+			// Mostly-correct answers with deterministic ~20% noise: a
+			// consistent majority signal, so EM has a unique stable fixed
+			// point (an exactly balanced vote would park cold starts on
+			// the symmetric saddle instead).
+			opt := i % 2
+			h := uint32(r*2654435761) ^ uint32(w*40503) ^ uint32(i*2246822519)
+			h ^= h >> 13
+			h *= 2654435761
+			h ^= h >> 16
+			if h%5 == 0 {
+				opt = 1 - opt
+			}
+			batch = append(batch, AnswerDTO{
+				Task:   core.TaskID(i),
+				Worker: fmt.Sprintf("r%d-w%d", r, w),
+				Option: opt,
+			})
+		}
+	}
+	ack, err := client.SubmitAnswers(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Rejected != 0 {
+		t.Fatalf("round %d: %d answers rejected", r, ack.Rejected)
+	}
+}
+
+// TestResultsThunderingHerd is the single-flight contract: M concurrent
+// pollers racing a version bump trigger at most one EM run per (method,
+// k, version), and all of them see the same complete result.
+func TestResultsThunderingHerd(t *testing.T) {
+	rng := stats.NewRNG(7)
+	reg := obs.NewRegistry()
+	srv, err := New(testPool(rng, 20), assign.FewestAnswers{}, nil, nil,
+		WithShards(testShards()), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL)
+
+	ingestRound(t, client, 0, 6, 20)
+	// First poll: populates the cache (one cold EM run).
+	if code, _, _ := getResults(t, ts.URL, "onecoin"); code != http.StatusOK {
+		t.Fatalf("priming poll: status %d", code)
+	}
+	// Version bump, then the herd.
+	ingestRound(t, client, 1, 2, 20)
+
+	const herd = 16
+	bodies := make([][]byte, herd)
+	var wg sync.WaitGroup
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, body, _ := getResults(t, ts.URL, "onecoin")
+			if code != http.StatusOK {
+				t.Errorf("poller %d: status %d", i, code)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < herd; i++ {
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("poller %d saw a different body than poller 0", i)
+		}
+	}
+	snap := reg.Snapshot()
+	if runs := snap[`crowdkit_em_runs_total{method="OneCoinEM"}`]; runs > 2 {
+		t.Fatalf("em runs = %v, want <= 2 (priming + at most one for the herd)", runs)
+	}
+	if built := snap["crowdkit_results_delta_builds_total"] + snap["crowdkit_results_full_builds_total"]; built > 2 {
+		t.Fatalf("dataset builds = %v, want <= 2", built)
+	}
+}
+
+// TestResultsWarmOffMatchesBaseline is the regression contract for the
+// escape hatches: a warm-off server (delta path still on) must serve
+// byte-identical response bodies to a server with both incremental paths
+// disabled — the exact code path of the previous release — across an
+// interleaved ingest/poll workload and every method.
+func TestResultsWarmOffMatchesBaseline(t *testing.T) {
+	newSrv := func(opts ...Option) (*httptest.Server, *Client) {
+		pool := testPool(stats.NewRNG(9), 24)
+		srv, err := New(pool, assign.FewestAnswers{}, nil, nil,
+			append([]Option{WithShards(testShards())}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		return ts, NewClient(ts.URL)
+	}
+	tsA, clA := newSrv(WithResultsWarm(false))
+	tsB, clB := newSrv(WithResultsWarm(false), WithResultsDelta(false))
+
+	for round := 0; round < 4; round++ {
+		ingestRound(t, clA, round, 3, 24)
+		ingestRound(t, clB, round, 3, 24)
+		for _, method := range []string{"mv", "onecoin", "ds", "glad"} {
+			codeA, bodyA, _ := getResults(t, tsA.URL, method)
+			codeB, bodyB, _ := getResults(t, tsB.URL, method)
+			if codeA != codeB || string(bodyA) != string(bodyB) {
+				t.Fatalf("round %d method %s: incremental (%d) and baseline (%d) bodies differ:\n%s\n%s",
+					round, method, codeA, codeB, bodyA, bodyB)
+			}
+		}
+	}
+}
+
+// TestResultsWarmMatchesColdLabels checks the serving-layer half of the
+// warm-vs-cold equivalence: across an interleaved workload, a
+// warm-started server infers the same labels (and option strings) as a
+// cold-started one for every EM method. Posterior-level equivalence is
+// asserted in the experiments suite.
+func TestResultsWarmMatchesColdLabels(t *testing.T) {
+	newSrv := func(opts ...Option) (*httptest.Server, *Client) {
+		pool := testPool(stats.NewRNG(11), 24)
+		srv, err := New(pool, assign.FewestAnswers{}, nil, nil,
+			append([]Option{WithShards(testShards())}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		return ts, NewClient(ts.URL)
+	}
+	_, clWarm := newSrv()
+	_, clCold := newSrv(WithResultsWarm(false))
+
+	for round := 0; round < 4; round++ {
+		ingestRound(t, clWarm, round, 3, 24)
+		ingestRound(t, clCold, round, 3, 24)
+		for _, method := range []string{"onecoin", "ds", "glad"} {
+			warm, err := clWarm.Results(method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := clCold.Results(method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(warm) != len(cold) {
+				t.Fatalf("round %d method %s: %d vs %d results", round, method, len(warm), len(cold))
+			}
+			for i := range warm {
+				if warm[i].Task != cold[i].Task || warm[i].Label != cold[i].Label || warm[i].Option != cold[i].Option {
+					t.Fatalf("round %d method %s: warm %+v != cold %+v", round, method, warm[i], cold[i])
+				}
+			}
+		}
+	}
+}
+
+// TestResultsVersionHeader: every response carries X-Results-Version, and
+// it advances when the pool does.
+func TestResultsVersionHeader(t *testing.T) {
+	rng := stats.NewRNG(13)
+	srv, err := New(testPool(rng, 8), assign.FewestAnswers{}, nil, nil, WithShards(testShards()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL)
+
+	_, _, v1s := getResults(t, ts.URL, "mv")
+	v1, err := strconv.ParseUint(v1s, 10, 64)
+	if err != nil {
+		t.Fatalf("version header %q: %v", v1s, err)
+	}
+	ingestRound(t, client, 0, 2, 8)
+	_, _, v2s := getResults(t, ts.URL, "mv")
+	v2, err := strconv.ParseUint(v2s, 10, 64)
+	if err != nil {
+		t.Fatalf("version header %q: %v", v2s, err)
+	}
+	if v2 <= v1 {
+		t.Fatalf("version did not advance: %d -> %d", v1, v2)
+	}
+}
+
+// TestResultsBackgroundRefresh: with -results-refresh on, polls serve the
+// last complete result without computing inline, and the background
+// refresher catches the cache up to new answers.
+func TestResultsBackgroundRefresh(t *testing.T) {
+	rng := stats.NewRNG(17)
+	reg := obs.NewRegistry()
+	srv, err := New(testPool(rng, 12), assign.FewestAnswers{}, nil, nil,
+		WithShards(testShards()), WithMetrics(reg), WithResultsRefresh(2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL)
+
+	ingestRound(t, client, 0, 3, 12)
+	// First poll falls through to the inline path (nothing cached yet) and
+	// registers the method with the refresher.
+	code, _, v1s := getResults(t, ts.URL, "onecoin")
+	if code != http.StatusOK {
+		t.Fatalf("first poll: status %d", code)
+	}
+	ingestRound(t, client, 1, 1, 12)
+
+	// The refresher must eventually serve a newer version from cache.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, _, vs := getResults(t, ts.URL, "onecoin")
+		if vs != v1s && vs != "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("refresher never caught up to the new answers")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if stale := reg.Snapshot()["crowdkit_results_stale_serves_total"]; stale == 0 {
+		t.Fatal("no polls were served from the last complete result")
+	}
+}

@@ -27,6 +27,18 @@
 // the task. Without leases an abandoned assignment is simply never counted
 // — the legacy behavior — so lease-free servers behave exactly as before.
 //
+// Results serving is incremental under continuous ingest (see results.go):
+// cache misses seed EM from the previous converged state (WithResultsWarm),
+// grow the cached dense dataset from the shards' answer-append logs instead
+// of re-extracting the pool (WithResultsDelta; groups with no new answers
+// skip inference), and concurrent misses for the same (method, k, version)
+// collapse onto a single computation. WithResultsRefresh moves recomputes
+// to a background loop so polls serve the last complete result immediately;
+// every response carries X-Results-Version, the pool version it was
+// computed at. Warm starts converge to the same labels/posteriors as cold
+// starts; with warm and delta off the handler reproduces the plain
+// memoizing cache byte-for-byte.
+//
 // Observability (all opt-in, see metrics.go): WithMetrics installs
 // per-endpoint request/latency instrumentation, budget/pool/lease gauges,
 // EM convergence telemetry, and a /metrics exposition endpoint;
@@ -42,7 +54,6 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -69,6 +80,23 @@ type Server struct {
 	expired     obs.Counter // leases reclaimed so far; the single source for /api/stats and /metrics
 	stopReaper  chan struct{}
 	closeOnce   sync.Once
+
+	// Incremental results serving (see results.go). resultsWarm seeds EM
+	// from the previous converged state; resultsDelta maintains per-shard
+	// answer logs so unchanged groups skip dataset rebuilds; refreshEvery
+	// > 0 recomputes in the background and serves the last complete
+	// result immediately.
+	resultsWarm    bool
+	resultsDelta   bool
+	refreshEvery   time.Duration
+	flight         resultFlight
+	groupMu        sync.Mutex
+	groups         *groupSnap
+	refreshMu      sync.Mutex
+	refreshMethods map[string]bool
+	refreshVer     map[string]uint64
+	stopRefresher  chan struct{}
+	resM           resultsMetrics
 
 	// Observability (nil/false = off; see metrics.go).
 	metricsReg *obs.Registry
@@ -112,6 +140,35 @@ func WithShards(n int) Option {
 // Shards returns the number of pool shards the server runs.
 func (s *Server) Shards() int { return s.cpool.NumShards() }
 
+// WithResultsWarm toggles warm-started inference on /api/results: when
+// on (the default), iterative methods seed from the previous converged
+// estimates whenever the pool version moves, cutting iterations to
+// convergence; off pins the historical cold-start behavior (every
+// recompute starts from the uniform/vote-fraction init).
+func WithResultsWarm(on bool) Option {
+	return func(s *Server) { s.resultsWarm = on }
+}
+
+// WithResultsDelta toggles incremental dataset maintenance on
+// /api/results: when on (the default), each shard keeps an answer-append
+// log and a recompute copies only the answers recorded since the cached
+// snapshot — unchanged groups skip the rebuild entirely. Off pins the
+// historical full-rebuild-per-version behavior, kept for benchmarking
+// the delta path's contribution.
+func WithResultsDelta(on bool) Option {
+	return func(s *Server) { s.resultsDelta = on }
+}
+
+// WithResultsRefresh enables the background result refresher: every d,
+// the server recomputes results for each method clients have polled, and
+// /api/results serves the last complete result immediately instead of
+// computing inline — pollers trade staleness (bounded by d plus one
+// inference run, observable via the X-Results-Version header) for
+// constant-time responses. d <= 0 (the default) disables the refresher.
+func WithResultsRefresh(d time.Duration) Option {
+	return func(s *Server) { s.refreshEvery = d }
+}
+
 // New wires a server around pool. assigner must not be nil; budget nil
 // means unlimited; screen nil disables golden-task elimination. The
 // server takes ownership of pool for writes: after New, other goroutines
@@ -128,10 +185,12 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 		budget = core.Unlimited()
 	}
 	s := &Server{
-		assigner: assigner,
-		budget:   budget,
-		screen:   screen,
-		cache:    truth.NewResultCache(),
+		assigner:     assigner,
+		budget:       budget,
+		screen:       screen,
+		cache:        truth.NewResultCache(),
+		resultsWarm:  true,
+		resultsDelta: true,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -139,6 +198,9 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 	// The pool wrapper is built after the options so WithShards is known;
 	// one shard wraps pool directly (the exact unsharded behavior).
 	s.cpool = core.NewShardedPool(pool, s.shards)
+	if s.resultsDelta {
+		s.cpool.EnableDeltaLog(defaultDeltaLogCap)
+	}
 	if s.store != nil {
 		// Attach before any handler runs: task adds, closes, and lease
 		// traffic flow into the journal under the pool's write lock, in
@@ -165,6 +227,10 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 		s.stopReaper = make(chan struct{})
 		go s.reap()
 	}
+	if s.refreshEvery > 0 {
+		s.stopRefresher = make(chan struct{})
+		go s.refreshLoop()
+	}
 	return s, nil
 }
 
@@ -175,6 +241,9 @@ func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		if s.stopReaper != nil {
 			close(s.stopReaper)
+		}
+		if s.stopRefresher != nil {
+			close(s.stopRefresher)
 		}
 		if s.store != nil {
 			_ = s.store.Close()
@@ -493,125 +562,6 @@ func (v shardView) taskIDs() []core.TaskID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
-}
-
-// resultGroup is one homogeneous (same option count) inference unit of the
-// results endpoint.
-type resultGroup struct {
-	k   int
-	ids []core.TaskID
-	res *truth.Result
-	ds  *truth.Dataset // nil when res came from the cache
-}
-
-func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
-	method := strings.ToLower(r.URL.Query().Get("method"))
-	// With metrics on, iterative inferrers report convergence through the
-	// registry's EMObserver; a nil observer (metrics off) costs nothing.
-	emObs := s.emObserver()
-	var inf truth.Inferrer
-	switch method {
-	case "", "mv":
-		method = "mv"
-		inf = truth.MajorityVote{}
-	case "onecoin":
-		inf = truth.OneCoinEM{Obs: emObs}
-	case "ds":
-		inf = truth.DawidSkene{Obs: emObs}
-	case "glad":
-		inf = truth.GLAD{Obs: emObs}
-	default:
-		httpError(w, http.StatusBadRequest, "unknown method "+method)
-		return
-	}
-
-	// Snapshot phase, under every shard's read lock: group choice tasks by
-	// option count, and for every group whose inference is not cached at
-	// the current pool version, copy its answers into a Dataset. No shard
-	// can mutate while the view is held, so the version (the sum of the
-	// shard versions) and the datasets are mutually consistent.
-	var (
-		groups  []*resultGroup
-		version uint64
-		snapErr error
-	)
-	s.cpool.ViewAll(func(pools []*core.Pool) {
-		version = s.cpool.Version()
-		view := shardView(pools)
-		byK := map[int][]core.TaskID{}
-		for _, id := range view.taskIDs() {
-			t := view.Task(id)
-			switch t.Kind {
-			case core.SingleChoice, core.MultiChoice, core.PairwiseComparison:
-				byK[len(t.Options)] = append(byK[len(t.Options)], id)
-			}
-		}
-		ks := make([]int, 0, len(byK))
-		for k := range byK {
-			ks = append(ks, k)
-		}
-		sort.Ints(ks)
-		for _, k := range ks {
-			g := &resultGroup{k: k, ids: byK[k]}
-			// A nil cache disables memoization (legacy recompute-per-poll
-			// behavior, kept for benchmarking the cache's contribution).
-			if res, ok := s.cache.Get(resultsCacheKey(method, k), version); ok {
-				g.res = res
-			} else {
-				ds, err := truth.FromPool(view, g.ids)
-				if err != nil {
-					snapErr = err
-					return
-				}
-				g.ds = ds
-			}
-			groups = append(groups, g)
-		}
-	})
-	if snapErr != nil {
-		httpError(w, http.StatusInternalServerError, snapErr.Error())
-		return
-	}
-
-	// Inference phase, outside any pool lock: EM runs do not block
-	// answer recording or task assignment.
-	for _, g := range groups {
-		if g.res != nil {
-			continue
-		}
-		res, err := inf.Infer(g.ds)
-		if err != nil {
-			httpError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		g.res = res
-		s.cache.Put(resultsCacheKey(method, g.k), version, res)
-	}
-
-	nTasks := 0
-	for _, g := range groups {
-		nTasks += len(g.ids)
-	}
-	out := make([]ResultDTO, 0, nTasks)
-	for _, g := range groups {
-		for _, id := range g.ids {
-			t := s.cpool.Task(id)
-			lbl := g.res.Labels[id]
-			opt := ""
-			if lbl >= 0 && lbl < len(t.Options) {
-				opt = t.Options[lbl]
-			}
-			out = append(out, ResultDTO{
-				Task: id, Label: lbl, Option: opt,
-				Confidence: g.res.Confidence(id),
-			})
-		}
-	}
-	writeJSON(w, out)
-}
-
-func resultsCacheKey(method string, k int) string {
-	return fmt.Sprintf("%s/k=%d", method, k)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

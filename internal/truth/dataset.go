@@ -168,6 +168,74 @@ func (ds *Dataset) buildDense() {
 	}
 }
 
+// AppendDelta returns a new Dataset equal to what FromPool would build
+// over the same task set after delta was appended to the pool: the
+// incremental path of a results endpoint, where a snapshot under the pool
+// locks copies only the answers recorded since the previous refresh and
+// the flat layout is rebuilt outside any lock. The receiver is not
+// mutated and stays valid (cached Results keep aliasing it).
+//
+// delta must hold only answers for tasks already in ds, in per-task
+// arrival order (the order the pool appends them); answers whose option
+// is outside [0, K) are dropped, exactly as FromPool drops them. An
+// answer for an unknown task is an error — task-set changes require a
+// full FromPool rebuild.
+func (ds *Dataset) AppendDelta(delta []core.Answer) (*Dataset, error) {
+	ds.dense()
+	nd := &Dataset{
+		K:         ds.K,
+		TaskIDs:   ds.TaskIDs, // task set unchanged by construction
+		taskIndex: ds.taskIndex,
+		Answers:   make(map[core.TaskID][]core.Answer, len(ds.Answers)),
+	}
+	for id, as := range ds.Answers {
+		nd.Answers[id] = as // shared until a delta answer touches the task
+	}
+	var newWorkers []string
+	for _, a := range delta {
+		if _, ok := ds.taskIndex[a.Task]; !ok {
+			return nil, fmt.Errorf("truth: delta answer for task %d outside the dataset", a.Task)
+		}
+		if a.Option < 0 || a.Option >= ds.K {
+			continue
+		}
+		// Copy-on-write: the base slice may be shared with the receiver
+		// (and with other datasets derived from it), so the first append
+		// to a task clones its slice.
+		if cur, base := nd.Answers[a.Task], ds.Answers[a.Task]; len(cur) == len(base) {
+			nd.Answers[a.Task] = append(append(make([]core.Answer, 0, len(base)+4), base...), a)
+		} else {
+			nd.Answers[a.Task] = append(cur, a)
+		}
+		if _, ok := ds.workerIndex[a.Worker]; !ok {
+			newWorkers = append(newWorkers, a.Worker)
+		}
+	}
+	if len(newWorkers) == 0 {
+		nd.WorkerIDs = ds.WorkerIDs
+		nd.workerIndex = ds.workerIndex
+	} else {
+		sort.Strings(newWorkers)
+		nd.WorkerIDs = make([]string, 0, len(ds.WorkerIDs)+len(newWorkers))
+		nd.WorkerIDs = append(nd.WorkerIDs, ds.WorkerIDs...)
+		prev := ""
+		for i, w := range newWorkers {
+			if i > 0 && w == prev {
+				continue // same new worker in several delta answers
+			}
+			prev = w
+			nd.WorkerIDs = append(nd.WorkerIDs, w)
+		}
+		sort.Strings(nd.WorkerIDs)
+		nd.workerIndex = make(map[string]int, len(nd.WorkerIDs))
+		for i, w := range nd.WorkerIDs {
+			nd.workerIndex[w] = i
+		}
+	}
+	nd.buildDense()
+	return nd, nil
+}
+
 // dense ensures the flat layout exists (it always does for FromPool
 // datasets). The lazy rebuild is not safe for concurrent first use.
 func (ds *Dataset) dense() {
@@ -221,6 +289,10 @@ type Result struct {
 	// Iterations reports how many EM/gradient iterations ran (0 for
 	// non-iterative methods).
 	Iterations int
+	// Warm carries the run's final parameters for warm-starting the next
+	// run of the same method over an evolved answer set; nil for
+	// non-iterative methods. See WarmState.
+	Warm *WarmState
 
 	// taskEasiness, when set (GLAD), maps dense task indices to the
 	// inferred easiness parameter; read through TaskEasiness.

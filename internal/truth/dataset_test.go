@@ -1,0 +1,116 @@
+package truth
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crowd"
+)
+
+// TestAppendDeltaMatchesFromPool is the correctness contract of the
+// incremental build: extending a dataset with the answers recorded since
+// its snapshot must be indistinguishable — down to the dense CSR layout —
+// from rebuilding with FromPool over the grown pool. Anything less and
+// the incremental serving path could diverge from the full path.
+func TestAppendDeltaMatchesFromPool(t *testing.T) {
+	pool := core.NewPool()
+	for i := 1; i <= 40; i++ {
+		pool.MustAdd(&core.Task{
+			ID: core.TaskID(i), Kind: core.SingleChoice,
+			Options: []string{"a", "b", "c"},
+		})
+	}
+	for w := 0; w < 12; w++ {
+		for i := 1; i <= 40; i++ {
+			if (i+w)%3 == 0 {
+				continue // uneven coverage
+			}
+			if err := pool.Record(core.Answer{
+				Task: core.TaskID(i), Worker: fmt.Sprintf("base-w%d", w), Option: (i * (w + 1)) % 3,
+			}); err != nil {
+				t.Fatalf("seed record: %v", err)
+			}
+		}
+	}
+	base, err := FromPool(pool, pool.TaskIDs())
+	if err != nil {
+		t.Fatalf("FromPool: %v", err)
+	}
+	base.dense()
+
+	// Grow the pool: existing workers answering unseen tasks, brand-new
+	// workers (exercising the WorkerIDs merge), an out-of-range option
+	// (dropped by FromPool and AppendDelta alike), and repeat growth on
+	// the same task (exercising copy-on-write of an already-copied slice).
+	var delta []core.Answer
+	record := func(a core.Answer) {
+		if err := pool.Record(a); err != nil {
+			t.Fatalf("record: %v", err)
+		}
+		delta = append(delta, a)
+	}
+	record(core.Answer{Task: 1, Worker: "delta-w1", Option: 0})
+	record(core.Answer{Task: 1, Worker: "delta-w0", Option: 1})
+	record(core.Answer{Task: 2, Worker: "delta-w1", Option: 1})
+	for i := 0; i < 5; i++ {
+		record(core.Answer{Task: 3, Worker: fmt.Sprintf("delta-x%d", i), Option: i % 2})
+	}
+	// Out-of-range options never enter the pool via the serving layer,
+	// but FromPool filters them, so AppendDelta must too.
+	delta = append(delta, core.Answer{Task: 4, Worker: "delta-w1", Option: 3})
+
+	baseAnswers := len(base.Answers[1])
+	got, err := base.AppendDelta(delta)
+	if err != nil {
+		t.Fatalf("AppendDelta: %v", err)
+	}
+	want, err := FromPool(pool, pool.TaskIDs())
+	if err != nil {
+		t.Fatalf("FromPool: %v", err)
+	}
+	want.dense()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendDelta dataset differs from FromPool rebuild:\n got: %+v\nwant: %+v", got, want)
+	}
+	if len(base.Answers[1]) != baseAnswers {
+		t.Fatal("AppendDelta mutated the base dataset")
+	}
+
+	// Same inference input ⇒ same inference output, bit for bit.
+	for _, inf := range []Inferrer{MajorityVote{}, OneCoinEM{}, DawidSkene{}} {
+		rg, err := inf.Infer(got)
+		if err != nil {
+			t.Fatalf("%s over delta dataset: %v", inf.Name(), err)
+		}
+		rw, err := inf.Infer(want)
+		if err != nil {
+			t.Fatalf("%s over rebuilt dataset: %v", inf.Name(), err)
+		}
+		if !reflect.DeepEqual(rg.Labels, rw.Labels) || !reflect.DeepEqual(rg.Posterior, rw.Posterior) {
+			t.Fatalf("%s diverges between delta and rebuilt datasets", inf.Name())
+		}
+	}
+}
+
+func TestAppendDeltaRejectsUnknownTask(t *testing.T) {
+	_, base := buildWorkload(12, 10, 6, 2, crowd.Mix{Reliable: 1}, 0.5)
+	if _, err := base.AppendDelta([]core.Answer{{Task: 999, Worker: "w", Option: 0}}); err == nil {
+		t.Fatal("delta answer for a task outside the dataset must error")
+	}
+}
+
+func TestAppendDeltaEmptySharesLayout(t *testing.T) {
+	_, base := buildWorkload(13, 10, 6, 2, crowd.Mix{Reliable: 1}, 0.5)
+	nd, err := base.AppendDelta(nil)
+	if err != nil {
+		t.Fatalf("AppendDelta(nil): %v", err)
+	}
+	if &nd.TaskIDs[0] != &base.TaskIDs[0] || &nd.WorkerIDs[0] != &base.WorkerIDs[0] {
+		t.Fatal("empty delta should share task and worker slices with the base")
+	}
+	if !reflect.DeepEqual(nd.Answers, base.Answers) {
+		t.Fatal("empty delta changed the answer map")
+	}
+}

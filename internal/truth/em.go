@@ -30,6 +30,11 @@ type OneCoinEM struct {
 	// one ObserveEMRun per Infer. A nil observer costs nothing: no
 	// timestamps are taken and no calls are made.
 	Obs obs.EMObserver
+	// Warm, when non-nil and produced by a previous OneCoinEM run at the
+	// same K, seeds the posteriors from the previous estimates instead of
+	// vote fractions; tasks unknown to the state fall back to the cold
+	// init. nil is exactly the cold start.
+	Warm *WarmState
 }
 
 // Name implements Inferrer.
@@ -50,7 +55,7 @@ func (m OneCoinEM) Infer(ds *Dataset) (*Result, error) {
 	workers := kernelWorkers(len(ds.refs))
 
 	post := make([]float64, n*K)
-	initPosteriorsInto(ds, post)
+	seedPosteriors(ds, post, "OneCoinEM", m.Warm)
 	reliability := make([]float64, nw)
 	for i := range reliability {
 		reliability[i] = 0.8
@@ -129,7 +134,9 @@ func (m OneCoinEM) Infer(ds *Dataset) (*Result, error) {
 	if m.Obs != nil {
 		m.Obs.ObserveEMRun("OneCoinEM", iters, converged, time.Since(start))
 	}
-	return packResult("OneCoinEM", ds, post, reliability, iters), nil
+	res := packResult("OneCoinEM", ds, post, reliability, iters)
+	res.Warm = &WarmState{Method: "OneCoinEM", K: K, Posterior: res.Posterior}
+	return res, nil
 }
 
 // DawidSkene is the classic confusion-matrix EM estimator: each worker w
@@ -143,6 +150,8 @@ type DawidSkene struct {
 	Tol     float64
 	// Obs follows the same contract as OneCoinEM.Obs (nil = free).
 	Obs obs.EMObserver
+	// Warm follows the same contract as OneCoinEM.Warm.
+	Warm *WarmState
 }
 
 // Name implements Inferrer.
@@ -163,7 +172,7 @@ func (m DawidSkene) Infer(ds *Dataset) (*Result, error) {
 	workers := kernelWorkers(len(ds.refs))
 
 	post := make([]float64, n*K)
-	initPosteriorsInto(ds, post)
+	seedPosteriors(ds, post, "DS", m.Warm)
 	conf := make([]float64, nw*kk)    // row-major per worker: [c][l]
 	logConf := make([]float64, nw*kk) // log(conf + 1e-300)
 	prior := make([]float64, K)
@@ -241,7 +250,9 @@ func (m DawidSkene) Infer(ds *Dataset) (*Result, error) {
 		}
 		quality[wi] = s / float64(K)
 	}
-	return packResult("DS", ds, post, quality, iters), nil
+	res := packResult("DS", ds, post, quality, iters)
+	res.Warm = &WarmState{Method: "DS", K: K, Posterior: res.Posterior}
+	return res, nil
 }
 
 // rowNormalizeLog converts one worker's K×K soft-count matrix into
@@ -313,26 +324,31 @@ func sumSerial(xs []float64) float64 {
 // no answers explicitly start uniform.
 func initPosteriorsInto(ds *Dataset, post []float64) {
 	K := ds.K
-	u := 1 / float64(K)
 	for ti := range ds.TaskIDs {
-		row := post[ti*K : ti*K+K]
-		lo, hi := ds.taskOff[ti], ds.taskOff[ti+1]
-		if lo == hi {
-			for c := range row {
-				row[c] = u
-			}
-			continue
-		}
+		initPosteriorRow(ds, ti, post[ti*K:ti*K+K])
+	}
+}
+
+// initPosteriorRow writes the cold-start posterior of one task: its
+// normalized vote fractions, uniform when it has no answers.
+func initPosteriorRow(ds *Dataset, ti int, row []float64) {
+	lo, hi := ds.taskOff[ti], ds.taskOff[ti+1]
+	if lo == hi {
+		u := 1 / float64(len(row))
 		for c := range row {
-			row[c] = 0
+			row[c] = u
 		}
-		for p := lo; p < hi; p++ {
-			row[ds.refs[p].option]++
-		}
-		total := float64(hi - lo)
-		for c := range row {
-			row[c] /= total
-		}
+		return
+	}
+	for c := range row {
+		row[c] = 0
+	}
+	for p := lo; p < hi; p++ {
+		row[ds.refs[p].option]++
+	}
+	total := float64(hi - lo)
+	for c := range row {
+		row[c] /= total
 	}
 }
 

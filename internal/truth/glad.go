@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -28,6 +29,11 @@ type GLAD struct {
 	LearnRate float64 // default 0.05
 	// Obs follows the same contract as OneCoinEM.Obs (nil = free).
 	Obs obs.EMObserver
+	// Warm follows the same contract as OneCoinEM.Warm; GLAD additionally
+	// seeds worker abilities and task easiness from the state, since its
+	// gradient M-step continues from the current parameters instead of
+	// re-deriving them from the posteriors.
+	Warm *WarmState
 }
 
 // Name implements Inferrer.
@@ -56,12 +62,24 @@ func (m GLAD) Infer(ds *Dataset) (*Result, error) {
 	workers := kernelWorkers(len(ds.refs))
 
 	post := make([]float64, n*K)
-	initPosteriorsInto(ds, post)
+	warmed := seedPosteriors(ds, post, "GLAD", m.Warm)
 	alpha := make([]float64, nw) // worker abilities
 	for i := range alpha {
 		alpha[i] = 1
 	}
 	logBeta := make([]float64, n) // task log-easiness
+	if warmed {
+		for wi, w := range ds.WorkerIDs {
+			if a, ok := m.Warm.Alpha[w]; ok {
+				alpha[wi] = a
+			}
+		}
+		for ti, id := range ds.TaskIDs {
+			if b, ok := m.Warm.LogBeta[id]; ok {
+				logBeta[ti] = b
+			}
+		}
+	}
 	// The class prior stays fixed and uniform, as in the original GLAD
 	// model. Re-estimating it is unidentifiable at low redundancy: a
 	// slight imbalance feeds back through the E-step and collapses every
@@ -208,6 +226,18 @@ func (m GLAD) Infer(ds *Dataset) (*Result, error) {
 	for ti, b := range betas {
 		res.taskEasiness[ti] = b
 	}
+	warm := &WarmState{
+		Method: "GLAD", K: K, Posterior: res.Posterior,
+		Alpha:   make(map[string]float64, nw),
+		LogBeta: make(map[core.TaskID]float64, n),
+	}
+	for wi, w := range ds.WorkerIDs {
+		warm.Alpha[w] = alpha[wi]
+	}
+	for ti, id := range ds.TaskIDs {
+		warm.LogBeta[id] = logBeta[ti]
+	}
+	res.Warm = warm
 	return res, nil
 }
 

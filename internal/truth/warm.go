@@ -1,0 +1,68 @@
+package truth
+
+import "repro/internal/core"
+
+// WarmState carries the converged parameters of one inference run forward
+// into the next, so steady-state serving re-estimates from where the last
+// run stopped instead of from scratch. The truth-inference loop of the
+// survey is iterative by design — answers stream in, estimates are
+// refined — and between two refreshes the answer set typically changes by
+// a small delta, so the previous fixed point is an excellent starting
+// point: EM from a warm seed converges in a handful of iterations where a
+// cold start pays the full schedule.
+//
+// All state is keyed by task and worker ID (never by dense index), so a
+// warm state produced over one Dataset seeds any later Dataset for the
+// same (method, option-count) group even after new tasks, new workers, or
+// new answers appeared: entities unknown to the warm state fall back to
+// the cold initialization, entity by entity.
+//
+// A WarmState is immutable once produced (its maps may alias the
+// producing Result's), and seeding never mutates it, so one state may
+// seed concurrent runs. Every iterative Infer sets Result.Warm; callers
+// that do not want warm starting simply never pass it back in.
+type WarmState struct {
+	// Method names the producing kernel (Inferrer.Name). Kernels ignore a
+	// warm state from a different method: the posterior semantics agree,
+	// but the auxiliary parameters (confusion vs. ability) do not.
+	Method string
+	// K is the option count the state was estimated at. A mismatched K
+	// invalidates the whole state.
+	K int
+	// Posterior maps each task to its label distribution (length K) at
+	// the end of the producing run.
+	Posterior map[core.TaskID][]float64
+	// Alpha maps workers to GLAD ability parameters (GLAD only).
+	Alpha map[string]float64
+	// LogBeta maps tasks to GLAD log-easiness parameters (GLAD only).
+	LogBeta map[core.TaskID]float64
+}
+
+// usable reports whether the state can seed a run of the given method
+// over ds.
+func (ws *WarmState) usable(method string, ds *Dataset) bool {
+	return ws != nil && ws.Method == method && ws.K == ds.K && len(ws.Posterior) > 0
+}
+
+// seedPosteriors fills the flat posterior slab from the warm state where
+// it knows the task, with the cold per-task initialization (normalized
+// vote fractions, uniform when unanswered) as the fallback; warm == nil
+// is exactly the cold start. It reports whether any warm row was used.
+func seedPosteriors(ds *Dataset, post []float64, method string, warm *WarmState) bool {
+	if !warm.usable(method, ds) {
+		initPosteriorsInto(ds, post)
+		return false
+	}
+	K := ds.K
+	hit := false
+	for ti, id := range ds.TaskIDs {
+		row := post[ti*K : ti*K+K]
+		if prev, ok := warm.Posterior[id]; ok && len(prev) == K {
+			copy(row, prev)
+			hit = true
+			continue
+		}
+		initPosteriorRow(ds, ti, row)
+	}
+	return hit
+}
