@@ -14,6 +14,17 @@
 //	crowdserve -shards 8                         # partition the pool into 8 task-hash shards
 //	crowdserve -results-warm=false               # cold-start EM on every /api/results recompute
 //	crowdserve -results-refresh 500ms            # refresh results in the background; polls never wait
+//	crowdserve -cql-dir ./cql                    # CrowdQL sessions on /api/cql, catalogs persisted in ./cql
+//
+// With -cql-dir, /api/cql exposes the CrowdQL query service: named
+// sessions execute SQL/CQL whose crowd questions (CROWDFILTER, ~=,
+// crowd-column fills, ...) are published as tasks in this server's pool
+// and answered by its workers through /api/task + /api/answer. Query
+// handles stream partial rows while answers arrive, page with cursor
+// tokens, and can be canceled (releasing the question's leases and
+// refunding its reserved budget). Session catalogs are saved to the
+// directory when a session closes — including graceful shutdown — and
+// reload when a session of the same name is created again.
 //
 // The server handles concurrent workers without a global lock; see the
 // server package docs for the concurrency model. With -lease set, every
@@ -69,6 +80,8 @@ func main() {
 		warm    = flag.Bool("results-warm", true, "seed /api/results EM from the previous converged state (false = cold start per recompute)")
 		refresh = flag.Duration("results-refresh", 0, "background results refresh interval; polls serve the last complete result immediately (0 = compute inline)")
 		dataDir = flag.String("data-dir", "", "directory for the write-ahead log and snapshots; answers survive a crash or restart (empty = in-memory only)")
+		cqlDir  = flag.String("cql-dir", "", "mount the CrowdQL query service under /api/cql, persisting session catalogs here (\"mem\" = mount without persistence)")
+		cqlTTL  = flag.Duration("cql-idle", 0, "close CrowdQL sessions idle for this long (with -cql-dir; 0 = only explicit close)")
 		fsyncF  = flag.String("fsync", "always", `WAL fsync policy: "always" (ack = on disk), a duration like "100ms" (batched flushes), or "off"`)
 		snapEv  = flag.Duration("snapshot-every", 30*time.Second, "how often to compact the WAL into a snapshot (with -data-dir; 0 = only on shutdown)")
 	)
@@ -149,6 +162,15 @@ func main() {
 	}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
+	}
+	if *cqlDir != "" {
+		dir := *cqlDir
+		if dir == "mem" {
+			dir = ""
+		}
+		opts = append(opts, server.WithCQL(server.CQLConfig{
+			Dir: dir, IdleTTL: *cqlTTL, Seed: *seed,
+		}))
 	}
 	srv, err := server.New(pool, assigner, budget, nil, opts...)
 	if err != nil {

@@ -39,6 +39,12 @@ func (s *Session) run(plan PlanNode) (*model.Relation, error) {
 }
 
 func (s *Session) exec(node PlanNode) (*resultSet, error) {
+	// Cancellation gate: a canceled query stops before its next plan stage
+	// (the per-question gate in askChoice/askFill handles cancellation
+	// inside a stage).
+	if err := s.queryCtx().Err(); err != nil {
+		return nil, err
+	}
 	switch n := node.(type) {
 	case *ScanNode:
 		return s.execScan(n)
@@ -127,31 +133,35 @@ func (s *Session) execCrowdFill(n *CrowdFillNode) (*resultSet, error) {
 		}
 		return in, nil
 	}
-	for _, col := range n.Columns {
+	for colIdx, col := range n.Columns {
 		ci := in.base.Schema.ColumnIndex(col)
 		if ci < 0 {
 			return nil, fmt.Errorf("cql: internal: fill column %q missing", col)
 		}
 		colType := in.base.Schema.Columns[ci].Type
+		// Columns iterate outer, rows inner (question order is pinned by
+		// golden tests), so a row is complete once the last column's loop
+		// has passed it — that is where partial rows stream out.
+		emit := s.progressFn != nil && PlanNode(n) == s.progressNode && colIdx == len(n.Columns)-1
 		for _, row := range in.rows {
-			if !row[ci].IsNull() {
-				continue
-			}
-			truth, known := s.Oracle.fill(in.base.Name, col, row, in.base.Schema)
-			text, err := s.askFill(
-				fmt.Sprintf("Provide %s for %s", col, rowPreview(row)),
-				truth, known)
-			if err != nil {
-				return nil, err
-			}
-			v, perr := model.ParseValue(text, colType)
-			if perr != nil {
+			if row[ci].IsNull() {
+				truth, known := s.Oracle.fill(in.base.Name, col, row, in.base.Schema)
+				text, err := s.askFill(
+					fmt.Sprintf("Provide %s for %s", col, rowPreview(row)),
+					truth, known)
+				if err != nil {
+					return nil, err
+				}
+				if v, perr := model.ParseValue(text, colType); perr == nil {
+					row[ci] = v // aliases the base tuple: memoized
+					s.Stats.Fills++
+				}
 				// Unparseable crowd input stays NULL rather than failing
 				// the query; the cell can be retried later.
-				continue
 			}
-			row[ci] = v // aliases the base tuple: memoized
-			s.Stats.Fills++
+			if emit {
+				s.progressFn(in.bs, row)
+			}
 		}
 	}
 	return in, nil
@@ -163,6 +173,7 @@ func (s *Session) execCrowdFilter(n *CrowdFilterNode) (*resultSet, error) {
 		return nil, err
 	}
 	out := &resultSet{bs: in.bs, base: in.base}
+	emit := s.progressFn != nil && PlanNode(n) == s.progressNode
 	for _, row := range in.rows {
 		keep := true
 		for _, p := range n.Preds {
@@ -177,6 +188,9 @@ func (s *Session) execCrowdFilter(n *CrowdFilterNode) (*resultSet, error) {
 		}
 		if keep {
 			out.rows = append(out.rows, row)
+			if emit {
+				s.progressFn(in.bs, row)
+			}
 		}
 	}
 	return out, nil
@@ -758,10 +772,15 @@ func (s *Session) crowdCount(it SelectItem, bs *boundSchema, rows []model.Tuple)
 // --- crowd question plumbing ---
 
 // askChoice issues one choice question with the session's redundancy and
-// returns the majority option.
+// returns the majority option. The statement's context gates the question:
+// a canceled query issues no further crowd work.
 func (s *Session) askChoice(question string, options []string, truthOpt int, difficulty float64) (int, error) {
 	if s.Runner == nil {
 		return 0, fmt.Errorf("cql: crowd question without a crowd attached")
+	}
+	ctx := s.queryCtx()
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	task, err := s.Runner.NewTask(&core.Task{
 		Kind:        core.SingleChoice,
@@ -777,7 +796,7 @@ func (s *Session) askChoice(question string, options []string, truthOpt int, dif
 	if k <= 0 {
 		k = 3
 	}
-	opt, err := s.Runner.MajorityOption(task, k)
+	opt, err := s.Runner.MajorityOptionCtx(ctx, task, k)
 	if err != nil {
 		return 0, err
 	}
@@ -793,6 +812,10 @@ func (s *Session) askChoice(question string, options []string, truthOpt int, dif
 func (s *Session) askFill(question, truth string, known bool) (string, error) {
 	if s.Runner == nil {
 		return "", fmt.Errorf("cql: crowd fill without a crowd attached")
+	}
+	ctx := s.queryCtx()
+	if err := ctx.Err(); err != nil {
+		return "", err
 	}
 	gt := truth
 	if !known {
@@ -811,7 +834,7 @@ func (s *Session) askFill(question, truth string, known bool) (string, error) {
 	if k <= 0 {
 		k = 3
 	}
-	answers, err := s.Runner.Collect(task, k)
+	answers, err := s.Runner.CollectCtx(ctx, task, k)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,90 @@
+package cql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// seedMutation builds a table whose rows step a mid-scan predicate error:
+// with the predicate `name = 'del' OR name LIKE code`, row 1 matches on
+// the first disjunct (so it would be deleted/updated), row 2 has a NULL
+// name (both comparisons are NULL-false, kept, no error), and row 3
+// reaches `name LIKE code` with a non-string right operand, which errors.
+// The scan therefore fails after the mutation candidate but before the
+// end of the table — exactly the window where the pre-fix single-pass
+// DELETE/UPDATE had already mutated state.
+func seedMutation(t *testing.T) *Session {
+	t.Helper()
+	s := machineSession()
+	mustExec(t, s, `CREATE TABLE m (id INT, name STRING, code INT)`)
+	mustExec(t, s, `INSERT INTO m VALUES (1, 'del', 10), (2, NULL, 20), (3, 'x', 30)`)
+	return s
+}
+
+const mutationPred = `name = 'del' OR name LIKE code`
+
+// snapshotRows deep-copies a relation's tuples for later comparison.
+func snapshotRows(rel *model.Relation) []model.Tuple {
+	out := make([]model.Tuple, len(rel.Tuples))
+	for i, row := range rel.Tuples {
+		out[i] = row.Clone()
+	}
+	return out
+}
+
+func assertRowsEqual(t *testing.T, rel *model.Relation, want []model.Tuple) {
+	t.Helper()
+	if len(rel.Tuples) != len(want) {
+		t.Fatalf("row count changed: %d, want %d (%v)", len(rel.Tuples), len(want), rel.Tuples)
+	}
+	for i := range want {
+		if !rel.Tuples[i].Equal(want[i]) {
+			t.Fatalf("row %d mutated: %v, want %v", i, rel.Tuples[i], want[i])
+		}
+	}
+}
+
+// TestDeleteAtomicOnPredicateError pins DELETE's all-or-nothing contract:
+// a predicate error mid-scan must leave the table byte-identical. The
+// pre-fix execDelete compacted rel.Tuples[:0] in place while iterating,
+// so the error path left row 1 clobbered by row 2.
+func TestDeleteAtomicOnPredicateError(t *testing.T) {
+	s := seedMutation(t)
+	rel, _ := s.Catalog.Get("m")
+	before := snapshotRows(rel)
+
+	_, err := s.Execute(`DELETE FROM m WHERE ` + mutationPred)
+	if err == nil || !strings.Contains(err.Error(), "LIKE requires strings") {
+		t.Fatalf("expected mid-scan LIKE error, got %v", err)
+	}
+	assertRowsEqual(t, rel, before)
+
+	// The same statement with a clean predicate still deletes.
+	mustExec(t, s, `DELETE FROM m WHERE name = 'del'`)
+	if rel.Len() != 2 {
+		t.Fatalf("clean delete failed: %d rows", rel.Len())
+	}
+}
+
+// TestUpdateAtomicOnPredicateError pins UPDATE's all-or-nothing contract:
+// the pre-fix execUpdate applied SET ops row by row during the predicate
+// scan, so an error mid-scan left earlier matches already updated.
+func TestUpdateAtomicOnPredicateError(t *testing.T) {
+	s := seedMutation(t)
+	rel, _ := s.Catalog.Get("m")
+	before := snapshotRows(rel)
+
+	_, err := s.Execute(`UPDATE m SET name = 'renamed' WHERE ` + mutationPred)
+	if err == nil || !strings.Contains(err.Error(), "LIKE requires strings") {
+		t.Fatalf("expected mid-scan LIKE error, got %v", err)
+	}
+	assertRowsEqual(t, rel, before)
+
+	// The same SET with a clean predicate still applies.
+	mustExec(t, s, `UPDATE m SET name = 'renamed' WHERE id = 1`)
+	if v, _ := rel.Get(0, "name"); v.AsString() != "renamed" {
+		t.Fatalf("clean update failed: %v", v)
+	}
+}

@@ -3,6 +3,7 @@ package cql
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,9 +19,18 @@ import (
 // This is deliberately plain — the reproduction's workloads are bounded
 // by crowd cost, not I/O — but it makes acquired crowd data durable
 // across sessions, which matters because every filled cell was paid for.
+// Because the files hold paid-for data, writes follow the same atomic
+// discipline as the durable package's snapshots: stage to a temp file,
+// fsync, rename over the old file, fsync the directory. A crash at any
+// point leaves either the old complete file or the new complete file,
+// never a torn one.
 
-// schemaDTO is the JSON form of a schema.
+// schemaDTO is the JSON form of a schema. Name carries the exact
+// (case-preserving) table name; the filename is lowercased because the
+// catalog is case-insensitive, so the filename alone cannot round-trip
+// a mixed-case name like "Hotels".
 type schemaDTO struct {
+	Name       string      `json:"name,omitempty"`
 	CrowdTable bool        `json:"crowd_table"`
 	Columns    []columnDTO `json:"columns"`
 }
@@ -31,19 +41,57 @@ type columnDTO struct {
 	Crowd bool   `json:"crowd,omitempty"`
 }
 
+// saveCatalogHook, when non-nil, runs after each table's files have been
+// staged (written + synced, not yet published). Tests use it to simulate
+// a crash mid-save; production code never sets it.
+var saveCatalogHook func(table string) error
+
 // SaveCatalog writes every table of the catalog into dir (created if
 // missing). Existing files for the same tables are overwritten; unrelated
 // files are left alone.
+//
+// The save is two-phase: every table's schema and CSV are first staged to
+// temp files in dir (each written, fsynced, and closed), and only when
+// all tables are staged are the temp files renamed over the live ones and
+// the directory fsynced. An error — or a crash — before the publish phase
+// leaves the previous catalog files untouched; each individual rename is
+// atomic, so no reader ever sees a torn or truncated file.
 func SaveCatalog(c *Catalog, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("cql: creating catalog dir: %w", err)
 	}
-	for _, name := range c.Names() {
-		rel, err := c.Get(name)
+	type stagedFile struct {
+		tmp, final string
+	}
+	var staged []stagedFile
+	cleanup := func() {
+		for _, f := range staged {
+			os.Remove(f.tmp)
+		}
+	}
+	stage := func(final string, write func(io.Writer) error) error {
+		tmp, err := os.CreateTemp(dir, filepath.Base(final)+".tmp-*")
 		if err != nil {
 			return err
 		}
-		dto := schemaDTO{CrowdTable: rel.Schema.CrowdTable}
+		staged = append(staged, stagedFile{tmp: tmp.Name(), final: final})
+		if err := write(tmp); err != nil {
+			tmp.Close()
+			return err
+		}
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			return err
+		}
+		return tmp.Close()
+	}
+	for _, name := range c.Names() {
+		rel, err := c.Get(name)
+		if err != nil {
+			cleanup()
+			return err
+		}
+		dto := schemaDTO{Name: rel.Name, CrowdTable: rel.Schema.CrowdTable}
 		for _, col := range rel.Schema.Columns {
 			dto.Columns = append(dto.Columns, columnDTO{
 				Name: col.Name, Type: col.Type.String(), Crowd: col.Crowd,
@@ -51,29 +99,57 @@ func SaveCatalog(c *Catalog, dir string) error {
 		}
 		sj, err := json.MarshalIndent(dto, "", "  ")
 		if err != nil {
+			cleanup()
 			return fmt.Errorf("cql: encoding schema for %s: %w", name, err)
 		}
 		base := strings.ToLower(name)
-		if err := os.WriteFile(filepath.Join(dir, base+".schema.json"), sj, 0o644); err != nil {
-			return fmt.Errorf("cql: writing schema for %s: %w", name, err)
+		// CSV before schema, so the publish phase (which renames in staging
+		// order) never leaves a schema file whose CSV is missing.
+		if err := stage(filepath.Join(dir, base+".csv"), rel.WriteCSV); err != nil {
+			cleanup()
+			return fmt.Errorf("cql: staging CSV for %s: %w", name, err)
 		}
-		f, err := os.Create(filepath.Join(dir, base+".csv"))
-		if err != nil {
-			return fmt.Errorf("cql: creating CSV for %s: %w", name, err)
+		if err := stage(filepath.Join(dir, base+".schema.json"), func(w io.Writer) error {
+			_, werr := w.Write(sj)
+			return werr
+		}); err != nil {
+			cleanup()
+			return fmt.Errorf("cql: staging schema for %s: %w", name, err)
 		}
-		if err := rel.WriteCSV(f); err != nil {
-			f.Close()
-			return fmt.Errorf("cql: writing CSV for %s: %w", name, err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("cql: closing CSV for %s: %w", name, err)
+		if saveCatalogHook != nil {
+			if err := saveCatalogHook(name); err != nil {
+				cleanup()
+				return err
+			}
 		}
 	}
-	return nil
+	// Publish phase: every table staged successfully; swap the temp files
+	// in and make the renames durable with one directory fsync.
+	for _, f := range staged {
+		if err := os.Rename(f.tmp, f.final); err != nil {
+			cleanup()
+			return fmt.Errorf("cql: publishing %s: %w", f.final, err)
+		}
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so renames into it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("cql: opening catalog dir for sync: %w", err)
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return fmt.Errorf("cql: syncing catalog dir: %w", err)
+	}
+	return d.Close()
 }
 
 // LoadCatalog reads every *.schema.json/*.csv pair in dir into a fresh
-// catalog.
+// catalog. Temp files left behind by a crashed save are ignored: the
+// staged data was never published, so the last complete catalog wins.
 func LoadCatalog(dir string) (*Catalog, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -84,7 +160,7 @@ func LoadCatalog(dir string) (*Catalog, error) {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".schema.json") {
 			continue
 		}
-		name := strings.TrimSuffix(e.Name(), ".schema.json")
+		base := strings.TrimSuffix(e.Name(), ".schema.json")
 		sj, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			return nil, fmt.Errorf("cql: reading schema %s: %w", e.Name(), err)
@@ -92,6 +168,12 @@ func LoadCatalog(dir string) (*Catalog, error) {
 		var dto schemaDTO
 		if err := json.Unmarshal(sj, &dto); err != nil {
 			return nil, fmt.Errorf("cql: decoding schema %s: %w", e.Name(), err)
+		}
+		// The schema JSON carries the exact table name; files written
+		// before that field existed fall back to the (lowercased) filename.
+		name := dto.Name
+		if name == "" {
+			name = base
 		}
 		cols := make([]model.Column, len(dto.Columns))
 		for i, cd := range dto.Columns {
@@ -107,7 +189,7 @@ func LoadCatalog(dir string) (*Catalog, error) {
 		}
 		schema.CrowdTable = dto.CrowdTable
 
-		csvPath := filepath.Join(dir, name+".csv")
+		csvPath := filepath.Join(dir, base+".csv")
 		f, err := os.Open(csvPath)
 		if err != nil {
 			return nil, fmt.Errorf("cql: opening %s: %w", csvPath, err)

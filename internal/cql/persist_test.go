@@ -112,6 +112,111 @@ func TestSaveCatalogOverwrites(t *testing.T) {
 	}
 }
 
+// TestSaveCatalogCrashMidSaveKeepsOldCatalog kills a save between tables
+// (via the staging hook) and checks that the previously saved catalog is
+// still complete and loadable: the torn save must not have published
+// anything. The pre-fix SaveCatalog wrote files in place, so the first
+// table of the new save had already overwritten the old data.
+func TestSaveCatalogCrashMidSaveKeepsOldCatalog(t *testing.T) {
+	dir := t.TempDir()
+	s := machineSession()
+	mustExec(t, s, `CREATE TABLE alpha (id INT, v STRING)`)
+	mustExec(t, s, `INSERT INTO alpha VALUES (1, 'old-a')`)
+	mustExec(t, s, `CREATE TABLE beta (id INT, v STRING)`)
+	mustExec(t, s, `INSERT INTO beta VALUES (1, 'old-b')`)
+	if err := SaveCatalog(s.Catalog, dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate both tables, then crash the re-save after the first table
+	// ("alpha" sorts first) has been staged.
+	mustExec(t, s, `UPDATE alpha SET v = 'new-a'`)
+	mustExec(t, s, `UPDATE beta SET v = 'new-b'`)
+	boom := fmt.Errorf("injected crash")
+	saveCatalogHook = func(table string) error {
+		if table == "alpha" {
+			return boom
+		}
+		return nil
+	}
+	defer func() { saveCatalogHook = nil }()
+	if err := SaveCatalog(s.Catalog, dir); err == nil {
+		t.Fatal("crashed save reported success")
+	}
+
+	// The directory must still hold the previous complete catalog; staged
+	// temp files from the dead save are ignored.
+	loaded, err := LoadCatalog(dir)
+	if err != nil {
+		t.Fatalf("reload after crashed save: %v", err)
+	}
+	for table, want := range map[string]string{"alpha": "old-a", "beta": "old-b"} {
+		rel, err := loaded.Get(table)
+		if err != nil {
+			t.Fatalf("table %s lost: %v", table, err)
+		}
+		if v, _ := rel.Get(0, "v"); v.AsString() != want {
+			t.Fatalf("table %s = %v, want %q (torn save published)", table, v, want)
+		}
+	}
+
+	// A clean save afterwards publishes the new data and leaves no temp
+	// droppings behind.
+	saveCatalogHook = nil
+	if err := SaveCatalog(s.Catalog, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = LoadCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := loaded.Get("alpha")
+	if v, _ := rel.Get(0, "v"); v.AsString() != "new-a" {
+		t.Fatalf("clean save lost update: %v", v)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("stale temp file after clean save: %s", e.Name())
+		}
+	}
+}
+
+// TestCatalogMixedCaseNameRoundTrip pins the exact-name round trip: the
+// on-disk filename is lowercased (the catalog is case-insensitive), so
+// the display name must ride in the schema JSON. The pre-fix LoadCatalog
+// adopted the filename, turning "Hotels" into "hotels".
+func TestCatalogMixedCaseNameRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := machineSession()
+	mustExec(t, s, `CREATE TABLE Hotels (id INT, City STRING)`)
+	mustExec(t, s, `INSERT INTO Hotels VALUES (1, 'Paris')`)
+	if err := SaveCatalog(s.Catalog, dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := loaded.Names()
+	if len(names) != 1 || names[0] != "Hotels" {
+		t.Fatalf("table name mangled in round trip: %v", names)
+	}
+	rel, err := loaded.Get("hOTELS") // lookups stay case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Name != "Hotels" {
+		t.Fatalf("relation display name = %q, want Hotels", rel.Name)
+	}
+	if rel.Schema.Columns[1].Name != "City" {
+		t.Fatalf("column case lost: %v", rel.Schema.Columns)
+	}
+}
+
 func TestEstimateCostOrdersPlans(t *testing.T) {
 	s := crowdSession(600, 10)
 	mustExec(t, s, `CREATE TABLE items (id INT, price INT, brand STRING, specs STRING CROWD)`)

@@ -1,0 +1,491 @@
+package cql
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/operators"
+	"repro/internal/stats"
+)
+
+// testManager builds a manager whose sessions are crowd-less.
+func testManager(t *testing.T) *SessionManager {
+	t.Helper()
+	m, err := NewSessionManager(ServiceConfig{
+		Factory: func(name string) (*Session, error) { return machineSession(), nil },
+	})
+	if err != nil {
+		t.Fatalf("NewSessionManager: %v", err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+// mustRun executes src on the session and waits for the handle to finish.
+func mustRun(t *testing.T, ms *ManagedSession, src string) *Query {
+	t.Helper()
+	q, err := ms.Execute(src)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", src, err)
+	}
+	if !q.Wait(5 * time.Second) {
+		t.Fatalf("Execute(%q): query %s did not finish", src, q.ID())
+	}
+	if st := q.Status(); st != QueryDone {
+		t.Fatalf("Execute(%q): status %s, err %q", src, st, q.Err())
+	}
+	return q
+}
+
+func TestSessionManagerLifecycle(t *testing.T) {
+	var closedMu sync.Mutex
+	var closed []string
+	m, err := NewSessionManager(ServiceConfig{
+		Factory: func(name string) (*Session, error) { return machineSession(), nil },
+		OnClose: func(name string, s *Session) {
+			closedMu.Lock()
+			closed = append(closed, name)
+			closedMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewSessionManager: %v", err)
+	}
+
+	if _, err := m.Create("bad name!"); err == nil {
+		t.Fatal("invalid session name accepted")
+	}
+	ms, err := m.Create("Alpha")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := m.Create("alpha"); err == nil {
+		t.Fatal("duplicate (case-insensitive) session name accepted")
+	}
+	if got, ok := m.Get("ALPHA"); !ok || got != ms {
+		t.Fatal("Get is not case-insensitive")
+	}
+	if n := m.SessionCount(); n != 1 {
+		t.Fatalf("SessionCount = %d", n)
+	}
+	if names := m.SessionNames(); len(names) != 1 || names[0] != "Alpha" {
+		t.Fatalf("SessionNames = %v", names)
+	}
+
+	if err := m.CloseSession("nope"); err == nil {
+		t.Fatal("closing unknown session did not error")
+	}
+	if err := m.CloseSession("alpha"); err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	if _, ok := m.Get("alpha"); ok {
+		t.Fatal("closed session still visible")
+	}
+	if _, err := ms.Execute(`CREATE TABLE t (id INT)`); err != ErrSessionClosed {
+		t.Fatalf("Execute on closed session: %v", err)
+	}
+
+	if _, err := m.Create("beta"); err != nil {
+		t.Fatalf("Create after close: %v", err)
+	}
+	m.Close()
+	m.Close() // idempotent
+	if _, err := m.Create("gamma"); err != ErrSessionClosed {
+		t.Fatalf("Create on closed manager: %v", err)
+	}
+	closedMu.Lock()
+	defer closedMu.Unlock()
+	if len(closed) != 2 || closed[0] != "Alpha" || closed[1] != "beta" {
+		t.Fatalf("OnClose ran for %v, want [Alpha beta]", closed)
+	}
+}
+
+func TestIdleSweepSkipsBusySessions(t *testing.T) {
+	remote := newGatedRemote(1, 1)
+	var closedMu sync.Mutex
+	closed := map[string]bool{}
+	m, err := NewSessionManager(ServiceConfig{
+		Factory: func(name string) (*Session, error) {
+			if name == "busy" {
+				return remoteSession(remote), nil
+			}
+			return machineSession(), nil
+		},
+		IdleTTL: time.Hour,
+		OnClose: func(name string, s *Session) {
+			closedMu.Lock()
+			closed[name] = true
+			closedMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewSessionManager: %v", err)
+	}
+	defer m.Close()
+
+	idle, _ := m.Create("idle")
+	mustRun(t, idle, `CREATE TABLE t (id INT)`)
+	busy, _ := m.Create("busy")
+	mustRun(t, busy, `CREATE TABLE pets (id INT, kind STRING)`)
+	mustRun(t, busy, `INSERT INTO pets VALUES (1, 'beagle')`)
+	q, err := busy.Execute(`SELECT * FROM pets WHERE CROWDFILTER('dog?', kind)`)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	remote.waitCalls(t, 1) // the crowd question is in flight, blocked
+
+	// Two hours later the idle session expires; the busy one survives
+	// because its query is still running.
+	m.sweepIdle(time.Now().Add(2 * time.Hour))
+	if _, ok := m.Get("idle"); ok {
+		t.Fatal("idle session survived the sweep")
+	}
+	if _, ok := m.Get("busy"); !ok {
+		t.Fatal("busy session was swept mid-query")
+	}
+	closedMu.Lock()
+	if !closed["idle"] || closed["busy"] {
+		t.Fatalf("OnClose state wrong: %v", closed)
+	}
+	closedMu.Unlock()
+
+	remote.release()
+	if !q.Wait(5 * time.Second) {
+		t.Fatal("busy query did not finish after release")
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	m := testManager(t)
+	ms, _ := m.Create("s1")
+	mustRun(t, ms, `CREATE TABLE nums (id INT)`)
+	mustRun(t, ms, `INSERT INTO nums VALUES (1), (2), (3)`)
+
+	if err := ms.Prepare("", `SELECT id FROM nums`); err == nil {
+		t.Fatal("unnamed prepared statement accepted")
+	}
+	if err := ms.Prepare("bad", `SELEC id FROM nums`); err == nil {
+		t.Fatal("unparsable prepared statement accepted")
+	}
+	if err := ms.Prepare("evens", `SELECT id FROM nums WHERE id = 2`); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if names := ms.PreparedNames(); len(names) != 1 || names[0] != "evens" {
+		t.Fatalf("PreparedNames = %v", names)
+	}
+	if _, err := ms.ExecutePrepared("odds"); err == nil {
+		t.Fatal("unknown prepared statement executed")
+	}
+
+	q, err := ms.ExecutePrepared("Evens") // names are case-insensitive
+	if err != nil {
+		t.Fatalf("ExecutePrepared: %v", err)
+	}
+	if !q.Wait(5*time.Second) || q.Status() != QueryDone {
+		t.Fatalf("prepared query: status %s err %q", q.Status(), q.Err())
+	}
+	page, err := q.Page("", 10)
+	if err != nil {
+		t.Fatalf("Page: %v", err)
+	}
+	if len(page.Rows) != 1 || page.Rows[0][0] != "2" {
+		t.Fatalf("prepared result = %v", page.Rows)
+	}
+
+	// Re-preparing a name replaces the statement.
+	if err := ms.Prepare("evens", `SELECT id FROM nums WHERE id <> 2 ORDER BY id`); err != nil {
+		t.Fatalf("re-Prepare: %v", err)
+	}
+	q2, _ := ms.ExecutePrepared("evens")
+	q2.Wait(5 * time.Second)
+	if page, _ = q2.Page("", 10); len(page.Rows) != 2 {
+		t.Fatalf("replaced prepared result = %v", page.Rows)
+	}
+}
+
+func TestQueryPagination(t *testing.T) {
+	m := testManager(t)
+	ms, _ := m.Create("s1")
+	mustRun(t, ms, `CREATE TABLE nums (id INT)`)
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO nums VALUES `)
+	for i := 1; i <= 10; i++ {
+		if i > 1 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d)", i)
+	}
+	mustRun(t, ms, sb.String())
+	q := mustRun(t, ms, `SELECT id FROM nums ORDER BY id`)
+
+	got, _ := ms.Query(q.ID())
+	if got != q {
+		t.Fatal("Query lookup by id failed")
+	}
+
+	var rows [][]string
+	token, pages := "", 0
+	for {
+		page, err := q.Page(token, 4)
+		if err != nil {
+			t.Fatalf("Page(%q): %v", token, err)
+		}
+		if page.Partial || page.Status != QueryDone {
+			t.Fatalf("finished query page = %+v", page)
+		}
+		rows = append(rows, page.Rows...)
+		pages++
+		if page.NextPageToken == "" {
+			break
+		}
+		token = page.NextPageToken
+	}
+	if pages != 3 || len(rows) != 10 {
+		t.Fatalf("pages=%d rows=%d", pages, len(rows))
+	}
+	if rows[0][0] != "1" || rows[9][0] != "10" {
+		t.Fatalf("row order wrong: %v", rows)
+	}
+
+	if _, err := q.Page("zzz", 4); err == nil {
+		t.Fatal("bad page token accepted")
+	}
+	// Beyond-the-end token on a finished query: empty terminal page.
+	page, err := q.Page("r10", 4)
+	if err != nil || len(page.Rows) != 0 || page.NextPageToken != "" {
+		t.Fatalf("past-end page = %+v err=%v", page, err)
+	}
+}
+
+func TestExecuteMultiScript(t *testing.T) {
+	m := testManager(t)
+	ms, _ := m.Create("s1")
+	q, err := ms.Execute(`
+		CREATE TABLE t (id INT, name STRING);
+		INSERT INTO t VALUES (1, 'a'), (2, 'b');
+		SELECT name FROM t ORDER BY id DESC`)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !q.Wait(5*time.Second) || q.Status() != QueryDone {
+		t.Fatalf("script: status %s err %q", q.Status(), q.Err())
+	}
+	page, _ := q.Page("", 10)
+	if len(page.Cols) != 1 || page.Cols[0] != "name" {
+		t.Fatalf("script cols = %v", page.Cols)
+	}
+	if len(page.Rows) != 2 || page.Rows[0][0] != "b" {
+		t.Fatalf("script rows = %v", page.Rows)
+	}
+
+	// A failing statement mid-script surfaces on the handle.
+	q2, err := ms.Execute(`INSERT INTO t VALUES (3, 'c'); SELECT nope FROM t`)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	q2.Wait(5 * time.Second)
+	if q2.Status() != QueryError || q2.Err() == "" {
+		t.Fatalf("script error: status %s err %q", q2.Status(), q2.Err())
+	}
+}
+
+// gatedRemote answers every crowd question with a fixed option, blocking
+// from question number blockAfter (1-based) onward until released or the
+// query context is canceled. It stands in for the serving-pool gateway.
+type gatedRemote struct {
+	option     int
+	blockAfter int // 0 = never block
+	releaseCh  chan struct{}
+
+	mu    sync.Mutex
+	calls int
+}
+
+func newGatedRemote(option, blockAfter int) *gatedRemote {
+	return &gatedRemote{option: option, blockAfter: blockAfter, releaseCh: make(chan struct{})}
+}
+
+func (g *gatedRemote) release() { close(g.releaseCh) }
+
+func (g *gatedRemote) callCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.calls
+}
+
+func (g *gatedRemote) waitCalls(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.callCount() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("remote saw %d calls, want %d", g.callCount(), n)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (g *gatedRemote) Ask(ctx context.Context, t *core.Task, k int) ([]core.Answer, error) {
+	g.mu.Lock()
+	g.calls++
+	n := g.calls
+	g.mu.Unlock()
+	if g.blockAfter > 0 && n >= g.blockAfter {
+		select {
+		case <-g.releaseCh:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	out := make([]core.Answer, k)
+	for i := range out {
+		out[i] = core.Answer{Task: t.ID, Worker: fmt.Sprintf("w%d", i), Option: g.option}
+	}
+	return out, nil
+}
+
+// remoteSession builds a session whose crowd questions go to remote.
+func remoteSession(remote operators.RemoteSource) *Session {
+	rng := stats.NewRNG(7)
+	runner := operators.NewRunner(nil, nil, rng)
+	runner.Remote = remote
+	return NewSession(NewCatalog(), runner, rng.Split())
+}
+
+func TestCrowdQueryStreamsPartialRows(t *testing.T) {
+	remote := newGatedRemote(1, 3) // answer "yes", block on the 3rd question
+	m, err := NewSessionManager(ServiceConfig{
+		Factory: func(name string) (*Session, error) { return remoteSession(remote), nil },
+	})
+	if err != nil {
+		t.Fatalf("NewSessionManager: %v", err)
+	}
+	defer m.Close()
+	ms, _ := m.Create("s1")
+	mustRun(t, ms, `CREATE TABLE pets (id INT, kind STRING)`)
+	mustRun(t, ms, `INSERT INTO pets VALUES (1, 'beagle'), (2, 'poodle'), (3, 'husky')`)
+
+	q, err := ms.Execute(`SELECT * FROM pets WHERE CROWDFILTER('dog?', kind)`)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+
+	// The first two questions answer immediately; their rows must appear
+	// on the handle while the third question is still blocked.
+	deadline := time.Now().Add(5 * time.Second)
+	for q.RowCount() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("partial rows = %d after 5s (status %s)", q.RowCount(), q.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	page, err := q.Page("", 10)
+	if err != nil {
+		t.Fatalf("Page: %v", err)
+	}
+	if page.Status != QueryRunning || !page.Partial {
+		t.Fatalf("mid-flight page status=%s partial=%v", page.Status, page.Partial)
+	}
+	if len(page.Rows) != 2 || page.Rows[0][1] != "beagle" || page.Rows[1][1] != "poodle" {
+		t.Fatalf("partial rows = %v", page.Rows)
+	}
+	if page.NextPageToken != "r2" {
+		t.Fatalf("mid-flight token = %q", page.NextPageToken)
+	}
+
+	// fetchNextPage with the mid-flight cursor stays valid after the
+	// query completes: partial rows are a prefix of the final result.
+	remote.release()
+	if !q.Wait(5 * time.Second) {
+		t.Fatal("query did not finish after release")
+	}
+	next, err := q.Page(page.NextPageToken, 10)
+	if err != nil {
+		t.Fatalf("Page(next): %v", err)
+	}
+	if next.Status != QueryDone || next.Partial {
+		t.Fatalf("final page status=%s partial=%v", next.Status, next.Partial)
+	}
+	if len(next.Rows) != 1 || next.Rows[0][1] != "husky" || next.NextPageToken != "" {
+		t.Fatalf("final page = %+v", next)
+	}
+}
+
+func TestCancelQueryMidFlight(t *testing.T) {
+	remote := newGatedRemote(1, 2) // first question answers, second blocks
+	m, err := NewSessionManager(ServiceConfig{
+		Factory: func(name string) (*Session, error) { return remoteSession(remote), nil },
+	})
+	if err != nil {
+		t.Fatalf("NewSessionManager: %v", err)
+	}
+	defer m.Close()
+	ms, _ := m.Create("s1")
+	mustRun(t, ms, `CREATE TABLE pets (id INT, kind STRING)`)
+	mustRun(t, ms, `INSERT INTO pets VALUES (1, 'beagle'), (2, 'poodle'), (3, 'husky')`)
+
+	q, err := ms.Execute(`SELECT * FROM pets WHERE CROWDFILTER('dog?', kind)`)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	remote.waitCalls(t, 2)
+
+	if ms.CancelQuery("q999") {
+		t.Fatal("canceling unknown query reported success")
+	}
+	if !ms.CancelQuery(q.ID()) {
+		t.Fatal("CancelQuery did not find the handle")
+	}
+	if !q.Wait(5 * time.Second) {
+		t.Fatal("canceled query did not unwind")
+	}
+	if q.Status() != QueryCanceled {
+		t.Fatalf("status = %s, err %q", q.Status(), q.Err())
+	}
+	// No further crowd questions were issued after the cancel.
+	if got := remote.callCount(); got != 2 {
+		t.Fatalf("remote calls after cancel = %d, want 2", got)
+	}
+	// Canceling again is a harmless no-op and the session keeps working.
+	ms.CancelQuery(q.ID())
+	done := mustRun(t, ms, `SELECT id FROM pets ORDER BY id`)
+	if page, _ := done.Page("", 10); len(page.Rows) != 3 {
+		t.Fatalf("session unusable after cancel: %v", page.Rows)
+	}
+}
+
+func TestProgressTargetShapes(t *testing.T) {
+	s := crowdSession(21, 10)
+	mustExec(t, s, `CREATE TABLE pets (id INT, kind STRING, fur STRING CROWD)`)
+	mustExec(t, s, `CREATE TABLE plain (id INT, kind STRING)`)
+
+	cases := []struct {
+		src    string
+		stream bool
+	}{
+		{`SELECT * FROM pets WHERE CROWDFILTER('dog?', kind)`, true},
+		{`SELECT * FROM pets`, true},   // star select fills the crowd column
+		{`SELECT * FROM plain`, false}, // no crowd stage anywhere
+		{`SELECT id FROM pets WHERE CROWDFILTER('dog?', kind)`, false},   // narrowing projection
+		{`SELECT * FROM pets WHERE CROWDFILTER('dog?', kind) LIMIT 1`, false}, // limit above
+		{`SELECT * FROM pets WHERE CROWDFILTER('dog?', kind) ORDER BY id`, false},
+	}
+	for _, tc := range cases {
+		stmts, err := ParseAll(tc.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", tc.src, err)
+		}
+		plan, err := s.Plan(stmts[0].(*Select), s.Optimize)
+		if err != nil {
+			t.Fatalf("plan %q: %v", tc.src, err)
+		}
+		if got := progressTarget(plan) != nil; got != tc.stream {
+			t.Errorf("%q: streamable = %v, want %v (plan %s)",
+				tc.src, got, tc.stream, plan.Describe())
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package cql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -105,6 +106,18 @@ type Session struct {
 	Stats ExecStats
 
 	rng *stats.RNG
+
+	// qctx is the cancellation context of the statement currently
+	// executing (set by ExecuteStmtCtx for its duration). Sessions are
+	// single-threaded, so a plain field suffices.
+	qctx context.Context
+
+	// progressNode/progressFn stream partial rows out of a running crowd
+	// query: when exec reaches progressNode (the last crowd stage of a
+	// linear pipeline, see progressTarget), every row it emits is also
+	// handed to progressFn. Set by ExecuteStmtStream; nil otherwise.
+	progressNode PlanNode
+	progressFn   func(bs *boundSchema, row model.Tuple)
 }
 
 // NewSession builds a session with sane defaults. runner may be nil for a
@@ -130,23 +143,35 @@ func NewSession(catalog *Catalog, runner *operators.Runner, rng *stats.RNG) *Ses
 // Execute parses and runs one statement, returning its result relation.
 // DDL statements return a one-row status relation.
 func (s *Session) Execute(src string) (*model.Relation, error) {
+	return s.ExecuteCtx(context.Background(), src)
+}
+
+// ExecuteCtx is Execute with a cancellation context: canceling ctx stops
+// the statement between crowd questions (no further questions are issued)
+// and surfaces ctx.Err().
+func (s *Session) ExecuteCtx(ctx context.Context, src string) (*model.Relation, error) {
 	stmt, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return s.ExecuteStmt(stmt)
+	return s.ExecuteStmtCtx(ctx, stmt)
 }
 
 // ExecuteScript runs a semicolon-separated script, returning the result of
 // the last statement.
 func (s *Session) ExecuteScript(src string) (*model.Relation, error) {
+	return s.ExecuteScriptCtx(context.Background(), src)
+}
+
+// ExecuteScriptCtx is ExecuteScript with a cancellation context.
+func (s *Session) ExecuteScriptCtx(ctx context.Context, src string) (*model.Relation, error) {
 	stmts, err := ParseAll(src)
 	if err != nil {
 		return nil, err
 	}
 	var last *model.Relation
 	for _, st := range stmts {
-		last, err = s.ExecuteStmt(st)
+		last, err = s.ExecuteStmtCtx(ctx, st)
 		if err != nil {
 			return nil, err
 		}
@@ -156,6 +181,32 @@ func (s *Session) ExecuteScript(src string) (*model.Relation, error) {
 
 // ExecuteStmt runs one parsed statement.
 func (s *Session) ExecuteStmt(stmt Statement) (*model.Relation, error) {
+	return s.ExecuteStmtCtx(context.Background(), stmt)
+}
+
+// ExecuteStmtCtx runs one parsed statement under ctx. The context gates
+// crowd work: every plan-node dispatch and every crowd question checks it
+// first, so cancellation takes effect between answers without tearing the
+// catalog (mutating statements are machine-only and atomic).
+func (s *Session) ExecuteStmtCtx(ctx context.Context, stmt Statement) (*model.Relation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prev := s.qctx
+	s.qctx = ctx
+	defer func() { s.qctx = prev }()
+	return s.executeStmt(stmt)
+}
+
+// queryCtx returns the context of the running statement.
+func (s *Session) queryCtx() context.Context {
+	if s.qctx == nil {
+		return context.Background()
+	}
+	return s.qctx
+}
+
+func (s *Session) executeStmt(stmt Statement) (*model.Relation, error) {
 	switch st := stmt.(type) {
 	case *CreateTable:
 		schema, err := model.NewSchema(st.Columns...)
@@ -327,9 +378,12 @@ func (s *Session) execUpdate(st *Update) (*model.Relation, error) {
 		}
 		ops = append(ops, setOp{idx: ci, val: v})
 	}
+	// Two-pass: evaluate the predicate over every row before mutating any,
+	// so a predicate error mid-scan leaves the table untouched instead of
+	// partially updated.
 	bs := newBoundSchema(rel, st.Table)
-	updated := 0
-	for _, row := range rel.Tuples {
+	var matched []int
+	for i, row := range rel.Tuples {
 		match := true
 		if st.Where != nil {
 			match, err = evalMachine(st.Where, bs, row)
@@ -337,15 +391,16 @@ func (s *Session) execUpdate(st *Update) (*model.Relation, error) {
 				return nil, err
 			}
 		}
-		if !match {
-			continue
+		if match {
+			matched = append(matched, i)
 		}
-		for _, op := range ops {
-			row[op.idx] = op.val
-		}
-		updated++
 	}
-	return statusRelation(fmt.Sprintf("updated %d rows in %s", updated, st.Table)), nil
+	for _, i := range matched {
+		for _, op := range ops {
+			rel.Tuples[i][op.idx] = op.val
+		}
+	}
+	return statusRelation(fmt.Sprintf("updated %d rows in %s", len(matched), st.Table)), nil
 }
 
 // execDelete removes the tuples matching the (machine-only) predicate.
@@ -357,24 +412,35 @@ func (s *Session) execDelete(st *Delete) (*model.Relation, error) {
 	if st.Where != nil && IsCrowdExpr(st.Where) {
 		return nil, fmt.Errorf("cql: DELETE supports machine predicates only")
 	}
+	// Two-pass: decide every row's fate before compacting. The old
+	// single-pass version compacted rel.Tuples[:0] in place while still
+	// evaluating the predicate, so an error mid-scan left kept rows
+	// clobbering unvisited ones — a corrupted table.
 	bs := newBoundSchema(rel, st.Table)
-	kept := rel.Tuples[:0]
+	match := make([]bool, len(rel.Tuples))
 	deleted := 0
-	for _, row := range rel.Tuples {
-		match := true
+	for i, row := range rel.Tuples {
+		m := true
 		if st.Where != nil {
-			match, err = evalMachine(st.Where, bs, row)
+			m, err = evalMachine(st.Where, bs, row)
 			if err != nil {
 				return nil, err
 			}
 		}
-		if match {
+		match[i] = m
+		if m {
 			deleted++
-			continue
 		}
-		kept = append(kept, row)
 	}
-	rel.Tuples = kept
+	if deleted > 0 {
+		kept := rel.Tuples[:0]
+		for i, row := range rel.Tuples {
+			if !match[i] {
+				kept = append(kept, row)
+			}
+		}
+		rel.Tuples = kept
+	}
 	return statusRelation(fmt.Sprintf("deleted %d rows from %s", deleted, st.Table)), nil
 }
 

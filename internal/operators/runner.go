@@ -11,6 +11,7 @@
 package operators
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -22,6 +23,17 @@ import (
 // ErrNoWorkers is returned when every worker has already answered a task
 // that needs more answers.
 var ErrNoWorkers = errors.New("operators: no remaining worker for task")
+
+// RemoteSource routes crowd questions to an external answering service —
+// typically a serving pool reached over HTTP — instead of the runner's
+// in-process worker loop. Ask publishes t, blocks until k answers have
+// arrived or ctx is canceled, and returns the answers it gathered (possibly
+// fewer than k alongside a non-nil error). Budget accounting for remote
+// questions belongs to the remote side: the runner's own budget is not
+// charged for them.
+type RemoteSource interface {
+	Ask(ctx context.Context, t *core.Task, k int) ([]core.Answer, error)
+}
 
 // Runner feeds operator questions to a worker pool sequentially. It is the
 // cost/quality-facing counterpart of core.Platform (which models rounds
@@ -40,6 +52,12 @@ type Runner struct {
 	AnswersUsed int
 	// TasksAsked counts distinct tasks that received at least one answer.
 	TasksAsked int
+
+	// Remote, when set, redirects CollectCtx (and everything built on it)
+	// to an external answer source; the in-process workers and the
+	// runner's budget are bypassed. The runner's accounting counters still
+	// track remote answers.
+	Remote RemoteSource
 }
 
 // NewRunner wires a runner. A nil budget means unlimited.
@@ -113,11 +131,30 @@ func (r *Runner) One(t *core.Task) (core.Answer, error) {
 
 // Collect gathers k answers for t (distinct workers).
 func (r *Runner) Collect(t *core.Task, k int) ([]core.Answer, error) {
+	return r.CollectCtx(context.Background(), t, k)
+}
+
+// CollectCtx gathers k answers for t, stopping early when ctx is canceled
+// (the partial answers gathered so far are returned with ctx's error). With
+// a Remote source attached the whole collection is delegated to it —
+// publish, wait, cancel semantics included.
+func (r *Runner) CollectCtx(ctx context.Context, t *core.Task, k int) ([]core.Answer, error) {
 	if k <= 0 {
 		return nil, fmt.Errorf("operators: redundancy must be positive (got %d)", k)
 	}
+	if r.Remote != nil {
+		answers, err := r.Remote.Ask(ctx, t, k)
+		r.AnswersUsed += len(answers)
+		if len(answers) > 0 {
+			r.TasksAsked++
+		}
+		return answers, err
+	}
 	out := make([]core.Answer, 0, k)
 	for i := 0; i < k; i++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		a, err := r.One(t)
 		if err != nil {
 			return out, err
@@ -130,7 +167,12 @@ func (r *Runner) Collect(t *core.Task, k int) ([]core.Answer, error) {
 // MajorityOption asks k workers and returns the plurality option (ties to
 // the lowest index).
 func (r *Runner) MajorityOption(t *core.Task, k int) (int, error) {
-	answers, err := r.Collect(t, k)
+	return r.MajorityOptionCtx(context.Background(), t, k)
+}
+
+// MajorityOptionCtx is MajorityOption with cancellation (see CollectCtx).
+func (r *Runner) MajorityOptionCtx(ctx context.Context, t *core.Task, k int) (int, error) {
+	answers, err := r.CollectCtx(ctx, t, k)
 	if err != nil {
 		return 0, err
 	}

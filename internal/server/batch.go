@@ -140,6 +140,7 @@ func (s *Server) handleAnswerBatch(w http.ResponseWriter, r *http.Request) {
 			t := s.cpool.Task(answers[j].Task)
 			golden := s.observeGolden(t, answers[j].Worker, answers[j].Option, answers[j].Text)
 			accepted = append(accepted, batchItem{idx: i, answer: answers[j], golden: golden})
+			s.notifyCQL(answers[j].Task)
 			out.Results[i] = BatchItemDTO{Status: batchRecorded}
 		}
 	}

@@ -1,0 +1,495 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cql"
+	"repro/internal/obs"
+	"repro/internal/operators"
+	"repro/internal/stats"
+)
+
+// CrowdQL query service: named sessions over the serving pool.
+//
+//	POST   /api/cql/session                          -> create a session
+//	GET    /api/cql/sessions                         -> list sessions
+//	DELETE /api/cql/session/{name}                   -> close (and persist) it
+//	POST   /api/cql/session/{name}/prepare           -> store a named statement
+//	POST   /api/cql/session/{name}/execute           -> run SQL/CQL, returns a query handle
+//	GET    /api/cql/session/{name}/query/{qid}       -> poll a handle / fetch the next page
+//	POST   /api/cql/session/{name}/query/{qid}/cancel-> cancel a running query
+//
+// Crowd questions issued by a session's queries do not run against
+// simulated workers: the session's runner carries a RemoteSource that
+// publishes each question as a task in the serving pool, where real
+// workers pick it up through GET /api/task and answer through POST
+// /api/answer — the same endpoints, budget, screening, leases, and
+// durability as every other task. A crowd query is therefore
+// asynchronous by nature; execute returns a handle immediately (after a
+// short grace wait so machine statements look synchronous), and clients
+// poll the handle for partial rows while answers arrive.
+//
+// Budget accounting uses the reservation protocol of the answer path:
+// the gateway reserves redundancy-k units when it publishes a question
+// and refunds one unit per arriving answer (which the answer path
+// charges), so a completed question costs exactly k and a canceled one
+// costs exactly the answers it received. Canceling a query closes its
+// in-flight task, which releases the task's outstanding leases.
+
+// CQLConfig configures the CrowdQL query service.
+type CQLConfig struct {
+	// Dir, when non-empty, persists each session's catalog under
+	// Dir/<session-name>/ as the session closes (explicitly, by idle
+	// sweep, or at server shutdown) and reloads it when a session of the
+	// same name is created again.
+	Dir string
+	// IdleTTL closes sessions with no activity and no running query
+	// (0 = only explicit close).
+	IdleTTL time.Duration
+	// PageSize is the default page size for query handles (default 100).
+	PageSize int
+	// Redundancy is votes per crowd question (default: the session
+	// default, 3).
+	Redundancy int
+	// Seed seeds each session's RNG (plan sampling; crowd answers come
+	// from the pool, not a simulation).
+	Seed uint64
+	// Oracle, when set, supplies the simulated ground truth planted on
+	// published tasks for a given session (golden grading, experiments).
+	Oracle func(session string) *cql.SimOracle
+	// ExecuteGrace bounds how long POST execute waits for the query to
+	// finish before returning a running handle (default 300ms). Machine
+	// statements resolve well within it, so they look synchronous.
+	ExecuteGrace time.Duration
+}
+
+// WithCQL mounts the CrowdQL query service on the server.
+func WithCQL(cfg CQLConfig) Option {
+	return func(s *Server) { s.cqlCfg = &cfg }
+}
+
+// CQLSessions exposes the session manager (nil unless WithCQL); tests
+// and embedders reach the service layer directly through it.
+func (s *Server) CQLSessions() *cql.SessionManager { return s.cqlMgr }
+
+// cqlMetrics instruments the query service. Nil fields (metrics off)
+// no-op.
+type cqlMetrics struct {
+	queriesDone     *obs.Counter
+	queriesError    *obs.Counter
+	queriesCanceled *obs.Counter
+	querySeconds    *obs.Histogram
+	pagesServed     *obs.Counter
+	cancels         *obs.Counter
+}
+
+func (m *cqlMetrics) queryDone(status cql.QueryStatus, d time.Duration) {
+	switch status {
+	case cql.QueryError:
+		m.queriesError.Inc()
+	case cql.QueryCanceled:
+		m.queriesCanceled.Inc()
+	default:
+		m.queriesDone.Inc()
+	}
+	m.querySeconds.Observe(d.Seconds())
+}
+
+// initCQL builds the gateway and session manager. Called by New once the
+// pool wrapper exists, before observability wiring (which registers the
+// service's gauges).
+func (s *Server) initCQL() error {
+	if s.cqlCfg == nil {
+		return nil
+	}
+	cfg := s.cqlCfg
+	if cfg.ExecuteGrace <= 0 {
+		cfg.ExecuteGrace = 300 * time.Millisecond
+	}
+	s.cqlGw = &cqlGateway{srv: s, waiters: make(map[core.TaskID]chan struct{})}
+	mgr, err := cql.NewSessionManager(cql.ServiceConfig{
+		Factory:     s.newCQLSession,
+		IdleTTL:     cfg.IdleTTL,
+		PageSize:    cfg.PageSize,
+		OnClose:     s.saveCQLCatalog,
+		OnQueryDone: func(st cql.QueryStatus, d time.Duration) { s.cqlM.queryDone(st, d) },
+	})
+	if err != nil {
+		return err
+	}
+	s.cqlMgr = mgr
+	return nil
+}
+
+// newCQLSession is the session factory: a fresh catalog (reloaded from
+// disk when this session name was persisted before) and a runner whose
+// crowd questions route to the serving pool through the gateway.
+func (s *Server) newCQLSession(name string) (*cql.Session, error) {
+	cat := cql.NewCatalog()
+	if s.cqlCfg.Dir != "" {
+		dir := filepath.Join(s.cqlCfg.Dir, name)
+		if _, err := os.Stat(dir); err == nil {
+			loaded, err := cql.LoadCatalog(dir)
+			if err != nil {
+				return nil, fmt.Errorf("cql session %q: %w", name, err)
+			}
+			cat = loaded
+		}
+	}
+	rng := stats.NewRNG(s.cqlCfg.Seed + 1)
+	runner := operators.NewRunner(nil, nil, rng)
+	runner.Remote = s.cqlGw
+	sess := cql.NewSession(cat, runner, rng.Split())
+	if s.cqlCfg.Redundancy > 0 {
+		sess.Redundancy = s.cqlCfg.Redundancy
+	}
+	if s.cqlCfg.Oracle != nil {
+		sess.Oracle = s.cqlCfg.Oracle(name)
+	}
+	return sess, nil
+}
+
+// saveCQLCatalog is the session OnClose hook: persist the catalog so the
+// session's tables survive a server restart.
+func (s *Server) saveCQLCatalog(name string, sess *cql.Session) {
+	if s.cqlCfg.Dir == "" {
+		return
+	}
+	dir := filepath.Join(s.cqlCfg.Dir, name)
+	err := os.MkdirAll(dir, 0o755)
+	if err == nil {
+		err = cql.SaveCatalog(sess.Catalog, dir)
+	}
+	if err != nil && s.reqLog != nil {
+		s.reqLog.Error("cql catalog save failed", "session", name, "error", err)
+	}
+}
+
+// wireCQLObservability registers the query-service metrics (called from
+// wireObservability when metrics are on and the service is mounted).
+func (s *Server) wireCQLObservability() {
+	reg := s.metricsReg
+	st := func(v string) obs.Label { return obs.L("status", v) }
+	s.cqlM = cqlMetrics{
+		queriesDone:     reg.Counter("crowdkit_cql_queries_total", st("done")),
+		queriesError:    reg.Counter("crowdkit_cql_queries_total", st("error")),
+		queriesCanceled: reg.Counter("crowdkit_cql_queries_total", st("canceled")),
+		querySeconds:    reg.Histogram("crowdkit_cql_query_seconds", obs.DefLatencyBuckets),
+		pagesServed:     reg.Counter("crowdkit_cql_pages_served_total"),
+		cancels:         reg.Counter("crowdkit_cql_cancels_total"),
+	}
+	reg.GaugeFunc("crowdkit_cql_sessions_active", func() float64 {
+		return float64(s.cqlMgr.SessionCount())
+	})
+}
+
+// mountCQL adds the query-service routes (called from New when WithCQL
+// was given).
+func (s *Server) mountCQL() {
+	s.mux.HandleFunc("POST /api/cql/session",
+		s.instrument("/api/cql/session", s.handleCQLCreate))
+	s.mux.HandleFunc("GET /api/cql/sessions",
+		s.instrument("/api/cql/sessions", s.handleCQLList))
+	s.mux.HandleFunc("DELETE /api/cql/session/{name}",
+		s.instrument("/api/cql/session.close", s.handleCQLClose))
+	s.mux.HandleFunc("POST /api/cql/session/{name}/prepare",
+		s.instrument("/api/cql/prepare", s.handleCQLPrepare))
+	s.mux.HandleFunc("POST /api/cql/session/{name}/execute",
+		s.instrument("/api/cql/execute", s.handleCQLExecute))
+	s.mux.HandleFunc("GET /api/cql/session/{name}/query/{qid}",
+		s.instrument("/api/cql/query", s.handleCQLQuery))
+	s.mux.HandleFunc("POST /api/cql/session/{name}/query/{qid}/cancel",
+		s.instrument("/api/cql/cancel", s.handleCQLCancel))
+}
+
+// cqlGateway publishes a session's crowd questions as serving-pool tasks
+// and waits for the pool's workers to answer them. It implements
+// operators.RemoteSource.
+type cqlGateway struct {
+	srv *Server
+
+	mu      sync.Mutex
+	waiters map[core.TaskID]chan struct{}
+}
+
+// notify wakes the gateway waiter for a task, if any. Called by the
+// answer paths after recording; spurious wakes are harmless (the waiter
+// re-reads the pool), so no rollback ever needs to retract one.
+func (g *cqlGateway) notify(id core.TaskID) {
+	g.mu.Lock()
+	ch := g.waiters[id]
+	g.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// notifyCQL wakes the gateway waiter for a task after an answer was
+// recorded (no-op when the query service is not mounted). Called from
+// the single and batch answer paths.
+func (s *Server) notifyCQL(id core.TaskID) {
+	if s.cqlGw != nil {
+		s.cqlGw.notify(id)
+	}
+}
+
+// cqlAnswerPoll is the fallback poll interval for gateway waiters; the
+// notify hook makes the common case event-driven.
+const cqlAnswerPoll = 50 * time.Millisecond
+
+// Ask implements operators.RemoteSource: reserve k budget units, publish
+// the question, wait for k answers (refunding one reserved unit per
+// arriving answer, since the answer path charges it), close the task,
+// and return the answers. On cancellation the task is closed — dropping
+// its outstanding leases — and the unconsumed remainder of the
+// reservation is refunded, so a canceled question's net spend is exactly
+// the answers it received.
+func (g *cqlGateway) Ask(ctx context.Context, t *core.Task, k int) ([]core.Answer, error) {
+	s := g.srv
+	if !s.budget.TryCharge(float64(k)) {
+		return nil, errors.New("cql: budget exhausted")
+	}
+	id, err := s.cpool.Add(t)
+	if err != nil {
+		s.budget.Refund(float64(k))
+		return nil, err
+	}
+	ch := make(chan struct{}, 1)
+	g.mu.Lock()
+	g.waiters[id] = ch
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.waiters, id)
+		g.mu.Unlock()
+	}()
+
+	ticker := time.NewTicker(cqlAnswerPoll)
+	defer ticker.Stop()
+	seen := 0
+	for {
+		if n := s.cpool.AnswerCount(id); n > seen {
+			// Each arriving answer was charged by the answer path; release
+			// the matching part of our reservation so in-flight spend stays
+			// exactly k. Answers beyond k (racing workers) keep their own
+			// charge.
+			if n > k {
+				n = k
+			}
+			s.budget.Refund(float64(n - seen))
+			seen = n
+		}
+		if seen >= k {
+			s.cpool.Close(id)
+			answers := s.cpool.Answers(id)
+			return append([]core.Answer(nil), answers[:k]...), nil
+		}
+		select {
+		case <-ctx.Done():
+			// Stop the question: close the task (rejecting further answers
+			// and dropping its leases) and hand back the reservation we
+			// never consumed.
+			s.cpool.Close(id)
+			s.budget.Refund(float64(k - seen))
+			return nil, ctx.Err()
+		case <-ch:
+		case <-ticker.C:
+		}
+	}
+}
+
+// --- HTTP handlers ---
+
+// CQLSessionDTO names a session on the wire.
+type CQLSessionDTO struct {
+	Session string `json:"session"`
+	Status  string `json:"status,omitempty"`
+}
+
+// CQLSessionListDTO is the GET /api/cql/sessions response.
+type CQLSessionListDTO struct {
+	Sessions []string `json:"sessions"`
+}
+
+// CQLExecuteDTO is the execute/prepare request body. Execute takes
+// either Src (SQL/CQL text, possibly a multi-statement script) or
+// Prepared (the name of a prepared statement); prepare takes Name + Src.
+type CQLExecuteDTO struct {
+	Name     string `json:"name,omitempty"`
+	Src      string `json:"src,omitempty"`
+	Prepared string `json:"prepared,omitempty"`
+}
+
+// maxCQLBody bounds CQL request bodies; statements are small.
+const maxCQLBody = 1 << 20
+
+func decodeCQLBody(w http.ResponseWriter, r *http.Request, dto any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxCQLBody)
+	if err := json.NewDecoder(r.Body).Decode(dto); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// cqlSession resolves the {name} path segment to a live session.
+func (s *Server) cqlSession(w http.ResponseWriter, r *http.Request) *cql.ManagedSession {
+	name := r.PathValue("name")
+	ms, ok := s.cqlMgr.Get(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", name))
+		return nil
+	}
+	return ms
+}
+
+func (s *Server) handleCQLCreate(w http.ResponseWriter, r *http.Request) {
+	var dto CQLSessionDTO
+	if !decodeCQLBody(w, r, &dto) {
+		return
+	}
+	ms, err := s.cqlMgr.Create(dto.Session)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, CQLSessionDTO{Session: ms.Name(), Status: "created"})
+}
+
+func (s *Server) handleCQLList(w http.ResponseWriter, r *http.Request) {
+	names := s.cqlMgr.SessionNames()
+	if names == nil {
+		names = []string{}
+	}
+	writeJSON(w, CQLSessionListDTO{Sessions: names})
+}
+
+func (s *Server) handleCQLClose(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.cqlMgr.CloseSession(name); err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, CQLSessionDTO{Session: name, Status: "closed"})
+}
+
+func (s *Server) handleCQLPrepare(w http.ResponseWriter, r *http.Request) {
+	ms := s.cqlSession(w, r)
+	if ms == nil {
+		return
+	}
+	var dto CQLExecuteDTO
+	if !decodeCQLBody(w, r, &dto) {
+		return
+	}
+	if err := ms.Prepare(dto.Name, dto.Src); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, CQLSessionDTO{Session: ms.Name(), Status: "prepared"})
+}
+
+func (s *Server) handleCQLExecute(w http.ResponseWriter, r *http.Request) {
+	ms := s.cqlSession(w, r)
+	if ms == nil {
+		return
+	}
+	var dto CQLExecuteDTO
+	if !decodeCQLBody(w, r, &dto) {
+		return
+	}
+	var (
+		q   *cql.Query
+		err error
+	)
+	switch {
+	case dto.Prepared != "":
+		q, err = ms.ExecutePrepared(dto.Prepared)
+	case dto.Src != "":
+		q, err = ms.Execute(dto.Src)
+	default:
+		httpError(w, http.StatusBadRequest, "need src or prepared")
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Grace wait: machine statements finish in microseconds, so clients
+	// of non-crowd queries see a completed first page; crowd queries
+	// return a running handle to poll.
+	q.Wait(s.cqlCfg.ExecuteGrace)
+	s.writeCQLPage(w, q, "", 0)
+}
+
+func (s *Server) handleCQLQuery(w http.ResponseWriter, r *http.Request) {
+	ms := s.cqlSession(w, r)
+	if ms == nil {
+		return
+	}
+	qid := r.PathValue("qid")
+	q, ok := ms.Query(qid)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown query %q", qid))
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		limit = n
+	}
+	s.writeCQLPage(w, q, r.URL.Query().Get("page_token"), limit)
+}
+
+func (s *Server) writeCQLPage(w http.ResponseWriter, q *cql.Query, token string, limit int) {
+	page, err := q.Page(token, limit)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.cqlM.pagesServed.Inc()
+	writeJSON(w, page)
+}
+
+// cqlCancelWait bounds how long the cancel endpoint waits for the
+// canceled query to unwind. Unwinding is what releases the question's
+// leases and refunds its budget, so the ack should normally mean "the
+// pool is clean again"; a handler stuck past the bound acks with status
+// still running and the unwind completes asynchronously.
+const cqlCancelWait = 5 * time.Second
+
+func (s *Server) handleCQLCancel(w http.ResponseWriter, r *http.Request) {
+	ms := s.cqlSession(w, r)
+	if ms == nil {
+		return
+	}
+	qid := r.PathValue("qid")
+	q, ok := ms.Query(qid)
+	if !ok || !ms.CancelQuery(qid) {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown query %q", qid))
+		return
+	}
+	s.cqlM.cancels.Inc()
+	q.Wait(cqlCancelWait)
+	writeJSON(w, struct {
+		Query  string          `json:"query_id"`
+		Status cql.QueryStatus `json:"status"`
+	}{Query: qid, Status: q.Status()})
+}

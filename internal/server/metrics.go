@@ -170,6 +170,9 @@ func (s *Server) wireObservability() {
 		if s.store != nil {
 			s.store.RegisterMetrics(s.metricsReg)
 		}
+		if s.cqlMgr != nil {
+			s.wireCQLObservability()
+		}
 	}
 }
 

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/cql"
 	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/truth"
@@ -107,6 +108,12 @@ type Server struct {
 	// store, when set, journals every pool mutation and gates answer acks
 	// on durability (nil = the pure in-memory server; see durable.go).
 	store *durable.Store
+
+	// CrowdQL query service (nil unless WithCQL; see cql.go).
+	cqlCfg *CQLConfig
+	cqlMgr *cql.SessionManager
+	cqlGw  *cqlGateway
+	cqlM   cqlMetrics
 }
 
 // Option configures optional server behavior.
@@ -208,6 +215,9 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 		// where the charge and golden outcome are known.
 		s.cpool.SetJournal(s.store)
 	}
+	if err := s.initCQL(); err != nil {
+		return nil, err
+	}
 	s.wireObservability()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /api/task", s.instrument("/api/task", s.handleTask))
@@ -216,6 +226,9 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 	s.mux.HandleFunc("GET /api/stats", s.instrument("/api/stats", s.handleStats))
 	s.mux.HandleFunc("GET /api/results", s.instrument("/api/results", s.handleResults))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	if s.cqlMgr != nil {
+		s.mountCQL()
+	}
 	s.mountDebug()
 	if s.leaseTTL > 0 {
 		if s.reaperEvery <= 0 {
@@ -234,11 +247,19 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 	return s, nil
 }
 
-// Close stops the background reaper (if any) and, when durability is on,
-// flushes and snapshots the store (see durable.Store.Close). It is safe
-// to call more than once and on servers without leases or durability.
+// Close shuts down the CrowdQL session manager (if mounted — canceling
+// running queries and persisting session catalogs), stops the background
+// reaper (if any) and, when durability is on, flushes and snapshots the
+// store (see durable.Store.Close). It is safe to call more than once and
+// on servers without leases or durability.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		if s.cqlMgr != nil {
+			// First: closing sessions cancels their queries (releasing pool
+			// leases and budget) and persists their catalogs while the rest
+			// of the server is still up.
+			s.cqlMgr.Close()
+		}
 		if s.stopReaper != nil {
 			close(s.stopReaper)
 		}
@@ -452,6 +473,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusConflict, err.Error())
 		return
 	}
+	s.notifyCQL(a.Task)
 	golden := s.observeGolden(t, dto.Worker, dto.Option, dto.Text)
 	// Ack-implies-durable: the answer (with its budget charge and golden
 	// outcome) must be journaled before the client hears "recorded". A
