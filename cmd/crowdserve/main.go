@@ -11,6 +11,8 @@
 //	crowdserve -timeout 10s                      # server read/write + client deadlines
 //	crowdserve -metrics                          # Prometheus exposition on /metrics + request logs
 //	crowdserve -metrics -pprof                   # also mount /debug/pprof for profiling
+//	crowdserve -trace                            # span flight recorder + /api/trace endpoints
+//	crowdserve -trace -trace-sample 0.1          # keep errors/slow always, 10% of the rest
 //	crowdserve -shards 8                         # partition the pool into 8 task-hash shards
 //	crowdserve -results-warm=false               # cold-start EM on every /api/results recompute
 //	crowdserve -results-refresh 500ms            # refresh results in the background; polls never wait
@@ -37,6 +39,16 @@
 // budget/pool/lease gauges, assignment-policy counters, and EM
 // convergence telemetry on /metrics, and logs one structured line per
 // request (trace ID, method, path, status, duration) to stderr.
+//
+// With -trace, every request is traced through the serving stack — HTTP
+// root span, assignment/record spans in the pool shards, WAL append and
+// fsync spans, EM-run spans with per-iteration convergence events, and
+// CrowdQL statement/stage/question spans — into a bounded in-memory
+// flight recorder. Completed traces are read back by the ID echoed in
+// every X-Trace-Id response header via GET /api/trace/{id}, browsed via
+// GET /api/traces?endpoint=&min_ms=, and a crowd query's trace is
+// resolved via its handle. Error and slow traces are always kept;
+// -trace-sample tail-samples the rest, and -trace-buffer bounds memory.
 package main
 
 import (
@@ -84,6 +96,9 @@ func main() {
 		cqlTTL  = flag.Duration("cql-idle", 0, "close CrowdQL sessions idle for this long (with -cql-dir; 0 = only explicit close)")
 		fsyncF  = flag.String("fsync", "always", `WAL fsync policy: "always" (ack = on disk), a duration like "100ms" (batched flushes), or "off"`)
 		snapEv  = flag.Duration("snapshot-every", 30*time.Second, "how often to compact the WAL into a snapshot (with -data-dir; 0 = only on shutdown)")
+		traceOn = flag.Bool("trace", false, "record request traces and mount /api/trace endpoints")
+		traceSm = flag.Float64("trace-sample", 1.0, "fraction of non-error, non-slow traces to keep (with -trace; errors and slow requests are always kept)")
+		traceBf = flag.Int("trace-buffer", 1024, "kept-trace ring capacity (with -trace)")
 	)
 	flag.Parse()
 
@@ -162,6 +177,13 @@ func main() {
 	}
 	if *pprofOn {
 		opts = append(opts, server.WithPprof())
+	}
+	if *traceOn {
+		col := obs.NewCollector(obs.CollectorOptions{
+			Capacity:   *traceBf,
+			SampleRate: *traceSm,
+		})
+		opts = append(opts, server.WithTracing(col))
 	}
 	if *cqlDir != "" {
 		dir := *cqlDir

@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // resultSet is a batch of rows flowing between plan nodes. While the
@@ -45,6 +46,61 @@ func (s *Session) exec(node PlanNode) (*resultSet, error) {
 	if err := s.queryCtx().Err(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.ChildSpan(s.queryCtx(), "cql.stage."+stageName(node))
+	if sp == nil {
+		// Tracing off: execNode directly, zero overhead.
+		return s.execNode(node)
+	}
+	// Swap the statement context for the stage span's for the duration, so
+	// input stages and crowd questions executed beneath this node nest
+	// under its span (sessions are single-threaded; a plain swap is safe).
+	prev := s.qctx
+	s.qctx = ctx
+	rs, err := s.execNode(node)
+	s.qctx = prev
+	if rs != nil {
+		sp.SetAttr(obs.Int("rows", int64(len(rs.rows))))
+	}
+	sp.SetError(err)
+	sp.End()
+	return rs, err
+}
+
+// stageName labels a plan node's stage span.
+func stageName(node PlanNode) string {
+	switch node.(type) {
+	case *ScanNode:
+		return "scan"
+	case *MachineFilterNode:
+		return "machine_filter"
+	case *CrowdFillNode:
+		return "crowd_fill"
+	case *CrowdFilterNode:
+		return "crowd_filter"
+	case *JoinNode:
+		return "join"
+	case *CrowdJoinNode:
+		return "crowd_join"
+	case *SortNode:
+		return "sort"
+	case *CrowdSortNode:
+		return "crowd_sort"
+	case *LimitNode:
+		return "limit"
+	case *DistinctNode:
+		return "distinct"
+	case *ProjectNode:
+		return "project"
+	case *AggregateNode:
+		return "aggregate"
+	default:
+		return "unknown"
+	}
+}
+
+// execNode dispatches one plan node (exec wraps it with the cancellation
+// gate and, when tracing, the stage span).
+func (s *Session) execNode(node PlanNode) (*resultSet, error) {
 	switch n := node.(type) {
 	case *ScanNode:
 		return s.execScan(n)
@@ -796,13 +852,34 @@ func (s *Session) askChoice(question string, options []string, truthOpt int, dif
 	if k <= 0 {
 		k = 3
 	}
-	opt, err := s.Runner.MajorityOptionCtx(ctx, task, k)
+	// One span per crowd question; the span's context flows through the
+	// runner into the serving gateway, which stamps publish / lease /
+	// answer / close events on it (see cqlGateway.Ask).
+	qctx, sp := obs.ChildSpan(ctx, "cql.question")
+	if sp != nil {
+		sp.SetAttr(obs.Str("kind", "choice"),
+			obs.Str("question", questionPreview(question)),
+			obs.Int("redundancy", int64(k)))
+	}
+	opt, err := s.Runner.MajorityOptionCtx(qctx, task, k)
+	if sp != nil {
+		sp.SetError(err)
+		sp.End()
+	}
 	if err != nil {
 		return 0, err
 	}
 	s.Stats.CrowdTasks++
 	s.Stats.CrowdAnswers += k
 	return opt, nil
+}
+
+// questionPreview bounds a question string for span attributes.
+func questionPreview(q string) string {
+	if len(q) > 80 {
+		return q[:77] + "..."
+	}
+	return q
 }
 
 // askFill issues one fill-in question and returns the most common answer
@@ -834,7 +911,17 @@ func (s *Session) askFill(question, truth string, known bool) (string, error) {
 	if k <= 0 {
 		k = 3
 	}
-	answers, err := s.Runner.CollectCtx(ctx, task, k)
+	qctx, sp := obs.ChildSpan(ctx, "cql.question")
+	if sp != nil {
+		sp.SetAttr(obs.Str("kind", "fill"),
+			obs.Str("question", questionPreview(question)),
+			obs.Int("redundancy", int64(k)))
+	}
+	answers, err := s.Runner.CollectCtx(qctx, task, k)
+	if sp != nil {
+		sp.SetError(err)
+		sp.End()
+	}
 	if err != nil {
 		return "", err
 	}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // ErrSessionClosed is returned for operations on a closed session.
@@ -46,6 +47,12 @@ type ServiceConfig struct {
 	// OnQueryDone, when set, observes every finished query (status
 	// done/error/canceled and wall-clock duration) for metrics.
 	OnQueryDone func(status QueryStatus, d time.Duration)
+	// Tracer, when set, records each query's execution as a trace: every
+	// query runs under a fresh trace ID (carried on the handle and every
+	// page as trace_id) with a cql.query root span, per-statement and
+	// per-plan-stage child spans, and one cql.question span per crowd
+	// question. Nil = tracing off, zero overhead.
+	Tracer *obs.Collector
 }
 
 // SessionManager owns the named sessions of a CQL service.
@@ -240,7 +247,15 @@ func (m *SessionManager) sweepLoop(every time.Duration) {
 
 // sweepIdle closes sessions idle longer than IdleTTL. A session with a
 // running query is never idle: crowd queries legitimately take minutes.
+// With a tracer configured, a sweep that closes sessions records under
+// its own root span (endpoint bg.cql-idle-sweep in the trace index);
+// idle sweeps discard theirs.
 func (m *SessionManager) sweepIdle(now time.Time) {
+	var sp *obs.Span
+	if m.cfg.Tracer != nil {
+		ctx := obs.WithCollector(context.Background(), m.cfg.Tracer)
+		_, sp = obs.StartSpan(ctx, "bg.cql-idle-sweep")
+	}
 	m.mu.Lock()
 	var expired []*ManagedSession
 	for key, ms := range m.sessions {
@@ -255,6 +270,14 @@ func (m *SessionManager) sweepIdle(now time.Time) {
 	m.mu.Unlock()
 	for _, ms := range expired {
 		ms.shutdown()
+	}
+	if sp != nil {
+		if len(expired) == 0 {
+			sp.Discard()
+		} else {
+			sp.SetAttr(obs.Int("closed", int64(len(expired))))
+		}
+		sp.End()
 	}
 }
 
@@ -373,7 +396,7 @@ func (ms *ManagedSession) launch(stmts []Statement) (*Query, error) {
 	}
 	ms.pruneLocked()
 	ms.nextQ++
-	q := newQuery(fmt.Sprintf("q%d", ms.nextQ), ms.mgr.cfg.PageSize)
+	q := newQuery(fmt.Sprintf("q%d", ms.nextQ), ms.mgr.cfg.PageSize, ms.mgr.cfg.Tracer)
 	ms.queries[q.id] = q
 	ms.running++
 	ms.lastUsed = time.Now()
@@ -406,20 +429,47 @@ func q2n(id string) int {
 	return n
 }
 
+// stmtName labels a statement for its trace span ("Select",
+// "CreateTable", ...).
+func stmtName(st Statement) string {
+	return strings.TrimPrefix(strings.TrimPrefix(fmt.Sprintf("%T", st), "*"), "cql.")
+}
+
 // run executes the statements behind the session lock and resolves the
 // handle. Partial rows stream into the handle as crowd answers arrive.
+// With a tracer configured, the whole run records under a cql.query root
+// span with one cql.statement child per statement; the statement span's
+// context flows into the executor, so plan-stage and crowd-question
+// spans nest beneath it.
 func (ms *ManagedSession) run(q *Query, stmts []Statement) {
 	ms.mu.Lock()
+	qctx, root := obs.ChildSpan(q.ctx, "cql.query")
+	if root != nil {
+		root.SetAttr(obs.Str("session", ms.name), obs.Str("query", q.id),
+			obs.Int("statements", int64(len(stmts))))
+	}
 	var last *model.Relation
 	var err error
-	for _, st := range stmts {
+	for i, st := range stmts {
 		if err = q.ctx.Err(); err != nil {
 			break
 		}
-		last, err = ms.sess.ExecuteStmtStream(q.ctx, st, q.appendPartial)
+		sctx, ssp := obs.ChildSpan(qctx, "cql.statement")
+		if ssp != nil {
+			ssp.SetAttr(obs.Int("index", int64(i)), obs.Str("type", stmtName(st)))
+		}
+		last, err = ms.sess.ExecuteStmtStream(sctx, st, q.appendPartial)
+		if ssp != nil {
+			ssp.SetError(err)
+			ssp.End()
+		}
 		if err != nil {
 			break
 		}
+	}
+	if root != nil {
+		root.SetError(err)
+		root.End()
 	}
 	ms.mu.Unlock()
 	if err != nil {
@@ -507,6 +557,7 @@ const (
 type Query struct {
 	id       string
 	pageSize int
+	traceID  string // "" when tracing is off
 	started  time.Time
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -520,11 +571,22 @@ type Query struct {
 	errMsg  string
 }
 
-func newQuery(id string, pageSize int) *Query {
-	ctx, cancel := context.WithCancel(context.Background())
+func newQuery(id string, pageSize int, tracer *obs.Collector) *Query {
+	base := context.Background()
+	traceID := ""
+	if tracer != nil {
+		// A query gets its own fresh trace, not the executing HTTP
+		// request's: that request's root span ends when execute returns a
+		// handle — long before a crowd query resolves — which would fire
+		// the trace's keep decision while the query is still running.
+		traceID = obs.NewTraceID()
+		base = obs.WithCollector(obs.WithTraceID(base, traceID), tracer)
+	}
+	ctx, cancel := context.WithCancel(base)
 	return &Query{
 		id:       id,
 		pageSize: pageSize,
+		traceID:  traceID,
 		started:  time.Now(),
 		ctx:      ctx,
 		cancel:   cancel,
@@ -535,6 +597,11 @@ func newQuery(id string, pageSize int) *Query {
 
 // ID returns the handle's identifier (unique within its session).
 func (q *Query) ID() string { return q.id }
+
+// TraceID returns the query's trace ID ("" when tracing is off). The
+// trace is readable mid-run: a crowd query's spans accumulate while it
+// gathers answers.
+func (q *Query) TraceID() string { return q.traceID }
 
 // Status returns the handle's lifecycle state.
 func (q *Query) Status() QueryStatus {
@@ -631,6 +698,9 @@ type QueryPage struct {
 	// result is exhausted.
 	NextPageToken string `json:"next_page_token,omitempty"`
 	Error         string `json:"error,omitempty"`
+	// TraceID identifies the query's trace (omitted when tracing is off);
+	// fetch it via GET .../query/{qid}/trace.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Page serves one page of rows starting at the cursor token ("" = from
@@ -662,6 +732,7 @@ func (q *Query) Page(token string, limit int) (QueryPage, error) {
 		Cols:    append([]string(nil), q.cols...),
 		Error:   q.errMsg,
 		Rows:    [][]string{},
+		TraceID: q.traceID,
 	}
 	if offset < end {
 		page.Rows = append(page.Rows, q.rows[offset:end]...)

@@ -1,6 +1,7 @@
 package durable
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -534,6 +535,58 @@ func (s *Store) AnswerDurable(a core.Answer, cost float64, golden *bool) error {
 		Cost:   cost,
 		Golden: golden,
 	}, s.opts.Fsync == FsyncAlways)
+}
+
+// AnswerDurableCtx is AnswerDurable with trace spans: when ctx carries a
+// recording span (the serving layer's tracing mode), the WAL append and
+// the fsync record as separate child spans — wal.append and wal.fsync —
+// so a trace shows whether an answer's tail latency went to the log
+// write or to stable storage. Without a collector in ctx it is exactly
+// AnswerDurable: one call, no allocations, same sync path.
+func (s *Store) AnswerDurableCtx(ctx context.Context, a core.Answer, cost float64, golden *bool) error {
+	if obs.CollectorFrom(ctx) == nil {
+		return s.AnswerDurable(a, cost, golden)
+	}
+	si := s.segFor(a.Task)
+	ev := &Event{
+		Type:   EvAnswerRecorded,
+		Answer: answerRecord(a),
+		Worker: a.Worker,
+		Cost:   cost,
+		Golden: golden,
+	}
+	// Both spans parent to ctx's current span (the request root), not to
+	// each other: append and fsync are sequential phases of one durable
+	// write, and reading the trace as two siblings shows their split.
+	_, asp := obs.ChildSpan(ctx, "wal.append")
+	err := s.appendSeg(si, ev, false)
+	asp.SetAttr(obs.Int("segment", int64(si)), obs.Int("seq", int64(ev.Seq)))
+	asp.SetError(err)
+	asp.End()
+	if err != nil {
+		return err
+	}
+	if s.opts.Fsync != FsyncAlways {
+		return nil
+	}
+	// Same split AnswerBatchDurable uses: append under the segment mutex,
+	// then group-commit the fsync — here under its own span.
+	_, fsp := obs.ChildSpan(ctx, "wal.fsync")
+	err = s.syncSeg(si, ev.Seq)
+	fsp.SetAttr(obs.Int("segment", int64(si)))
+	fsp.SetError(err)
+	fsp.End()
+	return err
+}
+
+// syncSeg flushes segment si through seq, recording a failure as the
+// store's sticky error (matching appendSeg's sync path).
+func (s *Store) syncSeg(si int, seq uint64) error {
+	if err := s.segs[si].syncUpTo(seq); err != nil {
+		s.fail(err)
+		return err
+	}
+	return nil
 }
 
 // AnswerBatchDurable journals a batch of accepted answers with one append

@@ -81,6 +81,40 @@ func (m *EMMetrics) forMethod(method string) *emSeries {
 	return s
 }
 
+// EMObserverWithSpan tees convergence telemetry into sp as span events
+// (one "em.iteration" event per iteration, run attributes at the end)
+// while forwarding every hook to inner. When sp is not recording it
+// returns inner unchanged — the kernel keeps its nil-check fast path and
+// tracing-off costs nothing. The span must outlive the run; per the
+// EMObserver contract the hooks arrive from the kernel's main goroutine,
+// so no locking is needed.
+func EMObserverWithSpan(inner EMObserver, sp *Span) EMObserver {
+	if !sp.Recording() {
+		return inner
+	}
+	return &emSpanObserver{inner: inner, sp: sp}
+}
+
+type emSpanObserver struct {
+	inner EMObserver
+	sp    *Span
+}
+
+func (o *emSpanObserver) ObserveEMIteration(method string, iter int, delta float64) {
+	o.sp.AddEvent("em.iteration",
+		Str("method", method), Int("iter", int64(iter)), Float("delta", delta))
+	if o.inner != nil {
+		o.inner.ObserveEMIteration(method, iter, delta)
+	}
+}
+
+func (o *emSpanObserver) ObserveEMRun(method string, iterations int, converged bool, wall time.Duration) {
+	o.sp.SetAttr(Str("method", method), Int("iterations", int64(iterations)), Bool("converged", converged))
+	if o.inner != nil {
+		o.inner.ObserveEMRun(method, iterations, converged, wall)
+	}
+}
+
 // ObserveEMIteration implements EMObserver.
 func (m *EMMetrics) ObserveEMIteration(method string, iter int, delta float64) {
 	s := m.forMethod(method)

@@ -15,7 +15,11 @@ import (
 
 type ctxKey int
 
-const traceIDKey ctxKey = iota
+const (
+	traceIDKey ctxKey = iota
+	collectorKey
+	currentSpanKey
+)
 
 // traceState seeds the lock-free trace-ID generator. IDs need to be
 // unique and well-mixed, not cryptographic: a splitmix64 stream over an
@@ -27,15 +31,29 @@ func init() {
 	traceState.Store(uint64(time.Now().UnixNano()))
 }
 
-// NewTraceID returns a fresh 16-hex-character trace ID.
-func NewTraceID() string {
+func nextRand() uint64 {
 	x := traceState.Add(0x9e3779b97f4a7c15)
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
 	x ^= x >> 27
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
-	return fmt.Sprintf("%016x", x)
+	return x
+}
+
+// NewTraceID returns a fresh 16-hex-character trace ID.
+func NewTraceID() string {
+	return fmt.Sprintf("%016x", nextRand())
+}
+
+// newSpanID returns a fresh nonzero span ID (0 is reserved to mean "no
+// parent"). Span IDs draw from the same splitmix64 stream as trace IDs.
+func newSpanID() uint64 {
+	for {
+		if x := nextRand(); x != 0 {
+			return x
+		}
+	}
 }
 
 // WithTraceID returns a context carrying the given trace ID.
@@ -59,23 +77,136 @@ func EnsureTraceID(ctx context.Context) (context.Context, string) {
 	return WithTraceID(ctx, id), id
 }
 
+// WithCollector returns a context whose spans record into c. A nil
+// collector returns ctx unchanged, keeping downstream paths on the
+// free-when-off fast path.
+func WithCollector(ctx context.Context, c *Collector) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, collectorKey, c)
+}
+
+// CollectorFrom returns the context's collector, or nil.
+func CollectorFrom(ctx context.Context) *Collector {
+	c, _ := ctx.Value(collectorKey).(*Collector)
+	return c
+}
+
+// CurrentSpan returns the innermost recording span stored in ctx, or nil.
+// A nil return is a valid receiver for every Span method.
+func CurrentSpan(ctx context.Context) *Span {
+	s, _ := ctx.Value(currentSpanKey).(*Span)
+	return s
+}
+
 // Span is one timed operation within a trace. Timings use time.Now's
 // monotonic clock reading, so wall-clock adjustments cannot produce
 // negative or skewed durations. Spans are values handed to exactly one
-// goroutine; they carry no locks.
+// goroutine; they carry no locks. A nil *Span is valid: every method
+// no-ops, so instrumentation sites need no guards.
 type Span struct {
 	// TraceID ties the span to its request.
 	TraceID string
 	// Name identifies the operation (endpoint route, kernel name, ...).
 	Name  string
 	start time.Time
+
+	// rec holds the recording state when a collector is attached; nil on
+	// the free-when-off path, where a Span is just a start time.
+	rec *spanRec
+}
+
+// spanRec accumulates the recorded fields of a span destined for a
+// Collector. Owned by the span's single goroutine until End hands the
+// finished SpanData to the collector.
+type spanRec struct {
+	col       *Collector
+	spanID    uint64
+	parentID  uint64
+	err       string
+	attrs     []Attr
+	events    []SpanEvent
+	discarded bool
+	done      bool
 }
 
 // StartSpan begins a span named name under the context's trace (minting a
-// trace ID if the context has none) and returns the enriched context.
+// trace ID if the context has none) and returns the enriched context. If
+// the context carries a collector (WithCollector), the span records into
+// it on End and becomes the context's current span, so spans started
+// further down nest under it.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	ctx, id := EnsureTraceID(ctx)
-	return ctx, &Span{TraceID: id, Name: name, start: time.Now()}
+	sp := &Span{TraceID: id, Name: name, start: time.Now()}
+	if col := CollectorFrom(ctx); col != nil {
+		var parent uint64
+		if p := CurrentSpan(ctx); p != nil && p.rec != nil {
+			parent = p.rec.spanID
+		}
+		sp.rec = &spanRec{col: col, spanID: newSpanID(), parentID: parent}
+		ctx = context.WithValue(ctx, currentSpanKey, sp)
+	}
+	return ctx, sp
+}
+
+// ChildSpan starts a child of the context's current span. Unlike
+// StartSpan it never allocates on the free-when-off path: without a
+// collector in ctx it returns (ctx, nil), and a nil span's methods all
+// no-op.
+func ChildSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if CollectorFrom(ctx) == nil {
+		return ctx, nil
+	}
+	return StartSpan(ctx, name)
+}
+
+// Recording reports whether the span will deliver data to a collector.
+// Callers use it to skip attribute computation that only matters when a
+// trace is actually being recorded.
+func (s *Span) Recording() bool {
+	return s != nil && s.rec != nil && !s.rec.discarded
+}
+
+// SetAttr appends attributes to the span. No-op unless recording.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if !s.Recording() {
+		return
+	}
+	s.rec.attrs = append(s.rec.attrs, attrs...)
+}
+
+// AddEvent appends a timestamped point event to the span. No-op unless
+// recording; events beyond maxSpanEvents are dropped (counted on the
+// collector).
+func (s *Span) AddEvent(name string, attrs ...Attr) {
+	if !s.Recording() {
+		return
+	}
+	if len(s.rec.events) >= maxSpanEvents {
+		s.rec.col.spansDropped.Inc()
+		return
+	}
+	s.rec.events = append(s.rec.events, SpanEvent{Name: name, Time: time.Now(), Attrs: attrs})
+}
+
+// SetError marks the span failed. An error span forces its whole trace
+// through the tail keep policy. No-op unless recording or on a nil error.
+func (s *Span) SetError(err error) {
+	if err == nil || !s.Recording() {
+		return
+	}
+	s.rec.err = err.Error()
+}
+
+// Discard drops the span (and, for a root span, its keep decision):
+// nothing is delivered to the collector at End. Background sweeps that
+// did no work call this so idle ticks don't flood the kept ring.
+func (s *Span) Discard() {
+	if s == nil || s.rec == nil {
+		return
+	}
+	s.rec.discarded = true
 }
 
 // Duration returns the time elapsed since the span started.
@@ -86,13 +217,37 @@ func (s *Span) Duration() time.Duration {
 	return time.Since(s.start)
 }
 
+// finish delivers the completed span to its collector, once.
+func (s *Span) finish(d time.Duration) {
+	if s == nil || s.rec == nil || s.rec.discarded || s.rec.done {
+		return
+	}
+	s.rec.done = true
+	s.rec.col.finishSpan(SpanData{
+		TraceID:  s.TraceID,
+		SpanID:   s.rec.spanID,
+		ParentID: s.rec.parentID,
+		Name:     s.Name,
+		Start:    s.start,
+		Duration: d,
+		Err:      s.rec.err,
+		Attrs:    s.rec.attrs,
+		Events:   s.rec.events,
+	})
+}
+
 // End finishes the span and returns its duration.
-func (s *Span) End() time.Duration { return s.Duration() }
+func (s *Span) End() time.Duration {
+	d := s.Duration()
+	s.finish(d)
+	return d
+}
 
 // EndTo finishes the span, records its duration in seconds into h (a nil
 // histogram ignores the observation), and returns the duration.
 func (s *Span) EndTo(h *Histogram) time.Duration {
 	d := s.Duration()
 	h.ObserveDuration(d)
+	s.finish(d)
 	return d
 }

@@ -1,0 +1,449 @@
+// Span flight recorder: an in-process, lock-sharded, bounded store of
+// completed spans indexed by trace ID. PR 4 built trace-ID propagation
+// and timed spans but discarded every span on End; the Collector here
+// gives them somewhere to land, so a slow or failed request can be
+// reconstructed after the fact — which layer (HTTP, pool shard, WAL,
+// EM, CrowdQL) its time and budget went to — without an external
+// tracing backend.
+//
+// Design constraints, in priority order:
+//
+//   - Free when off. A context without a collector records nothing:
+//     ChildSpan returns a nil *Span (every method of which no-ops), and
+//     StartSpan behaves exactly as before this file existed. The only
+//     cost on an uninstrumented path is one context lookup.
+//   - Bounded. Kept traces live in a ring of Capacity entries; each
+//     trace holds at most MaxSpans spans and each span at most
+//     maxSpanEvents events. Overflow is counted (dropped metrics), never
+//     unbounded.
+//   - Tail-based keep policy. Whether a trace is worth keeping is
+//     decided when its root span ends, when the outcome is known: error
+//     traces and slow traces are always kept, the rest are sampled
+//     deterministically by trace-ID hash. In-flight traces are readable
+//     by ID before the decision (a crowd query runs for minutes).
+package obs
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// attrKind discriminates the value stored in an Attr.
+type attrKind uint8
+
+const (
+	attrString attrKind = iota
+	attrInt
+	attrFloat
+	attrBool
+)
+
+// Attr is one typed key/value span attribute. Construct with Str, Int,
+// Float, or Bool; read back with Value.
+type Attr struct {
+	Key  string
+	kind attrKind
+	str  string
+	i    int64
+	f    float64
+}
+
+// Str builds a string attribute.
+func Str(key, v string) Attr { return Attr{Key: key, kind: attrString, str: v} }
+
+// Int builds an integer attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, kind: attrInt, i: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, kind: attrFloat, f: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr {
+	a := Attr{Key: key, kind: attrBool}
+	if v {
+		a.i = 1
+	}
+	return a
+}
+
+// Value returns the attribute's value with its original type (string,
+// int64, float64, or bool).
+func (a Attr) Value() any {
+	switch a.kind {
+	case attrInt:
+		return a.i
+	case attrFloat:
+		return a.f
+	case attrBool:
+		return a.i == 1
+	default:
+		return a.str
+	}
+}
+
+// SpanEvent is one timestamped point event inside a span (an answer
+// arrival, an EM iteration, a lease change).
+type SpanEvent struct {
+	Name  string
+	Time  time.Time
+	Attrs []Attr
+}
+
+// SpanData is the immutable record of one completed span. ParentID 0
+// marks a root span.
+type SpanData struct {
+	TraceID  string
+	SpanID   uint64
+	ParentID uint64
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Err      string
+	Attrs    []Attr
+	Events   []SpanEvent
+}
+
+// TraceData is a snapshot of one trace: every span recorded so far, in
+// completion order. Complete is true once the root span has ended (the
+// keep decision has been made); before that the trace is still pending
+// and Spans may grow.
+type TraceData struct {
+	TraceID  string
+	Complete bool
+	Err      bool
+	Spans    []SpanData
+}
+
+// TraceSummary is one row of the recent-traces index.
+type TraceSummary struct {
+	TraceID  string
+	Endpoint string // root span name
+	Start    time.Time
+	Duration time.Duration
+	Spans    int
+	Err      bool
+}
+
+// CollectorOptions bounds and tunes a Collector. The zero value gets
+// sensible defaults.
+type CollectorOptions struct {
+	// Capacity is the total number of kept traces retained across the
+	// ring (default 1024). Oldest kept traces are evicted beyond it.
+	Capacity int
+	// SampleRate is the fraction of fast, error-free traces kept at root
+	// end, decided deterministically by trace-ID hash (default 1.0 —
+	// keep everything the ring can hold; error and slow traces are
+	// always kept regardless).
+	SampleRate float64
+	// SlowThreshold is the root duration at or above which a trace is
+	// always kept (default 250ms).
+	SlowThreshold time.Duration
+	// MaxSpans caps the spans recorded per trace (default 512); spans
+	// beyond it are counted as dropped.
+	MaxSpans int
+}
+
+// maxSpanEvents caps the events one span will hold (EM runs can iterate
+// hundreds of times); overflow is counted on the span's finish record.
+const maxSpanEvents = 256
+
+// traceShards is the fixed lock-shard fan-out of a Collector. Spans of
+// one trace always land on one shard (hash of the trace ID), so a
+// trace's spans never need cross-shard coordination.
+const traceShards = 16
+
+// traceEntry is one trace accumulating spans inside a shard. All fields
+// are guarded by the owning shard's mutex.
+type traceEntry struct {
+	id    string
+	spans []SpanData
+	root  *SpanData // set once the root span ended
+	err   bool      // any span finished with an error
+
+	dropped int  // spans discarded by the MaxSpans cap
+	kept    bool // survived the tail keep decision
+	gone    bool // discarded (sampled out) or evicted; tombstone for FIFO lists
+}
+
+type traceShard struct {
+	mu      sync.Mutex
+	traces  map[string]*traceEntry
+	pending []*traceEntry // FIFO of root-not-ended traces, for bounding leaks
+	kept    []*traceEntry // FIFO ring of kept traces
+}
+
+// Collector is the span flight recorder. Safe for concurrent use; one
+// collector serves a whole server.
+type Collector struct {
+	opts     CollectorOptions
+	perShard int // kept-ring capacity per shard
+
+	shards [traceShards]traceShard
+
+	// Buffer-pressure metrics, registered as crowdkit_trace_* so the
+	// recorder's own behavior (what it kept, sampled out, dropped) is
+	// observable. Always-on atomic counters; registry optional.
+	spansRecorded Counter // spans delivered to the collector
+	keptTotal     Counter // traces kept by the tail policy
+	sampledOut    Counter // traces discarded at root end by the sampler
+	spansDropped  Counter // spans discarded by the per-trace cap
+	evicted       Counter // kept traces evicted by the ring bound
+	pendingDrop   Counter // pending traces evicted before their root ended
+}
+
+// NewCollector builds a collector with the given bounds (see
+// CollectorOptions for defaults).
+func NewCollector(opts CollectorOptions) *Collector {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 1024
+	}
+	if opts.SampleRate <= 0 {
+		if opts.SampleRate < 0 {
+			opts.SampleRate = 0 // explicit "errors and slow only"
+		} else {
+			opts.SampleRate = 1.0
+		}
+	}
+	if opts.SampleRate > 1 {
+		opts.SampleRate = 1
+	}
+	if opts.SlowThreshold <= 0 {
+		opts.SlowThreshold = 250 * time.Millisecond
+	}
+	if opts.MaxSpans <= 0 {
+		opts.MaxSpans = 512
+	}
+	c := &Collector{opts: opts}
+	c.perShard = opts.Capacity / traceShards
+	if c.perShard < 1 {
+		c.perShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i].traces = make(map[string]*traceEntry)
+	}
+	return c
+}
+
+// RegisterMetrics exposes the collector's pressure counters on reg as
+// crowdkit_trace_*. No-op on a nil registry.
+func (c *Collector) RegisterMetrics(reg *Registry) {
+	if c == nil {
+		return
+	}
+	reg.RegisterCounter("crowdkit_trace_spans_recorded_total", &c.spansRecorded)
+	reg.RegisterCounter("crowdkit_trace_kept_total", &c.keptTotal)
+	reg.RegisterCounter("crowdkit_trace_sampled_out_total", &c.sampledOut)
+	reg.RegisterCounter("crowdkit_trace_spans_dropped_total", &c.spansDropped)
+	reg.RegisterCounter("crowdkit_trace_evicted_total", &c.evicted)
+	reg.RegisterCounter("crowdkit_trace_pending_dropped_total", &c.pendingDrop)
+}
+
+func (c *Collector) shardFor(traceID string) *traceShard {
+	h := fnv.New32a()
+	h.Write([]byte(traceID))
+	return &c.shards[h.Sum32()%traceShards]
+}
+
+// sampleKeep decides deterministically (by trace-ID hash, independent of
+// the span-ID stream) whether a fast, error-free trace is kept.
+func (c *Collector) sampleKeep(traceID string) bool {
+	if c.opts.SampleRate >= 1 {
+		return true
+	}
+	if c.opts.SampleRate <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	h.Write([]byte(traceID))
+	// Scale the hash to [0,1); a different salt than the shard hash so
+	// sampling does not correlate with shard placement.
+	return float64(h.Sum64()>>11)/float64(1<<53) < c.opts.SampleRate
+}
+
+// finishSpan receives one completed span. Called from Span.End via the
+// recording state; never on the uninstrumented path.
+func (c *Collector) finishSpan(sd SpanData) {
+	c.spansRecorded.Inc()
+	sh := c.shardFor(sd.TraceID)
+	sh.mu.Lock()
+	e := sh.traces[sd.TraceID]
+	if e == nil {
+		e = &traceEntry{id: sd.TraceID}
+		sh.traces[sd.TraceID] = e
+		sh.pending = append(sh.pending, e)
+		c.boundPendingLocked(sh)
+	}
+	if len(e.spans) >= c.opts.MaxSpans {
+		e.dropped++
+		c.spansDropped.Inc()
+	} else {
+		e.spans = append(e.spans, sd)
+	}
+	if sd.Err != "" {
+		e.err = true
+	}
+	if sd.ParentID == 0 && e.root == nil {
+		// Root ended: the tail keep decision. The SpanData slot inside
+		// e.spans may have been dropped by the cap; the decision still
+		// applies.
+		e.root = &sd
+		keep := e.err || sd.Duration >= c.opts.SlowThreshold || c.sampleKeep(sd.TraceID)
+		if keep {
+			e.kept = true
+			sh.kept = append(sh.kept, e)
+			c.keptTotal.Inc()
+			c.boundKeptLocked(sh)
+		} else {
+			e.gone = true
+			delete(sh.traces, sd.TraceID)
+			c.sampledOut.Inc()
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// boundPendingLocked drops the oldest still-pending traces beyond the
+// shard bound — a leak guard for spans whose root never ends. Callers
+// hold sh.mu.
+func (c *Collector) boundPendingLocked(sh *traceShard) {
+	live := 0
+	for _, e := range sh.pending {
+		if !e.gone && !e.kept && e.root == nil {
+			live++
+		}
+	}
+	for live > c.perShard && len(sh.pending) > 0 {
+		e := sh.pending[0]
+		sh.pending = sh.pending[1:]
+		if e.gone || e.kept || e.root != nil {
+			continue // tombstone or already decided; just compact
+		}
+		e.gone = true
+		delete(sh.traces, e.id)
+		c.pendingDrop.Inc()
+		live--
+	}
+	// Compact decided entries off the front so the list stays short.
+	for len(sh.pending) > 0 && (sh.pending[0].gone || sh.pending[0].kept || sh.pending[0].root != nil) {
+		sh.pending = sh.pending[1:]
+	}
+}
+
+// boundKeptLocked evicts the oldest kept traces beyond the ring bound.
+// Callers hold sh.mu.
+func (c *Collector) boundKeptLocked(sh *traceShard) {
+	for len(sh.kept) > c.perShard {
+		e := sh.kept[0]
+		sh.kept = sh.kept[1:]
+		e.gone = true
+		delete(sh.traces, e.id)
+		c.evicted.Inc()
+	}
+}
+
+// Trace returns a snapshot of one trace by ID: kept traces, and pending
+// (root not yet ended) traces — so a running crowd query's trace is
+// readable mid-flight. ok is false for unknown, sampled-out, or evicted
+// IDs.
+func (c *Collector) Trace(id string) (TraceData, bool) {
+	if c == nil {
+		return TraceData{}, false
+	}
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e := sh.traces[id]
+	if e == nil {
+		return TraceData{}, false
+	}
+	td := TraceData{
+		TraceID:  e.id,
+		Complete: e.root != nil,
+		Err:      e.err,
+		Spans:    append([]SpanData(nil), e.spans...),
+	}
+	return td, true
+}
+
+// TraceFilter narrows a Traces listing.
+type TraceFilter struct {
+	// Endpoint, when non-empty, matches the root span's name exactly.
+	Endpoint string
+	// MinDuration keeps only traces whose root lasted at least this long.
+	MinDuration time.Duration
+	// Limit caps the rows returned (default 50, max 500).
+	Limit int
+}
+
+// Traces lists kept traces, newest root-end first, filtered.
+func (c *Collector) Traces(f TraceFilter) []TraceSummary {
+	if c == nil {
+		return nil
+	}
+	limit := f.Limit
+	if limit <= 0 {
+		limit = 50
+	}
+	if limit > 500 {
+		limit = 500
+	}
+	var out []TraceSummary
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.kept {
+			if e.gone || e.root == nil {
+				continue
+			}
+			if f.Endpoint != "" && e.root.Name != f.Endpoint {
+				continue
+			}
+			if e.root.Duration < f.MinDuration {
+				continue
+			}
+			out = append(out, TraceSummary{
+				TraceID:  e.id,
+				Endpoint: e.root.Name,
+				Start:    e.root.Start,
+				Duration: e.root.Duration,
+				Spans:    len(e.spans),
+				Err:      e.err,
+			})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ei := out[i].Start.Add(out[i].Duration)
+		ej := out[j].Start.Add(out[j].Duration)
+		if !ei.Equal(ej) {
+			return ei.After(ej)
+		}
+		return out[i].TraceID < out[j].TraceID
+	})
+	if len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// KeptCount reports how many traces the collector currently retains
+// (kept ring occupancy; a gauge for tests and debugging).
+func (c *Collector) KeptCount() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.kept {
+			if !e.gone {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}

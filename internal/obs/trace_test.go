@@ -1,0 +1,395 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// record runs one trace through c: a root span named name with nChildren
+// children, optionally failing the root, and returns the trace ID.
+func record(c *Collector, name string, nChildren int, fail bool) string {
+	ctx := WithCollector(context.Background(), c)
+	ctx, root := StartSpan(ctx, name)
+	for i := 0; i < nChildren; i++ {
+		_, ch := ChildSpan(ctx, fmt.Sprintf("child-%d", i))
+		ch.End()
+	}
+	if fail {
+		root.SetError(errors.New("boom"))
+	}
+	root.End()
+	return root.TraceID
+}
+
+func TestCollectorKeepsCompletedTrace(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	ctx := WithCollector(context.Background(), c)
+	ctx, root := StartSpan(ctx, "/api/answer")
+	root.SetAttr(Str("method", "POST"))
+
+	cctx, child := ChildSpan(ctx, "core.record")
+	child.SetAttr(Int("task", 7))
+	child.AddEvent("recorded", Int("n", 1))
+	child.End()
+
+	_, grand := ChildSpan(cctx, "wal.append")
+	grand.End()
+
+	root.End()
+
+	td, ok := c.Trace(root.TraceID)
+	if !ok {
+		t.Fatalf("trace %s not retained", root.TraceID)
+	}
+	if !td.Complete {
+		t.Fatal("trace should be complete after root End")
+	}
+	if len(td.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(td.Spans))
+	}
+	byName := map[string]SpanData{}
+	for _, sd := range td.Spans {
+		byName[sd.Name] = sd
+		if sd.TraceID != root.TraceID {
+			t.Errorf("span %s has trace %s, want %s", sd.Name, sd.TraceID, root.TraceID)
+		}
+	}
+	rootSD, childSD, grandSD := byName["/api/answer"], byName["core.record"], byName["wal.append"]
+	if rootSD.ParentID != 0 {
+		t.Errorf("root parent = %d, want 0", rootSD.ParentID)
+	}
+	if childSD.ParentID != rootSD.SpanID {
+		t.Errorf("child parent = %d, want root %d", childSD.ParentID, rootSD.SpanID)
+	}
+	if grandSD.ParentID != childSD.SpanID {
+		t.Errorf("grandchild parent = %d, want child %d", grandSD.ParentID, childSD.SpanID)
+	}
+	if len(childSD.Events) != 1 || childSD.Events[0].Name != "recorded" {
+		t.Errorf("child events = %+v, want one 'recorded'", childSD.Events)
+	}
+	if got := childSD.Attrs[0].Value(); got != int64(7) {
+		t.Errorf("child attr = %v, want 7", got)
+	}
+}
+
+func TestCollectorPendingTraceReadableBeforeRootEnds(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	ctx := WithCollector(context.Background(), c)
+	ctx, root := StartSpan(ctx, "cql.query")
+	_, child := ChildSpan(ctx, "cql.question")
+	child.End()
+
+	td, ok := c.Trace(root.TraceID)
+	if !ok {
+		t.Fatal("pending trace should be readable by ID")
+	}
+	if td.Complete {
+		t.Fatal("trace must not be complete before root End")
+	}
+	if len(td.Spans) != 1 || td.Spans[0].Name != "cql.question" {
+		t.Fatalf("pending spans = %+v, want the one finished child", td.Spans)
+	}
+	root.End()
+	if td, _ := c.Trace(root.TraceID); !td.Complete {
+		t.Fatal("trace should complete once root ends")
+	}
+}
+
+func TestCollectorTailKeepPolicy(t *testing.T) {
+	// Rate 0 (explicit negative): only error and slow traces survive.
+	c := NewCollector(CollectorOptions{SampleRate: -1, SlowThreshold: time.Hour})
+	fastID := record(c, "/fast", 1, false)
+	errID := record(c, "/err", 1, true)
+
+	if _, ok := c.Trace(fastID); ok {
+		t.Fatal("fast error-free trace should be sampled out at rate 0")
+	}
+	if _, ok := c.Trace(errID); !ok {
+		t.Fatal("error trace must always be kept")
+	}
+
+	// A slow root is kept regardless of the sampler.
+	slow := NewCollector(CollectorOptions{SampleRate: -1, SlowThreshold: time.Nanosecond})
+	slowID := record(slow, "/slow", 0, false)
+	if _, ok := slow.Trace(slowID); !ok {
+		t.Fatal("slow trace must always be kept")
+	}
+}
+
+func TestCollectorSamplingIsDeterministic(t *testing.T) {
+	a := NewCollector(CollectorOptions{SampleRate: 0.5})
+	b := NewCollector(CollectorOptions{SampleRate: 0.5})
+	kept := 0
+	for i := 0; i < 512; i++ {
+		id := fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15+1)
+		ka, kb := a.sampleKeep(id), b.sampleKeep(id)
+		if ka != kb {
+			t.Fatalf("sampling of %s differs across collectors", id)
+		}
+		if ka {
+			kept++
+		}
+	}
+	// The hash should land near the configured rate; wide tolerance, this
+	// guards against a broken scale (always/never keep), not distribution
+	// quality.
+	if kept < 128 || kept > 384 {
+		t.Fatalf("kept %d/512 at rate 0.5; hash scaling looks broken", kept)
+	}
+}
+
+func TestCollectorBoundsKeptRing(t *testing.T) {
+	// Capacity below the shard count clamps to one kept trace per shard.
+	c := NewCollector(CollectorOptions{Capacity: traceShards})
+	ids := make([]string, 0, 10*traceShards)
+	for i := 0; i < 10*traceShards; i++ {
+		ids = append(ids, record(c, "/load", 2, false))
+	}
+	if got := c.KeptCount(); got > traceShards {
+		t.Fatalf("kept %d traces, ring bound is %d", got, traceShards)
+	}
+	if c.evicted.Value() == 0 {
+		t.Fatal("evictions expected once the ring overflows")
+	}
+	// The newest trace on its shard must still be there.
+	if _, ok := c.Trace(ids[len(ids)-1]); !ok {
+		t.Fatal("most recent trace evicted before older ones")
+	}
+}
+
+func TestCollectorBoundsSpansPerTrace(t *testing.T) {
+	c := NewCollector(CollectorOptions{MaxSpans: 4})
+	ctx := WithCollector(context.Background(), c)
+	ctx, root := StartSpan(ctx, "/big")
+	for i := 0; i < 10; i++ {
+		_, ch := ChildSpan(ctx, "child")
+		ch.End()
+	}
+	root.End()
+	td, ok := c.Trace(root.TraceID)
+	if !ok {
+		t.Fatal("trace not kept")
+	}
+	if len(td.Spans) != 4 {
+		t.Fatalf("got %d spans, cap is 4", len(td.Spans))
+	}
+	if c.spansDropped.Value() == 0 {
+		t.Fatal("dropped spans must be counted")
+	}
+}
+
+func TestCollectorBoundsPendingTraces(t *testing.T) {
+	c := NewCollector(CollectorOptions{Capacity: traceShards})
+	// Orphan spans whose roots never end must not leak: only children
+	// finish, so every trace stays pending forever.
+	for i := 0; i < 20*traceShards; i++ {
+		ctx := WithCollector(context.Background(), c)
+		ctx, _ = StartSpan(ctx, "/leak") // root never ends
+		_, ch := ChildSpan(ctx, "child")
+		ch.End()
+	}
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += len(sh.traces)
+		sh.mu.Unlock()
+	}
+	if total > 2*traceShards {
+		t.Fatalf("%d pending traces retained; bound is ~%d", total, traceShards)
+	}
+	if c.pendingDrop.Value() == 0 {
+		t.Fatal("pending drops must be counted")
+	}
+}
+
+func TestCollectorTracesIndex(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	for i := 0; i < 3; i++ {
+		record(c, "/api/task", 1, false)
+	}
+	errID := record(c, "/api/answer", 2, true)
+
+	all := c.Traces(TraceFilter{})
+	if len(all) != 4 {
+		t.Fatalf("index lists %d traces, want 4", len(all))
+	}
+	// Newest root-end first.
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Start.Add(all[i-1].Duration).Before(all[i].Start.Add(all[i].Duration)) {
+			t.Fatal("index not sorted newest-first")
+		}
+	}
+	byEndpoint := c.Traces(TraceFilter{Endpoint: "/api/answer"})
+	if len(byEndpoint) != 1 || byEndpoint[0].TraceID != errID || !byEndpoint[0].Err {
+		t.Fatalf("endpoint filter = %+v, want the one error trace", byEndpoint)
+	}
+	if got := c.Traces(TraceFilter{MinDuration: time.Hour}); len(got) != 0 {
+		t.Fatalf("min-duration filter returned %d traces, want 0", len(got))
+	}
+	if got := c.Traces(TraceFilter{Limit: 2}); len(got) != 2 {
+		t.Fatalf("limit 2 returned %d traces", len(got))
+	}
+}
+
+func TestSpanDiscard(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	ctx := WithCollector(context.Background(), c)
+	_, sweep := StartSpan(ctx, "bg.lease-reaper")
+	sweep.Discard()
+	sweep.End()
+	if _, ok := c.Trace(sweep.TraceID); ok {
+		t.Fatal("discarded span must not reach the collector")
+	}
+	if got := c.KeptCount(); got != 0 {
+		t.Fatalf("kept %d traces after discard, want 0", got)
+	}
+}
+
+func TestFreeWhenOff(t *testing.T) {
+	// No collector: ChildSpan must not allocate a span, and every nil-span
+	// method must be a safe no-op.
+	ctx := context.Background()
+	ctx, sp := ChildSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("ChildSpan without a collector must return a nil span")
+	}
+	sp.SetAttr(Str("k", "v"))
+	sp.AddEvent("e")
+	sp.SetError(errors.New("x"))
+	sp.Discard()
+	sp.End()
+	if sp.Recording() {
+		t.Fatal("nil span reports recording")
+	}
+	if CurrentSpan(ctx) != nil {
+		t.Fatal("no current span expected without a collector")
+	}
+	// StartSpan still works standalone (trace-ID + timing only).
+	_, root := StartSpan(ctx, "route")
+	if root.TraceID == "" {
+		t.Fatal("StartSpan must mint a trace ID")
+	}
+	if root.Recording() {
+		t.Fatal("span without a collector must not record")
+	}
+	root.End()
+}
+
+func TestCollectorNilSafe(t *testing.T) {
+	var c *Collector
+	if _, ok := c.Trace("x"); ok {
+		t.Fatal("nil collector returned a trace")
+	}
+	if got := c.Traces(TraceFilter{}); got != nil {
+		t.Fatal("nil collector returned summaries")
+	}
+	if c.KeptCount() != 0 {
+		t.Fatal("nil collector kept traces")
+	}
+	c.RegisterMetrics(NewRegistry())
+	if ctx := WithCollector(context.Background(), nil); CollectorFrom(ctx) != nil {
+		t.Fatal("WithCollector(nil) must not attach a collector")
+	}
+}
+
+func TestCollectorMetrics(t *testing.T) {
+	c := NewCollector(CollectorOptions{SampleRate: -1, SlowThreshold: time.Hour})
+	reg := NewRegistry()
+	c.RegisterMetrics(reg)
+	record(c, "/sampled-out", 1, false)
+	record(c, "/kept", 1, true)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"crowdkit_trace_spans_recorded_total 4",
+		"crowdkit_trace_kept_total 1",
+		"crowdkit_trace_sampled_out_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector(CollectorOptions{Capacity: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				record(c, fmt.Sprintf("/g%d", g), 3, i%7 == 0)
+				c.Traces(TraceFilter{Limit: 5})
+				c.KeptCount()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.spansRecorded.Value() != 8*50*4 {
+		t.Fatalf("recorded %d spans, want %d", c.spansRecorded.Value(), 8*50*4)
+	}
+}
+
+func TestEMObserverWithSpan(t *testing.T) {
+	c := NewCollector(CollectorOptions{})
+	ctx := WithCollector(context.Background(), c)
+	_, sp := StartSpan(ctx, "em.run")
+
+	var iters, runs int
+	inner := &funcEMObserver{
+		iter: func(string, int, float64) { iters++ },
+		run:  func(string, int, bool, time.Duration) { runs++ },
+	}
+	o := EMObserverWithSpan(inner, sp)
+	o.ObserveEMIteration("onecoin", 1, 0.5)
+	o.ObserveEMIteration("onecoin", 2, 0.01)
+	o.ObserveEMRun("onecoin", 2, true, time.Millisecond)
+	sp.End()
+
+	if iters != 2 || runs != 1 {
+		t.Fatalf("inner observer saw %d iters, %d runs; want 2, 1", iters, runs)
+	}
+	td, ok := c.Trace(sp.TraceID)
+	if !ok || len(td.Spans) != 1 {
+		t.Fatalf("em.run span not recorded: %+v", td)
+	}
+	sd := td.Spans[0]
+	if len(sd.Events) != 2 || sd.Events[0].Name != "em.iteration" {
+		t.Fatalf("events = %+v, want two em.iteration events", sd.Events)
+	}
+	var converged any
+	for _, a := range sd.Attrs {
+		if a.Key == "converged" {
+			converged = a.Value()
+		}
+	}
+	if converged != true {
+		t.Fatalf("converged attr = %v, want true", converged)
+	}
+
+	// Not recording: the inner observer comes back untouched.
+	if got := EMObserverWithSpan(inner, nil); got != EMObserver(inner) {
+		t.Fatal("non-recording span must return inner unchanged")
+	}
+}
+
+type funcEMObserver struct {
+	iter func(string, int, float64)
+	run  func(string, int, bool, time.Duration)
+}
+
+func (o *funcEMObserver) ObserveEMIteration(m string, i int, d float64) { o.iter(m, i, d) }
+func (o *funcEMObserver) ObserveEMRun(m string, i int, c bool, w time.Duration) {
+	o.run(m, i, c, w)
+}

@@ -26,18 +26,26 @@ const defaultTimeout = 30 * time.Second
 
 // APIError is a non-2xx platform response. Status codes in the 5xx range
 // are retryable (the server had a transient problem); 4xx codes are the
-// client's fault and are never retried.
+// client's fault and are never retried. TraceID, when non-empty, is the
+// trace ID the failing request carried — quote it when filing a report
+// and the server's /api/trace/{id} view (if tracing is on) shows exactly
+// what the request did.
 type APIError struct {
 	StatusCode int
 	Msg        string
+	TraceID    string
 }
 
 // Error implements error.
 func (e *APIError) Error() string {
+	s := fmt.Sprintf("server: HTTP %d", e.StatusCode)
 	if e.Msg != "" {
-		return fmt.Sprintf("server: %s (HTTP %d)", e.Msg, e.StatusCode)
+		s = fmt.Sprintf("server: %s (HTTP %d)", e.Msg, e.StatusCode)
 	}
-	return fmt.Sprintf("server: HTTP %d", e.StatusCode)
+	if e.TraceID != "" {
+		s += " [trace " + e.TraceID + "]"
+	}
+	return s
 }
 
 // Retryable reports whether the request may be retried (server-side
@@ -190,7 +198,13 @@ func (c *Client) backoff(i int) time.Duration {
 // do issues one request with the retry policy: transport errors and 5xx
 // responses are retried with backoff, anything else is returned as-is.
 // A non-nil body is replayed on every attempt.
+//
+// One trace ID is minted per logical operation and sent as X-Trace-Id on
+// every attempt, so all retries of the same operation land in the same
+// trace on a tracing-enabled server and a client-side error can be
+// joined to the server's view of each attempt.
 func (c *Client) do(method, url string, body []byte) (*http.Response, error) {
+	tid := obs.NewTraceID()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		var rdr io.Reader
@@ -201,6 +215,7 @@ func (c *Client) do(method, url string, body []byte) (*http.Response, error) {
 		if err != nil {
 			return nil, fmt.Errorf("server: building request: %w", err)
 		}
+		req.Header.Set(TraceHeader, tid)
 		if body != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
@@ -442,7 +457,9 @@ func (c *Client) DriveWorker(w core.Worker, lookup func(core.TaskID) *core.Task,
 
 // apiError turns a non-2xx response into an *APIError, reading at most
 // maxBodyBytes of the error payload. It does not close the body; callers
-// drain and close via drainClose.
+// drain and close via drainClose. The trace ID is taken from the
+// response echo when present (the authoritative server-side value), else
+// from the request header the client sent.
 func apiError(resp *http.Response) error {
 	var e struct {
 		Error string `json:"error"`
@@ -451,5 +468,9 @@ func apiError(resp *http.Response) error {
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&e); err == nil {
 		msg = e.Error
 	}
-	return &APIError{StatusCode: resp.StatusCode, Msg: msg}
+	tid := resp.Header.Get(TraceHeader)
+	if tid == "" && resp.Request != nil {
+		tid = resp.Request.Header.Get(TraceHeader)
+	}
+	return &APIError{StatusCode: resp.StatusCode, Msg: msg, TraceID: tid}
 }

@@ -267,6 +267,13 @@ func BenchmarkServerConcurrent(b *testing.B) {
 		b.Run(fmt.Sprintf("sharded/workers=%d", workers), func(b *testing.B) {
 			benchServer(b, false, workers, WithShards(runtime.GOMAXPROCS(0)))
 		})
+		// The span flight recorder sampling every request. finegrained is
+		// the tracing-off baseline; the gap between these two runs is the
+		// full recording cost, and finegrained itself must stay where it
+		// was before tracing existed (nil-collector fast path).
+		b.Run(fmt.Sprintf("tracing/workers=%d", workers), func(b *testing.B) {
+			benchServer(b, false, workers, WithTracing(obs.NewCollector(obs.CollectorOptions{})))
+		})
 	}
 }
 

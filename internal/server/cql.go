@@ -123,6 +123,7 @@ func (s *Server) initCQL() error {
 		PageSize:    cfg.PageSize,
 		OnClose:     s.saveCQLCatalog,
 		OnQueryDone: func(st cql.QueryStatus, d time.Duration) { s.cqlM.queryDone(st, d) },
+		Tracer:      s.traceCol,
 	})
 	if err != nil {
 		return err
@@ -259,6 +260,7 @@ const cqlAnswerPoll = 50 * time.Millisecond
 // the answers it received.
 func (g *cqlGateway) Ask(ctx context.Context, t *core.Task, k int) ([]core.Answer, error) {
 	s := g.srv
+	sp := obs.CurrentSpan(ctx)
 	if !s.budget.TryCharge(float64(k)) {
 		return nil, errors.New("cql: budget exhausted")
 	}
@@ -266,6 +268,10 @@ func (g *cqlGateway) Ask(ctx context.Context, t *core.Task, k int) ([]core.Answe
 	if err != nil {
 		s.budget.Refund(float64(k))
 		return nil, err
+	}
+	if sp.Recording() {
+		sp.SetAttr(obs.Int("task", int64(id)), obs.Int("shard", int64(s.cpool.ShardFor(id))))
+		sp.AddEvent("publish", obs.Int("task", int64(id)), obs.Int("redundancy", int64(k)))
 	}
 	ch := make(chan struct{}, 1)
 	g.mu.Lock()
@@ -279,8 +285,14 @@ func (g *cqlGateway) Ask(ctx context.Context, t *core.Task, k int) ([]core.Answe
 
 	ticker := time.NewTicker(cqlAnswerPoll)
 	defer ticker.Stop()
-	seen := 0
+	seen, lastLeases := 0, 0
 	for {
+		if sp.Recording() {
+			if l := s.cpool.LeaseCount(id); l != lastLeases {
+				sp.AddEvent("lease", obs.Int("active", int64(l)))
+				lastLeases = l
+			}
+		}
 		if n := s.cpool.AnswerCount(id); n > seen {
 			// Each arriving answer was charged by the answer path; release
 			// the matching part of our reservation so in-flight spend stays
@@ -290,10 +302,16 @@ func (g *cqlGateway) Ask(ctx context.Context, t *core.Task, k int) ([]core.Answe
 				n = k
 			}
 			s.budget.Refund(float64(n - seen))
+			if sp.Recording() {
+				for i := seen + 1; i <= n; i++ {
+					sp.AddEvent("answer", obs.Int("n", int64(i)))
+				}
+			}
 			seen = n
 		}
 		if seen >= k {
 			s.cpool.Close(id)
+			sp.AddEvent("close", obs.Int("answers", int64(seen)))
 			answers := s.cpool.Answers(id)
 			return append([]core.Answer(nil), answers[:k]...), nil
 		}
@@ -304,6 +322,7 @@ func (g *cqlGateway) Ask(ctx context.Context, t *core.Task, k int) ([]core.Answe
 			// never consumed.
 			s.cpool.Close(id)
 			s.budget.Refund(float64(k - seen))
+			sp.AddEvent("close", obs.Int("answers", int64(seen)), obs.Str("reason", "canceled"))
 			return nil, ctx.Err()
 		case <-ch:
 		case <-ticker.C:

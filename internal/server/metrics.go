@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -40,8 +41,8 @@ func WithRequestLog(logger *slog.Logger) Option {
 }
 
 // serverObs bundles the per-endpoint instruments and the request logger.
-// It exists only when WithMetrics or WithRequestLog was given; a nil
-// *serverObs means the handler chain is completely bare.
+// It exists only when WithMetrics, WithRequestLog, or WithTracing was
+// given; a nil *serverObs means the handler chain is completely bare.
 type serverObs struct {
 	reg       *obs.Registry // nil when only request logging is on
 	logger    *slog.Logger  // nil when only metrics are on
@@ -108,15 +109,25 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	}
 	m := s.obsv.endpoint(route)
 	logger := s.obsv.logger
+	col := s.traceCol // nil = tracing off: WithCollector and the span no-op
 	return func(w http.ResponseWriter, r *http.Request) {
-		ctx := r.Context()
+		ctx := obs.WithCollector(r.Context(), col)
 		if id := r.Header.Get(TraceHeader); id != "" {
 			ctx = obs.WithTraceID(ctx, id)
 		}
 		ctx, span := obs.StartSpan(ctx, route)
 		w.Header().Set(TraceHeader, span.TraceID)
+		if span.Recording() {
+			span.SetAttr(obs.Str("method", r.Method), obs.Str("path", r.URL.Path))
+		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r.WithContext(ctx))
+		if span.Recording() {
+			span.SetAttr(obs.Int("status", int64(sw.code)))
+			if sw.code >= 500 {
+				span.SetError(fmt.Errorf("HTTP %d", sw.code))
+			}
+		}
 		d := span.EndTo(m.latency)
 		if c := sw.code / 100; c >= 1 && c <= 5 {
 			m.classes[c].Inc()
@@ -150,8 +161,11 @@ type resultsMetrics struct {
 // registers the pull-style gauges. Called by New after the options are
 // applied and the core state exists.
 func (s *Server) wireObservability() {
-	if s.metricsReg != nil || s.reqLog != nil {
+	if s.metricsReg != nil || s.reqLog != nil || s.traceCol != nil {
 		s.obsv = newServerObs(s.metricsReg, s.reqLog)
+	}
+	if s.traceCol != nil && s.metricsReg != nil {
+		s.traceCol.RegisterMetrics(s.metricsReg)
 	}
 	if s.metricsReg != nil {
 		s.budget.RegisterMetrics(s.metricsReg)

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"sort"
 	"strconv"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/truth"
 )
 
@@ -68,9 +70,12 @@ type resultGroup struct {
 }
 
 // newInferrer builds the inference kernel for a validated method name,
-// seeded with warm (nil = cold start). Returns nil for unknown methods.
-func (s *Server) newInferrer(method string, warm *truth.WarmState) truth.Inferrer {
-	emObs := s.emObserver()
+// seeded with warm (nil = cold start) and observed by emObs (nil = the
+// metrics observer, or nothing). Returns nil for unknown methods.
+func (s *Server) newInferrer(method string, warm *truth.WarmState, emObs obs.EMObserver) truth.Inferrer {
+	if emObs == nil {
+		emObs = s.emObserver()
+	}
 	switch method {
 	case "mv":
 		return truth.MajorityVote{}
@@ -94,7 +99,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	if method == "" {
 		method = "mv"
 	}
-	if s.newInferrer(method, nil) == nil {
+	if s.newInferrer(method, nil, nil) == nil {
 		httpError(w, http.StatusBadRequest, "unknown method "+method)
 		return
 	}
@@ -110,7 +115,7 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	groups, version, err := s.computeResults(method)
+	groups, version, err := s.computeResults(r.Context(), method)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -151,7 +156,7 @@ func writeResults(w http.ResponseWriter, groups []*resultGroup, version uint64) 
 // groups, the full answer set otherwise. Dataset building and inference
 // run outside the locks, deduplicated per (method, k, version) so a
 // thundering herd of pollers triggers at most one EM run.
-func (s *Server) computeResults(method string) ([]*resultGroup, uint64, error) {
+func (s *Server) computeResults(ctx context.Context, method string) ([]*resultGroup, uint64, error) {
 	var (
 		groups   []*resultGroup
 		version  uint64
@@ -230,7 +235,14 @@ func (s *Server) computeResults(method string) ([]*resultGroup, uint64, error) {
 					s.resM.warmMisses.Inc()
 				}
 			}
-			res, err := s.newInferrer(method, g.warm).Infer(ds)
+			_, esp := obs.ChildSpan(ctx, "em.run")
+			if esp.Recording() {
+				esp.SetAttr(obs.Str("em.method", method), obs.Int("k", int64(g.k)),
+					obs.Int("tasks", int64(len(g.ids))), obs.Bool("warm", g.warm != nil))
+			}
+			res, err := s.newInferrer(method, g.warm, obs.EMObserverWithSpan(s.emObserver(), esp)).Infer(ds)
+			esp.SetError(err)
+			esp.End()
 			if err != nil {
 				return nil, err
 			}
@@ -387,6 +399,15 @@ func (s *Server) refreshAll() {
 	}
 	s.refreshMu.Unlock()
 	sort.Strings(methods)
+
+	// Each sweep that does work is its own trace; idle ticks discard the
+	// span so they never occupy the kept ring.
+	ctx := context.Background()
+	var sweep *obs.Span
+	if s.traceCol != nil {
+		ctx, sweep = obs.StartSpan(obs.WithCollector(ctx, s.traceCol), "bg.results-refresh")
+	}
+	refreshed := 0
 	for _, m := range methods {
 		s.refreshMu.Lock()
 		last := s.refreshVer[m]
@@ -394,15 +415,24 @@ func (s *Server) refreshAll() {
 		if s.cpool.Version() == last {
 			continue
 		}
-		_, version, err := s.computeResults(m)
+		_, version, err := s.computeResults(ctx, m)
 		if err != nil {
 			continue // transient (e.g. heterogeneous group mid-add); retry next tick
 		}
+		refreshed++
 		s.refreshMu.Lock()
 		if s.refreshVer == nil {
 			s.refreshVer = make(map[string]uint64)
 		}
 		s.refreshVer[m] = version
 		s.refreshMu.Unlock()
+	}
+	if sweep != nil {
+		if refreshed == 0 {
+			sweep.Discard()
+		} else {
+			sweep.SetAttr(obs.Int("methods", int64(refreshed)))
+		}
+		sweep.End()
 	}
 }

@@ -43,11 +43,15 @@
 // per-endpoint request/latency instrumentation, budget/pool/lease gauges,
 // EM convergence telemetry, and a /metrics exposition endpoint;
 // WithRequestLog adds structured per-request logging with trace IDs;
-// WithPprof mounts net/http/pprof. A server built without these options
-// runs the exact pre-observability handler chain.
+// WithPprof mounts net/http/pprof; WithTracing installs the span flight
+// recorder (see trace.go) — request, shard, WAL, EM, and CQL spans
+// retrievable by the echoed X-Trace-Id via /api/trace/{id}. A server
+// built without these options runs the exact pre-observability handler
+// chain.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -99,11 +103,13 @@ type Server struct {
 	stopRefresher  chan struct{}
 	resM           resultsMetrics
 
-	// Observability (nil/false = off; see metrics.go).
+	// Observability (nil/false = off; see metrics.go). traceCol is the
+	// span flight recorder (nil = tracing off; see trace.go).
 	metricsReg *obs.Registry
 	pprofOn    bool
 	reqLog     *slog.Logger
 	obsv       *serverObs
+	traceCol   *obs.Collector
 
 	// store, when set, journals every pool mutation and gates answer acks
 	// on durability (nil = the pure in-memory server; see durable.go).
@@ -229,6 +235,9 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 	if s.cqlMgr != nil {
 		s.mountCQL()
 	}
+	if s.traceCol != nil {
+		s.mountTrace()
+	}
 	s.mountDebug()
 	if s.leaseTTL > 0 {
 		if s.reaperEvery <= 0 {
@@ -283,8 +292,36 @@ func (s *Server) reap() {
 		case <-s.stopReaper:
 			return
 		case <-t.C:
-			s.expireLeases()
+			s.reapSweep()
 		}
+	}
+}
+
+// reapSweep is one attributable reaper tick: with tracing on, the sweep
+// runs under its own root span and trace ID, so a slow or busy sweep
+// shows up in /api/traces (endpoint bg.lease-reaper) and its log line
+// can be joined by trace ID. Idle ticks discard the span — a reaper
+// firing every few milliseconds must not flood the kept ring.
+func (s *Server) reapSweep() {
+	if s.traceCol == nil {
+		s.expireLeases()
+		return
+	}
+	ctx := obs.WithCollector(context.Background(), s.traceCol)
+	ctx, sp := obs.StartSpan(ctx, "bg.lease-reaper")
+	exp := s.cpool.ExpireLeases(time.Now())
+	if len(exp) == 0 {
+		sp.Discard()
+		sp.End()
+		return
+	}
+	s.expired.Add(int64(len(exp)))
+	sp.SetAttr(obs.Int("expired", int64(len(exp))))
+	sp.End()
+	if s.reqLog != nil {
+		s.reqLog.LogAttrs(ctx, slog.LevelInfo, "lease sweep",
+			slog.String("trace", sp.TraceID),
+			slog.Int("expired", len(exp)))
 	}
 }
 
@@ -394,6 +431,7 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		id core.TaskID
 		ok bool
 	)
+	_, asp := obs.ChildSpan(r.Context(), "core.assign")
 	if s.leaseTTL > 0 {
 		// Lazy expiry first, so an assignment never waits a reaper tick to
 		// see reclaimed slots; then assign + lease atomically.
@@ -401,6 +439,15 @@ func (s *Server) handleTask(w http.ResponseWriter, r *http.Request) {
 		id, ok = s.cpool.AssignLease(s.assigner, worker, time.Now().Add(s.leaseTTL))
 	} else {
 		id, ok = s.cpool.Assign(s.assigner, worker)
+	}
+	if asp != nil {
+		asp.SetAttr(obs.Str("worker", worker),
+			obs.Bool("leased", s.leaseTTL > 0), obs.Bool("assigned", ok))
+		if ok {
+			asp.SetAttr(obs.Int("task", int64(id)),
+				obs.Int("shard", int64(s.cpool.ShardFor(id))))
+		}
+		asp.End()
 	}
 	if !ok {
 		w.WriteHeader(http.StatusNoContent)
@@ -468,7 +515,15 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		Task: dto.Task, Worker: dto.Worker,
 		Option: dto.Option, Text: dto.Text, Score: dto.Score,
 	}
-	if err := s.cpool.Record(a); err != nil {
+	_, rsp := obs.ChildSpan(r.Context(), "core.record")
+	err := s.cpool.Record(a)
+	if rsp != nil {
+		rsp.SetAttr(obs.Int("task", int64(a.Task)), obs.Str("worker", a.Worker),
+			obs.Int("shard", int64(s.cpool.ShardFor(a.Task))))
+		rsp.SetError(err)
+		rsp.End()
+	}
+	if err != nil {
 		s.budget.Refund(1)
 		httpError(w, http.StatusConflict, err.Error())
 		return
@@ -484,7 +539,7 @@ func (s *Server) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	// is sticky-failed at that point, so no later answer can be
 	// acknowledged against a log that stopped accepting.
 	if s.store != nil {
-		if err := s.store.AnswerDurable(a, 1, golden); err != nil {
+		if err := s.store.AnswerDurableCtx(r.Context(), a, 1, golden); err != nil {
 			s.rollbackAnswer(a, golden)
 			httpError(w, http.StatusInternalServerError, "answer not persisted: "+err.Error())
 			return

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Trace query surface: the span flight recorder's read side.
+//
+//	GET /api/trace/{id}                              -> span tree for one trace
+//	GET /api/traces?endpoint=&min_ms=&limit=         -> recent/slow trace index
+//	GET /api/cql/session/{name}/query/{qid}/trace    -> a CQL query's trace
+//
+// The endpoints are mounted bare (uninstrumented, like /metrics): reading
+// a trace must not mint spans of its own, or debugging inflates the very
+// buffer being debugged.
+
+// WithTracing enables the span flight recorder: requests, pool-shard
+// operations, WAL appends, EM runs, and CQL plan stages record spans into
+// c, retrievable by the echoed X-Trace-Id via /api/trace/{id}. A nil
+// collector leaves tracing off; a server built without this option runs
+// the nil-collector fast path everywhere (spans are just start times).
+func WithTracing(c *obs.Collector) Option {
+	return func(s *Server) { s.traceCol = c }
+}
+
+// TraceCollector exposes the server's collector (nil when tracing is
+// off); tests and embedders read traces directly through it.
+func (s *Server) TraceCollector() *obs.Collector { return s.traceCol }
+
+// mountTrace adds the trace read endpoints (called from New when
+// WithTracing was given).
+func (s *Server) mountTrace() {
+	s.mux.HandleFunc("GET /api/trace/{id}", s.handleTrace)
+	s.mux.HandleFunc("GET /api/traces", s.handleTraces)
+	if s.cqlMgr != nil {
+		s.mux.HandleFunc("GET /api/cql/session/{name}/query/{qid}/trace", s.handleCQLQueryTrace)
+	}
+}
+
+// TraceDTO is the wire form of one trace: its spans in start order, each
+// carrying its parent link, so clients can rebuild the tree.
+type TraceDTO struct {
+	TraceID string `json:"trace_id"`
+	// Complete is false while the root span has not ended (e.g. a crowd
+	// query still running) — the span list may still grow.
+	Complete bool `json:"complete"`
+	Error    bool `json:"error,omitempty"`
+	// DurationMS is the root span's duration (0 until complete).
+	DurationMS float64   `json:"duration_ms"`
+	Spans      []SpanDTO `json:"spans"`
+}
+
+// SpanDTO is the wire form of one span. IDs are hex strings; ParentID ""
+// marks a root span. StartMS offsets the span from the trace's earliest
+// span start.
+type SpanDTO struct {
+	SpanID     string         `json:"span_id"`
+	ParentID   string         `json:"parent_id,omitempty"`
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"`
+	DurationMS float64        `json:"duration_ms"`
+	Error      string         `json:"error,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Events     []SpanEventDTO `json:"events,omitempty"`
+}
+
+// SpanEventDTO is one in-span point event, offset from the span's start.
+type SpanEventDTO struct {
+	Name  string         `json:"name"`
+	AtMS  float64        `json:"at_ms"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceSummaryDTO is one row of the /api/traces index.
+type TraceSummaryDTO struct {
+	TraceID    string  `json:"trace_id"`
+	Endpoint   string  `json:"endpoint"`
+	Start      string  `json:"start"`
+	DurationMS float64 `json:"duration_ms"`
+	Spans      int     `json:"spans"`
+	Error      bool    `json:"error,omitempty"`
+}
+
+func durMS(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func attrMap(attrs []obs.Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.Value()
+	}
+	return m
+}
+
+// traceDTO renders a collector snapshot. Spans come back in completion
+// order; re-sort by start time so the tree reads top-down.
+func traceDTO(td obs.TraceData) TraceDTO {
+	out := TraceDTO{TraceID: td.TraceID, Complete: td.Complete, Error: td.Err}
+	if len(td.Spans) == 0 {
+		out.Spans = []SpanDTO{}
+		return out
+	}
+	spans := td.Spans
+	base := spans[0].Start
+	for _, sd := range spans[1:] {
+		if sd.Start.Before(base) {
+			base = sd.Start
+		}
+	}
+	out.Spans = make([]SpanDTO, 0, len(spans))
+	for _, sd := range spans {
+		dto := SpanDTO{
+			SpanID:     fmt.Sprintf("%016x", sd.SpanID),
+			Name:       sd.Name,
+			StartMS:    durMS(sd.Start.Sub(base)),
+			DurationMS: durMS(sd.Duration),
+			Error:      sd.Err,
+			Attrs:      attrMap(sd.Attrs),
+		}
+		if sd.ParentID != 0 {
+			dto.ParentID = fmt.Sprintf("%016x", sd.ParentID)
+		}
+		for _, ev := range sd.Events {
+			dto.Events = append(dto.Events, SpanEventDTO{
+				Name:  ev.Name,
+				AtMS:  durMS(ev.Time.Sub(sd.Start)),
+				Attrs: attrMap(ev.Attrs),
+			})
+		}
+		if sd.ParentID == 0 && sd.Duration > 0 {
+			out.DurationMS = durMS(sd.Duration)
+		}
+		out.Spans = append(out.Spans, dto)
+	}
+	sortSpansByStart(out.Spans)
+	return out
+}
+
+func sortSpansByStart(spans []SpanDTO) {
+	// Insertion sort: span counts are small (bounded by MaxSpans) and the
+	// completion order is already nearly sorted by start.
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && less(spans[j], spans[j-1]); j-- {
+			spans[j], spans[j-1] = spans[j-1], spans[j]
+		}
+	}
+}
+
+func less(a, b SpanDTO) bool {
+	if a.StartMS != b.StartMS {
+		return a.StartMS < b.StartMS
+	}
+	return a.SpanID < b.SpanID
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	td, ok := s.traceCol.Trace(id)
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			fmt.Sprintf("trace %q not found (expired, sampled out, or never recorded)", id))
+		return
+	}
+	writeJSON(w, traceDTO(td))
+}
+
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := obs.TraceFilter{Endpoint: q.Get("endpoint")}
+	if v := q.Get("min_ms"); v != "" {
+		n, err := strconv.ParseFloat(v, 64)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad min_ms")
+			return
+		}
+		f.MinDuration = time.Duration(n * float64(time.Millisecond))
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad limit")
+			return
+		}
+		f.Limit = n
+	}
+	sums := s.traceCol.Traces(f)
+	out := make([]TraceSummaryDTO, 0, len(sums))
+	for _, t := range sums {
+		out = append(out, TraceSummaryDTO{
+			TraceID:    t.TraceID,
+			Endpoint:   t.Endpoint,
+			Start:      t.Start.UTC().Format(time.RFC3339Nano),
+			DurationMS: durMS(t.Duration),
+			Spans:      t.Spans,
+			Error:      t.Err,
+		})
+	}
+	writeJSON(w, out)
+}
+
+// handleCQLQueryTrace surfaces a query handle's trace: each CQL query
+// runs under a fresh trace ID (the executing HTTP request's span ends
+// long before a crowd query does), carried on the handle and in every
+// page response as trace_id.
+func (s *Server) handleCQLQueryTrace(w http.ResponseWriter, r *http.Request) {
+	ms := s.cqlSession(w, r)
+	if ms == nil {
+		return
+	}
+	qid := r.PathValue("qid")
+	q, ok := ms.Query(qid)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown query %q", qid))
+		return
+	}
+	tid := q.TraceID()
+	if tid == "" {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("query %q has no trace (tracing off)", qid))
+		return
+	}
+	td, ok := s.traceCol.Trace(tid)
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			fmt.Sprintf("trace %q for query %q not found (expired or sampled out)", tid, qid))
+		return
+	}
+	writeJSON(w, traceDTO(td))
+}
