@@ -26,7 +26,12 @@
 // tokens, and can be canceled (releasing the question's leases and
 // refunding its reserved budget). Session catalogs are saved to the
 // directory when a session closes — including graceful shutdown — and
-// reload when a session of the same name is created again.
+// reload when a session of the same name is created again. With -data-dir
+// as well, session lifecycle is journaled through the WAL: a kill -9
+// recovers open sessions with their catalogs and prepared statements,
+// resurfaces mid-flight query handles with status "recovered", closes
+// orphaned crowd questions, and refunds their unconsumed budget
+// reservations so the recovered spend equals acked answers exactly.
 //
 // The server handles concurrent workers without a global lock; see the
 // server package docs for the concurrency model. With -lease set, every
@@ -139,6 +144,14 @@ func main() {
 				info.Tasks, info.Answers, info.BudgetSpent, *dataDir,
 				info.SnapshotLoaded, info.Replayed, info.Skipped, info.TornBytes,
 				info.ReplayDuration.Round(time.Microsecond))
+			if info.CQLSessions > 0 || info.CQLOpenQuestions > 0 {
+				// server.New finishes the CQL recovery: sessions reopen with
+				// their catalogs, mid-flight queries come back as "recovered"
+				// handles, and each orphaned question's task is closed with
+				// its unconsumed reservation refunded.
+				log.Printf("crowdserve: recovering CrowdQL state: %d open sessions, %d mid-flight queries, %d orphaned crowd questions to reconcile",
+					info.CQLSessions, info.CQLRunningQueries, info.CQLOpenQuestions)
+			}
 		}
 	}
 	if seedDemo {

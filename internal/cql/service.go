@@ -25,6 +25,21 @@ import (
 // ErrSessionClosed is returned for operations on a closed session.
 var ErrSessionClosed = errors.New("cql: session closed")
 
+// SessionJournal observes session-lifecycle transitions for a durability
+// layer: session create/close, statement prepare, and query start/finish.
+// Methods are called synchronously on the mutating path, after the
+// in-memory transition is registered; implementations journal and return
+// (errors surface through the store's own sticky-error machinery, not
+// here). A nil journal is off — the manager makes no calls at all, so the
+// non-durable path is unchanged.
+type SessionJournal interface {
+	SessionCreated(name string)
+	SessionClosed(name string)
+	StatementPrepared(session, name, src string)
+	QueryStarted(session, qid, src string)
+	QueryFinished(session, qid string, status QueryStatus)
+}
+
 // ServiceConfig wires a SessionManager.
 type ServiceConfig struct {
 	// Factory builds the underlying Session for a newly created named
@@ -44,9 +59,18 @@ type ServiceConfig struct {
 	// held (no query mid-flight). This is the persistence hook: the
 	// server saves the session catalog here.
 	OnClose func(name string, s *Session)
+	// OnMutate, when set, runs after every successfully executed statement
+	// that changed the session's catalog (DDL/DML, or a crowd SELECT that
+	// memoized fills into base tuples), with the statement lock held. This
+	// is the incremental persistence hook: the server saves the catalog
+	// here so a crash loses no committed mutation, not just on close.
+	OnMutate func(name string, s *Session)
 	// OnQueryDone, when set, observes every finished query (status
 	// done/error/canceled and wall-clock duration) for metrics.
 	OnQueryDone func(status QueryStatus, d time.Duration)
+	// Journal, when set, records session lifecycle transitions for crash
+	// recovery (see SessionJournal). Nil = durability off, zero overhead.
+	Journal SessionJournal
 	// Tracer, when set, records each query's execution as a trace: every
 	// query runs under a fresh trace ID (carried on the handle and every
 	// page as trace_id) with a cql.query root span, per-statement and
@@ -147,10 +171,101 @@ func (m *SessionManager) Create(name string) (*ManagedSession, error) {
 		mgr:      m,
 		sess:     sess,
 		lastUsed: time.Now(),
-		prepared: make(map[string][]Statement),
+		prepared: make(map[string]preparedStmt),
 		queries:  make(map[string]*Query),
 	}
 	m.mu.Lock()
+	if m.closed {
+		// The manager closed while the factory ran. Registering now would
+		// strand the session in a closed manager's map — shutdown() and the
+		// OnClose persistence hook would never run for it. Drop the
+		// reservation and shut the fresh session down immediately instead.
+		delete(m.sessions, key)
+		m.mu.Unlock()
+		ms.shutdown()
+		return nil, ErrSessionClosed
+	}
+	m.sessions[key] = ms
+	m.mu.Unlock()
+	if j := m.cfg.Journal; j != nil {
+		j.SessionCreated(name)
+	}
+	return ms, nil
+}
+
+// RestoredQuery describes a query handle to resurrect during recovery:
+// the id it had and the source it was executing.
+type RestoredQuery struct {
+	ID  string
+	Src string
+}
+
+// Restore rebuilds a session from journaled state during crash recovery.
+// The factory loads the session's persisted catalog as usual, prepared
+// statements re-parse from their journaled source, and the queries that
+// were running at crash time come back as terminal handles with status
+// "recovered" — clients polling them learn the results were lost instead
+// of getting a 404. No journal hooks fire: the journal already holds
+// every transition being replayed. Unlike Create, a prepared source that
+// no longer parses is skipped rather than fatal — grammar drift across
+// versions must not block recovery.
+func (m *SessionManager) Restore(name string, prepared map[string]string, queries []RestoredQuery) (*ManagedSession, error) {
+	if !validSessionName(name) {
+		return nil, fmt.Errorf("cql: invalid session name %q (want [A-Za-z0-9_-]{1,64})", name)
+	}
+	key := strings.ToLower(name)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	if _, exists := m.sessions[key]; exists {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("cql: session %q already exists", name)
+	}
+	m.sessions[key] = nil
+	m.mu.Unlock()
+
+	sess, err := m.cfg.Factory(name)
+	if err != nil || sess == nil {
+		m.mu.Lock()
+		delete(m.sessions, key)
+		m.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("cql: session factory returned nil for %q", name)
+		}
+		return nil, err
+	}
+	ms := &ManagedSession{
+		name:     name,
+		mgr:      m,
+		sess:     sess,
+		lastUsed: time.Now(),
+		prepared: make(map[string]preparedStmt),
+		queries:  make(map[string]*Query),
+	}
+	for pname, src := range prepared {
+		stmts, perr := ParseAll(src)
+		if perr != nil || len(stmts) == 0 {
+			continue
+		}
+		ms.prepared[strings.ToLower(pname)] = preparedStmt{stmts: stmts, src: src}
+	}
+	for _, rq := range queries {
+		q := recoveredQuery(rq.ID, m.cfg.PageSize)
+		ms.queries[q.id] = q
+		if n := q2n(rq.ID); n > ms.nextQ {
+			// New queries must not reuse a resurrected handle's id.
+			ms.nextQ = n
+		}
+	}
+	m.mu.Lock()
+	if m.closed {
+		delete(m.sessions, key)
+		m.mu.Unlock()
+		ms.shutdown()
+		return nil, ErrSessionClosed
+	}
 	m.sessions[key] = ms
 	m.mu.Unlock()
 	return ms, nil
@@ -300,9 +415,17 @@ type ManagedSession struct {
 	lastUsed time.Time
 	closed   bool
 	running  int
-	prepared map[string][]Statement
+	prepared map[string]preparedStmt
 	queries  map[string]*Query
 	nextQ    int
+}
+
+// preparedStmt keeps a prepared statement's parse alongside its source
+// text; the source is what the journal records, so recovery can re-prepare
+// it on a fresh session.
+type preparedStmt struct {
+	stmts []Statement
+	src   string
 }
 
 // Name returns the session's name.
@@ -311,12 +434,6 @@ func (ms *ManagedSession) Name() string { return ms.name }
 // Session exposes the underlying Session. Callers must hold no query on
 // the session (single-threaded); intended for setup and tests.
 func (ms *ManagedSession) Session() *Session { return ms.sess }
-
-func (ms *ManagedSession) touch() {
-	ms.meta.Lock()
-	ms.lastUsed = time.Now()
-	ms.meta.Unlock()
-}
 
 func (ms *ManagedSession) idleSince(now time.Time) time.Duration {
 	ms.meta.Lock()
@@ -341,12 +458,16 @@ func (ms *ManagedSession) Prepare(name, src string) error {
 		return errors.New("cql: empty statement")
 	}
 	ms.meta.Lock()
-	defer ms.meta.Unlock()
 	if ms.closed {
+		ms.meta.Unlock()
 		return ErrSessionClosed
 	}
 	ms.lastUsed = time.Now()
-	ms.prepared[strings.ToLower(name)] = stmts
+	ms.prepared[strings.ToLower(name)] = preparedStmt{stmts: stmts, src: src}
+	ms.meta.Unlock()
+	if j := ms.mgr.cfg.Journal; j != nil {
+		j.StatementPrepared(ms.name, strings.ToLower(name), src)
+	}
 	return nil
 }
 
@@ -374,21 +495,21 @@ func (ms *ManagedSession) Execute(src string) (*Query, error) {
 	if len(stmts) == 0 {
 		return nil, errors.New("cql: empty statement")
 	}
-	return ms.launch(stmts)
+	return ms.launch(stmts, src)
 }
 
 // ExecutePrepared launches a statement stored by Prepare.
 func (ms *ManagedSession) ExecutePrepared(name string) (*Query, error) {
 	ms.meta.Lock()
-	stmts, ok := ms.prepared[strings.ToLower(name)]
+	ps, ok := ms.prepared[strings.ToLower(name)]
 	ms.meta.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("cql: no prepared statement %q", name)
 	}
-	return ms.launch(stmts)
+	return ms.launch(ps.stmts, ps.src)
 }
 
-func (ms *ManagedSession) launch(stmts []Statement) (*Query, error) {
+func (ms *ManagedSession) launch(stmts []Statement, src string) (*Query, error) {
 	ms.meta.Lock()
 	if ms.closed {
 		ms.meta.Unlock()
@@ -401,6 +522,12 @@ func (ms *ManagedSession) launch(stmts []Statement) (*Query, error) {
 	ms.running++
 	ms.lastUsed = time.Now()
 	ms.meta.Unlock()
+	if j := ms.mgr.cfg.Journal; j != nil {
+		// Journaled before the goroutine starts: a crash at any later point
+		// finds a started event, so the handle is resurrected as
+		// "recovered" rather than vanishing.
+		j.QueryStarted(ms.name, q.id, src)
+	}
 	go ms.run(q, stmts)
 	return q, nil
 }
@@ -458,6 +585,7 @@ func (ms *ManagedSession) run(q *Query, stmts []Statement) {
 		if ssp != nil {
 			ssp.SetAttr(obs.Int("index", int64(i)), obs.Str("type", stmtName(st)))
 		}
+		fillsBefore := ms.sess.Stats.Fills
 		last, err = ms.sess.ExecuteStmtStream(sctx, st, q.appendPartial)
 		if ssp != nil {
 			ssp.SetError(err)
@@ -465,6 +593,14 @@ func (ms *ManagedSession) run(q *Query, stmts []Statement) {
 		}
 		if err != nil {
 			break
+		}
+		if hook := ms.mgr.cfg.OnMutate; hook != nil &&
+			(stmtMutatesCatalog(st) || ms.sess.Stats.Fills > fillsBefore) {
+			// Still under ms.mu: the catalog is quiescent, exactly as in the
+			// OnClose hook. Per-statement persistence is cheap next to crowd
+			// latency, and it means a crash after this point replays onto a
+			// catalog that already holds this statement's effects.
+			hook(ms.name, ms.sess)
 		}
 	}
 	if root != nil {
@@ -481,15 +617,33 @@ func (ms *ManagedSession) run(q *Query, stmts []Statement) {
 	ms.running--
 	ms.lastUsed = time.Now()
 	ms.meta.Unlock()
+	if j := ms.mgr.cfg.Journal; j != nil {
+		j.QueryFinished(ms.name, q.id, q.Status())
+	}
 	if hook := ms.mgr.cfg.OnQueryDone; hook != nil {
 		hook(q.Status(), time.Since(q.started))
 	}
 }
 
-// Query returns a handle by id.
+// stmtMutatesCatalog reports whether a statement kind writes to the
+// session catalog. Crowd SELECTs can also write back (CROWDFILL memoizes
+// answers into base tuples); the caller detects those through the
+// session's fill counter instead.
+func stmtMutatesCatalog(st Statement) bool {
+	switch st.(type) {
+	case *CreateTable, *Insert, *DropTable, *Delete, *Update:
+		return true
+	}
+	return false
+}
+
+// Query returns a handle by id. Looking a handle up counts as session
+// activity: a client paginating a finished crowd query's results keeps
+// the session out of the idle sweeper's reach.
 func (ms *ManagedSession) Query(id string) (*Query, bool) {
 	ms.meta.Lock()
 	defer ms.meta.Unlock()
+	ms.lastUsed = time.Now()
 	q, ok := ms.queries[id]
 	return q, ok
 }
@@ -497,16 +651,20 @@ func (ms *ManagedSession) Query(id string) (*Query, bool) {
 // CancelQuery cancels a running query: its context is canceled, so no
 // further crowd questions are issued, the serving gateway releases the
 // in-flight task's leases, and reserved budget is refunded. Canceling a
-// finished query is a no-op. Reports whether the handle exists.
-func (ms *ManagedSession) CancelQuery(id string) bool {
+// finished query is a no-op. The handle is returned from the same lookup
+// that resolved the cancel, so a caller never sees "canceled but the
+// handle is gone" even if retention pruning races it. Canceling counts as
+// session activity for the idle sweeper.
+func (ms *ManagedSession) CancelQuery(id string) (*Query, bool) {
 	ms.meta.Lock()
+	ms.lastUsed = time.Now()
 	q, ok := ms.queries[id]
 	ms.meta.Unlock()
 	if !ok {
-		return false
+		return nil, false
 	}
 	q.cancel()
-	return true
+	return q, true
 }
 
 // shutdown cancels every query, waits for them to unwind, and runs the
@@ -530,21 +688,32 @@ func (ms *ManagedSession) shutdown() {
 		<-q.done
 	}
 	ms.mu.Lock()
-	defer ms.mu.Unlock()
 	if ms.mgr.cfg.OnClose != nil {
 		ms.mgr.cfg.OnClose(ms.name, ms.sess)
+	}
+	ms.mu.Unlock()
+	if j := ms.mgr.cfg.Journal; j != nil {
+		// Journaled after the catalog is persisted: a crash between the two
+		// re-restores the session on top of its saved catalog, which is
+		// merely redundant; the reverse order could mark a session closed
+		// whose catalog was never saved.
+		j.SessionClosed(ms.name)
 	}
 }
 
 // QueryStatus is a query handle's lifecycle state.
 type QueryStatus string
 
-// Query lifecycle: running -> done | error | canceled.
+// Query lifecycle: running -> done | error | canceled. Recovered is the
+// terminal state of a query that was running when the server crashed: its
+// handle survives recovery so clients polling it learn what happened, but
+// its partial results are gone — re-execute to get them back.
 const (
-	QueryRunning  QueryStatus = "running"
-	QueryDone     QueryStatus = "done"
-	QueryError    QueryStatus = "error"
-	QueryCanceled QueryStatus = "canceled"
+	QueryRunning   QueryStatus = "running"
+	QueryDone      QueryStatus = "done"
+	QueryError     QueryStatus = "error"
+	QueryCanceled  QueryStatus = "canceled"
+	QueryRecovered QueryStatus = "recovered"
 )
 
 // Query is an asynchronous statement handle. While the statement runs,
@@ -593,6 +762,26 @@ func newQuery(id string, pageSize int, tracer *obs.Collector) *Query {
 		done:     make(chan struct{}),
 		status:   QueryRunning,
 	}
+}
+
+// recoveredQuery builds the terminal handle of a query lost to a crash:
+// status "recovered", no rows, done already resolved, so Wait returns
+// immediately and cancel is a no-op.
+func recoveredQuery(id string, pageSize int) *Query {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := &Query{
+		id:       id,
+		pageSize: pageSize,
+		started:  time.Now(),
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		status:   QueryRecovered,
+		errMsg:   "query was running when the server went down; its task was closed and budget reconciled — re-execute for results",
+	}
+	close(q.done)
+	return q
 }
 
 // ID returns the handle's identifier (unique within its session).

@@ -434,11 +434,11 @@ func TestCancelQueryMidFlight(t *testing.T) {
 	}
 	remote.waitCalls(t, 2)
 
-	if ms.CancelQuery("q999") {
+	if _, ok := ms.CancelQuery("q999"); ok {
 		t.Fatal("canceling unknown query reported success")
 	}
-	if !ms.CancelQuery(q.ID()) {
-		t.Fatal("CancelQuery did not find the handle")
+	if h, ok := ms.CancelQuery(q.ID()); !ok || h != q {
+		t.Fatal("CancelQuery did not return the handle it canceled")
 	}
 	if !q.Wait(5 * time.Second) {
 		t.Fatal("canceled query did not unwind")
@@ -487,5 +487,148 @@ func TestProgressTargetShapes(t *testing.T) {
 			t.Errorf("%q: streamable = %v, want %v (plan %s)",
 				tc.src, got, tc.stream, plan.Describe())
 		}
+	}
+}
+
+// A Close racing a slow (catalog-loading) factory must not leave the new
+// session registered in a closed manager's map: the recheck under the
+// lock drops it and shuts it down immediately, so OnClose (catalog
+// persistence) still runs.
+func TestCreateRacingCloseShutsSessionDown(t *testing.T) {
+	factoryEntered := make(chan struct{})
+	factoryRelease := make(chan struct{})
+	var closedMu sync.Mutex
+	var closed []string
+	m, err := NewSessionManager(ServiceConfig{
+		Factory: func(name string) (*Session, error) {
+			close(factoryEntered)
+			<-factoryRelease
+			return machineSession(), nil
+		},
+		OnClose: func(name string, s *Session) {
+			closedMu.Lock()
+			closed = append(closed, name)
+			closedMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewSessionManager: %v", err)
+	}
+	type res struct {
+		ms  *ManagedSession
+		err error
+	}
+	resCh := make(chan res, 1)
+	go func() {
+		ms, err := m.Create("raced")
+		resCh <- res{ms, err}
+	}()
+	<-factoryEntered
+	m.Close() // closes while the factory is mid-flight
+	close(factoryRelease)
+	r := <-resCh
+	if r.err != ErrSessionClosed || r.ms != nil {
+		t.Fatalf("Create racing Close = (%v, %v), want (nil, ErrSessionClosed)", r.ms, r.err)
+	}
+	if n := m.SessionCount(); n != 0 {
+		t.Fatalf("closed manager still holds %d sessions", n)
+	}
+	closedMu.Lock()
+	defer closedMu.Unlock()
+	if len(closed) != 1 || closed[0] != "raced" {
+		t.Fatalf("OnClose ran for %v, want [raced]", closed)
+	}
+}
+
+// backdate simulates a session whose last activity was `ago` in the past,
+// so sweeps can be driven deterministically without sleeping.
+func backdate(ms *ManagedSession, ago time.Duration) {
+	ms.meta.Lock()
+	ms.lastUsed = time.Now().Add(-ago)
+	ms.meta.Unlock()
+}
+
+// Polling, paging, and canceling a query are session activity: a client
+// paginating a finished crowd query's results past IdleTTL must not have
+// the session reaped out from under it (regression: touch was never
+// wired, so only execute refreshed lastUsed).
+func TestPollingKeepsSessionAlive(t *testing.T) {
+	m, err := NewSessionManager(ServiceConfig{
+		Factory: func(name string) (*Session, error) { return machineSession(), nil },
+		IdleTTL: time.Hour,
+	})
+	if err != nil {
+		t.Fatalf("NewSessionManager: %v", err)
+	}
+	defer m.Close()
+	ms, _ := m.Create("pager")
+	mustRun(t, ms, `CREATE TABLE t (id INT)`)
+	mustRun(t, ms, `INSERT INTO t VALUES (1), (2), (3)`)
+	q := mustRun(t, ms, `SELECT id FROM t ORDER BY id`)
+
+	// Page past several idle TTLs: each round the session has been silent
+	// for well over the TTL when the client fetches its next page, and the
+	// fetch must reset the clock so the following sweep keeps the session.
+	token := ""
+	for round := 0; round < 3; round++ {
+		backdate(ms, 2*time.Hour)
+		h, ok := ms.Query(q.ID())
+		if !ok {
+			t.Fatalf("round %d: query handle gone", round)
+		}
+		page, err := h.Page(token, 1)
+		if err != nil {
+			t.Fatalf("round %d: Page: %v", round, err)
+		}
+		token = page.NextPageToken
+		m.sweepIdle(time.Now().Add(30 * time.Minute))
+		if _, ok := m.Get("pager"); !ok {
+			t.Fatalf("round %d: session reaped under an actively paginating client", round)
+		}
+	}
+
+	// Cancel is activity too.
+	backdate(ms, 2*time.Hour)
+	if _, ok := ms.CancelQuery(q.ID()); !ok {
+		t.Fatal("CancelQuery lost the handle")
+	}
+	m.sweepIdle(time.Now().Add(30 * time.Minute))
+	if _, ok := m.Get("pager"); !ok {
+		t.Fatal("session reaped right after a cancel")
+	}
+
+	// With no activity the sweep still reaps.
+	backdate(ms, 2*time.Hour)
+	m.sweepIdle(time.Now())
+	if _, ok := m.Get("pager"); ok {
+		t.Fatal("idle session survived the sweep")
+	}
+}
+
+// CancelQuery resolves existence and cancellation in one lookup, so at
+// the retention boundary a pruned handle reports "unknown" and a live one
+// always comes back with the handle that was canceled.
+func TestCancelQueryAtRetentionBoundary(t *testing.T) {
+	m := testManager(t)
+	ms, _ := m.Create("s1")
+	mustRun(t, ms, `CREATE TABLE t (id INT)`)
+	mustRun(t, ms, `INSERT INTO t VALUES (1)`)
+	for i := 0; i < retainedQueries+2; i++ {
+		mustRun(t, ms, `SELECT id FROM t`)
+	}
+	// q1/q2 (the DDL and first insert) are long pruned.
+	if _, ok := ms.Query("q1"); ok {
+		t.Fatal("expected q1 to be pruned past the retention cap")
+	}
+	if h, ok := ms.CancelQuery("q1"); ok || h != nil {
+		t.Fatal("cancel of a pruned handle reported success")
+	}
+	latest := fmt.Sprintf("q%d", retainedQueries+4)
+	h, ok := ms.CancelQuery(latest)
+	if !ok || h == nil || h.ID() != latest {
+		t.Fatalf("CancelQuery(%s) = (%v, %v), want the live handle", latest, h, ok)
+	}
+	if h.Status() != QueryDone {
+		t.Fatalf("canceling a finished query flipped its status to %s", h.Status())
 	}
 }

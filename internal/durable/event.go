@@ -60,6 +60,42 @@ const (
 	// in the live pool.
 	EvLeaseIssued  = "lease_issued"
 	EvLeaseExpired = "lease_expired"
+
+	// CrowdQL session-lifecycle events. Session, prepare, and query events
+	// have no task affinity and land on segment 0; question events ride the
+	// segment of the task they published, ordered with that task's add,
+	// answer, and close records. Together they make the query service
+	// crash-recoverable: replaying them rebuilds which sessions were open
+	// (with their prepared statements), which queries were running, and
+	// which crowd questions still held a budget reservation.
+	//
+	// EvCqlSessionCreated / EvCqlSessionClosed bracket a named session's
+	// lifetime. A graceful close journals the closed event, so only
+	// sessions that were open at crash time are restored.
+	EvCqlSessionCreated = "cql_session_created"
+	EvCqlSessionClosed  = "cql_session_closed"
+	// EvCqlPrepared stores a prepared statement's name and source text so
+	// recovery can re-prepare it (the source re-parses; row data never
+	// rides the log — catalogs persist separately, see DESIGN.md).
+	EvCqlPrepared = "cql_prepared"
+	// EvCqlQueryStarted / EvCqlQueryFinished bracket a query handle's run.
+	// A started event without a matching finished event marks a query that
+	// was mid-flight at crash time; recovery resurrects its handle with
+	// status "recovered" instead of silently vanishing it.
+	EvCqlQueryStarted  = "cql_query_started"
+	EvCqlQueryFinished = "cql_query_finished"
+	// EvCqlQuestionPublished journals the gateway's redundancy-k budget
+	// reservation as a crowd question is published (Amount = k, folded into
+	// the durable spend). EvCqlQuestionRefund releases part of the
+	// reservation as answers arrive (each arriving answer carries its own
+	// charge on its answer record). EvCqlQuestionClosed retires the
+	// question, refunding the unconsumed remainder. A published event with
+	// no closed event is an orphaned question: recovery closes its task and
+	// refunds reserved − refunded, so post-recovery spend equals acked
+	// answers exactly.
+	EvCqlQuestionPublished = "cql_question_published"
+	EvCqlQuestionRefund    = "cql_question_refund"
+	EvCqlQuestionClosed    = "cql_question_closed"
 )
 
 // TaskRecord is the wire form of a core.Task. Payload (operator-specific
@@ -153,4 +189,12 @@ type Event struct {
 	Amount  float64        `json:"amount,omitempty"`
 	Lease   *LeaseRecord   `json:"lease,omitempty"`
 	Leases  []LeaseRecord  `json:"leases,omitempty"`
+	// CrowdQL fields (EvCql* events only): the owning session, the query
+	// handle id, a prepared statement or source text, and a terminal query
+	// status.
+	Session string `json:"session,omitempty"`
+	Query   string `json:"query,omitempty"`
+	Name    string `json:"name,omitempty"`
+	Src     string `json:"src,omitempty"`
+	Status  string `json:"status,omitempty"`
 }

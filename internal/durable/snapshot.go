@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/core"
 )
@@ -29,6 +30,31 @@ type Snapshot struct {
 	Leases      []LeaseRecord               `json:"leases,omitempty"`
 	BudgetSpent float64                     `json:"budget_spent"`
 	Screen      map[string]core.ScreenTally `json:"screen,omitempty"`
+	// CQL captures the query service's open sessions and in-flight crowd
+	// questions (omitted when the service journaled nothing, so snapshots
+	// from deployments without CrowdQL are byte-identical to format 1).
+	CQL *CQLSnapshot `json:"cql,omitempty"`
+}
+
+// CQLSnapshot is the snapshot image of the CrowdQL replica.
+type CQLSnapshot struct {
+	Sessions  []CQLSessionSnap  `json:"sessions,omitempty"`
+	Questions []CQLQuestionSnap `json:"questions,omitempty"`
+}
+
+// CQLSessionSnap is one open session: prepared statements by name and the
+// queries still running as of the snapshot.
+type CQLSessionSnap struct {
+	Name     string            `json:"name"`
+	Prepared map[string]string `json:"prepared,omitempty"`
+	Running  map[string]string `json:"running,omitempty"`
+}
+
+// CQLQuestionSnap is one open crowd question's reservation ledger.
+type CQLQuestionSnap struct {
+	Task     core.TaskID `json:"task"`
+	Reserved float64     `json:"reserved"`
+	Refunded float64     `json:"refunded,omitempty"`
 }
 
 // snapshotFormat is the current layout version; Open rejects snapshots
@@ -38,7 +64,7 @@ const snapshotFormat = 1
 // buildSnapshot serializes the replica state. Answers keep task insertion
 // order then arrival order, so a pool rebuilt from the snapshot iterates
 // identically to the original.
-func buildSnapshot(p *core.Pool, spent float64, screen map[string]core.ScreenTally, lastSeq uint64) *Snapshot {
+func buildSnapshot(p *core.Pool, spent float64, screen map[string]core.ScreenTally, lastSeq uint64, cql *cqlReplica) *Snapshot {
 	s := &Snapshot{
 		Format:      snapshotFormat,
 		LastSeq:     lastSeq,
@@ -62,7 +88,61 @@ func buildSnapshot(p *core.Pool, spent float64, screen map[string]core.ScreenTal
 			s.Screen[w] = t
 		}
 	}
+	if cql != nil && (len(cql.sessions) > 0 || len(cql.questions) > 0) {
+		cs := &CQLSnapshot{}
+		for _, sess := range cql.sessions {
+			snap := CQLSessionSnap{Name: sess.Name}
+			if len(sess.Prepared) > 0 {
+				snap.Prepared = make(map[string]string, len(sess.Prepared))
+				for k, v := range sess.Prepared {
+					snap.Prepared[k] = v
+				}
+			}
+			if len(sess.Running) > 0 {
+				snap.Running = make(map[string]string, len(sess.Running))
+				for k, v := range sess.Running {
+					snap.Running[k] = v
+				}
+			}
+			cs.Sessions = append(cs.Sessions, snap)
+		}
+		sort.Slice(cs.Sessions, func(i, j int) bool { return cs.Sessions[i].Name < cs.Sessions[j].Name })
+		for _, q := range cql.questions {
+			cs.Questions = append(cs.Questions, CQLQuestionSnap{
+				Task: q.Task, Reserved: q.Reserved, Refunded: q.Refunded,
+			})
+		}
+		sort.Slice(cs.Questions, func(i, j int) bool { return cs.Questions[i].Task < cs.Questions[j].Task })
+		s.CQL = cs
+	}
 	return s
+}
+
+// restoreCQL rebuilds the CrowdQL replica from the snapshot's CQL section
+// (an empty replica when the section is absent).
+func (s *Snapshot) restoreCQL() cqlReplica {
+	var r cqlReplica
+	if s.CQL == nil {
+		return r
+	}
+	for i := range s.CQL.Sessions {
+		snap := &s.CQL.Sessions[i]
+		st := r.session(snap.Name)
+		for k, v := range snap.Prepared {
+			st.Prepared[k] = v
+		}
+		for k, v := range snap.Running {
+			st.Running[k] = v
+		}
+	}
+	for i := range s.CQL.Questions {
+		q := s.CQL.Questions[i]
+		if r.questions == nil {
+			r.questions = make(map[core.TaskID]*CQLQuestionState)
+		}
+		r.questions[q.Task] = &CQLQuestionState{Task: q.Task, Reserved: q.Reserved, Refunded: q.Refunded}
+	}
+	return r
 }
 
 // restore rebuilds the replica state from the snapshot. Closed tasks are

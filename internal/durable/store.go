@@ -61,6 +61,14 @@ type RecoveryInfo struct {
 	Tasks       int
 	Answers     int
 	BudgetSpent float64
+	// CQLSessions counts recovered open CrowdQL sessions;
+	// CQLRunningQueries counts queries that were mid-flight at crash time
+	// (their handles come back with status "recovered"); CQLOpenQuestions
+	// counts crowd questions whose budget reservation was never released —
+	// the server's recovery pass closes them and refunds the remainder.
+	CQLSessions       int
+	CQLRunningQueries int
+	CQLOpenQuestions  int
 }
 
 // Empty reports whether recovery found any durable state at all.
@@ -139,6 +147,7 @@ type Store struct {
 	mu        sync.Mutex
 	repSpent  float64
 	repScreen map[string]core.ScreenTally
+	repCQL    cqlReplica
 	seq       uint64 // last assigned event sequence number
 	snapSeq   uint64 // seq covered by the last published snapshot
 	err       error  // sticky write error; nil while healthy
@@ -206,6 +215,9 @@ func Open(dir string, opts Options) (*Store, *RecoveryInfo, error) {
 		seq:       seq,
 		snapSeq:   seq,
 		stop:      make(chan struct{}),
+	}
+	if snap != nil {
+		s.repCQL = snap.restoreCQL()
 	}
 	for i, segRep := range core.SplitPool(rep, opts.Segments) {
 		s.segs[i] = &segment{rep: segRep}
@@ -314,6 +326,11 @@ func Open(dir string, opts Options) (*Store, *RecoveryInfo, error) {
 		info.Answers += seg.rep.TotalAnswers()
 	}
 	info.BudgetSpent = s.repSpent
+	info.CQLSessions = len(s.repCQL.sessions)
+	for _, sess := range s.repCQL.sessions {
+		info.CQLRunningQueries += len(sess.Running)
+	}
+	info.CQLOpenQuestions = len(s.repCQL.questions)
 	s.replayS = info.ReplayDuration.Seconds()
 
 	if opts.Fsync == FsyncInterval {
@@ -459,6 +476,18 @@ func (s *Store) applyEvent(ev *Event) {
 		for i := range ev.Leases {
 			s.segRep(ev.Leases[i].Task).ReleaseLease(ev.Leases[i].Task, ev.Leases[i].Worker)
 		}
+	default:
+		// CrowdQL session/question events fold into the cross-task replica;
+		// the reservation events also move the durable spend, mirroring the
+		// live gateway's charge/refund protocol.
+		s.mu.Lock()
+		if s.repCQL.apply(ev) {
+			s.repSpent += cqlSpendDelta(ev)
+			if s.repSpent < 0 {
+				s.repSpent = 0
+			}
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -733,7 +762,7 @@ func (s *Store) snapshotLocked() error {
 	for i, seg := range s.segs {
 		reps[i] = seg.rep
 	}
-	snap := buildSnapshot(core.MergePools(reps), s.repSpent, s.repScreen, s.seq)
+	snap := buildSnapshot(core.MergePools(reps), s.repSpent, s.repScreen, s.seq, &s.repCQL)
 	if err := writeSnapshot(s.dir, snap); err != nil {
 		s.snapErrs.Inc()
 		return err
@@ -766,7 +795,7 @@ func (s *Store) currentSnapshot() *Snapshot {
 	for i, seg := range s.segs {
 		reps[i] = seg.rep
 	}
-	return buildSnapshot(core.MergePools(reps), s.repSpent, s.repScreen, s.seq)
+	return buildSnapshot(core.MergePools(reps), s.repSpent, s.repScreen, s.seq, &s.repCQL)
 }
 
 // flusher batches fsyncs across all segments under FsyncInterval.

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cql"
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/operators"
 	"repro/internal/stats"
@@ -105,6 +106,24 @@ func (m *cqlMetrics) queryDone(status cql.QueryStatus, d time.Duration) {
 	m.querySeconds.Observe(d.Seconds())
 }
 
+// cqlJournal adapts the durable store to cql.SessionJournal: every
+// session-lifecycle transition becomes a WAL event. Append errors are
+// swallowed here — the store goes sticky-failed and the answer path (the
+// ack-gated one) surfaces it.
+type cqlJournal struct{ store *durable.Store }
+
+func (j cqlJournal) SessionCreated(name string) { _ = j.store.CQLSessionCreated(name) }
+func (j cqlJournal) SessionClosed(name string)  { _ = j.store.CQLSessionClosed(name) }
+func (j cqlJournal) StatementPrepared(session, name, src string) {
+	_ = j.store.CQLPrepared(session, name, src)
+}
+func (j cqlJournal) QueryStarted(session, qid, src string) {
+	_ = j.store.CQLQueryStarted(session, qid, src)
+}
+func (j cqlJournal) QueryFinished(session, qid string, status cql.QueryStatus) {
+	_ = j.store.CQLQueryFinished(session, qid, string(status))
+}
+
 // initCQL builds the gateway and session manager. Called by New once the
 // pool wrapper exists, before observability wiring (which registers the
 // service's gauges).
@@ -117,14 +136,24 @@ func (s *Server) initCQL() error {
 		cfg.ExecuteGrace = 300 * time.Millisecond
 	}
 	s.cqlGw = &cqlGateway{srv: s, waiters: make(map[core.TaskID]chan struct{})}
-	mgr, err := cql.NewSessionManager(cql.ServiceConfig{
+	scfg := cql.ServiceConfig{
 		Factory:     s.newCQLSession,
 		IdleTTL:     cfg.IdleTTL,
 		PageSize:    cfg.PageSize,
 		OnClose:     s.saveCQLCatalog,
 		OnQueryDone: func(st cql.QueryStatus, d time.Duration) { s.cqlM.queryDone(st, d) },
 		Tracer:      s.traceCol,
-	})
+	}
+	if s.store != nil {
+		// Durability on: journal session lifecycle into the WAL, and save
+		// the catalog after every mutating statement (not just on close) so
+		// the catalog a crash recovers onto already holds every executed
+		// statement's effects. Without a store, neither hook is set and the
+		// service runs the exact PR 9 close-time persistence path.
+		scfg.Journal = cqlJournal{store: s.store}
+		scfg.OnMutate = s.saveCQLCatalog
+	}
+	mgr, err := cql.NewSessionManager(scfg)
 	if err != nil {
 		return err
 	}
@@ -192,6 +221,13 @@ func (s *Server) wireCQLObservability() {
 	reg.GaugeFunc("crowdkit_cql_sessions_active", func() float64 {
 		return float64(s.cqlMgr.SessionCount())
 	})
+	// Recovery counters are plain value counters incremented by the boot
+	// recovery pass (which runs before metrics wiring): registering them
+	// here just exposes whatever that pass already counted.
+	reg.RegisterCounter("crowdkit_cql_recovered_sessions_total", &s.cqlRecSessions)
+	reg.RegisterCounter("crowdkit_cql_recovered_queries_total", &s.cqlRecQueries)
+	reg.RegisterCounter("crowdkit_cql_recovered_questions_total", &s.cqlRecQuestions)
+	reg.RegisterCounter("crowdkit_cql_recovered_refund_units_total", &s.cqlRecRefund)
 }
 
 // mountCQL adds the query-service routes (called from New when WithCQL
@@ -269,6 +305,14 @@ func (g *cqlGateway) Ask(ctx context.Context, t *core.Task, k int) ([]core.Answe
 		s.budget.Refund(float64(k))
 		return nil, err
 	}
+	if s.store != nil {
+		// Journal the reservation right after the task-added record, on the
+		// task's own WAL segment. From here on the durable spend tracks the
+		// live budget through every refund; a crash before the question
+		// closes leaves a published-without-closed pair, which recovery
+		// reconciles by closing the task and refunding the remainder.
+		_ = s.store.CQLQuestionPublished(id, float64(k))
+	}
 	if sp.Recording() {
 		sp.SetAttr(obs.Int("task", int64(id)), obs.Int("shard", int64(s.cpool.ShardFor(id))))
 		sp.AddEvent("publish", obs.Int("task", int64(id)), obs.Int("redundancy", int64(k)))
@@ -302,6 +346,9 @@ func (g *cqlGateway) Ask(ctx context.Context, t *core.Task, k int) ([]core.Answe
 				n = k
 			}
 			s.budget.Refund(float64(n - seen))
+			if s.store != nil {
+				_ = s.store.CQLQuestionRefunded(id, float64(n-seen))
+			}
 			if sp.Recording() {
 				for i := seen + 1; i <= n; i++ {
 					sp.AddEvent("answer", obs.Int("n", int64(i)))
@@ -311,6 +358,11 @@ func (g *cqlGateway) Ask(ctx context.Context, t *core.Task, k int) ([]core.Answe
 		}
 		if seen >= k {
 			s.cpool.Close(id)
+			if s.store != nil {
+				// Fully consumed reservation: the closed event retires the
+				// question's durable ledger with a zero remainder.
+				_ = s.store.CQLQuestionClosed(id, 0)
+			}
 			sp.AddEvent("close", obs.Int("answers", int64(seen)))
 			answers := s.cpool.Answers(id)
 			return append([]core.Answer(nil), answers[:k]...), nil
@@ -322,6 +374,9 @@ func (g *cqlGateway) Ask(ctx context.Context, t *core.Task, k int) ([]core.Answe
 			// never consumed.
 			s.cpool.Close(id)
 			s.budget.Refund(float64(k - seen))
+			if s.store != nil {
+				_ = s.store.CQLQuestionClosed(id, float64(k-seen))
+			}
 			sp.AddEvent("close", obs.Int("answers", int64(seen)), obs.Str("reason", "canceled"))
 			return nil, ctx.Err()
 		case <-ch:
@@ -500,8 +555,11 @@ func (s *Server) handleCQLCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	qid := r.PathValue("qid")
-	q, ok := ms.Query(qid)
-	if !ok || !ms.CancelQuery(qid) {
+	// One lookup resolves existence and cancels: a handle pruned by the
+	// retention cap between two separate calls could otherwise 404 after
+	// its cancel already took effect.
+	q, ok := ms.CancelQuery(qid)
+	if !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown query %q", qid))
 		return
 	}

@@ -120,6 +120,14 @@ type Server struct {
 	cqlMgr *cql.SessionManager
 	cqlGw  *cqlGateway
 	cqlM   cqlMetrics
+
+	// CQL crash-recovery accounting (see cql_recovery.go): sessions and
+	// query handles restored from the journal, orphaned crowd questions
+	// reconciled, and budget units refunded doing so.
+	cqlRecSessions  obs.Counter
+	cqlRecQueries   obs.Counter
+	cqlRecQuestions obs.Counter
+	cqlRecRefund    obs.Counter
 }
 
 // Option configures optional server behavior.
@@ -224,6 +232,11 @@ func New(pool *core.Pool, assigner core.Assigner, budget *core.Budget, screen *c
 	if err := s.initCQL(); err != nil {
 		return nil, err
 	}
+	// With durability on, reconcile CQL state the journal recovered before
+	// any traffic lands: close orphaned crowd questions (refunding their
+	// unconsumed reservations) and reopen the sessions that were live at
+	// crash time. No-op without a store or recovered CQL events.
+	s.recoverCQL()
 	s.wireObservability()
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /api/task", s.instrument("/api/task", s.handleTask))
